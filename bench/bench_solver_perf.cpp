@@ -1,0 +1,101 @@
+// PERF: google-benchmark microbenchmarks of the numerical substrates — the
+// cost centers behind every table: MNA DC solves (cold/warm), transient
+// steps, SNM and DRV extraction, and March execution throughput.
+#include <benchmark/benchmark.h>
+
+#include "lpsram/cell/drv.hpp"
+#include "lpsram/cell/snm.hpp"
+#include "lpsram/march/executor.hpp"
+#include "lpsram/march/library.hpp"
+#include "lpsram/regulator/regulator.hpp"
+
+namespace lpsram {
+namespace {
+
+const Technology& tech() {
+  static const Technology t = Technology::lp40nm();
+  return t;
+}
+
+void BM_MosfetEval(benchmark::State& state) {
+  const Mosfet m{tech().cell_pulldown()};
+  double vg = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.eval(vg, 1.1, 0.0, 25.0));
+    vg = vg < 1.0 ? vg + 1e-6 : 0.3;
+  }
+}
+BENCHMARK(BM_MosfetEval);
+
+void BM_RegulatorDcCold(benchmark::State& state) {
+  VoltageRegulator reg(tech(), Corner::Typical);
+  reg.set_vdd(1.1);
+  reg.select_vref(VrefLevel::V070);
+  for (auto _ : state) {
+    reg.clear_all_defects();  // invalidates the warm start
+    benchmark::DoNotOptimize(reg.vreg_dc(25.0));
+  }
+}
+BENCHMARK(BM_RegulatorDcCold);
+
+void BM_RegulatorDcWarm(benchmark::State& state) {
+  VoltageRegulator reg(tech(), Corner::Typical);
+  reg.set_vdd(1.1);
+  reg.select_vref(VrefLevel::V070);
+  benchmark::DoNotOptimize(reg.vreg_dc(25.0));  // prime the warm start
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.vreg_dc(25.0));
+  }
+}
+BENCHMARK(BM_RegulatorDcWarm);
+
+void BM_DsEntryTransient(benchmark::State& state) {
+  VoltageRegulator reg(tech(), Corner::Typical);
+  reg.set_vdd(1.0);
+  reg.select_vref(VrefLevel::V074);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.simulate_ds_entry(30e-6, 25.0));
+  }
+}
+BENCHMARK(BM_DsEntryTransient);
+
+void BM_HoldSnm(benchmark::State& state) {
+  const CoreCell cell(tech());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hold_snm(cell, StoredBit::One, 0.8, 25.0));
+  }
+}
+BENCHMARK(BM_HoldSnm);
+
+void BM_DrvExtraction(benchmark::State& state) {
+  CellVariation v;
+  v.mpcc1 = -3;
+  v.mncc1 = -3;
+  const CoreCell cell(tech(), v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drv_hold(cell, StoredBit::One, 25.0));
+  }
+}
+BENCHMARK(BM_DrvExtraction);
+
+void BM_MarchMlz4Kx64(benchmark::State& state) {
+  SramConfig config;
+  config.words = 4096;
+  config.bits = 64;
+  config.baseline_drv = DrvResult{0.15, 0.15};
+  LowPowerSram sram(config);
+  MarchExecutorOptions options;
+  options.ds_time = 1e-3;
+  MarchExecutor executor(sram, options);
+  const MarchTest test = march::march_m_lz();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run(test));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 5 * 4096);
+}
+BENCHMARK(BM_MarchMlz4Kx64);
+
+}  // namespace
+}  // namespace lpsram
+
+BENCHMARK_MAIN();

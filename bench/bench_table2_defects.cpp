@@ -1,0 +1,68 @@
+// TAB2: reproduces paper Table II — for every DRF-causing resistive-open
+// defect of the voltage regulator (17 of 32) and every case study CS1..CS5,
+// the minimal defect resistance that causes a data retention fault in
+// deep-sleep mode, with the PVT condition that requires it.
+//
+// Usage: bench_table2_defects [--full]
+//   default: a 9-point PVT subgrid (fs/sf/typical corners x 3 VDD at 125 C
+//            plus the hot/cold extremes) — minutes-scale accurate shape;
+//   --full:  the paper's complete 45-point grid.
+#include <cstdio>
+#include <cstring>
+
+#include "lpsram/testflow/report.hpp"
+#include "lpsram/util/units.hpp"
+
+using namespace lpsram;
+
+int main(int argc, char** argv) {
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  const Technology tech = Technology::lp40nm();
+
+  DefectCharacterizationOptions options;
+  if (!full) {
+    for (const Corner corner :
+         {Corner::FastNSlowP, Corner::SlowNFastP, Corner::Typical}) {
+      for (const double vdd : tech.vdd_levels()) {
+        options.pvt.push_back(PvtPoint{corner, vdd, 125.0});
+      }
+    }
+    // Cold extremes, in case a defect's worst case is not hot.
+    options.pvt.push_back(PvtPoint{Corner::FastNSlowP, 1.0, -30.0});
+    options.pvt.push_back(PvtPoint{Corner::SlowNFastP, 1.2, -30.0});
+  }
+
+  const DefectCharacterizer characterizer(tech, options);
+
+  std::printf(
+      "TAB2 — minimal defect resistance causing DRF_DS per defect x case "
+      "study\n(PVT grid: %zu points%s; DS time %.0f ms; worst-case DRV %s "
+      "mV)\n",
+      characterizer.options().pvt.size(), full ? " = paper's full grid" : "",
+      options.ds_time * 1e3,
+      millivolt_format(characterizer.worst_drv()).c_str());
+  std::printf(
+      "paper shape: Rmin grows CS1 -> CS4 (CS4 often open); CS5 < CS2; "
+      "worst PVT mostly fs/125C;\nDf16/Df19/Df29 the most critical "
+      "error-amplifier defects.\n\n");
+
+  const auto& defects = table2_defects();
+  const auto case_studies = table2_case_studies();
+  const auto rows = characterizer.table(defects, case_studies);
+  std::fputs(table2_report(rows, case_studies).c_str(), stdout);
+
+  // The paper's cross-check: CS5 requires lower Rmin than CS2 everywhere.
+  std::size_t cs5_tighter = 0, comparable = 0;
+  for (const auto& row : rows) {
+    const DefectCsResult& cs2 = row[1];
+    const DefectCsResult& cs5 = row[4];
+    if (cs2.open_only || cs5.open_only) continue;
+    ++comparable;
+    if (cs5.min_resistance <= cs2.min_resistance * 1.0001) ++cs5_tighter;
+  }
+  std::printf("\nCS5 Rmin <= CS2 Rmin for %zu/%zu comparable defects (paper: "
+              "all)\n",
+              cs5_tighter, comparable);
+  return 0;
+}

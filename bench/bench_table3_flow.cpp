@@ -1,0 +1,89 @@
+// TAB3: reproduces paper Table III — the optimized test flow. Builds the
+// 12-condition detection matrix for the 17 DRF-causing defects, runs the
+// greedy cover, prints the chosen iterations and the test-time reduction,
+// then validates the flow against defective SRAM instances (Section V).
+#include <cstdio>
+
+#include "lpsram/core/methodology.hpp"
+#include "lpsram/testflow/report.hpp"
+#include "lpsram/util/units.hpp"
+#include "lpsram/util/table.hpp"
+
+using namespace lpsram;
+
+int main() {
+  const Technology tech = Technology::lp40nm();
+
+  std::printf(
+      "TAB3 — optimized test flow (paper Table III)\n"
+      "paper result: 3 iterations {(1.0V, 0.74*VDD), (1.1V, 0.70*VDD), "
+      "(1.2V, 0.64*VDD)},\nall at Vreg just above the worst-case DRV, 1 ms "
+      "DS time, 75%% test-time reduction vs 12 naive runs.\n\n");
+
+  const Methodology methodology(tech);
+  const MethodologyReport report = methodology.run();
+
+  std::printf("worst-case DRV_DS from Table I analysis: %s mV (paper: 730)\n\n",
+              millivolt_format(report.worst_drv).c_str());
+
+  std::fputs(table3_report(report.generated.flow, report.generated.test, 4096,
+                           10e-9)
+                 .c_str(),
+             stdout);
+
+  // What an unconstrained set-cover optimizer finds on the same matrix:
+  // when defect optima coincide, it can beat the paper's iteration count.
+  {
+    FlowOptimizer::Options greedy_options;
+    greedy_options.worst_drv = report.worst_drv;
+    greedy_options.strategy = FlowStrategy::GreedyMinimal;
+    const FlowOptimizer greedy(tech, greedy_options);
+    const OptimizedFlow minimal = greedy.optimize(report.generated.matrix);
+    std::printf("\nunconstrained greedy cover (ablation):\n");
+    std::fputs(
+        table3_report(minimal, report.generated.test, 4096, 10e-9).c_str(),
+        stdout);
+  }
+
+  // The detection matrix behind the flow (Rmin per condition x defect).
+  std::printf("\ndetection matrix (min DRF-causing resistance; '-' = invalid "
+              "condition or undetectable):\n");
+  {
+    std::vector<std::string> header = {"condition \\ defect"};
+    for (const DefectId id : report.generated.matrix.defects)
+      header.push_back(defect_name(id));
+    AsciiTable table(std::move(header));
+    for (std::size_t ci = 0; ci < report.generated.matrix.conditions.size();
+         ++ci) {
+      const TestCondition& tc = report.generated.matrix.conditions[ci];
+      char label[48];
+      std::snprintf(label, sizeof(label), "%.1fV %s", tc.vdd,
+                    vref_name(tc.vref).c_str());
+      std::vector<std::string> cells = {label};
+      for (std::size_t di = 0; di < report.generated.matrix.defects.size();
+           ++di) {
+        const double r = report.generated.matrix.rmin[ci][di];
+        cells.push_back(r > report.generated.matrix.r_high ? "-"
+                                                           : eng_format(r, 1));
+      }
+      table.add_row(std::move(cells));
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+
+  // Section V validation: the flow must fail every injected DRF defect and
+  // pass the healthy device.
+  std::printf("\nflow validation on 4Kx64 instances (defect at 4x its minimal "
+              "resistance):\n");
+  std::printf("  healthy device: %s\n",
+              report.healthy_passes ? "PASS (as required)" : "FAIL (BUG)");
+  for (const DefectValidation& v : report.validations) {
+    std::printf("  %-5s at %9s: %s (iteration %d)\n",
+                defect_name(v.id).c_str(),
+                eng_format(v.injected_resistance, 1).c_str(),
+                v.detected ? "detected" : "MISSED", v.failing_iteration);
+  }
+  std::printf("validation coverage: %.1f%% of detectable defects\n",
+              100.0 * report.validation_coverage());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// BIST + diagnosis walkthrough: compile March m-LZ to controller microcode,
+// execute it cycle-stepped against healthy and defective devices, and read
+// the compressed failure signature back as a root-cause hypothesis — the
+// production-silicon version of the paper's test flow.
+#include <cstdio>
+
+#include "lpsram/bist/diagnosis.hpp"
+#include "lpsram/march/executor.hpp"
+#include "lpsram/march/library.hpp"
+
+using namespace lpsram;
+
+namespace {
+
+SramConfig device_config() {
+  SramConfig config;
+  config.words = 4096;
+  config.bits = 64;
+  config.corner = Corner::FastNSlowP;
+  config.vdd = 1.0;
+  config.vref = VrefLevel::V074;
+  config.temp_c = 125.0;
+  config.baseline_drv = DrvResult{0.20, 0.20};
+  return config;
+}
+
+void run_and_diagnose(const char* label, LowPowerSram& sram) {
+  // Screen classic faults first (March C-, no deep-sleep phase), then run
+  // March m-LZ from the BIST controller and diagnose its response.
+  MarchExecutorOptions screen_options;
+  screen_options.ds_time = 1e-3;
+  MarchExecutor screen(sram, screen_options);
+  const bool classic_clean = screen.run(march::march_c_minus()).passed;
+
+  BistController bist(sram);
+  const auto program = assemble(march::march_m_lz());
+  bist.load(program);
+  bist.run();
+
+  const RetentionDiagnosis diagnosis = diagnose_retention(
+      program, bist.response(), sram.words(), sram.bits_per_word());
+
+  std::printf("%-28s | classic screen: %-5s | m-LZ: %-4s | %s\n", label,
+              classic_clean ? "clean" : "FAIL",
+              bist.response().pass() ? "pass" : "FAIL",
+              classic_clean ? diagnosis.str().c_str()
+                            : "classic fault (see screen log)");
+  if (!bist.response().pass() && classic_clean) {
+    const BistFailure& f = bist.response().log().front();
+    std::printf("%-28s |   first fail: pc=%zu (%s) addr=%zu syndrome=%llx\n",
+                "", f.pc, program[f.pc].str().c_str(), f.address,
+                static_cast<unsigned long long>(f.syndrome));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Technology tech = Technology::lp40nm();
+  CellVariation worst;
+  worst.mpcc1 = -6;
+  worst.mncc1 = -6;
+  worst.mpcc2 = +6;
+  worst.mncc2 = +6;
+  worst.mncc3 = -6;
+  worst.mncc4 = +6;
+  const DrvResult weak = drv_ds(CoreCell(tech, worst, Corner::FastNSlowP),
+                                125.0);
+
+  std::printf("BIST microcode for %s:\n", march::march_m_lz().name.c_str());
+  for (const BistInstruction& inst : assemble(march::march_m_lz()))
+    std::printf("  %s\n", inst.str().c_str());
+  std::printf("\n");
+
+  {
+    LowPowerSram sram(device_config());
+    sram.add_weak_cell(1234, 17, weak);
+    run_and_diagnose("healthy", sram);
+  }
+  {
+    LowPowerSram sram(device_config());
+    sram.add_weak_cell(1234, 17, weak);
+    sram.inject_regulator_defect(7, 3e6);  // marginal Vreg
+    run_and_diagnose("Df7 marginal regulator", sram);
+  }
+  {
+    LowPowerSram sram(device_config());
+    sram.inject_regulator_defect(19, 50e6);  // collapsed output path
+    run_and_diagnose("Df19 collapsed regulator", sram);
+  }
+  {
+    LowPowerSram sram(device_config());
+    const DrvResult zero_weak{weak.drv0, weak.drv1};  // loses '0' instead
+    sram.add_weak_cell(33, 7, zero_weak);
+    sram.inject_regulator_defect(7, 3e6);
+    run_and_diagnose("Df7 + '0'-weak cell", sram);
+  }
+  {
+    LowPowerSram sram(device_config());
+    sram.inject_power_fault(PowerFault::RegonStuckOff);
+    run_and_diagnose("REGON stuck off", sram);
+  }
+  return 0;
+}

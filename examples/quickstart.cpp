@@ -1,0 +1,69 @@
+// Quickstart: the library in ~60 lines.
+//
+// Build a low-power SRAM with a worst-case weak cell, inject a resistive
+// open into its voltage regulator, and let March m-LZ expose the data
+// retention fault that a classic March test misses.
+#include <cstdio>
+
+#include "lpsram/march/executor.hpp"
+#include "lpsram/march/library.hpp"
+
+using namespace lpsram;
+
+int main() {
+  const Technology tech = Technology::lp40nm();
+
+  // 1. How low can VDD_CC go? Worst-case cell (paper CS1: all six
+  //    transistors at 6 sigma in the adverse direction).
+  CellVariation worst;
+  worst.mpcc1 = -6;
+  worst.mncc1 = -6;
+  worst.mpcc2 = +6;
+  worst.mncc2 = +6;
+  worst.mncc3 = -6;
+  worst.mncc4 = +6;
+  const CoreCell weak_cell(tech, worst, Corner::FastNSlowP);
+  const DrvResult weak_drv = drv_ds(weak_cell, 125.0);
+  std::printf("worst-case cell DRV_DS1 = %.0f mV\n", weak_drv.drv1 * 1e3);
+
+  // 2. A 4Kx64 low-power SRAM, tested hot at VDD = 1.0 V with the regulator
+  //    set to 0.74*VDD — Vreg just above the worst-case DRV.
+  SramConfig config;
+  config.words = 4096;
+  config.bits = 64;
+  config.corner = Corner::FastNSlowP;
+  config.vdd = 1.0;
+  config.vref = VrefLevel::V074;
+  config.temp_c = 125.0;
+  LowPowerSram sram(config);
+  sram.add_weak_cell(/*address=*/1234, /*bit=*/17, weak_drv);
+  std::printf("healthy deep-sleep Vreg = %.3f V\n", sram.vreg_ds());
+
+  // 3. Break the regulator: a resistive open in the amplifier bias path.
+  sram.inject_regulator_defect(/*Df*/ 7, /*ohms=*/3e6);
+  std::printf("defective deep-sleep Vreg = %.3f V (weak cell needs %.3f V)\n",
+              sram.vreg_ds(), weak_drv.drv1);
+
+  // 4. Test it. March C- (no deep-sleep phase) passes the faulty device;
+  //    March m-LZ sensitizes the retention fault and fails it.
+  MarchExecutorOptions options;
+  options.ds_time = 1e-3;  // paper: at least 1 ms in deep-sleep
+  MarchExecutor executor(sram, options);
+
+  const MarchRunResult classic = executor.run(march::march_c_minus());
+  const MarchRunResult mlz = executor.run(march::march_m_lz());
+  std::printf("March C-   (%s): %s\n", march::march_c_minus().complexity().c_str(),
+              classic.passed ? "PASS — fault escapes" : "FAIL");
+  std::printf("March m-LZ (%s): %s\n", march::march_m_lz().complexity().c_str(),
+              mlz.passed ? "PASS" : "FAIL — retention fault detected");
+  if (!mlz.failures.empty()) {
+    const MarchFailure& f = mlz.failures.front();
+    std::printf("  first failure: address %zu, element %s, read %016llx, "
+                "expected %016llx\n",
+                f.address,
+                march::march_m_lz().elements[f.element].str().c_str(),
+                static_cast<unsigned long long>(f.actual),
+                static_cast<unsigned long long>(f.expected));
+  }
+  return mlz.passed ? 1 : 0;  // detection is success here
+}

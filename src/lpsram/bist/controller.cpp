@@ -1,0 +1,152 @@
+#include "lpsram/bist/controller.hpp"
+
+#include <algorithm>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+constexpr int kColumnMux = 8;  // words per physical row (array.cpp)
+}
+
+BistResponse::BistResponse(std::size_t words, int bits, std::size_t max_log)
+    : max_log_(max_log),
+      row_fails_((words + kColumnMux - 1) / kColumnMux, 0),
+      bit_fails_(static_cast<std::size_t>(bits), 0) {}
+
+void BistResponse::record(std::size_t pc, std::size_t address,
+                          std::uint64_t syndrome) {
+  if (syndrome == 0) return;
+  ++fail_count_;
+  if (log_.size() < max_log_) log_.push_back({pc, address, syndrome});
+  ++row_fails_[address / kColumnMux];
+  for (std::size_t b = 0; b < bit_fails_.size(); ++b)
+    if ((syndrome >> b) & 1u) ++bit_fails_[b];
+  if (std::find(failing_pcs_.begin(), failing_pcs_.end(), pc) ==
+      failing_pcs_.end())
+    failing_pcs_.push_back(pc);
+}
+
+void BistResponse::clear() {
+  fail_count_ = 0;
+  log_.clear();
+  failing_pcs_.clear();
+  std::fill(row_fails_.begin(), row_fails_.end(), 0u);
+  std::fill(bit_fails_.begin(), bit_fails_.end(), 0u);
+}
+
+BistController::BistController(MemoryTarget& target, Config config)
+    : target_(target),
+      config_(std::move(config)),
+      response_(target.words(), target.bits_per_word(),
+                config_.max_fail_log) {}
+
+void BistController::load(const std::vector<BistInstruction>& program) {
+  validate_program(program);
+  program_ = program;
+  state_ = State::Idle;
+  pc_ = 0;
+  response_.clear();
+  elapsed_ = 0.0;
+  memory_ops_ = 0;
+}
+
+void BistController::load(const MarchTest& test) { load(assemble(test)); }
+
+void BistController::start() {
+  if (program_.empty()) throw Error("BistController: no program loaded");
+  pc_ = 0;
+  state_ = State::Running;
+  response_.clear();
+  elapsed_ = 0.0;
+  memory_ops_ = 0;
+}
+
+const BistInstruction& BistController::fetch() const {
+  if (pc_ >= program_.size())
+    throw Error("BistController: program counter out of range");
+  return program_[pc_];
+}
+
+void BistController::execute_memory_op(const BistInstruction& inst) {
+  const int bits = target_.bits_per_word();
+  const std::uint64_t pattern =
+      inst.data == 0 ? config_.background.zero_pattern(address_, bits)
+                     : config_.background.one_pattern(address_, bits);
+  if (inst.op == BistInstruction::Op::WriteData) {
+    target_.write_word(address_, pattern);
+  } else {
+    const std::uint64_t actual = target_.read_word(address_);
+    response_.record(pc_, address_, actual ^ pattern);
+  }
+  ++memory_ops_;
+  elapsed_ += config_.clock_period;
+}
+
+void BistController::advance_address() {
+  if (descending_) {
+    if (address_ == 0) {
+      pc_ += 1;  // loop complete: fall through LoopEnd
+      return;
+    }
+    --address_;
+  } else {
+    if (address_ + 1 >= target_.words()) {
+      pc_ += 1;
+      return;
+    }
+    ++address_;
+  }
+  pc_ = loop_start_pc_ + 1;  // back to the first op of the loop body
+}
+
+bool BistController::step() {
+  if (state_ == State::Idle) throw Error("BistController: not started");
+  if (state_ == State::Done) return false;
+
+  const BistInstruction inst = fetch();
+  switch (inst.op) {
+    case BistInstruction::Op::LoopStart:
+      loop_start_pc_ = pc_;
+      descending_ = inst.descending;
+      address_ = descending_ ? target_.words() - 1 : 0;
+      ++pc_;
+      break;
+    case BistInstruction::Op::ReadCompare:
+    case BistInstruction::Op::WriteData:
+      execute_memory_op(inst);
+      ++pc_;
+      break;
+    case BistInstruction::Op::LoopEnd:
+      advance_address();
+      break;
+    case BistInstruction::Op::DeepSleep:
+      target_.deep_sleep(config_.ds_time);
+      elapsed_ += config_.ds_time;
+      state_ = State::Sleeping;
+      ++pc_;
+      break;
+    case BistInstruction::Op::WakeUp:
+      target_.wake_up();
+      elapsed_ += config_.wakeup_time;
+      state_ = State::Running;
+      ++pc_;
+      break;
+    case BistInstruction::Op::Halt:
+      state_ = State::Done;
+      return false;
+  }
+  return true;
+}
+
+std::uint64_t BistController::run(std::uint64_t max_steps) {
+  if (state_ == State::Idle) start();
+  std::uint64_t steps = 0;
+  while (step()) {
+    if (++steps > max_steps)
+      throw Error("BistController: step budget exceeded (runaway program?)");
+  }
+  return steps;
+}
+
+}  // namespace lpsram

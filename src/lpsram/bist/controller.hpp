@@ -1,0 +1,117 @@
+// Cycle-stepped BIST controller.
+//
+// Executes a microcode program (see microcode.hpp) against a MemoryTarget
+// the way an on-chip controller would: one memory operation per clock, an
+// up/down address generator, a background-aware data generator, a
+// comparator, and a response analyzer with a bounded fail log plus row- and
+// column-fail counters (the compressed signature real BIST engines export
+// for diagnosis).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lpsram/bist/microcode.hpp"
+#include "lpsram/march/backgrounds.hpp"
+#include "lpsram/sram/sram.hpp"
+
+namespace lpsram {
+
+// One logged mismatch.
+struct BistFailure {
+  std::size_t pc = 0;        // program counter of the ReadCompare
+  std::size_t address = 0;
+  std::uint64_t syndrome = 0;  // expected XOR actual (failing bit mask)
+};
+
+// Compressed test response.
+class BistResponse {
+ public:
+  BistResponse(std::size_t words, int bits, std::size_t max_log = 256);
+
+  void record(std::size_t pc, std::size_t address, std::uint64_t syndrome);
+  void clear();
+
+  bool pass() const noexcept { return fail_count_ == 0; }
+  std::uint64_t fail_count() const noexcept { return fail_count_; }
+  const std::vector<BistFailure>& log() const noexcept { return log_; }
+
+  // Fail counters per word line (row) and bit position, for signature
+  // classification. Row index = address / column_mux (8), matching the
+  // physical array organisation.
+  const std::vector<std::uint32_t>& row_fails() const noexcept {
+    return row_fails_;
+  }
+  const std::vector<std::uint32_t>& bit_fails() const noexcept {
+    return bit_fails_;
+  }
+  // Distinct failing program counters (which reads of the test failed).
+  const std::vector<std::size_t>& failing_pcs() const noexcept {
+    return failing_pcs_;
+  }
+
+ private:
+  std::size_t max_log_;
+  std::uint64_t fail_count_ = 0;
+  std::vector<BistFailure> log_;
+  std::vector<std::uint32_t> row_fails_;
+  std::vector<std::uint32_t> bit_fails_;
+  std::vector<std::size_t> failing_pcs_;
+};
+
+struct BistConfig {
+  double clock_period = 10e-9;  // one memory op per clock [s]
+  double ds_time = 1e-3;        // DeepSleep dwell [s]
+  double wakeup_time = 1e-6;    // WakeUp latency [s]
+  DataBackground background = DataBackground::solid();
+  std::size_t max_fail_log = 256;
+};
+
+class BistController {
+ public:
+  using Config = BistConfig;
+
+  BistController(MemoryTarget& target, Config config = {});
+
+  // Loads (and validates) a program; resets state to Idle.
+  void load(const std::vector<BistInstruction>& program);
+  // Convenience: assemble + load a March test.
+  void load(const MarchTest& test);
+
+  enum class State { Idle, Running, Sleeping, Done };
+  State state() const noexcept { return state_; }
+
+  // Starts execution from the first instruction.
+  void start();
+  // Advances one controller step (one memory op, one power transition, or
+  // one control instruction). Returns false once Done.
+  bool step();
+  // Runs to completion; throws Error if `max_steps` is exceeded (runaway
+  // program guard). Returns the number of steps consumed.
+  std::uint64_t run(std::uint64_t max_steps = 100'000'000);
+
+  const BistResponse& response() const noexcept { return response_; }
+  // Elapsed tester time: clocks + dwell/wake latencies [s].
+  double elapsed() const noexcept { return elapsed_; }
+  std::uint64_t memory_ops() const noexcept { return memory_ops_; }
+
+ private:
+  const BistInstruction& fetch() const;
+  void execute_memory_op(const BistInstruction& inst);
+  void advance_address();
+
+  MemoryTarget& target_;
+  Config config_;
+  std::vector<BistInstruction> program_;
+  BistResponse response_;
+
+  State state_ = State::Idle;
+  std::size_t pc_ = 0;
+  std::size_t loop_start_pc_ = 0;
+  std::size_t address_ = 0;
+  bool descending_ = false;
+  double elapsed_ = 0.0;
+  std::uint64_t memory_ops_ = 0;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,128 @@
+#include "lpsram/bist/diagnosis.hpp"
+
+namespace lpsram {
+
+std::string spatial_signature_name(SpatialSignature signature) {
+  switch (signature) {
+    case SpatialSignature::Clean: return "clean";
+    case SpatialSignature::SingleCell: return "single cell";
+    case SpatialSignature::SingleRow: return "single row";
+    case SpatialSignature::SingleColumn: return "single column";
+    case SpatialSignature::Scattered: return "scattered";
+    case SpatialSignature::WholeArray: return "whole array";
+  }
+  return "?";
+}
+
+SpatialSignature classify_spatial(const BistResponse& response,
+                                  std::size_t words, int bits) {
+  if (response.pass()) return SpatialSignature::Clean;
+
+  std::size_t failing_rows = 0;
+  for (const std::uint32_t n : response.row_fails())
+    if (n > 0) ++failing_rows;
+  std::size_t failing_bits = 0;
+  for (const std::uint32_t n : response.bit_fails())
+    if (n > 0) ++failing_bits;
+
+  if (failing_rows == 1 && failing_bits == 1 && response.fail_count() <= 2)
+    return SpatialSignature::SingleCell;  // <= 2: the same cell can fail in
+                                          // both backgrounds/elements
+  if (failing_rows == 1 && failing_bits > 1) return SpatialSignature::SingleRow;
+  if (failing_bits == 1 && failing_rows > 1)
+    return SpatialSignature::SingleColumn;
+
+  // Whole-array: at least half the words logged a failing read.
+  (void)bits;
+  if (response.fail_count() >= words / 2) return SpatialSignature::WholeArray;
+  return SpatialSignature::Scattered;
+}
+
+namespace {
+
+// For each ReadCompare pc: is it inside the first ops-loop following a
+// WakeUp (i.e. a retention check), and what data does it expect?
+struct ReadInfo {
+  bool retention_check = false;
+  int data = 0;
+};
+
+std::vector<ReadInfo> annotate_reads(
+    const std::vector<BistInstruction>& program) {
+  std::vector<ReadInfo> info(program.size());
+  bool after_wakeup = false;   // saw WUP, no ops-loop completed yet
+  bool first_read_done = false;  // the first read op of that loop was seen
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    switch (program[pc].op) {
+      case BistInstruction::Op::WakeUp:
+        after_wakeup = true;
+        first_read_done = false;
+        break;
+      case BistInstruction::Op::ReadCompare:
+        if (after_wakeup && !first_read_done) {
+          info[pc] = {true, program[pc].data};
+          first_read_done = true;  // only the first read checks retention;
+                                   // later ops in the element target other
+                                   // mechanisms (w0,r0 in March m-LZ's ME4)
+        }
+        break;
+      case BistInstruction::Op::WriteData:
+        // A write refreshes the cells: subsequent reads in this element are
+        // no longer retention checks.
+        if (after_wakeup) first_read_done = true;
+        break;
+      case BistInstruction::Op::LoopEnd:
+        // handled per-instruction; the flag resets at the next element
+        break;
+      case BistInstruction::Op::LoopStart:
+        if (after_wakeup && first_read_done) after_wakeup = false;
+        break;
+      default:
+        break;
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+std::string RetentionDiagnosis::str() const {
+  if (spatial == SpatialSignature::Clean) return "clean";
+  std::string out = retention_related ? "retention-related (DRF_DS pattern)"
+                                      : "not retention-specific";
+  if (lost_value) {
+    out += lost_value == StoredBit::One ? ", stored '1' lost (DRV_DS1)"
+                                        : ", stored '0' lost (DRV_DS0)";
+  }
+  out += ", " + spatial_signature_name(spatial);
+  return out;
+}
+
+RetentionDiagnosis diagnose_retention(
+    const std::vector<BistInstruction>& program, const BistResponse& response,
+    std::size_t words, int bits) {
+  RetentionDiagnosis diagnosis;
+  diagnosis.spatial = classify_spatial(response, words, bits);
+  if (response.pass()) return diagnosis;
+
+  const std::vector<ReadInfo> reads = annotate_reads(program);
+  bool all_retention = true;
+  bool lost_one = false;
+  bool lost_zero = false;
+  for (const std::size_t pc : response.failing_pcs()) {
+    if (pc >= reads.size() || !reads[pc].retention_check) {
+      all_retention = false;
+      continue;
+    }
+    if (reads[pc].data == 1)
+      lost_one = true;
+    else
+      lost_zero = true;
+  }
+  diagnosis.retention_related = all_retention;
+  if (lost_one != lost_zero)
+    diagnosis.lost_value = lost_one ? StoredBit::One : StoredBit::Zero;
+  return diagnosis;
+}
+
+}  // namespace lpsram

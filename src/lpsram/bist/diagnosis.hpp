@@ -1,0 +1,56 @@
+// Failure-signature diagnosis from a compressed BIST response.
+//
+// Two layers, mirroring how a test engineer reads Table-II-style silicon
+// data:
+//  * a spatial signature (single cell / row / column / scattered / whole
+//    array) from the row/bit fail histograms, and
+//  * a retention signature: a DRF_DS (the paper's fault model) fails
+//    exclusively on the first read element after a wake-up, with the data
+//    value revealing which state was lost (r1 fails -> stored '1' lost
+//    -> DRV_DS1 violated). A whole-array retention failure points at a
+//    collapsed regulator (e.g. Df16/Df19/Df29/Df32 fully open); a
+//    single-cell retention failure points at a marginal Vreg interacting
+//    with the array's weakest cell.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "lpsram/bist/controller.hpp"
+
+namespace lpsram {
+
+enum class SpatialSignature {
+  Clean,       // no failures
+  SingleCell,  // one cell fails
+  SingleRow,   // all failures share one word line
+  SingleColumn,  // all failures share one bit position
+  Scattered,   // multiple rows and columns, small fraction of the array
+  WholeArray,  // a large fraction of the array fails
+};
+
+std::string spatial_signature_name(SpatialSignature signature);
+
+// Classifies the spatial distribution of failures.
+SpatialSignature classify_spatial(const BistResponse& response,
+                                  std::size_t words, int bits);
+
+struct RetentionDiagnosis {
+  // True if every failing read is the first read element following a
+  // wake-up — the DRF_DS sensitization pattern.
+  bool retention_related = false;
+  // Which stored value was lost (from the failing reads' expected data);
+  // unset when both or neither.
+  std::optional<StoredBit> lost_value;
+  // Spatial extent of the retention loss.
+  SpatialSignature spatial = SpatialSignature::Clean;
+
+  std::string str() const;
+};
+
+// Diagnoses a response against the program that produced it.
+RetentionDiagnosis diagnose_retention(
+    const std::vector<BistInstruction>& program, const BistResponse& response,
+    std::size_t words, int bits);
+
+}  // namespace lpsram

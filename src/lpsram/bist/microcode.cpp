@@ -1,0 +1,139 @@
+#include "lpsram/bist/microcode.hpp"
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+std::string BistInstruction::str() const {
+  switch (op) {
+    case Op::LoopStart:
+      return descending ? "LOOP down" : "LOOP up";
+    case Op::ReadCompare:
+      return "RDC " + std::to_string(data);
+    case Op::WriteData:
+      return "WRD " + std::to_string(data);
+    case Op::LoopEnd:
+      return "ENDL";
+    case Op::DeepSleep:
+      return "DSM";
+    case Op::WakeUp:
+      return "WUP";
+    case Op::Halt:
+      return "HALT";
+  }
+  return "?";
+}
+
+std::vector<BistInstruction> assemble(const MarchTest& test) {
+  test.validate();
+  std::vector<BistInstruction> program;
+  for (const MarchElement& element : test.elements) {
+    switch (element.kind) {
+      case MarchElement::Kind::DeepSleep:
+        program.push_back({BistInstruction::Op::DeepSleep, false, 0});
+        break;
+      case MarchElement::Kind::WakeUp:
+        program.push_back({BistInstruction::Op::WakeUp, false, 0});
+        break;
+      case MarchElement::Kind::Ops: {
+        const bool descending = element.order == AddressOrder::Descending;
+        program.push_back({BistInstruction::Op::LoopStart, descending, 0});
+        for (const MarchOp& op : element.ops) {
+          program.push_back({op.type == MarchOp::Type::Read
+                                 ? BistInstruction::Op::ReadCompare
+                                 : BistInstruction::Op::WriteData,
+                             false, op.value});
+        }
+        program.push_back({BistInstruction::Op::LoopEnd, false, 0});
+        break;
+      }
+    }
+  }
+  program.push_back({BistInstruction::Op::Halt, false, 0});
+  return program;
+}
+
+void validate_program(const std::vector<BistInstruction>& program) {
+  if (program.empty() || program.back().op != BistInstruction::Op::Halt)
+    throw InvalidArgument("BIST program must end with Halt");
+  bool in_loop = false;
+  bool loop_has_op = false;
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    const BistInstruction& inst = program[pc];
+    switch (inst.op) {
+      case BistInstruction::Op::LoopStart:
+        if (in_loop)
+          throw InvalidArgument("BIST program: nested LoopStart at pc " +
+                                std::to_string(pc));
+        in_loop = true;
+        loop_has_op = false;
+        break;
+      case BistInstruction::Op::LoopEnd:
+        if (!in_loop)
+          throw InvalidArgument("BIST program: LoopEnd without LoopStart");
+        if (!loop_has_op)
+          throw InvalidArgument("BIST program: empty loop");
+        in_loop = false;
+        break;
+      case BistInstruction::Op::ReadCompare:
+      case BistInstruction::Op::WriteData:
+        if (!in_loop)
+          throw InvalidArgument("BIST program: memory op outside a loop");
+        if (inst.data != 0 && inst.data != 1)
+          throw InvalidArgument("BIST program: data must be 0/1");
+        loop_has_op = true;
+        break;
+      case BistInstruction::Op::DeepSleep:
+      case BistInstruction::Op::WakeUp:
+        if (in_loop)
+          throw InvalidArgument("BIST program: power op inside a loop");
+        break;
+      case BistInstruction::Op::Halt:
+        if (pc + 1 != program.size())
+          throw InvalidArgument("BIST program: Halt before the end");
+        if (in_loop) throw InvalidArgument("BIST program: Halt inside a loop");
+        break;
+    }
+  }
+}
+
+MarchTest disassemble(const std::vector<BistInstruction>& program,
+                      std::string name) {
+  validate_program(program);
+  MarchTest test;
+  test.name = std::move(name);
+
+  std::vector<MarchOp> ops;
+  bool descending = false;
+  for (const BistInstruction& inst : program) {
+    switch (inst.op) {
+      case BistInstruction::Op::LoopStart:
+        ops.clear();
+        descending = inst.descending;
+        break;
+      case BistInstruction::Op::ReadCompare:
+        ops.push_back({MarchOp::Type::Read, inst.data});
+        break;
+      case BistInstruction::Op::WriteData:
+        ops.push_back({MarchOp::Type::Write, inst.data});
+        break;
+      case BistInstruction::Op::LoopEnd:
+        test.elements.push_back(MarchElement::make(
+            descending ? AddressOrder::Descending : AddressOrder::Ascending,
+            ops));
+        break;
+      case BistInstruction::Op::DeepSleep:
+        test.elements.push_back(MarchElement::deep_sleep());
+        break;
+      case BistInstruction::Op::WakeUp:
+        test.elements.push_back(MarchElement::wake_up());
+        break;
+      case BistInstruction::Op::Halt:
+        break;
+    }
+  }
+  test.validate();
+  return test;
+}
+
+}  // namespace lpsram

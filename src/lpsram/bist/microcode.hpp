@@ -1,0 +1,60 @@
+// March-to-BIST microcode assembler.
+//
+// A production deployment of the paper's flow runs March m-LZ from an
+// on-chip BIST controller, not from a tester: the power-mode transitions
+// (DSM/WUP) become controller states that drive the SLEEP pin and wait out
+// the dwell. This module compiles a MarchTest into a compact instruction
+// list a synthesizable controller FSM could execute, and disassembles it
+// back (round-trip tested).
+//
+// Encoding of one march element `up(r1,w0,r0)`:
+//   LoopStart(ascending)
+//   ReadCompare(1)
+//   WriteData(0)
+//   ReadCompare(0)
+//   LoopEnd
+// DSM / WUP become DeepSleep / WakeUp instructions; the program ends with
+// Halt.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lpsram/march/notation.hpp"
+
+namespace lpsram {
+
+struct BistInstruction {
+  enum class Op : std::uint8_t {
+    LoopStart,    // begin an address loop; `descending` picks the direction
+    ReadCompare,  // read current address, compare against data generator
+    WriteData,    // write data-generator output at current address
+    LoopEnd,      // advance the address; jump back to LoopStart if not done
+    DeepSleep,    // drive SLEEP=1 and wait the configured dwell
+    WakeUp,       // drive SLEEP=0 and wait the wake-up latency
+    Halt,         // done
+  };
+
+  Op op = Op::Halt;
+  bool descending = false;  // LoopStart only
+  int data = 0;             // ReadCompare/WriteData: background-relative 0/1
+
+  std::string str() const;
+  bool operator==(const BistInstruction&) const = default;
+};
+
+// Compiles a (validated) March test into microcode.
+std::vector<BistInstruction> assemble(const MarchTest& test);
+
+// Reconstructs the March test from microcode (element order Ascending for
+// non-descending loops; `Any` order information is not preserved).
+// Throws InvalidArgument on malformed programs.
+MarchTest disassemble(const std::vector<BistInstruction>& program,
+                      std::string name = "disassembled");
+
+// Structural check: loops properly nested/closed, ops only inside loops,
+// program Halt-terminated. Throws InvalidArgument when violated.
+void validate_program(const std::vector<BistInstruction>& program);
+
+}  // namespace lpsram

@@ -1,0 +1,149 @@
+#include "lpsram/bist/repair.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+constexpr int kColumnMux = 8;  // words per physical row (array geometry)
+}
+
+std::vector<FailCell> fail_cells(const BistResponse& response) {
+  // Every recorded failure must be in the log; a truncated log cannot drive
+  // repair (unknown failures would escape the allocation).
+  std::uint64_t logged_cells = 0;
+  for (const BistFailure& f : response.log()) {
+    (void)f;
+    ++logged_cells;
+  }
+  if (logged_cells < response.fail_count())
+    throw InvalidArgument(
+        "fail_cells: fail log truncated; rerun BIST with a larger "
+        "max_fail_log");
+
+  std::set<std::pair<int, int>> distinct;
+  for (const BistFailure& f : response.log()) {
+    const int row = static_cast<int>(f.address) / kColumnMux;
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((f.syndrome >> bit) & 1u) distinct.insert({row, bit});
+    }
+  }
+  std::vector<FailCell> cells;
+  cells.reserve(distinct.size());
+  for (const auto& [row, col] : distinct) cells.push_back(FailCell{row, col});
+  return cells;
+}
+
+RepairSolution allocate_repair(const std::vector<FailCell>& cells,
+                               const RepairResources& resources) {
+  RepairSolution solution;
+  std::vector<FailCell> remaining = cells;
+  int rows_left = resources.spare_rows;
+  int cols_left = resources.spare_cols;
+
+  auto remove_row = [&](int row) {
+    solution.rows.push_back(row);
+    --rows_left;
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [row](const FailCell& c) {
+                                     return c.row == row;
+                                   }),
+                    remaining.end());
+  };
+  auto remove_col = [&](int col) {
+    solution.cols.push_back(col);
+    --cols_left;
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [col](const FailCell& c) {
+                                     return c.col == col;
+                                   }),
+                    remaining.end());
+  };
+
+  // --- 1. must-repair fixed point -----------------------------------------
+  bool changed = true;
+  while (changed && !remaining.empty()) {
+    changed = false;
+    std::map<int, std::set<int>> cols_per_row;
+    std::map<int, std::set<int>> rows_per_col;
+    for (const FailCell& c : remaining) {
+      cols_per_row[c.row].insert(c.col);
+      rows_per_col[c.col].insert(c.row);
+    }
+    for (const auto& [row, cols] : cols_per_row) {
+      if (static_cast<int>(cols.size()) > cols_left) {
+        if (rows_left == 0) {
+          solution.feasible = false;
+          return solution;  // a must-repair row with no row spare left
+        }
+        remove_row(row);
+        changed = true;
+        break;  // histograms are stale; recompute
+      }
+    }
+    if (changed) continue;
+    for (const auto& [col, rows] : rows_per_col) {
+      if (static_cast<int>(rows.size()) > rows_left) {
+        if (cols_left == 0) {
+          solution.feasible = false;
+          return solution;
+        }
+        remove_col(col);
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // --- 2. greedy cover of the leftovers -------------------------------------
+  while (!remaining.empty()) {
+    if (rows_left == 0 && cols_left == 0) {
+      solution.feasible = false;
+      return solution;
+    }
+    std::map<int, int> row_counts;
+    std::map<int, int> col_counts;
+    for (const FailCell& c : remaining) {
+      ++row_counts[c.row];
+      ++col_counts[c.col];
+    }
+    int best_row = -1, best_row_count = 0;
+    for (const auto& [row, n] : row_counts) {
+      if (n > best_row_count) {
+        best_row = row;
+        best_row_count = n;
+      }
+    }
+    int best_col = -1, best_col_count = 0;
+    for (const auto& [col, n] : col_counts) {
+      if (n > best_col_count) {
+        best_col = col;
+        best_col_count = n;
+      }
+    }
+    const bool pick_row =
+        rows_left > 0 &&
+        (cols_left == 0 || best_row_count > best_col_count ||
+         (best_row_count == best_col_count && rows_left >= cols_left));
+    if (pick_row) {
+      remove_row(best_row);
+    } else {
+      remove_col(best_col);
+    }
+  }
+
+  solution.feasible = true;
+  std::sort(solution.rows.begin(), solution.rows.end());
+  std::sort(solution.cols.begin(), solution.cols.end());
+  return solution;
+}
+
+RepairSolution allocate_repair(const BistResponse& response,
+                               const RepairResources& resources) {
+  return allocate_repair(fail_cells(response), resources);
+}
+
+}  // namespace lpsram

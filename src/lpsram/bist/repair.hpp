@@ -1,0 +1,60 @@
+// Redundancy repair allocation from a BIST fail log.
+//
+// Production SRAMs ship spare rows and spare columns; after BIST, a repair
+// allocator decides which spares replace which failing lines. The problem is
+// NP-hard in general; the standard industrial approach implemented here is
+//   1. must-repair analysis: a row with more distinct failing columns than
+//      there are spare columns can only be fixed by a row spare (and
+//      symmetrically for columns) — iterate to a fixed point;
+//   2. greedy cover for the leftover sparse failures (pick the line covering
+//      the most remaining fail cells; ties prefer the resource with more
+//      spares left);
+//   3. feasibility check.
+//
+// Rows here are physical word lines (address / 8, the 8:1 column-mux
+// geometry of the reference block) and columns are bit positions, matching
+// the histograms BistResponse keeps.
+#pragma once
+
+#include <vector>
+
+#include "lpsram/bist/controller.hpp"
+
+namespace lpsram {
+
+struct RepairResources {
+  int spare_rows = 0;
+  int spare_cols = 0;
+};
+
+struct RepairSolution {
+  bool feasible = false;
+  std::vector<int> rows;  // word-line indices replaced by row spares
+  std::vector<int> cols;  // bit positions replaced by column spares
+
+  int spares_used() const noexcept {
+    return static_cast<int>(rows.size() + cols.size());
+  }
+};
+
+// One failing cell in physical coordinates.
+struct FailCell {
+  int row = 0;
+  int col = 0;
+  bool operator==(const FailCell&) const = default;
+};
+
+// Extracts the distinct failing cells from a complete fail log. Throws
+// InvalidArgument if the log was truncated (fail_count exceeds what the log
+// can attribute) — repair needs full information.
+std::vector<FailCell> fail_cells(const BistResponse& response);
+
+// Allocates spares for an explicit fail-cell list.
+RepairSolution allocate_repair(const std::vector<FailCell>& cells,
+                               const RepairResources& resources);
+
+// Convenience: straight from the BIST response.
+RepairSolution allocate_repair(const BistResponse& response,
+                               const RepairResources& resources);
+
+}  // namespace lpsram

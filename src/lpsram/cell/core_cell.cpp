@@ -1,0 +1,127 @@
+#include "lpsram/cell/core_cell.hpp"
+
+namespace lpsram {
+
+std::string cell_transistor_name(CellTransistor t) {
+  switch (t) {
+    case CellTransistor::MPcc1: return "MPcc1";
+    case CellTransistor::MNcc1: return "MNcc1";
+    case CellTransistor::MPcc2: return "MPcc2";
+    case CellTransistor::MNcc2: return "MNcc2";
+    case CellTransistor::MNcc3: return "MNcc3";
+    case CellTransistor::MNcc4: return "MNcc4";
+  }
+  return "?";
+}
+
+double CellVariation::get(CellTransistor t) const noexcept {
+  switch (t) {
+    case CellTransistor::MPcc1: return mpcc1;
+    case CellTransistor::MNcc1: return mncc1;
+    case CellTransistor::MPcc2: return mpcc2;
+    case CellTransistor::MNcc2: return mncc2;
+    case CellTransistor::MNcc3: return mncc3;
+    case CellTransistor::MNcc4: return mncc4;
+  }
+  return 0.0;
+}
+
+void CellVariation::set(CellTransistor t, double n_sigma) noexcept {
+  switch (t) {
+    case CellTransistor::MPcc1: mpcc1 = n_sigma; return;
+    case CellTransistor::MNcc1: mncc1 = n_sigma; return;
+    case CellTransistor::MPcc2: mpcc2 = n_sigma; return;
+    case CellTransistor::MNcc2: mncc2 = n_sigma; return;
+    case CellTransistor::MNcc3: mncc3 = n_sigma; return;
+    case CellTransistor::MNcc4: mncc4 = n_sigma; return;
+  }
+}
+
+CellVariation CellVariation::mirrored() const noexcept {
+  CellVariation m;
+  m.mpcc1 = mpcc2;
+  m.mncc1 = mncc2;
+  m.mpcc2 = mpcc1;
+  m.mncc2 = mncc1;
+  m.mncc3 = mncc4;
+  m.mncc4 = mncc3;
+  return m;
+}
+
+bool CellVariation::is_symmetric() const noexcept {
+  return mpcc1 == 0.0 && mncc1 == 0.0 && mpcc2 == 0.0 && mncc2 == 0.0 &&
+         mncc3 == 0.0 && mncc4 == 0.0;
+}
+
+CoreCell::CoreCell(const Technology& tech, const CellVariation& variation,
+                   Corner corner)
+    : variation_(variation), corner_(corner) {
+  const VariationModel& var_model = tech.variation();
+  auto make = [&](CellTransistor t, MosfetParams params) {
+    params = Technology::apply_corner(std::move(params), corner);
+    params.dvth += var_model.shift_volts(variation.get(t), params.type);
+    params.name = cell_transistor_name(t);
+    return Mosfet{params};
+  };
+  fets_[0] = make(CellTransistor::MPcc1, tech.cell_pullup());
+  fets_[1] = make(CellTransistor::MNcc1, tech.cell_pulldown());
+  fets_[2] = make(CellTransistor::MPcc2, tech.cell_pullup());
+  fets_[3] = make(CellTransistor::MNcc2, tech.cell_pulldown());
+  fets_[4] = make(CellTransistor::MNcc3, tech.cell_pass());
+  fets_[5] = make(CellTransistor::MNcc4, tech.cell_pass());
+}
+
+const Mosfet& CoreCell::transistor(CellTransistor t) const noexcept {
+  return fets_[static_cast<std::size_t>(t)];
+}
+
+double CoreCell::residual_s(double v_s, double v_sb, double vdd_cc,
+                            const Bias& bias, double temp_c) const noexcept {
+  // MPcc1: gate SB, drain S, source VDD_CC. Current into drain pin is
+  // negative when pulling S up, so it *adds* to current entering the node;
+  // residual counts current leaving S.
+  const double i_pu =
+      transistor(CellTransistor::MPcc1).ids(v_sb, v_s, vdd_cc, temp_c);
+  // MNcc1: gate SB, drain S, source GND.
+  const double i_pd =
+      transistor(CellTransistor::MNcc1).ids(v_sb, v_s, 0.0, temp_c);
+  // MNcc3: gate WL, between S (treated as drain) and BL.
+  const double i_pass =
+      transistor(CellTransistor::MNcc3).ids(bias.wl, v_s, bias.bl, temp_c);
+  return i_pu + i_pd + i_pass;
+}
+
+double CoreCell::residual_sb(double v_sb, double v_s, double vdd_cc,
+                             const Bias& bias, double temp_c) const noexcept {
+  const double i_pu =
+      transistor(CellTransistor::MPcc2).ids(v_s, v_sb, vdd_cc, temp_c);
+  const double i_pd =
+      transistor(CellTransistor::MNcc2).ids(v_s, v_sb, 0.0, temp_c);
+  const double i_pass =
+      transistor(CellTransistor::MNcc4).ids(bias.wl, v_sb, bias.blb, temp_c);
+  return i_pu + i_pd + i_pass;
+}
+
+double CoreCell::hold_residual_s(double v_s, double v_sb, double vdd_cc,
+                                 double temp_c) const noexcept {
+  return residual_s(v_s, v_sb, vdd_cc, hold_bias(), temp_c);
+}
+
+double CoreCell::hold_residual_sb(double v_sb, double v_s, double vdd_cc,
+                                  double temp_c) const noexcept {
+  return residual_sb(v_sb, v_s, vdd_cc, hold_bias(), temp_c);
+}
+
+double CoreCell::supply_current(double v_s, double v_sb, double vdd_cc,
+                                double temp_c) const noexcept {
+  // Current out of the supply = -(current into each pull-up's drain pin)
+  // ... more directly: current through each PMOS from source (VDD_CC) to
+  // drain equals -ids (ids is into-drain). Sum over both pull-ups.
+  const double i1 =
+      -transistor(CellTransistor::MPcc1).ids(v_sb, v_s, vdd_cc, temp_c);
+  const double i2 =
+      -transistor(CellTransistor::MPcc2).ids(v_s, v_sb, vdd_cc, temp_c);
+  return i1 + i2;
+}
+
+}  // namespace lpsram

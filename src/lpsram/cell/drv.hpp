@@ -1,0 +1,64 @@
+// Data retention voltage in deep-sleep mode (paper Section III).
+//
+// DRV_DS1 / DRV_DS0 are the lowest VDD_CC levels at which a cell still holds
+// a stored '1' / '0' with zero noise margin (SNM_DS = 0 boundary), and
+// DRV_DS = max of the two. The array-level DRV is set by its least stable
+// cell, so single-cell DRV with a worst-case variation pattern is exactly the
+// quantity the paper sweeps.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lpsram/cell/core_cell.hpp"
+
+namespace lpsram {
+
+// Sentinel semantics: a component equal to `drv_unretainable(vdd_max)` means
+// the bit is not retained even at full supply (cell functionally dead).
+constexpr double drv_unretainable(double vdd_max) noexcept {
+  return 2.0 * vdd_max;
+}
+
+struct DrvResult {
+  double drv1 = 0.0;  // DRV_DS1 [V]
+  double drv0 = 0.0;  // DRV_DS0 [V]
+  double drv() const noexcept { return drv1 > drv0 ? drv1 : drv0; }
+};
+
+struct DrvOptions {
+  double vdd_max = 1.2;        // upper search bound [V]
+  double vdd_min = 0.02;       // lower search bound [V]
+  double rel_tolerance = 1.005;  // relative bracket tolerance of the search
+};
+
+// DRV of one bit at one temperature.
+double drv_hold(const CoreCell& cell, StoredBit bit, double temp_c,
+                const DrvOptions& options = {});
+
+// Both components at one temperature.
+DrvResult drv_ds(const CoreCell& cell, double temp_c,
+                 const DrvOptions& options = {});
+
+// Worst-case (maximum) DRV over a PVT grid, with the argmax conditions —
+// exactly what Table I reports per case study.
+struct PvtDrvResult {
+  DrvResult drv;
+  Corner corner1 = Corner::Typical;  // corner maximizing DRV_DS1
+  double temp1 = 25.0;
+  Corner corner0 = Corner::Typical;
+  double temp0 = 25.0;
+};
+
+PvtDrvResult drv_ds_worst(const Technology& tech,
+                          const CellVariation& variation,
+                          std::span<const Corner> corners,
+                          std::span<const double> temps,
+                          const DrvOptions& options = {});
+
+// Convenience: full paper PVT grid (5 corners x 3 temperatures).
+PvtDrvResult drv_ds_worst(const Technology& tech,
+                          const CellVariation& variation,
+                          const DrvOptions& options = {});
+
+}  // namespace lpsram

@@ -1,0 +1,37 @@
+#include "lpsram/cell/flip_time.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "lpsram/util/units.hpp"
+
+namespace lpsram {
+
+double FlipTimeModel::flip_threshold(double temp_c) const noexcept {
+  // Threshold = v_char * tau(T); tau halves every leakage_doubling_c degrees
+  // above the reference temperature (leakage doubles).
+  const double tau =
+      params_.tau_ref *
+      std::exp2((kReferenceTempC - temp_c) / params_.leakage_doubling_c);
+  return params_.v_char * tau;
+}
+
+double FlipTimeModel::time_to_flip(double v_supply, double drv,
+                                   double temp_c) const noexcept {
+  const double deficit = drv - v_supply;
+  if (deficit <= 0.0) return std::numeric_limits<double>::infinity();
+  return flip_threshold(temp_c) / deficit;
+}
+
+bool FlipTimeModel::retains_constant(double v_supply, double drv,
+                                     double duration,
+                                     double temp_c) const noexcept {
+  return duration < time_to_flip(v_supply, drv, temp_c);
+}
+
+bool FlipTimeModel::retains_waveform(const Waveform& waveform, std::size_t p,
+                                     double drv, double temp_c) const {
+  return waveform.deficit_integral(p, drv) < flip_threshold(temp_c);
+}
+
+}  // namespace lpsram

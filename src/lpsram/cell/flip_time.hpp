@@ -1,0 +1,61 @@
+// Flip-time model: how long a cell survives below its DRV.
+//
+// Paper Section V: "when the core-cell array is supplied at a voltage level
+// close to DRV_DS, the internal nodes of less stable core-cells that store
+// logic '1' discharge slowly due to leakage currents. Therefore an eventual
+// DRF_DS can be detected only if the SRAM remains in DS mode for a period of
+// time sufficient for the core-cell to flip" — hence the >= 1 ms DS-time
+// recommendation in Table III.
+//
+// We model the discharge as a leakage-driven ramp: the deeper the supply sits
+// below DRV, the faster the high node collapses. The cell flips once the
+// time-integral of the deficit max(0, DRV - Vreg(t)) exceeds a threshold
+// charge-like constant; leakage roughly doubles every 10 C, so the threshold
+// shrinks accordingly at high temperature (which is why the paper recommends
+// testing hot).
+#pragma once
+
+#include "lpsram/spice/transient.hpp"
+
+namespace lpsram {
+
+class FlipTimeModel {
+ public:
+  struct Params {
+    // Discharge time constant at the reference temperature (25 C) for a cell
+    // held one characteristic depth below its DRV [s].
+    double tau_ref = 200e-6;
+    // Characteristic deficit depth [V]: a supply (DRV - v_char) below DRV
+    // flips the cell in ~tau at reference temperature.
+    double v_char = 0.05;
+    // Leakage doubles every this many degrees C. 17 C/octave matches the
+    // subthreshold-leakage temperature ratio of the cell model itself
+    // (roughly 60x between 25 C and 125 C).
+    double leakage_doubling_c = 17.0;
+  };
+
+  FlipTimeModel() = default;
+  explicit FlipTimeModel(const Params& params) : params_(params) {}
+
+  const Params& params() const noexcept { return params_; }
+
+  // Deficit-integral threshold [V*s] above which the cell flips.
+  double flip_threshold(double temp_c) const noexcept;
+
+  // Time to flip at a constant supply `v_supply` for a cell with the given
+  // DRV; +infinity if v_supply >= drv.
+  double time_to_flip(double v_supply, double drv, double temp_c) const noexcept;
+
+  // Retention decision for a constant supply held for `duration` seconds.
+  bool retains_constant(double v_supply, double drv, double duration,
+                        double temp_c) const noexcept;
+
+  // Retention decision for a recorded supply waveform (probe index `p`).
+  bool retains_waveform(const Waveform& waveform, std::size_t p, double drv,
+                        double temp_c) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,124 @@
+#include "lpsram/cell/margins.hpp"
+
+#include "lpsram/util/rootfind.hpp"
+
+namespace lpsram {
+namespace {
+
+// Generic node solve under an arbitrary bias (same Brent construction as the
+// hold-mode VTC; the residuals stay monotone in the node voltage).
+double solve_node_s(const CoreCell& cell, double v_sb, double vdd,
+                    const CoreCell::Bias& bias, double temp_c) {
+  RootFindOptions opts;
+  opts.x_tolerance = 1e-9;
+  return brent(
+             [&](double v_s) {
+               return cell.residual_s(v_s, v_sb, vdd, bias, temp_c);
+             },
+             -0.05, vdd + 0.05, opts)
+      .x;
+}
+
+double solve_node_sb(const CoreCell& cell, double v_s, double vdd,
+                     const CoreCell::Bias& bias, double temp_c) {
+  RootFindOptions opts;
+  opts.x_tolerance = 1e-9;
+  return brent(
+             [&](double v_sb) {
+               return cell.residual_sb(v_sb, v_s, vdd, bias, temp_c);
+             },
+             -0.05, vdd + 0.05, opts)
+      .x;
+}
+
+// Smallest fixed point of the cross-coupled loop under a bias, with adverse
+// noise d against the stored bit (same construction as snm.cpp, generalized
+// over the bias condition).
+bool retains_biased(const CoreCell& cell, StoredBit bit, double vdd,
+                    const CoreCell::Bias& bias, double temp_c, double noise) {
+  auto high_of_low = [&](double v_low) {
+    return bit == StoredBit::One
+               ? solve_node_s(cell, v_low + noise, vdd, bias, temp_c)
+               : solve_node_sb(cell, v_low + noise, vdd, bias, temp_c);
+  };
+  auto loop = [&](double v_low) {
+    const double v_high = high_of_low(v_low);
+    return bit == StoredBit::One
+               ? solve_node_sb(cell, v_high - noise, vdd, bias, temp_c)
+               : solve_node_s(cell, v_high - noise, vdd, bias, temp_c);
+  };
+
+  constexpr int kScanPoints = 48;
+  double x_prev = 0.0;
+  double f_prev = loop(x_prev) - x_prev;
+  double v_low = vdd;
+  bool found = f_prev <= 0.0;
+  if (found) v_low = 0.0;
+  for (int i = 1; i <= kScanPoints && !found; ++i) {
+    const double x = vdd * i / kScanPoints;
+    const double f = loop(x) - x;
+    if (f <= 0.0) {
+      RootFindOptions opts;
+      opts.x_tolerance = 1e-7;
+      v_low = brent([&](double xx) { return loop(xx) - xx; }, x_prev, x, opts).x;
+      found = true;
+      break;
+    }
+    x_prev = x;
+    f_prev = f;
+  }
+  const double v_high = high_of_low(found ? v_low : vdd);
+  return (v_high - (found ? v_low : vdd)) > 0.05 * vdd;
+}
+
+}  // namespace
+
+double read_snm(const CoreCell& cell, StoredBit bit, double vdd,
+                double temp_c) {
+  const CoreCell::Bias bias = CoreCell::read_bias(vdd);
+  if (!retains_biased(cell, bit, vdd, bias, temp_c, 0.0)) return 0.0;
+  double lo = 0.0, hi = vdd;
+  if (retains_biased(cell, bit, vdd, bias, temp_c, hi)) return vdd;
+  while (hi - lo > 1e-4) {
+    const double mid = 0.5 * (lo + hi);
+    if (retains_biased(cell, bit, vdd, bias, temp_c, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+bool read_stable(const CoreCell& cell, StoredBit bit, double vdd,
+                 double temp_c) {
+  return retains_biased(cell, bit, vdd, CoreCell::read_bias(vdd), temp_c, 0.0);
+}
+
+double write_trip_voltage(const CoreCell& cell, double vdd, double temp_c) {
+  // Writing '0' into a cell storing '1': the write succeeds at bit-line
+  // level v_bl iff the '1' state is *not* retained under that bias. The
+  // trip point is the highest v_bl that still flips the cell.
+  auto write_succeeds = [&](double v_bl) {
+    return !retains_biased(cell, StoredBit::One, vdd,
+                           CoreCell::write_zero_bias(vdd, v_bl), temp_c, 0.0);
+  };
+  if (!write_succeeds(0.0)) return 0.0;  // unwritable even at full drive
+  if (write_succeeds(vdd)) return vdd;   // flips with no drive: read-unstable
+  double lo = 0.0, hi = vdd;             // succeeds at lo, fails at hi
+  while (hi - lo > 1e-4) {
+    const double mid = 0.5 * (lo + hi);
+    if (write_succeeds(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+bool writable(const CoreCell& cell, double vdd, double temp_c) {
+  return write_trip_voltage(cell, vdd, temp_c) > 0.0;
+}
+
+}  // namespace lpsram

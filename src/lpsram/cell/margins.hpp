@@ -1,0 +1,32 @@
+// Active-mode cell margins: read stability and write margin.
+//
+// The paper's deep-sleep analysis deliberately ignores ACT-mode margins (the
+// peripheral circuitry is off in DS), but any adopter of this cell library
+// also needs the classic checks that the chosen sizing is a functional SRAM
+// cell: the read SNM (the access transistor disturbs the low node while the
+// bit lines sit precharged at VDD) and the write trip voltage (how far a bit
+// line must fall to flip the cell through the access transistor).
+#pragma once
+
+#include "lpsram/cell/snm.hpp"
+
+namespace lpsram {
+
+// Static noise margin with the word line asserted and both bit lines at VDD
+// — the read condition, always smaller than the hold SNM.
+double read_snm(const CoreCell& cell, StoredBit bit, double vdd,
+                double temp_c);
+
+// Read-disturb check: the cell keeps its state through a read access.
+bool read_stable(const CoreCell& cell, StoredBit bit, double vdd,
+                 double temp_c);
+
+// Write trip voltage: the highest BL level that still flips a cell storing
+// '1' when writing '0' through the access transistor (WL = VDD, BLB = VDD).
+// Larger is easier to write; 0 means the cell cannot be written at all.
+double write_trip_voltage(const CoreCell& cell, double vdd, double temp_c);
+
+// Write check: the cell flips with the bit line driven fully to ground.
+bool writable(const CoreCell& cell, double vdd, double temp_c);
+
+}  // namespace lpsram

@@ -1,0 +1,43 @@
+// Hold-mode (deep-sleep) static noise margin.
+//
+// SNM is computed by its operational definition (equivalent to Seevinck's
+// maximum-square construction on the butterfly plot): the largest DC noise
+// voltage d, injected in series with both inverter inputs in the adverse
+// polarity, for which the cell still has a stable equilibrium holding the
+// stored value. SNM_DS1 / SNM_DS0 follow the paper's notation: margin for
+// retaining a stored '1' / '0' with WL = BL = 0 and the supply at Vreg.
+#pragma once
+
+#include "lpsram/cell/core_cell.hpp"
+
+namespace lpsram {
+
+// Equilibrium node voltages of the cell in hold mode.
+struct HoldState {
+  double v_s = 0.0;
+  double v_sb = 0.0;
+  bool stable = false;  // true if the intended state is actually held
+};
+
+// Solves the hold equilibrium reached from the given stored bit with a noise
+// voltage `d` injected adversarially against that bit. d = 0 gives the
+// natural retention check.
+HoldState hold_equilibrium(const CoreCell& cell, StoredBit bit, double vdd_cc,
+                           double temp_c, double noise = 0.0);
+
+// True if the cell retains `bit` at supply vdd_cc with zero injected noise.
+bool holds_state(const CoreCell& cell, StoredBit bit, double vdd_cc,
+                 double temp_c);
+
+// SNM for the given stored bit [V]; 0 if the state is not even held at d=0.
+double hold_snm(const CoreCell& cell, StoredBit bit, double vdd_cc,
+                double temp_c);
+
+// Both margins at once (paper: SNM_DS1 and SNM_DS0).
+struct SnmPair {
+  double snm1 = 0.0;
+  double snm0 = 0.0;
+};
+SnmPair hold_snm_pair(const CoreCell& cell, double vdd_cc, double temp_c);
+
+}  // namespace lpsram

@@ -1,0 +1,63 @@
+#include "lpsram/cell/vtc.hpp"
+
+#include "lpsram/util/rootfind.hpp"
+
+namespace lpsram {
+namespace {
+
+// The node-current residual is strictly increasing in the node voltage
+// (pull-up current falls, pull-down and pass leakage rise), so Brent on a
+// bracket slightly wider than the rails always succeeds.
+double solve_node(const std::function<double(double)>& residual,
+                  double vdd_cc) {
+  RootFindOptions opts;
+  opts.x_tolerance = 1e-9;
+  opts.f_tolerance = 1e-18;
+  const double lo = -0.05;
+  const double hi = vdd_cc + 0.05;
+  return brent(residual, lo, hi, opts).x;
+}
+
+}  // namespace
+
+double HoldVtc::inverter_s(double v_sb, double vdd_cc, double temp_c) const {
+  return solve_node(
+      [&](double v_s) {
+        return cell_->hold_residual_s(v_s, v_sb, vdd_cc, temp_c);
+      },
+      vdd_cc);
+}
+
+double HoldVtc::inverter_sb(double v_s, double vdd_cc, double temp_c) const {
+  return solve_node(
+      [&](double v_sb) {
+        return cell_->hold_residual_sb(v_sb, v_s, vdd_cc, temp_c);
+      },
+      vdd_cc);
+}
+
+std::vector<std::pair<double, double>> HoldVtc::curve_s(double vdd_cc,
+                                                        double temp_c,
+                                                        int points) const {
+  std::vector<std::pair<double, double>> curve;
+  curve.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x = vdd_cc * i / (points - 1);
+    curve.emplace_back(x, inverter_s(x, vdd_cc, temp_c));
+  }
+  return curve;
+}
+
+std::vector<std::pair<double, double>> HoldVtc::curve_sb(double vdd_cc,
+                                                         double temp_c,
+                                                         int points) const {
+  std::vector<std::pair<double, double>> curve;
+  curve.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x = vdd_cc * i / (points - 1);
+    curve.emplace_back(x, inverter_sb(x, vdd_cc, temp_c));
+  }
+  return curve;
+}
+
+}  // namespace lpsram

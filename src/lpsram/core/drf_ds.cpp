@@ -1,0 +1,83 @@
+#include "lpsram/core/drf_ds.hpp"
+
+#include <algorithm>
+
+namespace lpsram {
+
+std::string defect_impact_name(DefectImpact impact) {
+  switch (impact) {
+    case DefectImpact::Negligible: return "negligible";
+    case DefectImpact::IncreasedPower: return "increased static power";
+    case DefectImpact::RetentionFault: return "DRF";
+    case DefectImpact::Both: return "power + DRF";
+  }
+  return "?";
+}
+
+bool DrfDsFaultModel::occurs(const RegulatorCharacterizer& characterizer,
+                             const DsCondition& condition, DefectId id,
+                             double ohms, double drv) {
+  return characterizer.causes_drf(condition, id, ohms, drv);
+}
+
+std::vector<DefectClassification> DrfDsFaultModel::classify(
+    const Technology& tech, const DsCondition& condition, double drv,
+    const std::vector<double>& resistances) {
+  ArrayLoadModel::Options load;
+  load.total_cells = 256 * 1024;
+  const RegulatorCharacterizer characterizer(tech, load);
+
+  // Probe across the *valid* (VDD, Vref) grid — settings whose ideal Vreg
+  // clears the DRV, the same rule the test flow applies (a healthy device
+  // must pass every probe). Sweeping the tap selection is what surfaces the
+  // dual-behaviour divider defects: an open raises the taps above it and
+  // lowers those below.
+  constexpr double kPowerBand = 0.020;  // Vreg this far above healthy => power
+  constexpr double kDrvGuard = 0.01;
+
+  std::vector<DsCondition> probes;
+  for (const double vdd : tech.vdd_levels()) {
+    for (const VrefLevel level : kAllVrefLevels) {
+      DsCondition probe = condition;
+      probe.vdd = vdd;
+      probe.vref = level;
+      if (probe.expected_vreg() >= drv + kDrvGuard) probes.push_back(probe);
+    }
+  }
+
+  std::vector<DefectClassification> result;
+  for (const DefectSite& site : defect_sites()) {
+    DefectClassification c;
+    c.id = site.id;
+    c.vreg_min = 2.0;
+    c.vreg_max = 0.0;
+    bool any_drf = false;
+    bool any_power = false;
+
+    for (const DsCondition& probe : probes) {
+      const double healthy = characterizer.vreg_healthy(probe);
+      for (const double r : resistances) {
+        // Power signature from the DC solve.
+        const double v = characterizer.vreg(probe, site.id, r);
+        c.vreg_min = std::min(c.vreg_min, v);
+        c.vreg_max = std::max(c.vreg_max, v);
+        if (v > healthy + kPowerBand) any_power = true;
+        // Retention signature via the full (DC or transient) criterion.
+        if (characterizer.causes_drf(probe, site.id, r, drv)) any_drf = true;
+      }
+    }
+
+    if (any_drf && any_power)
+      c.impact = DefectImpact::Both;
+    else if (any_drf)
+      c.impact = DefectImpact::RetentionFault;
+    else if (any_power)
+      c.impact = DefectImpact::IncreasedPower;
+    else
+      c.impact = DefectImpact::Negligible;
+    result.push_back(c);
+  }
+  return result;
+}
+
+}  // namespace lpsram

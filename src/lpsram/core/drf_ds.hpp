@@ -1,0 +1,65 @@
+// The paper's fault model (Section V):
+//
+//   Data retention fault in DS mode (DRF_DS): in DS mode, the regulated
+//   voltage Vreg is reduced to a level such that the core-cell array supply
+//   voltage is lower than DRV_DS of the SRAM. As a consequence, one or more
+//   core-cells in the array lose the stored data.
+//
+// DRF_DS is a *dynamic* fault: sensitization takes three steps — switch
+// ACT -> DS, switch back (wake-up), and read every cell. This header also
+// implements the Section IV.B defect classification (negligible / increased
+// static power / DRF / both).
+#pragma once
+
+#include <vector>
+
+#include "lpsram/regulator/characterize.hpp"
+
+namespace lpsram {
+
+// Section IV.B's three categories plus "negligible".
+enum class DefectImpact {
+  Negligible,      // no observable static or retention effect
+  IncreasedPower,  // Vreg higher than expected in DS mode
+  RetentionFault,  // Vreg low enough to cause DRF_DS
+  Both,            // either, depending on resistance / Vref setting
+};
+
+std::string defect_impact_name(DefectImpact impact);
+
+struct DefectClassification {
+  DefectId id = 0;
+  DefectImpact impact = DefectImpact::Negligible;
+  // Extremes of Vreg observed over the probed resistances [V].
+  double vreg_min = 0.0;
+  double vreg_max = 0.0;
+};
+
+// The sensitization recipe for DRF_DS, as operation counts: one DSM, one
+// WUP, plus a read of every cell (complexity N + 2). March m-LZ applies it
+// twice, once per data background.
+struct DrfDsSensitization {
+  int mode_switches = 2;  // DSM + WUP
+  int reads_per_cell = 1;
+};
+
+class DrfDsFaultModel {
+ public:
+  // True if the condition/defect combination produces a DRF_DS for cells at
+  // the given DRV (delegates to the electrical characterization).
+  static bool occurs(const RegulatorCharacterizer& characterizer,
+                     const DsCondition& condition, DefectId id, double ohms,
+                     double drv);
+
+  // Classifies every regulator defect by probing a resistance ladder under
+  // the given DS condition *at every Vref setting*: any probed combination
+  // causing a retention flip flags RetentionFault; any probed Vreg above the
+  // healthy value flags IncreasedPower. The Vref sweep is what surfaces the
+  // paper's dual-behaviour divider defects (Df2..Df5), whose sign depends on
+  // where the open sits relative to the selected tap.
+  static std::vector<DefectClassification> classify(
+      const Technology& tech, const DsCondition& condition, double drv,
+      const std::vector<double>& resistances = {10e3, 1e6, 100e6, 400e6});
+};
+
+}  // namespace lpsram

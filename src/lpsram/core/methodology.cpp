@@ -1,0 +1,90 @@
+#include "lpsram/core/methodology.hpp"
+
+#include <algorithm>
+
+namespace lpsram {
+
+double MethodologyReport::validation_coverage() const noexcept {
+  if (validations.empty()) return 1.0;
+  std::size_t detected = 0;
+  for (const DefectValidation& v : validations)
+    if (v.detected) ++detected;
+  return static_cast<double>(detected) /
+         static_cast<double>(validations.size());
+}
+
+Methodology::Methodology(const Technology& tech, MethodologyOptions options)
+    : tech_(tech), options_(options) {}
+
+MethodologyReport Methodology::run(std::span<const DefectId> defects) const {
+  MethodologyReport report;
+
+  // Step 1: variation analysis (Table I) and worst-case DRV.
+  for (const CaseStudy& cs : paper_case_studies())
+    report.table1.push_back(characterize_case_study(tech_, cs));
+  report.worst_drv = 0.0;
+  for (const CaseStudyDrv& row : report.table1)
+    report.worst_drv = std::max(report.worst_drv, row.drv_ds());
+
+  // Steps 2+3: defect characterization and flow generation.
+  FlowOptimizer::Options flow_options = options_.flow;
+  flow_options.worst_drv = report.worst_drv;
+  const TestFlowGenerator generator(tech_, flow_options);
+  report.generated = generator.generate(defects);
+
+  // Step 4: validation on a device instance. The device carries one
+  // worst-case (CS1) weak cell and is tested at the flow's corner and
+  // temperature.
+  const CaseStudy cs1 = case_study(1, true);
+  const CoreCell weak_cell(tech_, cs1.variation, flow_options.corner);
+  const DrvResult weak_drv = drv_ds(weak_cell, flow_options.temp_c);
+
+  auto make_sram = [&]() {
+    SramConfig config;
+    config.words = options_.validation_words;
+    config.bits = options_.validation_bits;
+    config.corner = flow_options.corner;
+    config.vdd = tech_.vdd_nominal();
+    config.temp_c = flow_options.temp_c;
+    auto sram = std::make_unique<LowPowerSram>(config);
+    sram->add_weak_cell(options_.validation_words / 2,
+                        options_.validation_bits / 2, weak_drv);
+    return sram;
+  };
+
+  {
+    auto healthy = make_sram();
+    const FlowRunResult run = run_flow(*healthy, report.generated);
+    report.healthy_passes = !run.any_failure;
+  }
+
+  // Global best Rmin per defect from the matrix.
+  for (std::size_t di = 0; di < report.generated.matrix.defects.size(); ++di) {
+    const DefectId id = report.generated.matrix.defects[di];
+    double best = report.generated.matrix.r_high * 2.0;
+    for (const auto& row : report.generated.matrix.rmin)
+      best = std::min(best, row[di]);
+    if (best > report.generated.matrix.r_high) continue;  // undetectable
+
+    DefectValidation validation;
+    validation.id = id;
+    validation.injected_resistance =
+        best * options_.validation_resistance_factor;
+
+    auto sram = make_sram();
+    sram->inject_regulator_defect(id, validation.injected_resistance);
+    const FlowRunResult run = run_flow(*sram, report.generated);
+    validation.detected = run.any_failure;
+    for (std::size_t i = 0; i < run.iterations.size(); ++i) {
+      if (!run.iterations[i].passed) {
+        validation.failing_iteration = static_cast<int>(i);
+        break;
+      }
+    }
+    report.validations.push_back(validation);
+  }
+
+  return report;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,58 @@
+// End-to-end runner of the paper's "complete methodology":
+//   1. analyze the impact of Vth variation on DRV_DS (Table I) and derive
+//      the worst case;
+//   2. characterize the regulator's resistive-open defects (Table II data);
+//   3. generate the optimized March m-LZ test flow (Table III);
+//   4. validate the flow by injecting each DRF-causing defect into a full
+//      SRAM instance with a worst-case weak cell and checking that the flow
+//      actually fails the device.
+#pragma once
+
+#include "lpsram/core/test_flow_generator.hpp"
+#include "lpsram/testflow/case_studies.hpp"
+
+namespace lpsram {
+
+struct MethodologyOptions {
+  FlowOptimizer::Options flow{};
+  // Validation SRAM size. The reference 4Kx64 block by default: the array
+  // load is part of the defect physics (a light array masks series defects
+  // the full array exposes), so validation uses the characterized size.
+  std::size_t validation_words = 4096;
+  int validation_bits = 64;
+  // Defect resistance injected during validation, as a multiple of the
+  // characterized minimal resistance of the flow's best condition.
+  double validation_resistance_factor = 4.0;
+  double ds_time = 1e-3;
+};
+
+struct DefectValidation {
+  DefectId id = 0;
+  double injected_resistance = 0.0;
+  bool detected = false;         // flow failed the defective device
+  int failing_iteration = -1;    // first iteration that caught it
+};
+
+struct MethodologyReport {
+  std::vector<CaseStudyDrv> table1;
+  double worst_drv = 0.0;
+  GeneratedTestFlow generated;
+  std::vector<DefectValidation> validations;
+  bool healthy_passes = false;   // the flow passes a defect-free device
+
+  // Fraction of injected (detectable) defects the flow caught.
+  double validation_coverage() const noexcept;
+};
+
+class Methodology {
+ public:
+  explicit Methodology(const Technology& tech, MethodologyOptions options = {});
+
+  MethodologyReport run(std::span<const DefectId> defects = table2_defects()) const;
+
+ private:
+  Technology tech_;
+  MethodologyOptions options_;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,49 @@
+#include "lpsram/core/retention_analyzer.hpp"
+
+#include "lpsram/testflow/case_studies.hpp"
+
+namespace lpsram {
+
+SnmPair RetentionAnalyzer::snm(const CellVariation& variation, double vdd_cc,
+                               Corner corner, double temp_c) const {
+  const CoreCell cell(tech_, variation, corner);
+  return hold_snm_pair(cell, vdd_cc, temp_c);
+}
+
+DrvResult RetentionAnalyzer::drv(const CellVariation& variation, Corner corner,
+                                 double temp_c) const {
+  const CoreCell cell(tech_, variation, corner);
+  return drv_ds(cell, temp_c);
+}
+
+PvtDrvResult RetentionAnalyzer::drv_worst(const CellVariation& variation) const {
+  return drv_ds_worst(tech_, variation);
+}
+
+std::vector<Fig4Point> RetentionAnalyzer::fig4_sweep(
+    std::span<const double> sigmas, std::span<const Corner> corners,
+    std::span<const double> temps) const {
+  const std::span<const Corner> corner_grid =
+      corners.empty() ? std::span<const Corner>(kAllCorners) : corners;
+  const std::span<const double> temp_grid =
+      temps.empty() ? std::span<const double>(tech_.temperatures()) : temps;
+
+  std::vector<Fig4Point> points;
+  points.reserve(sigmas.size() * kAllCellTransistors.size());
+  for (const CellTransistor t : kAllCellTransistors) {
+    for (const double sigma : sigmas) {
+      CellVariation variation;
+      variation.set(t, sigma);
+      const PvtDrvResult worst =
+          drv_ds_worst(tech_, variation, corner_grid, temp_grid);
+      points.push_back(Fig4Point{t, sigma, worst.drv.drv1, worst.drv.drv0});
+    }
+  }
+  return points;
+}
+
+double RetentionAnalyzer::worst_case_drv() const {
+  return characterize_case_study(tech_, case_study(1, true)).drv_ds();
+}
+
+}  // namespace lpsram

@@ -1,0 +1,46 @@
+// Facade over the cell-level analyses of Section III: SNM in deep-sleep,
+// DRV per variation pattern, the Fig. 4 per-transistor sweep and the
+// worst-case DRV_DS derivation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lpsram/cell/snm.hpp"
+#include "lpsram/testflow/report.hpp"
+
+namespace lpsram {
+
+class RetentionAnalyzer {
+ public:
+  explicit RetentionAnalyzer(const Technology& tech) : tech_(tech) {}
+
+  // Hold-mode SNM pair at a supply/corner/temperature.
+  SnmPair snm(const CellVariation& variation, double vdd_cc, Corner corner,
+              double temp_c) const;
+
+  // DRV pair at one corner/temperature.
+  DrvResult drv(const CellVariation& variation, Corner corner,
+                double temp_c) const;
+
+  // Worst-case DRV over the full corner x temperature grid (Table I row).
+  PvtDrvResult drv_worst(const CellVariation& variation) const;
+
+  // Fig. 4 sweep: for each of the six transistors and each sigma value,
+  // the worst-case DRV_DS1 / DRV_DS0. `corners`/`temps` default to the
+  // full grid when empty.
+  std::vector<Fig4Point> fig4_sweep(std::span<const double> sigmas,
+                                    std::span<const Corner> corners = {},
+                                    std::span<const double> temps = {}) const;
+
+  // The worst-case DRV_DS of the SRAM: the CS1 pattern (all six transistors
+  // at 6 sigma in the adverse direction) over the PVT grid.
+  double worst_case_drv() const;
+
+  const Technology& technology() const noexcept { return tech_; }
+
+ private:
+  Technology tech_;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,41 @@
+#include "lpsram/core/test_flow_generator.hpp"
+
+namespace lpsram {
+
+TestFlowGenerator::TestFlowGenerator(const Technology& tech,
+                                     FlowOptimizer::Options options)
+    : tech_(tech), options_(options) {}
+
+GeneratedTestFlow TestFlowGenerator::generate(
+    std::span<const DefectId> defects) const {
+  const FlowOptimizer optimizer(tech_, options_);
+
+  GeneratedTestFlow generated;
+  generated.test = march::march_m_lz();
+  generated.matrix = optimizer.build_matrix(defects);
+  generated.flow = optimizer.optimize(generated.matrix);
+  generated.worst_drv = optimizer.worst_drv();
+  return generated;
+}
+
+FlowRunResult run_flow(LowPowerSram& sram, const GeneratedTestFlow& flow,
+                       MarchExecutorOptions executor_options) {
+  FlowRunResult result;
+  for (const FlowIteration& iteration : flow.flow.iterations) {
+    sram.set_vdd(iteration.condition.vdd);
+    sram.select_vref(iteration.condition.vref);
+
+    MarchExecutorOptions options = executor_options;
+    options.ds_time = iteration.condition.ds_time;
+    MarchExecutor executor(sram, options);
+    MarchRunResult run = executor.run(flow.test);
+    result.any_failure = result.any_failure || !run.passed;
+    result.total_test_time +=
+        march_test_time(flow.test, sram.words(), sram.config().cycle_time,
+                        iteration.condition.ds_time);
+    result.iterations.push_back(std::move(run));
+  }
+  return result;
+}
+
+}  // namespace lpsram

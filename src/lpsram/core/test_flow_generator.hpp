@@ -1,0 +1,46 @@
+// The paper's final deliverable: March m-LZ plus the optimized 3-iteration
+// test flow, generated from the electrical characterization, and a runner
+// that applies the flow to an actual (possibly defective) SRAM instance.
+#pragma once
+
+#include "lpsram/faults/fault_sim.hpp"
+#include "lpsram/march/library.hpp"
+#include "lpsram/testflow/flow_optimizer.hpp"
+
+namespace lpsram {
+
+struct GeneratedTestFlow {
+  MarchTest test;        // March m-LZ
+  OptimizedFlow flow;    // optimized iterations
+  DetectionMatrix matrix;  // raw characterization data behind the flow
+  double worst_drv = 0.0;
+};
+
+class TestFlowGenerator {
+ public:
+  explicit TestFlowGenerator(const Technology& tech,
+                             FlowOptimizer::Options options = {});
+
+  // Characterizes the defects and produces the optimized flow.
+  GeneratedTestFlow generate(
+      std::span<const DefectId> defects = table2_defects()) const;
+
+ private:
+  Technology tech_;
+  FlowOptimizer::Options options_;
+};
+
+// Result of applying a flow to one device.
+struct FlowRunResult {
+  bool any_failure = false;
+  // Per-iteration March results, in flow order.
+  std::vector<MarchRunResult> iterations;
+  double total_test_time = 0.0;  // simulated tester time [s]
+};
+
+// Runs the March test at every iteration's condition against the SRAM
+// (reconfiguring VDD / Vref between iterations) and aggregates the verdict.
+FlowRunResult run_flow(LowPowerSram& sram, const GeneratedTestFlow& flow,
+                       MarchExecutorOptions executor_options = {});
+
+}  // namespace lpsram

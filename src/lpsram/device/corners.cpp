@@ -1,0 +1,37 @@
+#include "lpsram/device/corners.hpp"
+
+namespace lpsram {
+
+CornerShift corner_shift(Corner corner) noexcept {
+  // +-40 mV threshold and -+8% mobility per polarity is a typical global
+  // corner spread for a 40nm-class low-power process.
+  constexpr double kVthShift = 0.040;
+  constexpr double kMobFast = 1.08;
+  constexpr double kMobSlow = 0.92;
+  switch (corner) {
+    case Corner::Typical:
+      return {};
+    case Corner::Slow:
+      return {+kVthShift, +kVthShift, kMobSlow, kMobSlow};
+    case Corner::Fast:
+      return {-kVthShift, -kVthShift, kMobFast, kMobFast};
+    case Corner::FastNSlowP:
+      return {-kVthShift, +kVthShift, kMobFast, kMobSlow};
+    case Corner::SlowNFastP:
+      return {+kVthShift, -kVthShift, kMobSlow, kMobFast};
+  }
+  return {};
+}
+
+std::string corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::Typical: return "typical";
+    case Corner::Slow: return "slow";
+    case Corner::Fast: return "fast";
+    case Corner::FastNSlowP: return "fs";
+    case Corner::SlowNFastP: return "sf";
+  }
+  return "?";
+}
+
+}  // namespace lpsram

@@ -1,0 +1,37 @@
+// Process corners, matching the paper's five-corner PVT sweep:
+// slow, typical, fast, fast-NMOS/slow-PMOS (fs), slow-NMOS/fast-PMOS (sf).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace lpsram {
+
+enum class Corner {
+  Typical,
+  Slow,
+  Fast,
+  FastNSlowP,  // paper notation: "fs"
+  SlowNFastP,  // paper notation: "sf"
+};
+
+// Threshold-voltage and mobility offsets a corner applies per polarity.
+struct CornerShift {
+  double dvth_n = 0.0;  // added to NMOS Vth [V]
+  double dvth_p = 0.0;  // added to PMOS Vth magnitude [V]
+  double mob_n = 1.0;   // NMOS mobility multiplier
+  double mob_p = 1.0;   // PMOS mobility multiplier
+};
+
+// Returns the parameter shifts for a corner.
+CornerShift corner_shift(Corner corner) noexcept;
+
+// Paper-style short name: "typical", "slow", "fast", "fs", "sf".
+std::string corner_name(Corner corner);
+
+// All five corners, in the order the paper enumerates them.
+inline constexpr std::array<Corner, 5> kAllCorners = {
+    Corner::Slow, Corner::Typical, Corner::Fast, Corner::FastNSlowP,
+    Corner::SlowNFastP};
+
+}  // namespace lpsram

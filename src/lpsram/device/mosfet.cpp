@@ -1,0 +1,108 @@
+#include "lpsram/device/mosfet.hpp"
+
+#include <cmath>
+
+#include "lpsram/util/units.hpp"
+
+namespace lpsram {
+namespace {
+
+// Numerically stable softplus: ln(1 + e^u).
+double softplus(double u) noexcept {
+  if (u > 35.0) return u;
+  if (u < -35.0) return std::exp(u);
+  return std::log1p(std::exp(u));
+}
+
+// Logistic sigmoid, the derivative of softplus.
+double sigmoid(double u) noexcept {
+  if (u > 35.0) return 1.0;
+  if (u < -35.0) return std::exp(u);
+  return 1.0 / (1.0 + std::exp(-u));
+}
+
+// Smooth |v| used so channel-length modulation keeps C1 continuity at Vds=0.
+constexpr double kAbsEps = 1e-3;
+double smooth_abs(double v) noexcept { return std::sqrt(v * v + kAbsEps * kAbsEps); }
+double smooth_abs_d(double v) noexcept { return v / smooth_abs(v); }
+
+}  // namespace
+
+Mosfet::Mosfet(MosfetParams params) : params_(std::move(params)) {}
+
+double Mosfet::vth_effective(double temp_c) const noexcept {
+  return params_.vth0 + params_.dvth +
+         params_.vth_tc * (temp_c - kReferenceTempC);
+}
+
+double Mosfet::beta(double temp_c) const noexcept {
+  const double t_ratio =
+      celsius_to_kelvin(temp_c) / celsius_to_kelvin(kReferenceTempC);
+  return params_.kp * (params_.w / params_.l) * params_.mob_factor *
+         std::pow(t_ratio, -params_.mob_exp);
+}
+
+MosEval Mosfet::eval(double vg, double vd, double vs,
+                     double temp_c) const noexcept {
+  // PMOS is evaluated as a mirrored NMOS *referenced to its own well*: the
+  // n-well of a PMOS is tied to the local positive rail, i.e. the higher of
+  // its source/drain potentials (smooth max keeps C1 continuity for Newton).
+  // Referencing to ground instead would forward-bias the mirrored body and
+  // overestimate off-state leakage by orders of magnitude.
+  if (params_.type == MosType::Pmos) {
+    MosfetParams mirrored = params_;
+    mirrored.type = MosType::Nmos;
+    const Mosfet nmos_view{mirrored};
+
+    const double ref = 0.5 * (vd + vs + smooth_abs(vd - vs));
+    const double rd = 0.5 * (1.0 + smooth_abs_d(vd - vs));  // d(ref)/d(vd)
+    const double rs = 0.5 * (1.0 - smooth_abs_d(vd - vs));  // d(ref)/d(vs)
+
+    const MosEval n = nmos_view.eval(ref - vg, ref - vd, ref - vs, temp_c);
+    MosEval e;
+    e.id = -n.id;
+    e.gm = n.gm;  // d(ref-vg)/dvg = -1, current negated: signs cancel
+    e.gds = -(n.gm * rd + n.gds * (rd - 1.0) + n.gms * rd);
+    e.gms = -(n.gm * rs + n.gds * rs + n.gms * (rs - 1.0));
+    return e;
+  }
+
+  const double vt = thermal_voltage(temp_c);
+  const double vth = vth_effective(temp_c);
+  const double n = params_.n_slope;
+  const double i0 = 2.0 * n * beta(temp_c) * vt * vt;
+
+  const double vp = (vg - vth) / n;
+  const double us = (vp - vs) / (2.0 * vt);
+  const double ud = (vp - vd) / (2.0 * vt);
+
+  const double fs = softplus(us);
+  const double fd = softplus(ud);
+  const double i_forward = fs * fs;
+  const double i_reverse = fd * fd;
+
+  const double vds = vd - vs;
+  const double clm = 1.0 + params_.lambda * smooth_abs(vds);
+  const double core = i0 * (i_forward - i_reverse);
+
+  // d(F^2)/du = 2 F(u) sigma(u); chain through u = (vp - v)/2VT.
+  const double dfs = 2.0 * fs * sigmoid(us);
+  const double dfd = 2.0 * fd * sigmoid(ud);
+  const double inv2vt = 1.0 / (2.0 * vt);
+
+  MosEval e;
+  e.id = core * clm;
+  e.gm = i0 * (dfs - dfd) * (inv2vt / n) * clm;
+  e.gds = i0 * dfd * inv2vt * clm +
+          core * params_.lambda * smooth_abs_d(vds);
+  e.gms = -i0 * dfs * inv2vt * clm -
+          core * params_.lambda * smooth_abs_d(vds);
+  return e;
+}
+
+double Mosfet::ids(double vg, double vd, double vs,
+                   double temp_c) const noexcept {
+  return eval(vg, vd, vs, temp_c).id;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,84 @@
+// EKV-style MOSFET compact model.
+//
+// The paper's entire evidence chain (DRV in deep-sleep, regulator defect
+// impact) lives in the weak/moderate-inversion regime: core cells are held at
+// 60..730 mV while leakage currents decide retention. A square-law (SPICE
+// level-1) model is useless there, so we implement the EKV interpolation
+//
+//   Id = 2 n beta VT^2 [ ln^2(1+e^((Vp-Vs)/2VT)) - ln^2(1+e^((Vp-Vd)/2VT)) ]
+//   Vp = (Vg - Vth)/n
+//
+// which is smooth and accurate from deep subthreshold through strong
+// inversion, with analytic derivatives for Newton-Raphson stamping.
+//
+// Conventions:
+//  * all terminal voltages are absolute node voltages [V];
+//  * NMOS bulk is assumed at 0 V and PMOS bulk at the device's positive rail
+//    (body effect is not modeled);
+//  * `id` is the current flowing into the drain pin and out of the source pin
+//    (negative for a conducting PMOS pulling its drain node up);
+//  * gate current is identically zero, which matches the paper's observation
+//    that series defects on transistor gates have negligible static effect.
+#pragma once
+
+#include <string>
+
+namespace lpsram {
+
+enum class MosType { Nmos, Pmos };
+
+// Compact-model parameters for one transistor.
+struct MosfetParams {
+  MosType type = MosType::Nmos;
+  double vth0 = 0.45;       // zero-bias threshold magnitude [V]
+  double kp = 250e-6;       // process transconductance [A/V^2] at 25 C
+  double w = 120e-9;        // channel width [m]
+  double l = 40e-9;         // channel length [m]
+  double n_slope = 1.35;    // subthreshold slope factor
+  double lambda = 0.08;     // channel-length modulation [1/V]
+  double vth_tc = -0.8e-3;  // dVth/dT [V/K] (threshold drops when hot)
+  double mob_exp = 1.5;     // mobility ~ (T/T0)^-mob_exp
+  double cgate = 0.0;       // lumped gate capacitance [F] (transient only)
+  std::string name;         // instance name, e.g. "MPcc1"
+
+  // Extra threshold shift [V], e.g. process-variation or corner offset.
+  double dvth = 0.0;
+  // Extra multiplicative mobility factor, e.g. corner fast/slow.
+  double mob_factor = 1.0;
+};
+
+// Drain current and its partial derivatives w.r.t. the terminal voltages.
+struct MosEval {
+  double id = 0.0;   // current into drain pin [A]
+  double gm = 0.0;   // d id / d vg
+  double gds = 0.0;  // d id / d vd
+  double gms = 0.0;  // d id / d vs
+};
+
+// A single MOSFET instance.
+class Mosfet {
+ public:
+  Mosfet() = default;
+  explicit Mosfet(MosfetParams params);
+
+  const MosfetParams& params() const noexcept { return params_; }
+  MosfetParams& params() noexcept { return params_; }
+
+  // Drain current only (no derivatives).
+  double ids(double vg, double vd, double vs, double temp_c) const noexcept;
+
+  // Drain current with analytic derivatives for Newton stamping.
+  MosEval eval(double vg, double vd, double vs, double temp_c) const noexcept;
+
+  // Effective threshold voltage at the given temperature (magnitude,
+  // including variation/corner shift) [V].
+  double vth_effective(double temp_c) const noexcept;
+
+  // beta = kp * (W/L) * mobility factor(temp) [A/V^2].
+  double beta(double temp_c) const noexcept;
+
+ private:
+  MosfetParams params_;
+};
+
+}  // namespace lpsram

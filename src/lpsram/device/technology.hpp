@@ -1,0 +1,77 @@
+// Technology description ("PDK"): nominal supplies, PVT grids, and factory
+// functions for every transistor flavour used by the reproduction — the 6T
+// core-cell devices, the voltage-regulator devices and the power switches.
+//
+// This is the substitution for the Intel 40nm low-power SPICE models the
+// paper used: parameter values are literature-typical for a 40nm LP node and
+// calibrated (see DESIGN.md section 5) so that the reproduced DRV and defect
+// tables land in the paper's bands.
+#pragma once
+
+#include <array>
+
+#include "lpsram/device/corners.hpp"
+#include "lpsram/device/mosfet.hpp"
+#include "lpsram/device/variation.hpp"
+
+namespace lpsram {
+
+// Full PVT point: process corner, supply voltage, temperature.
+struct PvtPoint {
+  Corner corner = Corner::Typical;
+  double vdd = 1.1;      // [V]
+  double temp_c = 25.0;  // [deg C]
+};
+
+class Technology {
+ public:
+  // The studied process: Intel-like 40nm low power.
+  static Technology lp40nm();
+
+  // Supply grid used by the paper (1.0, 1.1 nominal, 1.2 V).
+  const std::array<double, 3>& vdd_levels() const noexcept { return vdd_levels_; }
+  double vdd_nominal() const noexcept { return vdd_levels_[1]; }
+
+  // Temperature grid used by the paper (-30, 25, 125 C).
+  const std::array<double, 3>& temperatures() const noexcept { return temps_; }
+
+  // Local-mismatch model.
+  const VariationModel& variation() const noexcept { return variation_; }
+
+  // --- Core-cell devices (6T) -------------------------------------------
+  MosfetParams cell_pullup() const;    // MPcc1 / MPcc2
+  MosfetParams cell_pulldown() const;  // MNcc1 / MNcc2
+  MosfetParams cell_pass() const;      // MNcc3 / MNcc4
+
+  // --- Voltage-regulator devices (paper Fig. 5) --------------------------
+  MosfetParams reg_mirror_pmos() const;    // MPreg3 / MPreg4
+  MosfetParams reg_diffpair_nmos() const;  // MNreg2 / MNreg3
+  MosfetParams reg_tail_nmos() const;      // MNreg1
+  MosfetParams reg_output_pmos() const;    // MPreg1
+  MosfetParams reg_pullup_pmos() const;    // MPreg2
+
+  // --- Power switch segment (PMOS header) --------------------------------
+  MosfetParams power_switch_pmos() const;
+
+  // Voltage-divider total resistance [ohm] (R1..R6 in series). Polysilicon
+  // divider sized for a sub-microamp reference-chain current.
+  double divider_total_resistance() const noexcept { return divider_total_r_; }
+
+  // Lumped capacitance on the VDD_CC line (core-cell array + wiring) [F].
+  double vddcc_capacitance() const noexcept { return vddcc_cap_; }
+
+  // Applies a process corner to a device's parameters (threshold shift and
+  // mobility factor on top of whatever variation is already present).
+  static MosfetParams apply_corner(MosfetParams params, Corner corner);
+
+ private:
+  Technology() = default;
+
+  std::array<double, 3> vdd_levels_{1.0, 1.1, 1.2};
+  std::array<double, 3> temps_{-30.0, 25.0, 125.0};
+  VariationModel variation_{};
+  double divider_total_r_ = 8.0e6;
+  double vddcc_cap_ = 40e-12;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,7 @@
+#include "lpsram/device/variation.hpp"
+
+// VariationModel and VthSampler are header-only; this translation unit exists
+// so the module has a home for future out-of-line additions and to anchor the
+// library target.
+
+namespace lpsram {}  // namespace lpsram

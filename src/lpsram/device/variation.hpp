@@ -1,0 +1,50 @@
+// Within-die threshold-voltage variation model.
+//
+// The paper expresses all mismatch in units of sigma of the local Vth
+// distribution (Pelgrom mismatch). We keep the same convention: a case study
+// assigns each of the six core-cell transistors a shift in sigma units, and
+// this model converts sigma units to volts.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "lpsram/device/mosfet.hpp"
+
+namespace lpsram {
+
+// Local (within-die) Vth variation model.
+struct VariationModel {
+  // One-sigma local Vth spread for a minimum-size device [V]. The value is
+  // calibrated so that the paper's +-6 sigma worst-case pattern (Table I,
+  // CS1) lands near its 730 mV DRV while the cell remains functional at
+  // nominal supply.
+  double sigma_vth_n = 0.043;
+  double sigma_vth_p = 0.043;
+
+  // Converts a shift in sigma units to a shift of the Vth *magnitude* used by
+  // MosfetParams::dvth. The paper's Table I uses the signed-Vth convention:
+  // a negative variation makes an NMOS stronger (lower Vth) but makes a PMOS
+  // *weaker* (Vth more negative, larger magnitude). Hence the sign flip for
+  // PMOS here.
+  double shift_volts(double n_sigma, MosType type) const noexcept {
+    return type == MosType::Nmos ? n_sigma * sigma_vth_n
+                                 : -n_sigma * sigma_vth_p;
+  }
+};
+
+// Deterministic Gaussian sampler for Monte-Carlo population studies
+// (seeded => reproducible experiments).
+class VthSampler {
+ public:
+  explicit VthSampler(std::uint64_t seed) : engine_(seed) {}
+
+  // Draws a shift in sigma units from N(0, 1).
+  double sample_sigma() { return normal_(engine_); }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace lpsram

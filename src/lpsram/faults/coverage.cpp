@@ -1,0 +1,254 @@
+#include "lpsram/faults/coverage.hpp"
+
+#include <cstdio>
+
+#include "lpsram/util/table.hpp"
+
+namespace lpsram {
+namespace {
+
+struct Cell {
+  std::size_t address;
+  int bit;
+};
+
+// Deterministic sample of distinct cells spread over the array.
+std::vector<Cell> sample_cells(const MemoryTarget& memory,
+                               const FaultListOptions& options) {
+  std::vector<Cell> cells;
+  const std::size_t total =
+      memory.words() * static_cast<std::size_t>(memory.bits_per_word());
+  const std::size_t count = options.max_cells < total ? options.max_cells : total;
+  if (count == 0) return cells;
+  // Stride sampling with a seed-derived offset keeps cells spread across
+  // rows and columns while staying reproducible.
+  const std::size_t stride = total / count;
+  std::size_t index = options.seed % (stride ? stride : 1);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t cell = index + k * stride;
+    cells.push_back(Cell{cell / static_cast<std::size_t>(memory.bits_per_word()),
+                         static_cast<int>(cell % static_cast<std::size_t>(
+                                              memory.bits_per_word()))});
+  }
+  return cells;
+}
+
+// The aggressor is the same bit of the next word: with 8:1 column muxing
+// those two cells sit on adjacent bit lines of the same physical row. Using
+// an inter-word pair (rather than two bits of one word) also keeps the
+// coupling observable by solid-background March tests; intra-word coupling
+// requires data-background variants, a separate concern.
+Cell neighbour_of(const MemoryTarget& memory, const Cell& c) {
+  return Cell{(c.address + 1) % memory.words(), c.bit};
+}
+
+}  // namespace
+
+std::vector<FaultDescriptor> generate_stuck_at(const MemoryTarget& memory,
+                                               const FaultListOptions& options) {
+  std::vector<FaultDescriptor> faults;
+  for (const Cell& c : sample_cells(memory, options)) {
+    for (const FaultClass cls : {FaultClass::StuckAt0, FaultClass::StuckAt1}) {
+      FaultDescriptor f;
+      f.cls = cls;
+      f.address = c.address;
+      f.bit = c.bit;
+      faults.push_back(f);
+    }
+  }
+  return faults;
+}
+
+std::vector<FaultDescriptor> generate_transition(
+    const MemoryTarget& memory, const FaultListOptions& options) {
+  std::vector<FaultDescriptor> faults;
+  for (const Cell& c : sample_cells(memory, options)) {
+    for (const FaultClass cls :
+         {FaultClass::TransitionUp, FaultClass::TransitionDown}) {
+      FaultDescriptor f;
+      f.cls = cls;
+      f.address = c.address;
+      f.bit = c.bit;
+      faults.push_back(f);
+    }
+  }
+  return faults;
+}
+
+namespace {
+
+std::vector<FaultDescriptor> coupling_for_pairs(
+    const MemoryTarget& memory, const FaultListOptions& options,
+    const std::function<Cell(const Cell&)>& neighbour);
+
+}  // namespace
+
+std::vector<FaultDescriptor> generate_coupling(
+    const MemoryTarget& memory, const FaultListOptions& options) {
+  return coupling_for_pairs(memory, options, [&memory](const Cell& victim) {
+    return neighbour_of(memory, victim);
+  });
+}
+
+std::vector<FaultDescriptor> generate_coupling(
+    const MemoryTarget& memory, const AddressScrambler& scrambler,
+    const FaultListOptions& options) {
+  return coupling_for_pairs(
+      memory, options, [&scrambler](const Cell& victim) {
+        return Cell{scrambler.physical_neighbour(victim.address), victim.bit};
+      });
+}
+
+namespace {
+
+std::vector<FaultDescriptor> coupling_for_pairs(
+    const MemoryTarget& memory, const FaultListOptions& options,
+    const std::function<Cell(const Cell&)>& neighbour) {
+  std::vector<FaultDescriptor> faults;
+  for (const Cell& victim : sample_cells(memory, options)) {
+    const Cell aggressor = neighbour(victim);
+
+    for (const bool up : {true, false}) {
+      FaultDescriptor inv;
+      inv.cls = FaultClass::CouplingInversion;
+      inv.address = victim.address;
+      inv.bit = victim.bit;
+      inv.aggressor_address = aggressor.address;
+      inv.aggressor_bit = aggressor.bit;
+      inv.aggressor_up = up;
+      faults.push_back(inv);
+
+      for (const int value : {0, 1}) {
+        FaultDescriptor id;
+        id.cls = FaultClass::CouplingIdempotent;
+        id.address = victim.address;
+        id.bit = victim.bit;
+        id.aggressor_address = aggressor.address;
+        id.aggressor_bit = aggressor.bit;
+        id.aggressor_up = up;
+        id.forced_value = value;
+        faults.push_back(id);
+      }
+    }
+    for (const int state : {0, 1}) {
+      for (const int value : {0, 1}) {
+        FaultDescriptor st;
+        st.cls = FaultClass::CouplingState;
+        st.address = victim.address;
+        st.bit = victim.bit;
+        st.aggressor_address = aggressor.address;
+        st.aggressor_bit = aggressor.bit;
+        st.aggressor_state = state;
+        st.forced_value = value;
+        faults.push_back(st);
+      }
+    }
+  }
+  return faults;
+}
+
+}  // namespace
+
+std::vector<FaultDescriptor> generate_retention(
+    const MemoryTarget& memory, const FaultListOptions& options) {
+  std::vector<FaultDescriptor> faults;
+  for (const Cell& c : sample_cells(memory, options)) {
+    for (const int value : {0, 1}) {
+      FaultDescriptor f;
+      f.cls = FaultClass::RetentionDecay;
+      f.address = c.address;
+      f.bit = c.bit;
+      f.forced_value = value;
+      f.retention_time = options.retention_time;
+      faults.push_back(f);
+    }
+  }
+  return faults;
+}
+
+std::vector<FaultDescriptor> generate_disturb(
+    const MemoryTarget& memory, const FaultListOptions& options) {
+  std::vector<FaultDescriptor> faults;
+  for (const Cell& c : sample_cells(memory, options)) {
+    for (const FaultClass cls :
+         {FaultClass::ReadDisturb, FaultClass::DeceptiveReadDisturb,
+          FaultClass::IncorrectRead, FaultClass::WriteDisturb}) {
+      for (const int state : {0, 1}) {
+        FaultDescriptor f;
+        f.cls = cls;
+        f.address = c.address;
+        f.bit = c.bit;
+        f.sensitizing_state = state;
+        faults.push_back(f);
+      }
+    }
+  }
+  return faults;
+}
+
+std::vector<FaultDescriptor> generate_intra_word_coupling(
+    const MemoryTarget& memory, const FaultListOptions& options) {
+  std::vector<FaultDescriptor> faults;
+  for (const Cell& victim : sample_cells(memory, options)) {
+    const Cell aggressor{victim.address,
+                         (victim.bit + 1) % memory.bits_per_word()};
+    if (aggressor.bit == victim.bit) continue;  // 1-bit words: no pair
+    for (const int state : {0, 1}) {
+      for (const int value : {0, 1}) {
+        FaultDescriptor st;
+        st.cls = FaultClass::CouplingState;
+        st.address = victim.address;
+        st.bit = victim.bit;
+        st.aggressor_address = aggressor.address;
+        st.aggressor_bit = aggressor.bit;
+        st.aggressor_state = state;
+        st.forced_value = value;
+        faults.push_back(st);
+      }
+    }
+  }
+  return faults;
+}
+
+std::vector<FaultDescriptor> generate_all(const MemoryTarget& memory,
+                                          const FaultListOptions& options) {
+  std::vector<FaultDescriptor> all = generate_stuck_at(memory, options);
+  for (auto gen : {generate_transition, generate_coupling, generate_retention,
+                   generate_disturb}) {
+    const std::vector<FaultDescriptor> part = gen(memory, options);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+CoverageByClass summarize(const FaultSimResult& result) {
+  CoverageByClass summary;
+  for (const FaultDetection& d : result.details) {
+    auto& [detected, total] = summary.counts[d.fault.cls];
+    ++total;
+    if (d.detected) ++detected;
+  }
+  summary.overall = result.coverage();
+  return summary;
+}
+
+std::string coverage_table(const CoverageByClass& summary) {
+  AsciiTable table({"Fault class", "Detected", "Total", "Coverage"});
+  for (const auto& [cls, counts] : summary.counts) {
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.1f%%",
+                  counts.second
+                      ? 100.0 * static_cast<double>(counts.first) /
+                            static_cast<double>(counts.second)
+                      : 100.0);
+    table.add_row({fault_class_name(cls), std::to_string(counts.first),
+                   std::to_string(counts.second), pct});
+  }
+  char overall[32];
+  std::snprintf(overall, sizeof(overall), "%.1f%%", 100.0 * summary.overall);
+  table.add_separator();
+  table.add_row({"overall", "", "", overall});
+  return table.str();
+}
+
+}  // namespace lpsram

@@ -1,0 +1,74 @@
+// Fault-list generation and coverage reporting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lpsram/faults/fault_sim.hpp"
+#include "lpsram/sram/scrambler.hpp"
+
+namespace lpsram {
+
+struct FaultListOptions {
+  // Cells are sampled deterministically across the array; this bounds the
+  // list size so serial simulation stays fast.
+  std::size_t max_cells = 32;
+  std::uint64_t seed = 0xFA017ull;
+  double retention_time = 1e-4;  // for retention-decay faults [s]
+};
+
+// Sampled single-cell stuck-at faults (SA0 + SA1 per cell).
+std::vector<FaultDescriptor> generate_stuck_at(const MemoryTarget& memory,
+                                               const FaultListOptions& options = {});
+
+// Sampled transition faults (both directions per cell).
+std::vector<FaultDescriptor> generate_transition(
+    const MemoryTarget& memory, const FaultListOptions& options = {});
+
+// Sampled two-cell coupling faults between physically adjacent cells
+// (aggressor = same bit of the next word, i.e. the neighbouring bit line
+// under 8:1 column muxing): CFin (both directions), CFid (all four
+// variants), CFst (all four variants).
+std::vector<FaultDescriptor> generate_coupling(
+    const MemoryTarget& memory, const FaultListOptions& options = {});
+
+// Scrambler-aware variant: the aggressor is the *physical* neighbour of the
+// victim under the given logical-to-physical address mapping — what a fault
+// list must use on a real layout where logical order is twisted.
+std::vector<FaultDescriptor> generate_coupling(
+    const MemoryTarget& memory, const AddressScrambler& scrambler,
+    const FaultListOptions& options);
+
+// Sampled classic retention-decay faults (decay to 0 and to 1 per cell).
+std::vector<FaultDescriptor> generate_retention(
+    const MemoryTarget& memory, const FaultListOptions& options = {});
+
+// Sampled read/write-disturb faults: RDF, DRDF, IRF, WDF — each in both
+// sensitizing states per cell (8 faults per sampled cell).
+std::vector<FaultDescriptor> generate_disturb(
+    const MemoryTarget& memory, const FaultListOptions& options = {});
+
+// Sampled intra-word coupling faults (aggressor = the adjacent bit of the
+// *same* word). Solid-background March tests cannot sensitize these; the
+// standard_backgrounds() set can.
+std::vector<FaultDescriptor> generate_intra_word_coupling(
+    const MemoryTarget& memory, const FaultListOptions& options = {});
+
+// Everything above concatenated.
+std::vector<FaultDescriptor> generate_all(const MemoryTarget& memory,
+                                          const FaultListOptions& options = {});
+
+// Coverage broken down by fault class.
+struct CoverageByClass {
+  std::map<FaultClass, std::pair<std::size_t, std::size_t>> counts;  // {detected, total}
+  double overall = 0.0;
+};
+
+CoverageByClass summarize(const FaultSimResult& result);
+
+// Renders an ASCII coverage table.
+std::string coverage_table(const CoverageByClass& summary);
+
+}  // namespace lpsram

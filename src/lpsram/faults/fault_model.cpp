@@ -1,0 +1,66 @@
+#include "lpsram/faults/fault_model.hpp"
+
+#include <cstdio>
+
+namespace lpsram {
+
+std::string fault_class_name(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::StuckAt0: return "SA0";
+    case FaultClass::StuckAt1: return "SA1";
+    case FaultClass::TransitionUp: return "TF<0->1>";
+    case FaultClass::TransitionDown: return "TF<1->0>";
+    case FaultClass::CouplingInversion: return "CFin";
+    case FaultClass::CouplingIdempotent: return "CFid";
+    case FaultClass::CouplingState: return "CFst";
+    case FaultClass::RetentionDecay: return "DRF";
+    case FaultClass::ReadDisturb: return "RDF";
+    case FaultClass::DeceptiveReadDisturb: return "DRDF";
+    case FaultClass::IncorrectRead: return "IRF";
+    case FaultClass::WriteDisturb: return "WDF";
+  }
+  return "?";
+}
+
+std::string FaultDescriptor::str() const {
+  char buf[160];
+  switch (cls) {
+    case FaultClass::StuckAt0:
+    case FaultClass::StuckAt1:
+    case FaultClass::TransitionUp:
+    case FaultClass::TransitionDown:
+      std::snprintf(buf, sizeof(buf), "%s @(%zu,%d)",
+                    fault_class_name(cls).c_str(), address, bit);
+      break;
+    case FaultClass::CouplingInversion:
+      std::snprintf(buf, sizeof(buf), "CFin<%s;inv> agg(%zu,%d) vic(%zu,%d)",
+                    aggressor_up ? "up" : "down", aggressor_address,
+                    aggressor_bit, address, bit);
+      break;
+    case FaultClass::CouplingIdempotent:
+      std::snprintf(buf, sizeof(buf), "CFid<%s;%d> agg(%zu,%d) vic(%zu,%d)",
+                    aggressor_up ? "up" : "down", forced_value,
+                    aggressor_address, aggressor_bit, address, bit);
+      break;
+    case FaultClass::CouplingState:
+      std::snprintf(buf, sizeof(buf), "CFst<%d;%d> agg(%zu,%d) vic(%zu,%d)",
+                    aggressor_state, forced_value, aggressor_address,
+                    aggressor_bit, address, bit);
+      break;
+    case FaultClass::RetentionDecay:
+      std::snprintf(buf, sizeof(buf), "DRF<%d, %.1es> @(%zu,%d)",
+                    forced_value, retention_time, address, bit);
+      break;
+    case FaultClass::ReadDisturb:
+    case FaultClass::DeceptiveReadDisturb:
+    case FaultClass::IncorrectRead:
+    case FaultClass::WriteDisturb:
+      std::snprintf(buf, sizeof(buf), "%s<%d> @(%zu,%d)",
+                    fault_class_name(cls).c_str(), sensitizing_state, address,
+                    bit);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,64 @@
+// Classic memory fault models (van de Goor [10], Hamdioui [11]) used to
+// validate the March engine the paper's test builds on, plus the classic
+// retention-decay fault for contrast with the paper's DRF_DS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lpsram {
+
+enum class FaultClass {
+  StuckAt0,            // SAF: cell always 0
+  StuckAt1,            // SAF: cell always 1
+  TransitionUp,        // TF: 0 -> 1 write fails
+  TransitionDown,      // TF: 1 -> 0 write fails
+  CouplingInversion,   // CFin: aggressor transition inverts the victim
+  CouplingIdempotent,  // CFid: aggressor transition forces the victim
+  CouplingState,       // CFst: aggressor state forces the victim
+  RetentionDecay,      // classic DRF: cell decays after an idle period
+  // Read/write-disturb static simple faults (Hamdioui [11]) — the space
+  // March SS was designed to close:
+  ReadDisturb,         // RDF<s>: reading a cell in state s flips it and the
+                       // flipped value is returned
+  DeceptiveReadDisturb,  // DRDF<s>: the read returns the correct value but
+                         // the cell flips afterwards
+  IncorrectRead,       // IRF<s>: the read returns the wrong value, the cell
+                       // keeps its state
+  WriteDisturb,        // WDF<s>: a non-transition write (s -> s) flips the
+                       // cell
+};
+
+std::string fault_class_name(FaultClass cls);
+
+// One injectable fault instance.
+struct FaultDescriptor {
+  FaultClass cls = FaultClass::StuckAt0;
+
+  // Victim cell.
+  std::size_t address = 0;
+  int bit = 0;
+
+  // Aggressor cell (coupling faults only).
+  std::size_t aggressor_address = 0;
+  int aggressor_bit = 0;
+
+  // CFin/CFid: the sensitizing aggressor transition is 0->1 when true,
+  // 1->0 when false.
+  bool aggressor_up = true;
+
+  // CFid / CFst / RetentionDecay: value forced onto (or decayed to by) the
+  // victim. CFst: victim forced while the aggressor holds `aggressor_state`.
+  int forced_value = 0;
+  int aggressor_state = 1;
+
+  // RDF / DRDF / IRF / WDF: the victim state `s` that sensitizes the fault.
+  int sensitizing_state = 1;
+
+  // RetentionDecay: idle time after which the cell decays [s].
+  double retention_time = 1e-4;
+
+  std::string str() const;
+};
+
+}  // namespace lpsram

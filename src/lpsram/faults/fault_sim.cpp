@@ -1,0 +1,44 @@
+#include "lpsram/faults/fault_sim.hpp"
+
+namespace lpsram {
+
+std::size_t FaultSimResult::detected_count() const noexcept {
+  std::size_t n = 0;
+  for (const FaultDetection& d : details)
+    if (d.detected) ++n;
+  return n;
+}
+
+double FaultSimResult::coverage() const noexcept {
+  if (details.empty()) return 1.0;
+  return static_cast<double>(detected_count()) /
+         static_cast<double>(details.size());
+}
+
+FaultSimulator::FaultSimulator(MemoryTarget& base,
+                               MarchExecutorOptions options)
+    : base_(base), options_(options) {}
+
+void FaultSimulator::reset_memory() {
+  for (std::size_t a = 0; a < base_.words(); ++a) base_.poke(a, 0);
+}
+
+FaultSimResult FaultSimulator::simulate(
+    const MarchTest& test, const std::vector<FaultDescriptor>& faults) {
+  FaultSimResult result;
+  result.details.reserve(faults.size());
+
+  for (const FaultDescriptor& fault : faults) {
+    reset_memory();
+    FaultyMemory faulty(base_);
+    faulty.add_fault(fault);
+    MarchExecutorOptions fast = options_;
+    fast.stop_on_first_failure = true;  // detection is all we need
+    MarchExecutor executor(faulty, fast);
+    const MarchRunResult run = executor.run(test);
+    result.details.push_back(FaultDetection{fault, !run.passed});
+  }
+  return result;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,42 @@
+// Serial fault simulation: run a March test once per injected fault on a
+// clean memory and record whether the test's read comparisons expose it.
+#pragma once
+
+#include <vector>
+
+#include "lpsram/faults/injector.hpp"
+#include "lpsram/march/executor.hpp"
+
+namespace lpsram {
+
+struct FaultDetection {
+  FaultDescriptor fault;
+  bool detected = false;
+};
+
+struct FaultSimResult {
+  std::vector<FaultDetection> details;
+
+  std::size_t total() const noexcept { return details.size(); }
+  std::size_t detected_count() const noexcept;
+  // Fault coverage in [0, 1]; 1.0 for an empty list.
+  double coverage() const noexcept;
+};
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(MemoryTarget& base, MarchExecutorOptions options = {});
+
+  // Simulates each fault independently (memory cleared to all-0 between
+  // runs). Detection = at least one read mismatch during the test.
+  FaultSimResult simulate(const MarchTest& test,
+                          const std::vector<FaultDescriptor>& faults);
+
+ private:
+  void reset_memory();
+
+  MemoryTarget& base_;
+  MarchExecutorOptions options_;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,184 @@
+#include "lpsram/faults/injector.hpp"
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+bool bit_of(std::uint64_t word, int bit) { return (word >> bit) & 1u; }
+
+std::uint64_t with_bit(std::uint64_t word, int bit, bool value) {
+  return value ? (word | (1ull << bit)) : (word & ~(1ull << bit));
+}
+
+}  // namespace
+
+FaultyMemory::FaultyMemory(MemoryTarget& base, double cycle_time)
+    : base_(base), cycle_time_(cycle_time) {}
+
+void FaultyMemory::add_fault(const FaultDescriptor& fault) {
+  if (fault.bit < 0 || fault.bit >= base_.bits_per_word() ||
+      fault.address >= base_.words())
+    throw InvalidArgument("FaultyMemory: victim out of range");
+  faults_.push_back(fault);
+
+  // Stuck-at cells hold their stuck value from the moment of injection.
+  if (fault.cls == FaultClass::StuckAt0 || fault.cls == FaultClass::StuckAt1) {
+    const bool v = fault.cls == FaultClass::StuckAt1;
+    base_.poke(fault.address,
+               with_bit(base_.peek(fault.address), fault.bit, v));
+  }
+  if (fault.cls == FaultClass::RetentionDecay) {
+    last_write_[cell_key(fault.address, fault.bit)] = clock_;
+  }
+}
+
+void FaultyMemory::clear_faults() {
+  faults_.clear();
+  last_write_.clear();
+}
+
+void FaultyMemory::apply_write_effects(std::size_t address,
+                                       std::uint64_t old_value,
+                                       std::uint64_t& new_value) {
+  for (const FaultDescriptor& f : faults_) {
+    if (f.address != address) continue;
+    const bool old_bit = bit_of(old_value, f.bit);
+    const bool new_bit = bit_of(new_value, f.bit);
+    switch (f.cls) {
+      case FaultClass::StuckAt0:
+        new_value = with_bit(new_value, f.bit, false);
+        break;
+      case FaultClass::StuckAt1:
+        new_value = with_bit(new_value, f.bit, true);
+        break;
+      case FaultClass::TransitionUp:
+        if (!old_bit && new_bit) new_value = with_bit(new_value, f.bit, false);
+        break;
+      case FaultClass::TransitionDown:
+        if (old_bit && !new_bit) new_value = with_bit(new_value, f.bit, true);
+        break;
+      case FaultClass::WriteDisturb:
+        // A non-transition write in the sensitizing state flips the cell.
+        if (old_bit == new_bit &&
+            static_cast<int>(new_bit) == f.sensitizing_state)
+          new_value = with_bit(new_value, f.bit, !new_bit);
+        break;
+      default:
+        break;  // coupling handled from the aggressor side; decay at read
+    }
+  }
+}
+
+void FaultyMemory::write_word(std::size_t address, std::uint64_t value) {
+  clock_ += cycle_time_;
+  const std::uint64_t old_value = base_.peek(address);
+  std::uint64_t new_value = value;
+  apply_write_effects(address, old_value, new_value);
+  base_.write_word(address, new_value);
+
+  // Retention bookkeeping for decaying victims in this word.
+  for (const FaultDescriptor& f : faults_) {
+    if (f.cls == FaultClass::RetentionDecay && f.address == address)
+      note_write(address, f.bit);
+  }
+
+  // Coupling effects triggered by aggressor activity in this word.
+  for (const FaultDescriptor& f : faults_) {
+    if (f.aggressor_address != address) continue;
+    const bool agg_old = bit_of(old_value, f.aggressor_bit);
+    const bool agg_new = bit_of(new_value, f.aggressor_bit);
+    if (agg_old == agg_new) continue;  // no transition
+    const bool transition_up = !agg_old && agg_new;
+
+    if (f.cls == FaultClass::CouplingInversion &&
+        transition_up == f.aggressor_up) {
+      const std::uint64_t victim = base_.peek(f.address);
+      base_.poke(f.address,
+                 with_bit(victim, f.bit, !bit_of(victim, f.bit)));
+    } else if (f.cls == FaultClass::CouplingIdempotent &&
+               transition_up == f.aggressor_up) {
+      const std::uint64_t victim = base_.peek(f.address);
+      base_.poke(f.address, with_bit(victim, f.bit, f.forced_value != 0));
+    }
+  }
+}
+
+std::uint64_t FaultyMemory::apply_read_effects(std::size_t address,
+                                               std::uint64_t value) {
+  for (const FaultDescriptor& f : faults_) {
+    if (f.address != address) continue;
+    switch (f.cls) {
+      case FaultClass::StuckAt0:
+        value = with_bit(value, f.bit, false);
+        break;
+      case FaultClass::StuckAt1:
+        value = with_bit(value, f.bit, true);
+        break;
+      case FaultClass::CouplingState: {
+        const bool agg =
+            bit_of(base_.peek(f.aggressor_address), f.aggressor_bit);
+        if (static_cast<int>(agg) == f.aggressor_state) {
+          value = with_bit(value, f.bit, f.forced_value != 0);
+          base_.poke(address, value);  // state coupling forces the storage
+        }
+        break;
+      }
+      case FaultClass::RetentionDecay: {
+        const auto it = last_write_.find(cell_key(address, f.bit));
+        const double since = it == last_write_.end()
+                                 ? f.retention_time * 2.0
+                                 : clock_ - it->second;
+        if (since > f.retention_time) {
+          value = with_bit(value, f.bit, f.forced_value != 0);
+          base_.poke(address, value);
+        }
+        break;
+      }
+      case FaultClass::ReadDisturb: {
+        // Cell flips under the read and the flipped value is returned.
+        const bool stored = bit_of(base_.peek(address), f.bit);
+        if (static_cast<int>(stored) == f.sensitizing_state) {
+          base_.poke(address,
+                     with_bit(base_.peek(address), f.bit, !stored));
+          value = with_bit(value, f.bit, !stored);
+        }
+        break;
+      }
+      case FaultClass::DeceptiveReadDisturb: {
+        // The read returns the correct value; the cell flips afterwards.
+        const bool stored = bit_of(base_.peek(address), f.bit);
+        if (static_cast<int>(stored) == f.sensitizing_state) {
+          base_.poke(address,
+                     with_bit(base_.peek(address), f.bit, !stored));
+          value = with_bit(value, f.bit, stored);
+        }
+        break;
+      }
+      case FaultClass::IncorrectRead: {
+        // Wrong value on the bus; storage intact.
+        const bool stored = bit_of(base_.peek(address), f.bit);
+        if (static_cast<int>(stored) == f.sensitizing_state)
+          value = with_bit(value, f.bit, !stored);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return value;
+}
+
+std::uint64_t FaultyMemory::read_word(std::size_t address) {
+  clock_ += cycle_time_;
+  return apply_read_effects(address, base_.read_word(address));
+}
+
+void FaultyMemory::deep_sleep(double duration) {
+  clock_ += duration;
+  base_.deep_sleep(duration);
+}
+
+void FaultyMemory::wake_up() { base_.wake_up(); }
+
+}  // namespace lpsram

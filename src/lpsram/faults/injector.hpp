@@ -1,0 +1,64 @@
+// Behavioral fault injection: wraps any MemoryTarget and applies fault
+// semantics on the operation stream, the standard functional-fault
+// simulation technique for March test validation.
+//
+// Bookkeeping notes:
+//  * the wrapper issues backdoor peeks/pokes (never counted as operations)
+//    to observe aggressor transitions and force victim values;
+//  * retention-decay faults use an internal clock advanced by one cycle per
+//    word operation and by the dwell time of deep_sleep().
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "lpsram/faults/fault_model.hpp"
+#include "lpsram/sram/sram.hpp"
+
+namespace lpsram {
+
+class FaultyMemory final : public MemoryTarget {
+ public:
+  explicit FaultyMemory(MemoryTarget& base, double cycle_time = 10e-9);
+
+  void add_fault(const FaultDescriptor& fault);
+  void clear_faults();
+  const std::vector<FaultDescriptor>& faults() const noexcept {
+    return faults_;
+  }
+
+  // --- MemoryTarget ---------------------------------------------------------
+  std::size_t words() const override { return base_.words(); }
+  int bits_per_word() const override { return base_.bits_per_word(); }
+  std::uint64_t read_word(std::size_t address) override;
+  void write_word(std::size_t address, std::uint64_t value) override;
+  void deep_sleep(double duration) override;
+  void wake_up() override;
+  std::uint64_t peek(std::size_t address) const override {
+    return base_.peek(address);
+  }
+  void poke(std::size_t address, std::uint64_t value) override {
+    base_.poke(address, value);
+  }
+
+ private:
+  std::uint64_t cell_key(std::size_t address, int bit) const {
+    return address * 64ull + static_cast<std::uint64_t>(bit);
+  }
+  void note_write(std::size_t address, int bit) {
+    last_write_[cell_key(address, bit)] = clock_;
+  }
+  // Applies storage-forcing faults triggered by writing `address`.
+  void apply_write_effects(std::size_t address, std::uint64_t old_value,
+                           std::uint64_t& new_value);
+  // Applies read-time forcing (SAF reads, CFst, retention decay).
+  std::uint64_t apply_read_effects(std::size_t address, std::uint64_t value);
+
+  MemoryTarget& base_;
+  double cycle_time_;
+  double clock_ = 0.0;
+  std::vector<FaultDescriptor> faults_;
+  std::unordered_map<std::uint64_t, double> last_write_;
+};
+
+}  // namespace lpsram

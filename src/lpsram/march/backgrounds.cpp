@@ -1,0 +1,76 @@
+#include "lpsram/march/backgrounds.hpp"
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+std::uint64_t word_mask(int bits) {
+  return bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+}
+
+std::uint64_t stripe_pattern(int stripe_width, int bits, bool inverted) {
+  std::uint64_t pattern = 0;
+  for (int b = 0; b < bits; ++b) {
+    const bool high = ((b / stripe_width) % 2 == 1) != inverted;
+    if (high) pattern |= (1ull << b);
+  }
+  return pattern;
+}
+
+}  // namespace
+
+DataBackground::DataBackground()
+    : name_("solid"),
+      pattern_([](std::size_t, int) { return 0ull; }) {}
+
+DataBackground::DataBackground(std::string name, PatternFn pattern)
+    : name_(std::move(name)), pattern_(std::move(pattern)) {
+  if (!pattern_) throw InvalidArgument("DataBackground: null pattern");
+}
+
+std::uint64_t DataBackground::zero_pattern(std::size_t address,
+                                           int bits) const {
+  return pattern_(address, bits) & word_mask(bits);
+}
+
+std::uint64_t DataBackground::one_pattern(std::size_t address,
+                                          int bits) const {
+  return ~zero_pattern(address, bits) & word_mask(bits);
+}
+
+DataBackground DataBackground::solid() { return DataBackground(); }
+
+DataBackground DataBackground::bit_stripe(int stripe_width) {
+  if (stripe_width < 1)
+    throw InvalidArgument("DataBackground: stripe width must be >= 1");
+  return DataBackground(
+      "stripe" + std::to_string(stripe_width),
+      [stripe_width](std::size_t, int bits) {
+        return stripe_pattern(stripe_width, bits, false);
+      });
+}
+
+DataBackground DataBackground::checkerboard() {
+  return DataBackground("checkerboard", [](std::size_t address, int bits) {
+    return stripe_pattern(1, bits, address % 2 == 1);
+  });
+}
+
+DataBackground DataBackground::row_stripe() {
+  return DataBackground("rowstripe", [](std::size_t address, int bits) {
+    return address % 2 == 1 ? word_mask(bits) : 0ull;
+  });
+}
+
+std::vector<DataBackground> standard_backgrounds(int bits) {
+  if (bits < 1 || bits > 64)
+    throw InvalidArgument("standard_backgrounds: bits must be 1..64");
+  std::vector<DataBackground> set;
+  set.push_back(DataBackground::solid());
+  for (int width = 1; width < bits; width *= 2)
+    set.push_back(DataBackground::bit_stripe(width));
+  return set;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,59 @@
+// Data backgrounds for word-oriented memory testing.
+//
+// A March test on a word-oriented SRAM writes whole words, so a "w0" writes
+// the background pattern and "w1" its complement. With the solid background
+// (all zeros), coupling between two cells of the same word can never be
+// sensitized — both bits always transition in the same direction. The
+// standard remedy (van de Goor) is to repeat the test under log2(bits)+1
+// backgrounds: solid, then stripes of width 1, 2, 4, ... so every intra-word
+// cell pair sees opposite values at least once.
+//
+// This module generalizes the March executor's data generation: a background
+// maps (address, word width) to the pattern a "0" denotes; "1" is its
+// complement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lpsram {
+
+class DataBackground {
+ public:
+  // Pattern function: word address -> the "logic 0" pattern.
+  using PatternFn = std::function<std::uint64_t(std::size_t address, int bits)>;
+
+  DataBackground();  // solid zeros
+  DataBackground(std::string name, PatternFn pattern);
+
+  const std::string& name() const noexcept { return name_; }
+
+  // The word pattern a "0" op denotes at this address.
+  std::uint64_t zero_pattern(std::size_t address, int bits) const;
+  // The word pattern a "1" op denotes (bit-complement within the word).
+  std::uint64_t one_pattern(std::size_t address, int bits) const;
+
+  // --- standard backgrounds -------------------------------------------------
+  static DataBackground solid();
+  // Bit stripes of the given width inside each word: width 1 = 0101...,
+  // width 2 = 0011..., etc.
+  static DataBackground bit_stripe(int stripe_width);
+  // Checkerboard: bit stripes of width 1 whose phase alternates with the
+  // word address (physically adjacent cells differ in both directions).
+  static DataBackground checkerboard();
+  // Row stripe: solid per word, alternating with the address.
+  static DataBackground row_stripe();
+
+ private:
+  std::string name_;
+  PatternFn pattern_;
+};
+
+// The canonical background set for a word width: solid plus bit stripes of
+// width 1, 2, 4, ..., bits/2 — log2(bits)+1 entries. Guarantees every
+// intra-word cell pair holds opposite values under at least one background.
+std::vector<DataBackground> standard_backgrounds(int bits);
+
+}  // namespace lpsram

@@ -1,0 +1,85 @@
+#include "lpsram/march/executor.hpp"
+
+namespace lpsram {
+
+MarchExecutor::MarchExecutor(MemoryTarget& target,
+                             MarchExecutorOptions options)
+    : target_(target), options_(std::move(options)) {}
+
+MarchRunResult MarchExecutor::run(const MarchTest& test) {
+  test.validate();
+  MarchRunResult result;
+
+  const std::size_t n = target_.words();
+  const int bits = target_.bits_per_word();
+
+  for (std::size_t ei = 0; ei < test.elements.size(); ++ei) {
+    const MarchElement& element = test.elements[ei];
+
+    if (element.kind == MarchElement::Kind::DeepSleep) {
+      target_.deep_sleep(options_.ds_time);
+      continue;
+    }
+    if (element.kind == MarchElement::Kind::WakeUp) {
+      target_.wake_up();
+      continue;
+    }
+
+    const bool descending = element.order == AddressOrder::Descending;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t address = descending ? n - 1 - k : k;
+      for (std::size_t oi = 0; oi < element.ops.size(); ++oi) {
+        const MarchOp& op = element.ops[oi];
+        const std::uint64_t pattern =
+            op.value == 0 ? options_.background.zero_pattern(address, bits)
+                          : options_.background.one_pattern(address, bits);
+        ++result.operations;
+        if (op.type == MarchOp::Type::Write) {
+          target_.write_word(address, pattern);
+        } else {
+          const std::uint64_t actual = target_.read_word(address);
+          if (actual != pattern) {
+            ++result.total_failures;
+            result.passed = false;
+            if (result.failures.size() < options_.max_failures)
+              result.failures.push_back(
+                  MarchFailure{ei, oi, address, pattern, actual});
+            if (options_.stop_on_first_failure) return result;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+MultiBackgroundResult run_with_backgrounds(
+    MemoryTarget& target, const MarchTest& test,
+    const std::vector<DataBackground>& backgrounds,
+    MarchExecutorOptions options) {
+  MultiBackgroundResult result;
+  for (const DataBackground& background : backgrounds) {
+    options.background = background;
+    MarchExecutor executor(target, options);
+    MarchRunResult run = executor.run(test);
+    result.passed = result.passed && run.passed;
+    result.total_failures += run.total_failures;
+    result.runs.emplace_back(background.name(), std::move(run));
+    if (!result.passed && options.stop_on_first_failure) break;
+  }
+  return result;
+}
+
+double march_test_time(const MarchTest& test, std::size_t words,
+                       double cycle_time, double ds_time,
+                       double transition_time) {
+  const double op_time = static_cast<double>(test.ops_per_cell()) *
+                         static_cast<double>(words) * cycle_time;
+  const double dsm_time =
+      static_cast<double>(test.deep_sleep_phases()) * ds_time;
+  const double transitions =
+      static_cast<double>(test.constant_ops()) * transition_time;
+  return op_time + dsm_time + transitions;
+}
+
+}  // namespace lpsram

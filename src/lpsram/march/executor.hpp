@@ -1,0 +1,78 @@
+// March test executor: drives a MemoryTarget through a MarchTest, comparing
+// every read against the expected data background and logging mismatches —
+// the same observation a production memory tester makes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lpsram/march/backgrounds.hpp"
+#include "lpsram/march/notation.hpp"
+#include "lpsram/sram/sram.hpp"
+
+namespace lpsram {
+
+// One observed mismatch.
+struct MarchFailure {
+  std::size_t element = 0;  // index into MarchTest::elements
+  std::size_t op = 0;       // index into the element's ops
+  std::size_t address = 0;
+  std::uint64_t expected = 0;
+  std::uint64_t actual = 0;
+};
+
+struct MarchRunResult {
+  bool passed = true;
+  std::vector<MarchFailure> failures;  // capped at options.max_failures
+  std::uint64_t total_failures = 0;    // uncapped count
+  std::uint64_t operations = 0;        // word operations issued
+  double test_time = 0.0;              // simulated tester time [s]
+};
+
+struct MarchExecutorOptions {
+  double ds_time = 1e-3;          // dwell per DSM element [s]
+  std::size_t max_failures = 64;  // failures recorded in detail
+  bool stop_on_first_failure = false;
+  // Data background: what a "0" op writes/expects per word. Solid by
+  // default; intra-word coupling needs the standard_backgrounds() set.
+  DataBackground background = DataBackground::solid();
+};
+
+class MarchExecutor {
+ public:
+  explicit MarchExecutor(MemoryTarget& target,
+                         MarchExecutorOptions options = {});
+
+  // Runs the test (validated first). The target is assumed to be in ACT mode.
+  MarchRunResult run(const MarchTest& test);
+
+  const MarchExecutorOptions& options() const noexcept { return options_; }
+
+ private:
+  MemoryTarget& target_;
+  MarchExecutorOptions options_;
+};
+
+// Estimated tester time of a test on an N-word memory: N-linear operations at
+// `cycle_time` plus per-DSM dwell and wake-up overhead. Matches the cost
+// model behind the paper's "75% test time reduction" claim.
+double march_test_time(const MarchTest& test, std::size_t words,
+                       double cycle_time, double ds_time,
+                       double transition_time = 1e-6);
+
+// Result of a multi-background run.
+struct MultiBackgroundResult {
+  bool passed = true;
+  // One entry per background, in the order given.
+  std::vector<std::pair<std::string, MarchRunResult>> runs;
+  std::uint64_t total_failures = 0;
+};
+
+// Runs the test once per background (the word-oriented testing recipe for
+// intra-word faults) and aggregates the verdicts.
+MultiBackgroundResult run_with_backgrounds(
+    MemoryTarget& target, const MarchTest& test,
+    const std::vector<DataBackground>& backgrounds,
+    MarchExecutorOptions options = {});
+
+}  // namespace lpsram

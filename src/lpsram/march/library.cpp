@@ -1,0 +1,71 @@
+#include "lpsram/march/library.hpp"
+
+#include "lpsram/march/parser.hpp"
+
+namespace lpsram {
+namespace march {
+
+MarchTest mats_plus() {
+  return parse_march("{ any(w0); up(r0,w1); down(r1,w0) }", "MATS+");
+}
+
+MarchTest march_x() {
+  return parse_march("{ any(w0); up(r0,w1); down(r1,w0); any(r0) }",
+                     "March X");
+}
+
+MarchTest march_y() {
+  return parse_march("{ any(w0); up(r0,w1,r1); down(r1,w0,r0); any(r0) }",
+                     "March Y");
+}
+
+MarchTest march_c_minus() {
+  return parse_march(
+      "{ any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0) }",
+      "March C-");
+}
+
+MarchTest march_a() {
+  return parse_march(
+      "{ any(w0); up(r0,w1,w0,w1); up(r1,w0,w1); down(r1,w0,w1,w0); "
+      "down(r0,w1,w0) }",
+      "March A");
+}
+
+MarchTest march_b() {
+  return parse_march(
+      "{ any(w0); up(r0,w1,r1,w0,r0,w1); up(r1,w0,w1); down(r1,w0,w1,w0); "
+      "down(r0,w1,w0) }",
+      "March B");
+}
+
+MarchTest pmovi() {
+  return parse_march(
+      "{ v(w0); up(r0,w1,r1); up(r1,w0,r0); down(r0,w1,r1); down(r1,w0,r0) }",
+      "PMOVI");
+}
+
+MarchTest march_ss() {
+  return parse_march(
+      "{ any(w0); up(r0,r0,w0,r0,w1); up(r1,r1,w1,r1,w0); "
+      "down(r0,r0,w0,r0,w1); down(r1,r1,w1,r1,w0); any(r0) }",
+      "March SS");
+}
+
+MarchTest march_lz() {
+  return parse_march("{ any(w1); DSM; WUP; up(r1,w0,r0) }", "March LZ");
+}
+
+MarchTest march_m_lz() {
+  return parse_march(
+      "{ any(w1); DSM; WUP; up(r1,w0,r0); DSM; WUP; up(r0) }", "March m-LZ");
+}
+
+std::vector<MarchTest> all_tests() {
+  return {mats_plus(), march_x(), march_y(), march_a(),
+          march_b(),   pmovi(),   march_c_minus(), march_ss(),
+          march_lz(),  march_m_lz()};
+}
+
+}  // namespace march
+}  // namespace lpsram

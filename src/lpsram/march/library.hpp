@@ -1,0 +1,53 @@
+// Library of standard March tests plus the paper's March LZ / March m-LZ.
+#pragma once
+
+#include <vector>
+
+#include "lpsram/march/notation.hpp"
+
+namespace lpsram {
+namespace march {
+
+// MATS+ (5N): {any(w0); up(r0,w1); down(r1,w0)} — detects SAFs and AFs.
+MarchTest mats_plus();
+
+// March X (6N): {any(w0); up(r0,w1); down(r1,w0); any(r0)}.
+MarchTest march_x();
+
+// March Y (8N): {any(w0); up(r0,w1,r1); down(r1,w0,r0); any(r0)}.
+MarchTest march_y();
+
+// March C- (10N): the classic coupling-fault test.
+MarchTest march_c_minus();
+
+// March A (15N): linked coupling faults without reads-after-writes.
+MarchTest march_a();
+
+// March B (17N): March A plus linked transition/coupling combinations.
+MarchTest march_b();
+
+// PMOVI (13N): the classic production test with read-after-write pairs.
+MarchTest pmovi();
+
+// March SS (22N, Hamdioui [11]): all static simple faults.
+MarchTest march_ss();
+
+// March LZ (4N+2): the authors' earlier test for faulty behaviours induced
+// by peripheral power-gating malfunction [13] — reconstructed here from the
+// description in Section V: initialization with '1', one deep-sleep pass,
+// then r1,w0,r0 which both checks '1' retention and exercises the
+// power-gating sensitization.
+MarchTest march_lz();
+
+// March m-LZ (5N+4): the paper's proposed test,
+// { any(w1); DSM; WUP; up(r1,w0,r0); DSM; WUP; up(r0) }.
+// ME1 initializes with '1'; ME2/ME3 sensitize retention of '1'; ME4 detects
+// it (r1) and flips the array to '0' (w0,r0 also target peripheral
+// power-gating faults); ME5/ME6 sensitize retention of '0'; ME7 detects it.
+MarchTest march_m_lz();
+
+// Every test in the library (for sweep benches).
+std::vector<MarchTest> all_tests();
+
+}  // namespace march
+}  // namespace lpsram

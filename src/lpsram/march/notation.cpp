@@ -1,0 +1,136 @@
+#include "lpsram/march/notation.hpp"
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+std::string address_order_symbol(AddressOrder order) {
+  switch (order) {
+    case AddressOrder::Ascending: return "up";
+    case AddressOrder::Descending: return "down";
+    case AddressOrder::Any: return "any";
+  }
+  return "?";
+}
+
+std::string MarchOp::str() const {
+  return (type == Type::Read ? "r" : "w") + std::to_string(value);
+}
+
+MarchElement MarchElement::deep_sleep() {
+  MarchElement e;
+  e.kind = Kind::DeepSleep;
+  return e;
+}
+
+MarchElement MarchElement::wake_up() {
+  MarchElement e;
+  e.kind = Kind::WakeUp;
+  return e;
+}
+
+MarchElement MarchElement::make(AddressOrder order, std::vector<MarchOp> ops) {
+  MarchElement e;
+  e.kind = Kind::Ops;
+  e.order = order;
+  e.ops = std::move(ops);
+  return e;
+}
+
+std::string MarchElement::str() const {
+  switch (kind) {
+    case Kind::DeepSleep: return "DSM";
+    case Kind::WakeUp: return "WUP";
+    case Kind::Ops: {
+      std::string out = address_order_symbol(order) + "(";
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (i) out += ",";
+        out += ops[i].str();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string MarchTest::notation() const {
+  std::string out = "{ ";
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i) out += "; ";
+    out += elements[i].str();
+  }
+  out += " }";
+  return out;
+}
+
+int MarchTest::ops_per_cell() const {
+  int n = 0;
+  for (const MarchElement& e : elements)
+    if (e.kind == MarchElement::Kind::Ops)
+      n += static_cast<int>(e.ops.size());
+  return n;
+}
+
+int MarchTest::constant_ops() const {
+  int n = 0;
+  for (const MarchElement& e : elements)
+    if (e.kind != MarchElement::Kind::Ops) ++n;
+  return n;
+}
+
+std::string MarchTest::complexity() const {
+  std::string out = std::to_string(ops_per_cell()) + "N";
+  const int c = constant_ops();
+  if (c > 0) out += "+" + std::to_string(c);
+  return out;
+}
+
+int MarchTest::deep_sleep_phases() const {
+  int n = 0;
+  for (const MarchElement& e : elements)
+    if (e.kind == MarchElement::Kind::DeepSleep) ++n;
+  return n;
+}
+
+void MarchTest::validate() const {
+  if (elements.empty())
+    throw InvalidArgument("MarchTest '" + name + "': no elements");
+  int pending_dsm = 0;
+  for (const MarchElement& e : elements) {
+    switch (e.kind) {
+      case MarchElement::Kind::DeepSleep:
+        if (pending_dsm > 0)
+          throw InvalidArgument("MarchTest '" + name +
+                                "': DSM while already in deep-sleep");
+        ++pending_dsm;
+        break;
+      case MarchElement::Kind::WakeUp:
+        if (pending_dsm == 0)
+          throw InvalidArgument("MarchTest '" + name +
+                                "': WUP without preceding DSM");
+        --pending_dsm;
+        break;
+      case MarchElement::Kind::Ops:
+        if (pending_dsm > 0)
+          throw InvalidArgument("MarchTest '" + name +
+                                "': operations while in deep-sleep");
+        if (e.ops.empty())
+          throw InvalidArgument("MarchTest '" + name + "': empty element");
+        for (const MarchOp& op : e.ops)
+          if (op.value != 0 && op.value != 1)
+            throw InvalidArgument("MarchTest '" + name +
+                                  "': op value must be 0 or 1");
+        break;
+    }
+  }
+  if (pending_dsm != 0)
+    throw InvalidArgument("MarchTest '" + name + "': test ends in deep-sleep");
+}
+
+MarchOp r0() { return {MarchOp::Type::Read, 0}; }
+MarchOp r1() { return {MarchOp::Type::Read, 1}; }
+MarchOp w0() { return {MarchOp::Type::Write, 0}; }
+MarchOp w1() { return {MarchOp::Type::Write, 1}; }
+
+}  // namespace lpsram

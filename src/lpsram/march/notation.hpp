@@ -1,0 +1,80 @@
+// March test notation (van de Goor [10]), extended with the paper's two
+// power-mode pseudo-operations:
+//   DSM — switch from ACT to deep-sleep mode and dwell there,
+//   WUP — wake-up phase back to ACT.
+//
+// A march element is either an address-ordered operation list, e.g.
+// up(r1,w0,r0), or one of the pseudo-operations. March m-LZ is written
+//
+//   { any(w1); DSM; WUP; up(r1,w0,r0); DSM; WUP; up(r0) }
+//
+// and has length 5N+4 counting DSM/WUP as operations of complexity 1
+// (paper Section V).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lpsram {
+
+// Address orders: up = ascending, down = descending, any = either order
+// (executed ascending by convention, as allowed by the notation).
+enum class AddressOrder { Ascending, Descending, Any };
+
+std::string address_order_symbol(AddressOrder order);
+
+// A read or write of a data background value (0 or 1 across the word).
+struct MarchOp {
+  enum class Type { Read, Write };
+  Type type = Type::Read;
+  int value = 0;  // 0 or 1
+
+  std::string str() const;  // "r0", "w1", ...
+  bool operator==(const MarchOp&) const = default;
+};
+
+// One element of a march test.
+struct MarchElement {
+  enum class Kind { Ops, DeepSleep, WakeUp };
+  Kind kind = Kind::Ops;
+  AddressOrder order = AddressOrder::Any;
+  std::vector<MarchOp> ops;  // empty for DeepSleep / WakeUp
+
+  static MarchElement deep_sleep();
+  static MarchElement wake_up();
+  static MarchElement make(AddressOrder order, std::vector<MarchOp> ops);
+
+  std::string str() const;
+  bool operator==(const MarchElement&) const = default;
+};
+
+// A complete march test.
+struct MarchTest {
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  // Canonical string form: "{ any(w1); DSM; WUP; ... }".
+  std::string notation() const;
+
+  // Per-cell operation count (the factor of N in the complexity).
+  int ops_per_cell() const;
+  // Constant-complexity operations (DSM/WUP count).
+  int constant_ops() const;
+  // Complexity string, e.g. "5N+4" or "10N".
+  std::string complexity() const;
+  // Number of DSM (deep-sleep) phases.
+  int deep_sleep_phases() const;
+
+  // Structural sanity: every DSM is eventually followed by a WUP, reads and
+  // writes only appear in Ops elements, values are 0/1. Throws
+  // InvalidArgument when violated.
+  void validate() const;
+};
+
+// Convenience builders used by the library and tests.
+MarchOp r0();
+MarchOp r1();
+MarchOp w0();
+MarchOp w1();
+
+}  // namespace lpsram

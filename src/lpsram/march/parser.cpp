@@ -1,0 +1,138 @@
+#include "lpsram/march/parser.hpp"
+
+#include <cctype>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool eof() {
+    skip_space();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_space();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char take() {
+    skip_space();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    const char got = take();
+    if (got != c)
+      fail(std::string("expected '") + c + "', got '" + got + "'");
+  }
+
+  // Reads a run of letters.
+  std::string word() {
+    skip_space();
+    std::string out;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_])))
+      out += text_[pos_++];
+    return out;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("march parse error at position " + std::to_string(pos_) +
+                     ": " + message);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+MarchOp parse_op(Lexer& lex) {
+  const char kind = lex.take();
+  if (kind != 'r' && kind != 'w') lex.fail("expected 'r' or 'w'");
+  const char value = lex.take();
+  if (value != '0' && value != '1') lex.fail("expected '0' or '1'");
+  MarchOp op;
+  op.type = kind == 'r' ? MarchOp::Type::Read : MarchOp::Type::Write;
+  op.value = value - '0';
+  return op;
+}
+
+MarchElement parse_element(Lexer& lex) {
+  const char c = lex.peek();
+  if (c == '^' || c == 'v' || c == '*') {
+    lex.take();
+    AddressOrder order = c == '^'   ? AddressOrder::Ascending
+                         : c == 'v' ? AddressOrder::Descending
+                                    : AddressOrder::Any;
+    lex.expect('(');
+    std::vector<MarchOp> ops;
+    ops.push_back(parse_op(lex));
+    while (lex.peek() == ',') {
+      lex.take();
+      ops.push_back(parse_op(lex));
+    }
+    lex.expect(')');
+    return MarchElement::make(order, std::move(ops));
+  }
+
+  const std::string word = lex.word();
+  if (word == "DSM") return MarchElement::deep_sleep();
+  if (word == "WUP") return MarchElement::wake_up();
+
+  AddressOrder order;
+  if (word == "up")
+    order = AddressOrder::Ascending;
+  else if (word == "down")
+    order = AddressOrder::Descending;
+  else if (word == "any")
+    order = AddressOrder::Any;
+  else
+    lex.fail("unknown element '" + word + "'");
+
+  lex.expect('(');
+  std::vector<MarchOp> ops;
+  ops.push_back(parse_op(lex));
+  while (lex.peek() == ',') {
+    lex.take();
+    ops.push_back(parse_op(lex));
+  }
+  lex.expect(')');
+  return MarchElement::make(order, std::move(ops));
+}
+
+}  // namespace
+
+MarchTest parse_march(std::string_view text, std::string name) {
+  Lexer lex(text);
+  MarchTest test;
+  test.name = std::move(name);
+
+  lex.expect('{');
+  if (lex.peek() != '}') {
+    test.elements.push_back(parse_element(lex));
+    while (lex.peek() == ';') {
+      lex.take();
+      test.elements.push_back(parse_element(lex));
+    }
+  }
+  lex.expect('}');
+  if (!lex.eof()) lex.fail("trailing characters after '}'");
+
+  test.validate();
+  return test;
+}
+
+}  // namespace lpsram

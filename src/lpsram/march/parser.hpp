@@ -1,0 +1,21 @@
+// Text form of march tests.
+//
+// Grammar (whitespace-insensitive):
+//   test     := '{' element (';' element)* '}'
+//   element  := 'DSM' | 'WUP' | order '(' op (',' op)* ')'
+//   order    := 'up' | '^' | 'down' | 'v' | 'any' | '*'
+//   op       := ('r' | 'w') ('0' | '1')
+//
+// Example: "{ any(w1); DSM; WUP; up(r1,w0,r0); DSM; WUP; up(r0) }"
+#pragma once
+
+#include <string_view>
+
+#include "lpsram/march/notation.hpp"
+
+namespace lpsram {
+
+// Parses the notation; throws ParseError with a position hint on bad input.
+MarchTest parse_march(std::string_view text, std::string name = "");
+
+}  // namespace lpsram

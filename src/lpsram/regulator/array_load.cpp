@@ -1,0 +1,127 @@
+#include "lpsram/regulator/array_load.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lpsram/cell/snm.hpp"
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+constexpr double kGridMax = 1.35;
+// 2.5 mV spacing: fine enough that the piecewise-linear slope changes stay
+// below Newton's damping and never cause limit cycling in the DC solver.
+constexpr int kGridPoints = 541;
+
+// Piecewise-linear interpolation with clamped ends.
+double interp(const std::vector<double>& xs, const std::vector<double>& ys,
+              double x) {
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double f = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + f * (ys[hi] - ys[lo]);
+}
+
+double interp_slope(const std::vector<double>& xs,
+                    const std::vector<double>& ys, double x) {
+  if (x <= xs.front() || x >= xs.back()) return 0.0;
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  return (ys[hi] - ys[lo]) / (xs[hi] - xs[lo]);
+}
+
+}  // namespace
+
+ArrayLoadModel::ArrayLoadModel(const Technology& tech, Corner corner,
+                               const Options& options)
+    : tech_(tech),
+      corner_(corner),
+      options_(options),
+      cell_(tech, CellVariation{}, corner) {
+  if (options_.weak_cells > 0 && !(options_.weak_drv > 0.0))
+    throw InvalidArgument("ArrayLoadModel: weak cells need a positive DRV");
+}
+
+const ArrayLoadModel::Table& ArrayLoadModel::table_for(double temp_c) const {
+  const int key = static_cast<int>(std::lround(temp_c * 4.0));
+  const auto found = tables_.find(key);
+  if (found != tables_.end()) return found->second;
+
+  Table table;
+  table.v.resize(kGridPoints);
+  table.i_leak.resize(kGridPoints);
+  table.i_meta.resize(kGridPoints);
+  for (int k = 0; k < kGridPoints; ++k) {
+    const double v = kGridMax * k / (kGridPoints - 1);
+    table.v[k] = v;
+    if (v < 1e-6) {
+      table.i_leak[k] = 0.0;
+      table.i_meta[k] = 0.0;
+      continue;
+    }
+    // Hold-state leakage: solve the equilibrium the cell actually sits in.
+    const HoldState state =
+        hold_equilibrium(cell_, StoredBit::One, v, temp_c);
+    table.i_leak[k] =
+        std::max(0.0, cell_.supply_current(state.v_s, state.v_sb, v, temp_c));
+    // Crossover current: both inverters at the metastable midpoint.
+    table.i_meta[k] = std::max(
+        table.i_leak[k],
+        cell_.supply_current(0.5 * v, 0.5 * v, v, temp_c));
+  }
+  return tables_.emplace(key, std::move(table)).first->second;
+}
+
+double ArrayLoadModel::cell_leakage(double v, double temp_c) const {
+  const Table& t = table_for(temp_c);
+  return interp(t.v, t.i_leak, v);
+}
+
+double ArrayLoadModel::cell_crossover(double v, double temp_c) const {
+  const Table& t = table_for(temp_c);
+  return interp(t.v, t.i_meta, v);
+}
+
+double ArrayLoadModel::current(double v, double temp_c) const {
+  const Table& t = table_for(temp_c);
+  double i = static_cast<double>(options_.total_cells) * interp(t.v, t.i_leak, v);
+  if (options_.weak_cells > 0) {
+    // Fraction of weak cells riding the metastable region: ramps up as the
+    // supply falls into [drv, drv + flip_band].
+    const double x = (options_.weak_drv + options_.flip_band - v) /
+                     options_.flip_band;
+    const double frac = std::clamp(x, 0.0, 1.0);
+    const double extra = interp(t.v, t.i_meta, v) - interp(t.v, t.i_leak, v);
+    i += static_cast<double>(options_.weak_cells) * frac * std::max(0.0, extra);
+  }
+  return i;
+}
+
+double ArrayLoadModel::conductance(double v, double temp_c) const {
+  const Table& t = table_for(temp_c);
+  double g =
+      static_cast<double>(options_.total_cells) * interp_slope(t.v, t.i_leak, v);
+  if (options_.weak_cells > 0) {
+    // Conservative: ignore the (negative) slope of the flip ramp so Newton
+    // keeps a positive load conductance.
+    g += 0.0;
+  }
+  return std::max(g, 0.0);
+}
+
+CurrentLoadFn ArrayLoadModel::load_function() const {
+  // The netlist keeps the load by value; capture a copy of `this` state via
+  // shared ownership of a heap clone so the function outlives the model.
+  auto model = std::make_shared<ArrayLoadModel>(*this);
+  return [model](double v, double temp_c) {
+    return std::make_pair(model->current(v, temp_c),
+                          model->conductance(v, temp_c));
+  };
+}
+
+}  // namespace lpsram

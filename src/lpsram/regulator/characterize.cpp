@@ -1,0 +1,141 @@
+#include "lpsram/regulator/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "lpsram/util/units.hpp"
+
+namespace lpsram {
+namespace {
+
+// Transient window used to judge gate-line (delay/undershoot) defects. The
+// regulator settles well within this at every PVT point; the remaining DS
+// time is extrapolated from the final value.
+constexpr double kDsEntryWindow = 30e-6;
+
+}  // namespace
+
+std::string ds_condition_name(const DsCondition& condition) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s, %.1fV, %.0fC",
+                corner_name(condition.corner).c_str(), condition.vdd,
+                condition.temp_c);
+  return buf;
+}
+
+RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
+                                     VrefLevel vref) {
+  RegulationMetrics metrics;
+  VoltageRegulator reg(tech, corner);
+  reg.select_vref(vref);
+  reg.set_regon(true);
+  reg.set_power_switch(false);
+
+  for (const double vdd : tech.vdd_levels()) {
+    reg.set_vdd(vdd);
+    reg.set_regon(true);
+    reg.set_power_switch(false);
+    const double error = std::fabs(reg.vreg_dc(25.0) - reg.expected_vreg());
+    metrics.line_error = std::max(metrics.line_error, error);
+  }
+
+  reg.set_vdd(tech.vdd_nominal());
+  reg.set_regon(true);
+  reg.set_power_switch(false);
+  const double v0 = reg.vreg_dc(25.0);
+  constexpr double kLoadStep = 100e-6;
+  reg.set_test_load(kLoadStep);
+  const double v1 = reg.vreg_dc(25.0);
+  reg.set_test_load(0.0);
+  metrics.load_regulation = (v0 - v1) / kLoadStep;
+
+  const double v25 = reg.vreg_dc(25.0);
+  for (const double temp : tech.temperatures()) {
+    metrics.temp_drift =
+        std::max(metrics.temp_drift, std::fabs(reg.vreg_dc(temp) - v25));
+  }
+  return metrics;
+}
+
+RegulatorCharacterizer::RegulatorCharacterizer(
+    const Technology& tech, const ArrayLoadModel::Options& load_options,
+    const FlipTimeModel& flip)
+    : tech_(tech), load_options_(load_options), flip_(flip) {}
+
+VoltageRegulator& RegulatorCharacterizer::regulator_for(Corner corner) const {
+  auto found = regulators_.find(corner);
+  if (found == regulators_.end()) {
+    found = regulators_
+                .emplace(corner, std::make_unique<VoltageRegulator>(
+                                     tech_, corner, load_options_))
+                .first;
+  }
+  return *found->second;
+}
+
+double RegulatorCharacterizer::vreg(const DsCondition& condition, DefectId id,
+                                    double ohms) const {
+  VoltageRegulator& reg = regulator_for(condition.corner);
+  reg.clear_all_defects();
+  if (id != 0) reg.inject_defect(id, ohms);
+  reg.set_vdd(condition.vdd);
+  reg.select_vref(condition.vref);
+  reg.set_regon(true);
+  reg.set_power_switch(false);
+  return reg.vreg_dc(condition.temp_c);
+}
+
+double RegulatorCharacterizer::vreg_healthy(const DsCondition& condition) const {
+  return vreg(condition, 0, VoltageRegulator::healthy_resistance());
+}
+
+double RegulatorCharacterizer::static_power(const DsCondition& condition,
+                                            DefectId id, double ohms) const {
+  VoltageRegulator& reg = regulator_for(condition.corner);
+  reg.clear_all_defects();
+  if (id != 0) reg.inject_defect(id, ohms);
+  reg.set_vdd(condition.vdd);
+  reg.select_vref(condition.vref);
+  reg.set_regon(true);
+  reg.set_power_switch(false);
+  return reg.static_power_dc(condition.temp_c);
+}
+
+double RegulatorCharacterizer::retention_deficit(const DsCondition& condition,
+                                                 DefectId id, double ohms,
+                                                 double drv) const {
+  VoltageRegulator& reg = regulator_for(condition.corner);
+  reg.clear_all_defects();
+  if (id != 0) reg.inject_defect(id, ohms);
+  reg.set_vdd(condition.vdd);
+  reg.select_vref(condition.vref);
+
+  if (id != 0 && is_gate_site(id)) {
+    // Delay/undershoot mechanisms: simulate the actual DS entry.
+    TransientOptions topts;
+    topts.dt_max = kDsEntryWindow / 100.0;
+    Waveform wave =
+        reg.simulate_ds_entry(kDsEntryWindow, condition.temp_c, &topts);
+    const double transient_deficit = wave.deficit_integral(0, drv);
+    const double v_end = wave.values[0].back();
+    const double remaining =
+        std::max(0.0, condition.ds_time - kDsEntryWindow) *
+        std::max(0.0, drv - v_end);
+    return transient_deficit + remaining;
+  }
+
+  reg.set_regon(true);
+  reg.set_power_switch(false);
+  const double v = reg.vreg_dc(condition.temp_c);
+  return condition.ds_time * std::max(0.0, drv - v);
+}
+
+bool RegulatorCharacterizer::causes_drf(const DsCondition& condition,
+                                        DefectId id, double ohms,
+                                        double drv) const {
+  return retention_deficit(condition, id, ohms, drv) >=
+         flip_.flip_threshold(condition.temp_c);
+}
+
+}  // namespace lpsram

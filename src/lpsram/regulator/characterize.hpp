@@ -1,0 +1,89 @@
+// Regulator-level characterization queries: steady-state Vreg, static power
+// and the "does this defect cause a retention fault" predicate that the
+// Table II engine (testflow/defect_characterization) bisects over.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "lpsram/cell/flip_time.hpp"
+#include "lpsram/regulator/regulator.hpp"
+
+namespace lpsram {
+
+// One deep-sleep test condition (what a Table II cell or a Table III test
+// iteration fixes).
+struct DsCondition {
+  Corner corner = Corner::Typical;
+  double vdd = 1.1;
+  VrefLevel vref = VrefLevel::V070;
+  double temp_c = 25.0;
+  double ds_time = 1e-3;  // time spent in deep-sleep [s]
+
+  // Ideal regulated voltage for this condition.
+  double expected_vreg() const noexcept { return vdd * vref_fraction(vref); }
+};
+
+std::string ds_condition_name(const DsCondition& condition);
+
+// Classic analog acceptance metrics of the (healthy) regulator.
+struct RegulationMetrics {
+  // Worst deviation of Vreg from the ideal fraction*VDD across the supply
+  // range [V].
+  double line_error = 0.0;
+  // Output droop per ampere of extra DC load [V/A] (small-signal, measured
+  // with a 100 uA step).
+  double load_regulation = 0.0;
+  // Vreg drift across the temperature range, relative to 25 C [V].
+  double temp_drift = 0.0;
+};
+
+// Measures the metrics at one corner / reference setting.
+RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
+                                     VrefLevel vref);
+
+class RegulatorCharacterizer {
+ public:
+  // `load_options` describes the array hanging on VDD_CC (including the weak
+  // cells of the active case study); `flip` is the retention flip model.
+  RegulatorCharacterizer(const Technology& tech,
+                         const ArrayLoadModel::Options& load_options,
+                         const FlipTimeModel& flip = FlipTimeModel{});
+
+  // Steady-state DS-mode Vreg with one defect injected (id may be 0 for the
+  // defect-free circuit).
+  double vreg(const DsCondition& condition, DefectId id, double ohms) const;
+
+  // Defect-free steady-state Vreg.
+  double vreg_healthy(const DsCondition& condition) const;
+
+  // Static power in DS mode with the defect injected [W].
+  double static_power(const DsCondition& condition, DefectId id,
+                      double ohms) const;
+
+  // True if the defect at this resistance makes cells of the given DRV lose
+  // their data during the DS window. Gate-line defects are judged on the
+  // DS-entry transient (delay/undershoot mechanisms); all others on the DC
+  // operating point held for ds_time.
+  bool causes_drf(const DsCondition& condition, DefectId id, double ohms,
+                  double drv) const;
+
+  // Retention deficit integral [V*s] accumulated over the DS window for the
+  // given DRV (diagnostic / used by causes_drf).
+  double retention_deficit(const DsCondition& condition, DefectId id,
+                           double ohms, double drv) const;
+
+  const FlipTimeModel& flip_model() const noexcept { return flip_; }
+
+ private:
+  VoltageRegulator& regulator_for(Corner corner) const;
+
+  Technology tech_;
+  ArrayLoadModel::Options load_options_;
+  FlipTimeModel flip_;
+  // One regulator instance per corner, built lazily and reconfigured per
+  // query (warm-started DC solves make sweeps cheap).
+  mutable std::map<Corner, std::unique_ptr<VoltageRegulator>> regulators_;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,95 @@
+#include "lpsram/regulator/defects.hpp"
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+const std::array<DefectSite, kDefectCount>& defect_sites() {
+  using K = DefectSiteKind;
+  static const std::array<DefectSite, kDefectCount> kSites = {{
+      {1, "Df1", K::DividerSegment,
+       "VDD to R1: reduces all reference taps and Vbias52"},
+      {2, "Df2", K::DividerSegment,
+       "Vref78 tap to R2: raises Vref78, reduces Vref74/70/64 and Vbias52"},
+      {3, "Df3", K::DividerSegment,
+       "Vref74 tap to R3: raises Vref78/74, reduces Vref70/64 and Vbias52"},
+      {4, "Df4", K::DividerSegment,
+       "Vref70 tap to R4: raises Vref78/74/70, reduces Vref64 and Vbias52"},
+      {5, "Df5", K::DividerSegment,
+       "Vref64 tap to R5: raises all reference taps, reduces Vbias52"},
+      {6, "Df6", K::DividerSegment,
+       "Vbias52 tap to R6: raises all taps including Vbias52"},
+      {7, "Df7", K::CurrentPath,
+       "MNreg1 drain to differential-pair tail: reduces amplifier bias"},
+      {8, "Df8", K::GateLine,
+       "Vbias to MNreg1 gate: delays regulator activation (RC)"},
+      {9, "Df9", K::CurrentPath,
+       "MNreg1 source to ground: reduces amplifier bias"},
+      {10, "Df10", K::CurrentPath,
+       "amplifier output to MNreg3 drain: starves the output pull-down, "
+       "raising the MPreg1 gate level"},
+      {11, "Df11", K::GateLine,
+       "Vreg sense line to MNreg2 gate: the feedback input lags the falling "
+       "Vreg at DS entry (undershoot, RC)"},
+      {12, "Df12", K::CurrentPath,
+       "MNreg3 source to tail: weakens the output pull-down branch "
+       "(similar to Df10)"},
+      {13, "Df13", K::CurrentPath,
+       "MNreg2 source to tail: weakens the feedback-side branch"},
+      {14, "Df14", K::GateLine, "mirror gate line to MPreg4 gate (no current)"},
+      {15, "Df15", K::CurrentPath,
+       "VDD_amp to MPreg4 source: weakens the output pull-up branch"},
+      {16, "Df16", K::CurrentPath,
+       "VDD_amp to MPreg1 source: voltage drop across the output stage"},
+      {17, "Df17", K::GateLine,
+       "amplifier output to MPreg1 gate (no current)"},
+      {18, "Df18", K::GateLine, "REGON_b line to MPreg2 gate (no current)"},
+      {19, "Df19", K::CurrentPath,
+       "MPreg1 drain to Vreg node: voltage drop across the output stage"},
+      {20, "Df20", K::CurrentPath, "VDD to MPreg2 source (deactivation path)"},
+      {21, "Df21", K::GateLine, "mirror gate line to MPreg3 gate (no current)"},
+      {22, "Df22", K::CurrentPath,
+       "MPreg2 drain to amplifier output (deactivation path)"},
+      {23, "Df23", K::CurrentPath,
+       "MPreg3 drain to mirror diode node: lowers mirror gate level"},
+      {24, "Df24", K::GateLine, "Vref to MNreg3 gate (no current)"},
+      {25, "Df25", K::GateLine,
+       "MNreg2 drain to mirror gate line (no current)"},
+      {26, "Df26", K::CurrentPath,
+       "mirror diode node to MNreg2 drain: lowers mirror gate level "
+       "(similar to Df23)"},
+      {27, "Df27", K::CurrentPath,
+       "MPreg4 drain to amplifier output: starves the output pull-up"},
+      {28, "Df28", K::CurrentPath,
+       "VDD_amp to MPreg3 source: perturbs the mirror reference branch"},
+      {29, "Df29", K::SupplyLine,
+       "VDD to VDD_amp: starves the amplifier and the output stage"},
+      {30, "Df30", K::GateLine,
+       "selected reference tap to Vref selector output (no current)"},
+      {31, "Df31", K::DividerSegment,
+       "R6 to ground: raises all taps including Vbias52"},
+      {32, "Df32", K::VddCcLine,
+       "Vreg node to VDD_CC line: drop driven by core-cell array leakage"},
+  }};
+  return kSites;
+}
+
+const DefectSite& defect_site(DefectId id) {
+  if (id < 1 || id > kDefectCount)
+    throw InvalidArgument("defect_site: id must be in 1..32");
+  return defect_sites()[static_cast<std::size_t>(id - 1)];
+}
+
+std::string defect_name(DefectId id) { return defect_site(id).netlist_name; }
+
+bool is_gate_site(DefectId id) {
+  return defect_site(id).kind == DefectSiteKind::GateLine;
+}
+
+const std::array<DefectId, 17>& table2_defects() {
+  static const std::array<DefectId, 17> kIds = {
+      1, 2, 3, 4, 5, 7, 8, 9, 10, 11, 12, 16, 19, 23, 26, 29, 32};
+  return kIds;
+}
+
+}  // namespace lpsram

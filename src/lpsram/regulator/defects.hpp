@@ -1,0 +1,59 @@
+// The 32 resistive-open defect sites of the voltage regulator (paper Fig. 5).
+//
+// The paper injects one resistive open at a time: in series with each segment
+// of the polysilicon voltage divider (Df1..Df6 + divider ground return), with
+// every terminal of the seven transistors of the error amplifier / output
+// stage, and with the supply and VDD_CC distribution lines. Site ids follow
+// the paper's numbering wherever Table II pins the behaviour down
+// (Df1..Df5 divider, Df7/Df9 bias path, Df8 MNreg1 gate, Df10/Df12 amplifier
+// output branches, Df11 MNreg2 gate, Df16/Df19 output-stage source/drain,
+// Df23/Df26 mirror diode branches, Df29 supply line, Df32 VDD_CC line, and
+// the six no-DC-current gate sites Df14/Df17/Df18/Df21/Df24/Df25).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace lpsram {
+
+// Defect identifier: 1..32, matching the paper's Df1..Df32.
+using DefectId = int;
+
+inline constexpr int kDefectCount = 32;
+
+// What kind of line the defect interrupts — decides which analysis the
+// characterization engine must run (DC for current-carrying paths, transient
+// for gate lines whose only effect is delay/undershoot).
+enum class DefectSiteKind {
+  DividerSegment,   // in series with the reference voltage divider
+  CurrentPath,      // in series with a DC-current-carrying branch
+  GateLine,         // in series with a MOS gate (no DC current)
+  SupplyLine,       // in series with VDD distribution
+  VddCcLine,        // in series with the regulated VDD_CC output line
+};
+
+struct DefectSite {
+  DefectId id = 0;
+  const char* netlist_name = "";  // resistor name inside the regulator netlist
+  DefectSiteKind kind = DefectSiteKind::CurrentPath;
+  const char* description = "";
+};
+
+// Full site table, index 0 <-> Df1.
+const std::array<DefectSite, kDefectCount>& defect_sites();
+
+// Lookup by id (throws InvalidArgument for ids outside 1..32).
+const DefectSite& defect_site(DefectId id);
+
+// Short display name "Df7".
+std::string defect_name(DefectId id);
+
+// True if the site carries no DC current (pure gate line): its static effect
+// is negligible and only transient analysis can reveal an impact.
+bool is_gate_site(DefectId id);
+
+// The defects the paper's Table II characterizes as able to cause data
+// retention faults (categories 2 and 3 of Section IV.B).
+const std::array<DefectId, 17>& table2_defects();
+
+}  // namespace lpsram

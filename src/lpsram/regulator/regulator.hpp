@@ -1,0 +1,133 @@
+// Electrical model of the embedded voltage regulator (paper Fig. 2 / Fig. 5)
+// plus its load: the core-cell array hanging on VDD_CC.
+//
+// Structure reproduced from the paper:
+//  * voltage source: polysilicon divider R1..R6 producing taps at
+//    0.78/0.74/0.70/0.64 * VDD (Vref candidates) and 0.52 * VDD (Vbias);
+//  * Vref/Vbias selector driven by VrefSel<1:0> and REGON: when the regulator
+//    is on, Vref = selected tap and Vbias = Vbias52; when off, Vref = VDD and
+//    Vbias = 0 V;
+//  * error amplifier: PMOS current mirror MPreg3/MPreg4 over NMOS
+//    differential pair MNreg2 (gate = Vref) / MNreg3 (gate = Vreg feedback),
+//    biased by tail transistor MNreg1 (gate = Vbias);
+//  * output stage MPreg1 driving Vreg, with pull-up MPreg2 that parks the
+//    MPreg1 gate at VDD when the regulator is off;
+//  * all 32 resistive-open defect sites of defects.hpp, instantiated as
+//    series resistors (1 ohm when healthy).
+//
+// A power-switch shunt from VDD to VDD_CC stands in for the PS network so the
+// deep-sleep *entry* transient (PS off + REGON on at t=0) can be simulated
+// end-to-end, including the Df8 delayed-activation droop.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "lpsram/regulator/array_load.hpp"
+#include "lpsram/regulator/defects.hpp"
+#include "lpsram/spice/transient.hpp"
+
+namespace lpsram {
+
+// The four selectable reference levels (paper Section II.B).
+enum class VrefLevel { V078, V074, V070, V064 };
+
+inline constexpr std::array<VrefLevel, 4> kAllVrefLevels = {
+    VrefLevel::V078, VrefLevel::V074, VrefLevel::V070, VrefLevel::V064};
+
+// Fraction of VDD the level denotes (0.78, 0.74, 0.70, 0.64).
+double vref_fraction(VrefLevel level) noexcept;
+// Display name, e.g. "0.74*VDD".
+std::string vref_name(VrefLevel level);
+
+class VoltageRegulator {
+ public:
+  VoltageRegulator(const Technology& tech, Corner corner,
+                   const ArrayLoadModel::Options& load_options = {});
+
+  // --- configuration ------------------------------------------------------
+  void set_vdd(double vdd);
+  double vdd() const noexcept { return vdd_; }
+  void select_vref(VrefLevel level);
+  VrefLevel vref_level() const noexcept { return vref_level_; }
+  // REGON: true = regulator active (deep-sleep), false = off.
+  void set_regon(bool on);
+  bool regon() const noexcept { return regon_; }
+  // Power-switch network between VDD and VDD_CC (on in ACT mode).
+  void set_power_switch(bool on);
+  bool power_switch() const noexcept { return ps_on_; }
+
+  // --- defect injection ----------------------------------------------------
+  void inject_defect(DefectId id, double ohms);
+  void clear_defect(DefectId id);
+  void clear_all_defects();
+  // Currently injected defect resistance (healthy short value if none).
+  double defect_resistance(DefectId id) const;
+
+  // --- analyses ------------------------------------------------------------
+  // DC operating point in the current configuration. Warm-started across
+  // calls, which makes resistance sweeps cheap.
+  DcResult solve_dc(double temp_c) const;
+  // Regulated output voltage (VDD_CC) at DC.
+  double vreg_dc(double temp_c) const;
+  // Current drawn from the main VDD rail at DC [A].
+  double supply_current_dc(double temp_c) const;
+  // Static power consumption at DC [W].
+  double static_power_dc(double temp_c) const;
+
+  // Deep-sleep entry transient: starts from the ACT operating point
+  // (PS on, REGON off), then at t=0 opens the power switch and asserts
+  // REGON. Returns the VDD_CC waveform (probe 0) and the MPreg1 gate
+  // waveform (probe 1). Leaves the regulator configured in DS mode.
+  Waveform simulate_ds_entry(double duration, double temp_c,
+                             const TransientOptions* options = nullptr);
+
+  // Expected (defect-free, ideal) Vreg for a configuration.
+  double expected_vreg() const noexcept { return vdd_ * vref_fraction(vref_level_); }
+
+  Netlist& netlist() noexcept { return netlist_; }
+  const Netlist& netlist() const noexcept { return netlist_; }
+  NodeId vddcc_node() const noexcept { return n_vddcc_; }
+  NodeId gate_node() const noexcept { return n_mpreg1_gate_; }
+
+  // Extra DC test load drawn from VDD_CC (load-regulation measurements) [A].
+  void set_test_load(double amps);
+  double test_load() const noexcept;
+
+  // Healthy (non-injected) series resistance of a defect site [ohm].
+  static constexpr double healthy_resistance() noexcept { return 1.0; }
+
+ private:
+  void build(const Technology& tech, Corner corner,
+             const ArrayLoadModel::Options& load_options);
+  void apply_mode();
+
+  Netlist netlist_;
+  double vdd_ = 1.1;
+  VrefLevel vref_level_ = VrefLevel::V070;
+  bool regon_ = true;
+  bool ps_on_ = false;
+
+  // Element handles.
+  ElementId e_vdd_src_ = -1;
+  ElementId e_regonb_src_ = -1;
+  ElementId e_ps_ = -1;
+  // Test-load magnitude, shared with the netlist's saturating load element.
+  std::shared_ptr<double> test_load_amps_;
+  std::array<ElementId, 4> e_sel_sw_{};  // tap switches, index = VrefLevel
+  ElementId e_sel_vdd_sw_ = -1;          // Vref-to-VDD switch (REGON = 0)
+  ElementId e_bias_on_sw_ = -1;          // Vbias-to-tap switch (REGON = 1)
+  ElementId e_bias_gnd_sw_ = -1;         // Vbias-to-ground switch (REGON = 0)
+  std::array<ElementId, kDefectCount> e_defect_{};
+
+  NodeId n_vddcc_ = kGround;
+  NodeId n_mpreg1_gate_ = kGround;
+
+  mutable std::vector<double> warm_start_;
+
+  static constexpr double kSwitchOn = 2e3;    // selector on-resistance [ohm]
+  static constexpr double kSwitchOff = 1e12;  // selector off-resistance [ohm]
+};
+
+}  // namespace lpsram

@@ -1,0 +1,170 @@
+#include "lpsram/spice/dc_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+DcSolver::DcSolver(const Netlist& netlist, double temp_c, DcOptions options)
+    : netlist_(netlist), assembler_(netlist, temp_c), options_(options) {}
+
+bool DcSolver::newton(std::vector<double>& x, double gmin,
+                      int* iterations_out) const {
+  Matrix jacobian(assembler_.dimension(), assembler_.dimension());
+  std::vector<double> residual;
+
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    assembler_.assemble(x, jacobian, residual, gmin);
+
+    // Solve J * dx = -F.
+    std::vector<double> rhs(residual.size());
+    for (std::size_t i = 0; i < residual.size(); ++i) rhs[i] = -residual[i];
+    std::vector<double> dx;
+    try {
+      dx = solve_linear_system(jacobian, rhs);
+    } catch (const ConvergenceError&) {
+      return false;  // singular system at this point; let caller escalate
+    }
+
+    // Damped update: limit voltage steps to keep the exponential device
+    // models inside their sane range.
+    double max_dv = 0.0;
+    const std::size_t n_nodes = netlist_.node_count() - 1;
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      max_dv = std::max(max_dv, std::fabs(dx[i]));
+    const double scale =
+        max_dv > options_.step_limit ? options_.step_limit / max_dv : 1.0;
+    for (std::size_t i = 0; i < dx.size(); ++i) x[i] += scale * dx[i];
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      x[i] = std::clamp(x[i], options_.v_min, options_.v_max);
+
+    if (iterations_out) *iterations_out = it + 1;
+
+    // Converged when the full (unscaled) Newton step is tiny — at that point
+    // the residual is quadratically small as well.
+    if (max_dv < options_.v_tolerance) return true;
+  }
+  return false;
+}
+
+DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
+  std::vector<double> x(assembler_.dimension(), 0.0);
+  if (initial_guess) {
+    if (initial_guess->size() != x.size())
+      throw InvalidArgument("DcSolver: initial guess size mismatch");
+    x = *initial_guess;
+  }
+
+  DcResult result;
+
+  // Strategy 1: plain Newton from the given guess.
+  int iters = 0;
+  if (newton(x, options_.gmin, &iters)) {
+    result.converged = true;
+    result.iterations = iters;
+    result.x = std::move(x);
+    result.node_v = assembler_.node_voltages(result.x);
+    return result;
+  }
+
+  // Strategy 2: gmin stepping — start heavily damped toward ground and relax.
+  if (options_.allow_gmin_stepping) {
+    std::vector<double> xg(assembler_.dimension(), 0.0);
+    bool ok = true;
+    for (double g = 1e-3; g >= options_.gmin; g *= 0.1) {
+      if (!newton(xg, g, &iters)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && newton(xg, options_.gmin, &iters)) {
+      result.converged = true;
+      result.iterations = iters;
+      result.x = std::move(xg);
+      result.node_v = assembler_.node_voltages(result.x);
+      return result;
+    }
+  }
+
+  // Strategy 3: source stepping — ramp all sources from zero.
+  if (options_.allow_source_stepping) {
+    std::vector<std::pair<ElementId, double>> vsources;
+    std::vector<std::pair<ElementId, double>> isources;
+    for (std::size_t ei = 0; ei < netlist_.element_count(); ++ei) {
+      const Element& el = netlist_.element(static_cast<ElementId>(ei));
+      if (const auto* v = std::get_if<VSource>(&el.body))
+        vsources.push_back({static_cast<ElementId>(ei), v->volts});
+      else if (const auto* i = std::get_if<ISource>(&el.body))
+        isources.push_back({static_cast<ElementId>(ei), i->amps});
+    }
+    // We need mutability: const_cast is confined here and values are restored
+    // before returning (the netlist is observably unchanged).
+    Netlist& mutable_netlist = const_cast<Netlist&>(netlist_);
+    std::vector<double> xs(assembler_.dimension(), 0.0);
+    bool ok = true;
+    for (double scale : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      for (const auto& [id, volts] : vsources)
+        mutable_netlist.set_source_voltage(id, volts * scale);
+      for (const auto& [id, amps] : isources)
+        mutable_netlist.set_source_current(id, amps * scale);
+      if (!newton(xs, options_.gmin, &iters)) {
+        ok = false;
+        break;
+      }
+    }
+    // Restore original source values.
+    for (const auto& [id, volts] : vsources)
+      mutable_netlist.set_source_voltage(id, volts);
+    for (const auto& [id, amps] : isources)
+      mutable_netlist.set_source_current(id, amps);
+
+    if (ok) {
+      result.converged = true;
+      result.iterations = iters;
+      result.x = std::move(xs);
+      result.node_v = assembler_.node_voltages(result.x);
+      return result;
+    }
+  }
+
+  // Strategy 4: heavily damped Newton — slow but settles limit cycles caused
+  // by sharp nonlinearities (e.g. a regulator driven deep into collapse).
+  {
+    DcOptions damped = options_;
+    damped.step_limit = 0.02;
+    damped.max_iterations = 2000;
+    DcSolver damped_solver(netlist_, assembler_.temperature(), damped);
+    std::vector<double> xd(assembler_.dimension(), 0.0);
+    if (initial_guess) xd = *initial_guess;
+    int iters = 0;
+    if (damped_solver.newton(xd, options_.gmin, &iters)) {
+      result.converged = true;
+      result.iterations = iters;
+      result.x = std::move(xd);
+      result.node_v = assembler_.node_voltages(result.x);
+      return result;
+    }
+  }
+
+  throw ConvergenceError(
+      "DcSolver: failed to find a DC operating point (plain Newton, gmin "
+      "stepping, source stepping and damped Newton all diverged)");
+}
+
+double DcSolver::voltage(const DcResult& result, NodeId node) const {
+  return assembler_.node_voltage(result.x, node);
+}
+
+double DcSolver::source_current(const DcResult& result, ElementId vsrc) const {
+  return assembler_.vsource_current(result.x, vsrc);
+}
+
+DcResult solve_dc(const Netlist& netlist, double temp_c,
+                  const DcOptions& options,
+                  const std::vector<double>* initial_guess) {
+  return DcSolver(netlist, temp_c, options).solve(initial_guess);
+}
+
+}  // namespace lpsram

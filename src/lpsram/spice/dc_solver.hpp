@@ -1,0 +1,66 @@
+// Newton-Raphson DC operating-point solver with gmin stepping and source
+// stepping fallbacks — the workhorse behind every Vreg / DRV / leakage number
+// in the reproduction.
+#pragma once
+
+#include <vector>
+
+#include "lpsram/spice/elements.hpp"
+#include "lpsram/spice/netlist.hpp"
+
+namespace lpsram {
+
+struct DcOptions {
+  int max_iterations = 150;
+  double v_tolerance = 1e-9;       // convergence: max |delta V| [V]
+  double residual_tolerance = 1e-12;  // convergence: max |KCL residual| [A]
+  double gmin = 1e-12;             // permanent floor conductance [S]
+  double step_limit = 0.4;         // max Newton voltage step per iteration [V]
+  // Node-voltage limiting (classic SPICE robustness): solutions are clamped
+  // to this window, preventing runaway excursions when a current source
+  // momentarily sees no conducting path.
+  double v_min = -2.0;
+  double v_max = 4.0;
+  bool allow_gmin_stepping = true;
+  bool allow_source_stepping = true;
+};
+
+struct DcResult {
+  bool converged = false;
+  int iterations = 0;        // Newton iterations of the final (successful) solve
+  std::vector<double> x;     // raw unknown vector (see SystemAssembler layout)
+  std::vector<double> node_v;  // per-node voltages including ground
+};
+
+class DcSolver {
+ public:
+  DcSolver(const Netlist& netlist, double temp_c, DcOptions options = {});
+
+  // Solves for the DC operating point. If `initial_guess` (raw unknown
+  // vector) is given it seeds Newton — warm starts make parameter sweeps
+  // nearly free. Throws ConvergenceError if every strategy fails.
+  DcResult solve(const std::vector<double>* initial_guess = nullptr) const;
+
+  const SystemAssembler& assembler() const noexcept { return assembler_; }
+
+  // Voltage of a node in a result.
+  double voltage(const DcResult& result, NodeId node) const;
+  // Current through a voltage source in a result (positive = current flows
+  // into the positive terminal from the external circuit).
+  double source_current(const DcResult& result, ElementId vsrc) const;
+
+ private:
+  // One Newton solve at fixed gmin and source scale; returns converged flag.
+  bool newton(std::vector<double>& x, double gmin, int* iterations_out) const;
+
+  const Netlist& netlist_;
+  SystemAssembler assembler_;
+  DcOptions options_;
+};
+
+// Convenience one-shot solve.
+DcResult solve_dc(const Netlist& netlist, double temp_c,
+                  const DcOptions& options = {},
+                  const std::vector<double>* initial_guess = nullptr);
+
+}  // namespace lpsram

@@ -1,0 +1,149 @@
+#include "lpsram/spice/elements.hpp"
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+SystemAssembler::SystemAssembler(const Netlist& netlist, double temp_c)
+    : netlist_(netlist),
+      temp_c_(temp_c),
+      n_nodes_(netlist.node_count() - 1),
+      dim_(n_nodes_ + netlist.vsource_count()) {}
+
+double SystemAssembler::node_voltage(const std::vector<double>& x,
+                                     NodeId node) const {
+  const int u = unknown_of_node(node);
+  return u < 0 ? 0.0 : x[static_cast<std::size_t>(u)];
+}
+
+double SystemAssembler::vsource_current(const std::vector<double>& x,
+                                        ElementId vsrc) const {
+  const int branch = netlist_.vsource_branch(vsrc);
+  return x[n_nodes_ + static_cast<std::size_t>(branch)];
+}
+
+std::vector<double> SystemAssembler::node_voltages(
+    const std::vector<double>& x) const {
+  std::vector<double> v(netlist_.node_count(), 0.0);
+  for (std::size_t i = 0; i < n_nodes_; ++i) v[i + 1] = x[i];
+  return v;
+}
+
+void SystemAssembler::assemble(const std::vector<double>& x, Matrix& jacobian,
+                               std::vector<double>& residual, double gmin,
+                               const std::vector<double>* x_prev,
+                               double dt) const {
+  if (x.size() != dim_)
+    throw InvalidArgument("SystemAssembler: solution vector size mismatch");
+  if (jacobian.rows() != dim_ || jacobian.cols() != dim_)
+    jacobian = Matrix(dim_, dim_);
+  else
+    jacobian.set_zero();
+  residual.assign(dim_, 0.0);
+
+  // Adds `value` to residual row of node (skipping ground).
+  auto res_node = [&](NodeId node, double value) {
+    const int u = unknown_of_node(node);
+    if (u >= 0) residual[static_cast<std::size_t>(u)] += value;
+  };
+  // Adds `value` to Jacobian entry (row = KCL of node r, col = unknown of
+  // node c), skipping ground rows/cols.
+  auto jac_node = [&](NodeId r, NodeId c, double value) {
+    const int ur = unknown_of_node(r);
+    const int uc = unknown_of_node(c);
+    if (ur >= 0 && uc >= 0)
+      jacobian(static_cast<std::size_t>(ur), static_cast<std::size_t>(uc)) +=
+          value;
+  };
+  auto v_of = [&](NodeId node) { return node_voltage(x, node); };
+
+  for (std::size_t ei = 0; ei < netlist_.element_count(); ++ei) {
+    const Element& el = netlist_.element(static_cast<ElementId>(ei));
+
+    if (const auto* r = std::get_if<Resistor>(&el.body)) {
+      const double g = 1.0 / r->ohms;
+      const double i = g * (v_of(r->a) - v_of(r->b));
+      res_node(r->a, i);
+      res_node(r->b, -i);
+      jac_node(r->a, r->a, g);
+      jac_node(r->a, r->b, -g);
+      jac_node(r->b, r->a, -g);
+      jac_node(r->b, r->b, g);
+
+    } else if (const auto* c = std::get_if<Capacitor>(&el.body)) {
+      if (dt > 0.0 && c->farads > 0.0) {
+        if (!x_prev)
+          throw InvalidArgument("SystemAssembler: transient needs x_prev");
+        // Backward Euler companion: i = C/dt * (v_ab - v_ab_prev).
+        const double g = c->farads / dt;
+        const double vab = v_of(c->a) - v_of(c->b);
+        const double vab_prev = [&] {
+          const int ua = unknown_of_node(c->a);
+          const int ub = unknown_of_node(c->b);
+          const double va = ua < 0 ? 0.0 : (*x_prev)[static_cast<std::size_t>(ua)];
+          const double vb = ub < 0 ? 0.0 : (*x_prev)[static_cast<std::size_t>(ub)];
+          return va - vb;
+        }();
+        const double i = g * (vab - vab_prev);
+        res_node(c->a, i);
+        res_node(c->b, -i);
+        jac_node(c->a, c->a, g);
+        jac_node(c->a, c->b, -g);
+        jac_node(c->b, c->a, -g);
+        jac_node(c->b, c->b, g);
+      }
+      // DC: capacitor is an open circuit; nothing to stamp.
+
+    } else if (const auto* v = std::get_if<VSource>(&el.body)) {
+      const std::size_t branch_row =
+          n_nodes_ + static_cast<std::size_t>(
+                         netlist_.vsource_branch(static_cast<ElementId>(ei)));
+      const double i_branch = x[branch_row];
+      // Branch current leaves the positive node into the source.
+      res_node(v->pos, i_branch);
+      res_node(v->neg, -i_branch);
+      const int up = unknown_of_node(v->pos);
+      const int un = unknown_of_node(v->neg);
+      if (up >= 0) {
+        jacobian(static_cast<std::size_t>(up), branch_row) += 1.0;
+        jacobian(branch_row, static_cast<std::size_t>(up)) += 1.0;
+      }
+      if (un >= 0) {
+        jacobian(static_cast<std::size_t>(un), branch_row) -= 1.0;
+        jacobian(branch_row, static_cast<std::size_t>(un)) -= 1.0;
+      }
+      residual[branch_row] += v_of(v->pos) - v_of(v->neg) - v->volts;
+
+    } else if (const auto* isrc = std::get_if<ISource>(&el.body)) {
+      res_node(isrc->from, isrc->amps);
+      res_node(isrc->to, -isrc->amps);
+
+    } else if (const auto* m = std::get_if<MosElement>(&el.body)) {
+      const MosEval e =
+          m->device.eval(v_of(m->g), v_of(m->d), v_of(m->s), temp_c_);
+      res_node(m->d, e.id);
+      res_node(m->s, -e.id);
+      jac_node(m->d, m->g, e.gm);
+      jac_node(m->d, m->d, e.gds);
+      jac_node(m->d, m->s, e.gms);
+      jac_node(m->s, m->g, -e.gm);
+      jac_node(m->s, m->d, -e.gds);
+      jac_node(m->s, m->s, -e.gms);
+
+    } else if (const auto* load = std::get_if<CurrentLoad>(&el.body)) {
+      const auto [i, didv] = load->iv(v_of(load->node), temp_c_);
+      res_node(load->node, i);
+      jac_node(load->node, load->node, didv);
+    }
+  }
+
+  // gmin from every non-ground node to ground.
+  if (gmin > 0.0) {
+    for (std::size_t u = 0; u < n_nodes_; ++u) {
+      residual[u] += gmin * x[u];
+      jacobian(u, u) += gmin;
+    }
+  }
+}
+
+}  // namespace lpsram

@@ -1,0 +1,65 @@
+// MNA system assembly: turns a Netlist plus a candidate solution vector into
+// a Jacobian matrix and KCL residual vector. Shared by the DC and transient
+// solvers.
+//
+// Unknown vector layout: [ v(1) .. v(N-1) | i(vsrc 0) .. i(vsrc M-1) ]
+// where node 0 (ground) is eliminated. Residual rows follow the same layout:
+// KCL (current leaving each node) for node rows, and v(pos)-v(neg)-V for
+// voltage-source branch rows.
+#pragma once
+
+#include <vector>
+
+#include "lpsram/spice/netlist.hpp"
+#include "lpsram/util/matrix.hpp"
+
+namespace lpsram {
+
+class SystemAssembler {
+ public:
+  // The assembler keeps a reference to the netlist; element *values* are read
+  // live at each assemble() call, so stimulus code may mutate the netlist
+  // between calls. Topology (nodes/elements) must not change afterwards.
+  SystemAssembler(const Netlist& netlist, double temp_c);
+
+  // Total unknown count: (node_count - 1) + vsource_count.
+  std::size_t dimension() const noexcept { return dim_; }
+
+  double temperature() const noexcept { return temp_c_; }
+  void set_temperature(double temp_c) noexcept { temp_c_ = temp_c; }
+
+  // Assembles Jacobian and residual at solution estimate `x`.
+  //  * `gmin`: conductance added from every node to ground (convergence aid
+  //    and floating-node regularizer).
+  //  * If `dt > 0`, capacitors are stamped with the backward-Euler companion
+  //    model using the previous-step solution `x_prev` (must be non-null);
+  //    if `dt <= 0`, capacitors are open (DC).
+  void assemble(const std::vector<double>& x, Matrix& jacobian,
+                std::vector<double>& residual, double gmin,
+                const std::vector<double>* x_prev = nullptr,
+                double dt = 0.0) const;
+
+  // Node voltage from a solution vector (ground reads as 0).
+  double node_voltage(const std::vector<double>& x, NodeId node) const;
+
+  // Branch current through a voltage source, flowing from its `pos` terminal
+  // through the source to `neg` (positive when the source delivers current
+  // out of its positive terminal into the circuit ... i.e. standard MNA sign:
+  // current entering the positive node from the source is -i_branch).
+  double vsource_current(const std::vector<double>& x, ElementId vsrc) const;
+
+  // Expands the solution vector to per-node voltages including ground.
+  std::vector<double> node_voltages(const std::vector<double>& x) const;
+
+ private:
+  int unknown_of_node(NodeId node) const noexcept {
+    return node == kGround ? -1 : node - 1;
+  }
+
+  const Netlist& netlist_;
+  double temp_c_;
+  std::size_t n_nodes_;  // excluding ground
+  std::size_t dim_;
+};
+
+}  // namespace lpsram

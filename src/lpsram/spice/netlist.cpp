@@ -1,0 +1,170 @@
+#include "lpsram/spice/netlist.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+Netlist::Netlist() { node_names_.push_back("0"); }
+
+NodeId Netlist::add_node(const std::string& name) {
+  if (has_node(name))
+    throw InvalidArgument("Netlist: duplicate node name '" + name + "'");
+  node_names_.push_back(name);
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+NodeId Netlist::node(const std::string& name) const {
+  const auto it = std::find(node_names_.begin(), node_names_.end(), name);
+  if (it == node_names_.end())
+    throw InvalidArgument("Netlist: unknown node '" + name + "'");
+  return static_cast<NodeId>(it - node_names_.begin());
+}
+
+bool Netlist::has_node(const std::string& name) const noexcept {
+  return std::find(node_names_.begin(), node_names_.end(), name) !=
+         node_names_.end();
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  check_node(id);
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+void Netlist::check_node(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= node_names_.size())
+    throw InvalidArgument("Netlist: node id out of range");
+}
+
+ElementId Netlist::add_resistor(const std::string& name, NodeId a, NodeId b,
+                                double ohms) {
+  check_node(a);
+  check_node(b);
+  if (!(ohms > 0.0)) throw InvalidArgument("Netlist: resistance must be > 0");
+  elements_.push_back({name, Resistor{a, b, ohms}});
+  vsource_branches_.push_back(-1);
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+ElementId Netlist::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                                 double farads) {
+  check_node(a);
+  check_node(b);
+  if (!(farads >= 0.0))
+    throw InvalidArgument("Netlist: capacitance must be >= 0");
+  elements_.push_back({name, Capacitor{a, b, farads}});
+  vsource_branches_.push_back(-1);
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+ElementId Netlist::add_vsource(const std::string& name, NodeId pos, NodeId neg,
+                               double volts) {
+  check_node(pos);
+  check_node(neg);
+  elements_.push_back({name, VSource{pos, neg, volts}});
+  vsource_branches_.push_back(static_cast<int>(vsource_count_++));
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+ElementId Netlist::add_isource(const std::string& name, NodeId from, NodeId to,
+                               double amps) {
+  check_node(from);
+  check_node(to);
+  elements_.push_back({name, ISource{from, to, amps}});
+  vsource_branches_.push_back(-1);
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+ElementId Netlist::add_mosfet(const std::string& name,
+                              const MosfetParams& params, NodeId g, NodeId d,
+                              NodeId s) {
+  check_node(g);
+  check_node(d);
+  check_node(s);
+  MosfetParams named = params;
+  if (named.name.empty()) named.name = name;
+  elements_.push_back({name, MosElement{Mosfet{named}, g, d, s}});
+  vsource_branches_.push_back(-1);
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+ElementId Netlist::add_current_load(const std::string& name, NodeId node,
+                                    CurrentLoadFn iv) {
+  check_node(node);
+  if (!iv) throw InvalidArgument("Netlist: null current-load function");
+  elements_.push_back({name, CurrentLoad{node, std::move(iv)}});
+  vsource_branches_.push_back(-1);
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+const Element& Netlist::element(ElementId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= elements_.size())
+    throw InvalidArgument("Netlist: element id out of range");
+  return elements_[static_cast<std::size_t>(id)];
+}
+
+Element& Netlist::element(ElementId id) {
+  return const_cast<Element&>(std::as_const(*this).element(id));
+}
+
+ElementId Netlist::find(const std::string& name) const {
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].name == name) return static_cast<ElementId>(i);
+  }
+  throw InvalidArgument("Netlist: unknown element '" + name + "'");
+}
+
+bool Netlist::has_element(const std::string& name) const noexcept {
+  for (const Element& e : elements_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+double Netlist::resistance(ElementId id) const {
+  const auto* r = std::get_if<Resistor>(&element(id).body);
+  if (!r) throw InvalidArgument("Netlist: element is not a resistor");
+  return r->ohms;
+}
+
+void Netlist::set_resistance(ElementId id, double ohms) {
+  auto* r = std::get_if<Resistor>(&element(id).body);
+  if (!r) throw InvalidArgument("Netlist: element is not a resistor");
+  if (!(ohms > 0.0)) throw InvalidArgument("Netlist: resistance must be > 0");
+  r->ohms = ohms;
+}
+
+double Netlist::source_voltage(ElementId id) const {
+  const auto* v = std::get_if<VSource>(&element(id).body);
+  if (!v) throw InvalidArgument("Netlist: element is not a voltage source");
+  return v->volts;
+}
+
+void Netlist::set_source_voltage(ElementId id, double volts) {
+  auto* v = std::get_if<VSource>(&element(id).body);
+  if (!v) throw InvalidArgument("Netlist: element is not a voltage source");
+  v->volts = volts;
+}
+
+void Netlist::set_source_current(ElementId id, double amps) {
+  auto* i = std::get_if<ISource>(&element(id).body);
+  if (!i) throw InvalidArgument("Netlist: element is not a current source");
+  i->amps = amps;
+}
+
+MosfetParams& Netlist::mosfet_params(ElementId id) {
+  auto* m = std::get_if<MosElement>(&element(id).body);
+  if (!m) throw InvalidArgument("Netlist: element is not a MOSFET");
+  return m->device.params();
+}
+
+int Netlist::vsource_branch(ElementId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= vsource_branches_.size() ||
+      vsource_branches_[static_cast<std::size_t>(id)] < 0)
+    throw InvalidArgument("Netlist: element is not a voltage source");
+  return vsource_branches_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace lpsram

@@ -1,0 +1,96 @@
+#include "lpsram/sram/array.hpp"
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+constexpr int kColumnMux = 8;  // words per physical row
+
+// SplitMix64: tiny deterministic PRNG for power-on garbage.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+MemoryArray::MemoryArray(std::size_t words, int bits_per_word)
+    : words_(words), bits_(bits_per_word), data_(words, 0) {
+  if (words == 0) throw InvalidArgument("MemoryArray: zero words");
+  if (bits_per_word < 1 || bits_per_word > 64)
+    throw InvalidArgument("MemoryArray: bits per word must be 1..64");
+  word_mask_ = bits_ == 64 ? ~0ull : ((1ull << bits_) - 1);
+}
+
+void MemoryArray::check(std::size_t address, int bit) const {
+  if (address >= words_)
+    throw InvalidArgument("MemoryArray: address out of range");
+  if (bit < 0 || bit >= bits_)
+    throw InvalidArgument("MemoryArray: bit out of range");
+}
+
+std::uint64_t MemoryArray::read_word(std::size_t address) const {
+  check(address, 0);
+  return data_[address];
+}
+
+void MemoryArray::write_word(std::size_t address, std::uint64_t value) {
+  check(address, 0);
+  data_[address] = value & word_mask_;
+}
+
+bool MemoryArray::read_bit(std::size_t address, int bit) const {
+  check(address, bit);
+  return (data_[address] >> bit) & 1u;
+}
+
+void MemoryArray::write_bit(std::size_t address, int bit, bool value) {
+  check(address, bit);
+  if (value)
+    data_[address] |= (1ull << bit);
+  else
+    data_[address] &= ~(1ull << bit);
+}
+
+void MemoryArray::fill(std::uint64_t background) {
+  for (auto& w : data_) w = background & word_mask_;
+}
+
+void MemoryArray::randomize(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& w : data_) w = splitmix64(state) & word_mask_;
+}
+
+std::size_t MemoryArray::cell_index(std::size_t address, int bit) const {
+  check(address, bit);
+  return address * static_cast<std::size_t>(bits_) +
+         static_cast<std::size_t>(bit);
+}
+
+CellCoordinate MemoryArray::coordinate(std::size_t address, int bit) const {
+  check(address, bit);
+  CellCoordinate c;
+  c.row = static_cast<int>(address / kColumnMux);
+  c.col = bit * kColumnMux + static_cast<int>(address % kColumnMux);
+  return c;
+}
+
+void MemoryArray::from_coordinate(const CellCoordinate& c,
+                                  std::size_t& address, int& bit) const {
+  address = static_cast<std::size_t>(c.row) * kColumnMux +
+            static_cast<std::size_t>(c.col % kColumnMux);
+  bit = c.col / kColumnMux;
+  check(address, bit);
+}
+
+int MemoryArray::rows() const noexcept {
+  return static_cast<int>((words_ + kColumnMux - 1) / kColumnMux);
+}
+
+int MemoryArray::cols() const noexcept { return bits_ * kColumnMux; }
+
+}  // namespace lpsram

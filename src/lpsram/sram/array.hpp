@@ -1,0 +1,64 @@
+// Word-oriented storage array with the physical geometry of the reference
+// block: 4K words x 64 bits = 256K cells arranged as 512 bit lines x 512
+// word lines with 8:1 column multiplexing (8 words per physical row).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lpsram/cell/drv.hpp"
+
+namespace lpsram {
+
+// Physical position of a cell in the array.
+struct CellCoordinate {
+  int row = 0;  // word line index
+  int col = 0;  // bit line index
+};
+
+class MemoryArray {
+ public:
+  MemoryArray(std::size_t words, int bits_per_word);
+
+  std::size_t words() const noexcept { return words_; }
+  int bits_per_word() const noexcept { return bits_; }
+  std::size_t cell_count() const noexcept { return words_ * static_cast<std::size_t>(bits_); }
+
+  // Word access. Addresses are checked; out of range throws InvalidArgument.
+  std::uint64_t read_word(std::size_t address) const;
+  void write_word(std::size_t address, std::uint64_t value);
+
+  // Bit access.
+  bool read_bit(std::size_t address, int bit) const;
+  void write_bit(std::size_t address, int bit, bool value);
+
+  // Fills the whole array with a data background.
+  void fill(std::uint64_t background);
+
+  // Invalidates all contents to a pseudo-random but deterministic pattern —
+  // what a power-off/power-on cycle leaves behind.
+  void randomize(std::uint64_t seed);
+
+  // Linear cell index (used as the key for weak-cell bookkeeping).
+  std::size_t cell_index(std::size_t address, int bit) const;
+
+  // Physical mapping with 8:1 column muxing: word w bit b sits on
+  // row = w / 8, column = b * 8 + (w % 8).
+  CellCoordinate coordinate(std::size_t address, int bit) const;
+  // Inverse mapping.
+  void from_coordinate(const CellCoordinate& c, std::size_t& address,
+                       int& bit) const;
+
+  int rows() const noexcept;  // number of word lines
+  int cols() const noexcept;  // number of bit lines
+
+ private:
+  void check(std::size_t address, int bit) const;
+
+  std::size_t words_;
+  int bits_;
+  std::vector<std::uint64_t> data_;
+  std::uint64_t word_mask_;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,55 @@
+#include "lpsram/sram/energy.hpp"
+
+#include <limits>
+
+namespace lpsram {
+
+double EnergyBreakdown::break_even() const noexcept {
+  const double power_saved = act_power - ds_power;
+  if (power_saved <= 0.0) return std::numeric_limits<double>::infinity();
+  return (entry_energy + exit_energy) / power_saved;
+}
+
+DsEnergyModel::DsEnergyModel(const Technology& tech, Corner corner,
+                             std::size_t cells)
+    : tech_(tech), corner_(corner), cells_(cells), power_(tech, corner, cells) {}
+
+EnergyBreakdown DsEnergyModel::analyze(double vdd, VrefLevel vref,
+                                       double temp_c) const {
+  EnergyBreakdown breakdown;
+
+  // Scale the reference block's rail capacitance with the array size.
+  const double rail_cap = tech_.vddcc_capacitance() *
+                          static_cast<double>(cells_) / (256.0 * 1024.0);
+
+  // Regulated DS level and consumption from the real regulator solve.
+  ArrayLoadModel::Options load;
+  load.total_cells = cells_;
+  VoltageRegulator regulator(tech_, corner_, load);
+  regulator.set_vdd(vdd);
+  regulator.select_vref(vref);
+  regulator.set_regon(true);
+  regulator.set_power_switch(false);
+  const double vreg = regulator.vreg_dc(temp_c);
+  breakdown.ds_power = regulator.static_power_dc(temp_c);
+
+  breakdown.act_power = power_.active_idle_power(vdd, temp_c);
+
+  // Entry: VDD_CC drops from VDD to Vreg. The charge C*(VDD - Vreg) is
+  // burnt in the array (it discharges through leakage, no recovery), and
+  // the peripheral rail's full charge is lost.
+  const double delta_v = vdd - vreg;
+  const double peripheral_cap = rail_cap * 0.5;  // peripheral rail share
+  breakdown.entry_energy =
+      rail_cap * delta_v * vdd + peripheral_cap * vdd * vdd;
+
+  // Exit: the power switches re-charge VDD_CC to VDD and the peripheral
+  // rail from 0; charging a capacitor through a switch dissipates the same
+  // energy again in the switch.
+  breakdown.exit_energy =
+      rail_cap * delta_v * vdd + peripheral_cap * vdd * vdd;
+
+  return breakdown;
+}
+
+}  // namespace lpsram

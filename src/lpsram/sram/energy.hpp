@@ -1,0 +1,54 @@
+// Deep-sleep energy accounting: when is entering DS worth it?
+//
+// Switching into deep-sleep is not free — the VDD_CC rail swings between
+// VDD and Vreg (charging/discharging the array capacitance), the regulator
+// burns its bias while asleep, and waking up re-charges the gated rails.
+// Below a break-even idle duration, staying in ACT costs less energy than
+// the round trip. This model derives that break-even from the same physics
+// the rest of the library uses: the static power model, the regulator's DC
+// consumption, and the switch network's wake-up transient.
+#pragma once
+
+#include "lpsram/regulator/regulator.hpp"
+#include "lpsram/sram/static_power.hpp"
+
+namespace lpsram {
+
+struct EnergyBreakdown {
+  double entry_energy = 0.0;   // rail swing VDD -> Vreg + control [J]
+  double exit_energy = 0.0;    // rail swing Vreg -> VDD (wake-up) [J]
+  double ds_power = 0.0;       // static power while asleep [W]
+  double act_power = 0.0;      // static power while idling awake [W]
+
+  // Energy of an idle period of `duration` spent in DS (with the round
+  // trip) vs spent idling in ACT.
+  double ds_energy(double duration) const noexcept {
+    return entry_energy + exit_energy + ds_power * duration;
+  }
+  double act_energy(double duration) const noexcept {
+    return act_power * duration;
+  }
+  // Idle duration above which deep-sleep wins; +inf if DS never pays off.
+  double break_even() const noexcept;
+  // Energy saved by sleeping through an idle period [J] (negative = loss).
+  double savings(double duration) const noexcept {
+    return act_energy(duration) - ds_energy(duration);
+  }
+};
+
+class DsEnergyModel {
+ public:
+  DsEnergyModel(const Technology& tech, Corner corner,
+                std::size_t cells = 256 * 1024);
+
+  // Full breakdown at an operating condition. `vref` selects the DS target.
+  EnergyBreakdown analyze(double vdd, VrefLevel vref, double temp_c) const;
+
+ private:
+  Technology tech_;
+  Corner corner_;
+  std::size_t cells_;
+  StaticPowerModel power_;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,37 @@
+#include "lpsram/sram/power_modes.hpp"
+
+namespace lpsram {
+
+std::string power_mode_name(PowerMode mode) {
+  switch (mode) {
+    case PowerMode::Active: return "ACT";
+    case PowerMode::DeepSleep: return "DS";
+    case PowerMode::PowerOff: return "PO";
+  }
+  return "?";
+}
+
+PowerMode PowerModeControl::set_inputs(bool sleep, bool pwron) {
+  sleep_ = sleep;
+  pwron_ = pwron;
+  return mode();
+}
+
+PowerMode PowerModeControl::mode() const noexcept {
+  if (!pwron_) return PowerMode::PowerOff;
+  return sleep_ ? PowerMode::DeepSleep : PowerMode::Active;
+}
+
+PmControlOutputs PowerModeControl::outputs() const noexcept {
+  switch (mode()) {
+    case PowerMode::Active:
+      return {true, true, false};
+    case PowerMode::DeepSleep:
+      return {false, false, true};
+    case PowerMode::PowerOff:
+      return {false, false, false};
+  }
+  return {};
+}
+
+}  // namespace lpsram

@@ -1,0 +1,55 @@
+// Power-mode control logic (paper Section II.A).
+//
+// Three modes driven by the primary inputs SLEEP and PWRON:
+//   ACT  (PWRON=1, SLEEP=0): all power switches on, regulator off, memory
+//        operations allowed;
+//   DS   (PWRON=1, SLEEP=1): power switches off, regulator on — VDD_CC is
+//        regulated to Vreg, peripheral supply collapses, no operations;
+//   PO   (PWRON=0):          everything off, data lost.
+//
+// The PM control block itself stays on the always-on VDD rail so it can move
+// between modes.
+#pragma once
+
+#include <string>
+
+namespace lpsram {
+
+enum class PowerMode { Active, DeepSleep, PowerOff };
+
+std::string power_mode_name(PowerMode mode);
+
+// Control outputs the PM logic drives.
+struct PmControlOutputs {
+  bool ps_core_on = true;        // power switches of the core-cell array
+  bool ps_peripheral_on = true;  // power switches of the peripheral circuitry
+  bool regon = false;            // voltage regulator enable
+};
+
+class PowerModeControl {
+ public:
+  // Primary inputs; returns the resulting mode.
+  PowerMode set_inputs(bool sleep, bool pwron);
+
+  bool sleep() const noexcept { return sleep_; }
+  bool pwron() const noexcept { return pwron_; }
+
+  PowerMode mode() const noexcept;
+  PmControlOutputs outputs() const noexcept;
+
+  // Legal-transition helpers (the paper's test sequences only ever move
+  // ACT <-> DS and ACT <-> PO).
+  bool operations_allowed() const noexcept {
+    return mode() == PowerMode::Active;
+  }
+  // Data is retained in ACT and DS (if Vreg holds), never in PO.
+  bool retention_possible() const noexcept {
+    return mode() != PowerMode::PowerOff;
+  }
+
+ private:
+  bool sleep_ = false;
+  bool pwron_ = true;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,51 @@
+#include "lpsram/sram/power_switch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+PowerSwitchNetwork::PowerSwitchNetwork(const Technology& tech, Corner corner,
+                                       int segments)
+    : segment_fet_(Technology::apply_corner(tech.power_switch_pmos(), corner)),
+      segments_(segments),
+      enabled_(segments) {
+  if (segments < 1)
+    throw InvalidArgument("PowerSwitchNetwork: need at least one segment");
+}
+
+void PowerSwitchNetwork::enable_segments(int count) {
+  enabled_ = std::clamp(count, 0, segments_);
+}
+
+double PowerSwitchNetwork::on_resistance(double vdd, double temp_c) const {
+  if (enabled_ == 0) return std::numeric_limits<double>::infinity();
+  // Small-signal resistance of one on segment near Vds = 0: evaluate the
+  // channel current at a small drop and divide.
+  constexpr double kProbe = 10e-3;
+  const double i =
+      -segment_fet_.ids(/*vg=*/0.0, /*vd=*/vdd - kProbe, /*vs=*/vdd, temp_c);
+  if (!(i > 0.0)) return std::numeric_limits<double>::infinity();
+  return kProbe / i / static_cast<double>(enabled_);
+}
+
+double PowerSwitchNetwork::off_leakage(double vdd, double v_out,
+                                       double temp_c) const {
+  const int off = segments_ - enabled_;
+  if (off <= 0 || v_out >= vdd) return 0.0;
+  // Off segment: gate parked at VDD, source VDD, drain at the gated rail.
+  const double i = -segment_fet_.ids(vdd, v_out, vdd, temp_c);
+  return std::max(0.0, i) * static_cast<double>(off);
+}
+
+double PowerSwitchNetwork::wakeup_time(double vdd, double rail_capacitance,
+                                       double temp_c) const {
+  const double r = on_resistance(vdd, temp_c);
+  if (!std::isfinite(r)) return std::numeric_limits<double>::infinity();
+  return 5.0 * r * rail_capacitance;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,45 @@
+// Power-switch (PS) network model: PMOS headers structured in N segments
+// (paper Section II, referencing the authors' earlier work for details).
+//
+// In ACT mode all segments are on and VDD_CC ~ VDD through the parallel
+// on-resistance; in DS/PO the segments are off and only their subthreshold
+// leakage reaches the gated rail. Segments can be enabled progressively,
+// which real designs use to limit wake-up inrush — the model exposes that
+// so the wake-up phase (WUP in March m-LZ) has an explicit electrical cost.
+#pragma once
+
+#include "lpsram/device/technology.hpp"
+
+namespace lpsram {
+
+class PowerSwitchNetwork {
+ public:
+  PowerSwitchNetwork(const Technology& tech, Corner corner, int segments = 8);
+
+  int segments() const noexcept { return segments_; }
+  int enabled_segments() const noexcept { return enabled_; }
+
+  // Enables/disables segments (clamped to [0, segments]).
+  void enable_segments(int count);
+  void set_all(bool on) { enable_segments(on ? segments_ : 0); }
+  bool any_on() const noexcept { return enabled_ > 0; }
+
+  // Effective on-resistance VDD -> VDD_CC with the currently enabled
+  // segments [ohm]; infinite if none are on.
+  double on_resistance(double vdd, double temp_c) const;
+
+  // Total off-state leakage through disabled segments at the given rail
+  // voltages [A].
+  double off_leakage(double vdd, double v_out, double temp_c) const;
+
+  // Time to charge the gated rail capacitance through the enabled segments
+  // to within ~1% of VDD (5 RC) [s] — the electrical wake-up latency.
+  double wakeup_time(double vdd, double rail_capacitance, double temp_c) const;
+
+ private:
+  Mosfet segment_fet_;
+  int segments_ = 8;
+  int enabled_ = 8;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,93 @@
+#include "lpsram/sram/retention.hpp"
+
+#include <algorithm>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+void WeakCellMap::add(const WeakCell& cell, const MemoryArray& array) {
+  const std::size_t key = array.cell_index(cell.address, cell.bit);
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    cells_[found->second] = cell;  // re-registration updates the DRV
+    return;
+  }
+  index_.emplace(key, cells_.size());
+  cells_.push_back(cell);
+}
+
+std::optional<DrvResult> WeakCellMap::find(std::size_t cell_index) const {
+  const auto found = index_.find(cell_index);
+  if (found == index_.end()) return std::nullopt;
+  return cells_[found->second].drv;
+}
+
+double WeakCellMap::max_drv() const noexcept {
+  double max_drv = 0.0;
+  for (const WeakCell& c : cells_) max_drv = std::max(max_drv, c.drv.drv());
+  return max_drv;
+}
+
+double RetentionEvaluator::episode_deficit(double drv,
+                                           const DsEpisode& episode) const {
+  double deficit = 0.0;
+  double steady_time = episode.duration;
+  if (episode.entry_wave && !episode.entry_wave->time.empty()) {
+    deficit += episode.entry_wave->deficit_integral(0, drv);
+    steady_time =
+        std::max(0.0, episode.duration - episode.entry_wave->time.back());
+  }
+  deficit += steady_time * std::max(0.0, drv - episode.steady_vreg);
+  return deficit;
+}
+
+bool RetentionEvaluator::cell_retains(const DrvResult& drv, StoredBit bit,
+                                      const DsEpisode& episode) const {
+  const double relevant_drv =
+      bit == StoredBit::One ? drv.drv1 : drv.drv0;
+  return episode_deficit(relevant_drv, episode) <
+         flip_.flip_threshold(episode.temp_c);
+}
+
+std::size_t RetentionEvaluator::apply(MemoryArray& array,
+                                      const WeakCellMap& weak,
+                                      const DsEpisode& episode) const {
+  std::size_t flipped = 0;
+
+  // Baseline check: if even symmetric cells lose the episode, the whole
+  // array is scrambled toward the favoured state of each cell; behaviourally
+  // we flip every bit whose DRV component is violated.
+  const bool baseline_loses_one =
+      !cell_retains(baseline_drv_, StoredBit::One, episode);
+  const bool baseline_loses_zero =
+      !cell_retains(baseline_drv_, StoredBit::Zero, episode);
+
+  if (baseline_loses_one || baseline_loses_zero) {
+    for (std::size_t a = 0; a < array.words(); ++a) {
+      for (int b = 0; b < array.bits_per_word(); ++b) {
+        const bool value = array.read_bit(a, b);
+        if (value && baseline_loses_one) {
+          array.write_bit(a, b, false);
+          ++flipped;
+        } else if (!value && baseline_loses_zero) {
+          array.write_bit(a, b, true);
+          ++flipped;
+        }
+      }
+    }
+    return flipped;  // weak cells are necessarily lost too; already flipped
+  }
+
+  for (const WeakCell& cell : weak.cells()) {
+    const bool value = array.read_bit(cell.address, cell.bit);
+    const StoredBit bit = value ? StoredBit::One : StoredBit::Zero;
+    if (!cell_retains(cell.drv, bit, episode)) {
+      array.write_bit(cell.address, cell.bit, !value);
+      ++flipped;
+    }
+  }
+  return flipped;
+}
+
+}  // namespace lpsram

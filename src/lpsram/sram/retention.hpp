@@ -1,0 +1,85 @@
+// Weak-cell bookkeeping and deep-sleep retention evaluation.
+//
+// Every cell of the array shares the baseline (symmetric-cell) DRV; cells
+// registered as "weak" carry their own DRV pair from a variation pattern.
+// At wake-up, each stored bit survives the deep-sleep episode iff the
+// retention deficit of the Vreg history against that cell's DRV for the
+// stored value stays below the flip threshold (see cell/flip_time.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lpsram/cell/drv.hpp"
+#include "lpsram/cell/flip_time.hpp"
+#include "lpsram/sram/array.hpp"
+
+namespace lpsram {
+
+// A weak cell: location plus its DRV pair.
+struct WeakCell {
+  std::size_t address = 0;
+  int bit = 0;
+  DrvResult drv;
+};
+
+class WeakCellMap {
+ public:
+  void add(const WeakCell& cell, const MemoryArray& array);
+  void clear() noexcept { cells_.clear(); }
+  std::size_t size() const noexcept { return cells_.size(); }
+  bool empty() const noexcept { return cells_.empty(); }
+
+  const std::vector<WeakCell>& cells() const noexcept { return cells_; }
+
+  // DRV of a specific cell if it is weak.
+  std::optional<DrvResult> find(std::size_t cell_index) const;
+
+  // The largest DRV_DS over all weak cells (the array's DRV contribution).
+  double max_drv() const noexcept;
+
+ private:
+  std::vector<WeakCell> cells_;
+  std::unordered_map<std::size_t, std::size_t> index_;  // cell index -> slot
+};
+
+// One deep-sleep episode, summarized by the supply the cells actually saw.
+struct DsEpisode {
+  double duration = 0.0;       // [s]
+  double temp_c = 25.0;
+  double steady_vreg = 0.0;    // DC value of Vreg during the episode [V]
+  // Optional entry transient: deficit contributions are evaluated against
+  // this waveform for its time span and against steady_vreg afterwards.
+  const Waveform* entry_wave = nullptr;
+};
+
+// Decides, per stored bit, whether it survived an episode and flips the
+// array contents of the losers.
+class RetentionEvaluator {
+ public:
+  RetentionEvaluator(const FlipTimeModel& flip, DrvResult baseline_drv)
+      : flip_(flip), baseline_drv_(baseline_drv) {}
+
+  const DrvResult& baseline_drv() const noexcept { return baseline_drv_; }
+  void set_baseline_drv(const DrvResult& drv) noexcept { baseline_drv_ = drv; }
+
+  // True if a cell with the given DRV keeps `bit` through the episode.
+  bool cell_retains(const DrvResult& drv, StoredBit bit,
+                    const DsEpisode& episode) const;
+
+  // Applies the episode to the whole array: weak cells are checked
+  // individually, all other cells against the baseline DRV. Returns the
+  // number of cells that flipped.
+  std::size_t apply(MemoryArray& array, const WeakCellMap& weak,
+                    const DsEpisode& episode) const;
+
+ private:
+  double episode_deficit(double drv, const DsEpisode& episode) const;
+
+  FlipTimeModel flip_;
+  DrvResult baseline_drv_;
+};
+
+}  // namespace lpsram

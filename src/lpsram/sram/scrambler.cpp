@@ -1,0 +1,94 @@
+#include "lpsram/sram/scrambler.hpp"
+
+#include <vector>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+int address_bits(std::size_t words) {
+  int bits = 0;
+  while ((std::size_t{1} << bits) < words) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+AddressScrambler::AddressScrambler(std::string name, std::size_t words,
+                                   MapFn forward, MapFn inverse)
+    : name_(std::move(name)),
+      words_(words),
+      forward_(std::move(forward)),
+      inverse_(std::move(inverse)) {
+  if (words_ == 0) throw InvalidArgument("AddressScrambler: zero words");
+}
+
+AddressScrambler AddressScrambler::identity(std::size_t words) {
+  auto id = [](std::size_t a) { return a; };
+  return AddressScrambler("identity", words, id, id);
+}
+
+AddressScrambler AddressScrambler::xor_mask(std::size_t words,
+                                            std::size_t mask) {
+  if (!is_power_of_two(words))
+    throw InvalidArgument("AddressScrambler: XOR needs power-of-two words");
+  if (mask >= words)
+    throw InvalidArgument("AddressScrambler: mask out of range");
+  auto map = [mask](std::size_t a) { return a ^ mask; };  // involution
+  return AddressScrambler("xor" + std::to_string(mask), words, map, map);
+}
+
+AddressScrambler AddressScrambler::bit_reverse(std::size_t words) {
+  if (!is_power_of_two(words))
+    throw InvalidArgument(
+        "AddressScrambler: bit reversal needs power-of-two words");
+  const int bits = address_bits(words);
+  auto map = [bits](std::size_t a) {
+    std::size_t r = 0;
+    for (int b = 0; b < bits; ++b) {
+      if ((a >> b) & 1u) r |= std::size_t{1} << (bits - 1 - b);
+    }
+    return r;
+  };
+  return AddressScrambler("bitrev", words, map, map);  // involution
+}
+
+std::size_t AddressScrambler::to_physical(std::size_t logical) const {
+  if (logical >= words_)
+    throw InvalidArgument("AddressScrambler: logical address out of range");
+  const std::size_t physical = forward_(logical);
+  if (physical >= words_)
+    throw InvalidArgument("AddressScrambler: mapping left the address space");
+  return physical;
+}
+
+std::size_t AddressScrambler::to_logical(std::size_t physical) const {
+  if (physical >= words_)
+    throw InvalidArgument("AddressScrambler: physical address out of range");
+  const std::size_t logical = inverse_(physical);
+  if (logical >= words_)
+    throw InvalidArgument("AddressScrambler: mapping left the address space");
+  return logical;
+}
+
+std::size_t AddressScrambler::physical_neighbour(std::size_t logical) const {
+  const std::size_t physical = to_physical(logical);
+  return to_logical((physical + 1) % words_);
+}
+
+void AddressScrambler::validate() const {
+  std::vector<bool> seen(words_, false);
+  for (std::size_t a = 0; a < words_; ++a) {
+    const std::size_t p = to_physical(a);
+    if (seen[p])
+      throw InvalidArgument("AddressScrambler: mapping is not injective");
+    seen[p] = true;
+    if (to_logical(p) != a)
+      throw InvalidArgument("AddressScrambler: inverse mismatch");
+  }
+}
+
+}  // namespace lpsram

@@ -1,0 +1,59 @@
+// Address scrambling: logical-to-physical mapping of word and bit addresses.
+//
+// Real SRAM layouts scramble addresses (row/column twisting, bit-line
+// interleaving, folding) so that logically adjacent addresses are not
+// physically adjacent. Memory test cares because coupling faults live
+// between *physical* neighbours: a March test marches in logical order, and
+// fault lists / diagnosis must descramble to reason topologically. This
+// module provides the mapping both ways plus physical-neighbour queries used
+// by the coupling-fault generators.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "lpsram/sram/array.hpp"
+
+namespace lpsram {
+
+class AddressScrambler {
+ public:
+  // Bijective word-address mapping logical -> physical and its inverse.
+  using MapFn = std::function<std::size_t(std::size_t address)>;
+
+  // Identity mapping (logical order == physical order).
+  static AddressScrambler identity(std::size_t words);
+
+  // XOR scrambling: physical = logical XOR mask (mask < words, power-of-two
+  // word counts). Models row-address twisting.
+  static AddressScrambler xor_mask(std::size_t words, std::size_t mask);
+
+  // Bit-reversal of the address within its width: models folded decoders
+  // where consecutive logical addresses land in different array halves.
+  static AddressScrambler bit_reverse(std::size_t words);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t words() const noexcept { return words_; }
+
+  std::size_t to_physical(std::size_t logical) const;
+  std::size_t to_logical(std::size_t physical) const;
+
+  // The logical address whose cell is the physical right-neighbour (next
+  // physical word address, wrapping) of `logical`.
+  std::size_t physical_neighbour(std::size_t logical) const;
+
+  // Verifies bijectivity over all words; throws InvalidArgument otherwise.
+  void validate() const;
+
+ private:
+  AddressScrambler(std::string name, std::size_t words, MapFn forward,
+                   MapFn inverse);
+
+  std::string name_;
+  std::size_t words_ = 0;
+  MapFn forward_;
+  MapFn inverse_;
+};
+
+}  // namespace lpsram

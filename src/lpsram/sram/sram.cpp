@@ -1,0 +1,263 @@
+#include "lpsram/sram/sram.hpp"
+
+#include "lpsram/cell/snm.hpp"
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+DrvResult resolve_baseline_drv(const SramConfig& config,
+                               const Technology& tech) {
+  if (config.baseline_drv) return *config.baseline_drv;
+  const CoreCell cell(tech, CellVariation{}, config.corner);
+  return drv_ds(cell, config.temp_c);
+}
+
+}  // namespace
+
+std::string power_fault_name(PowerFault fault) {
+  switch (fault) {
+    case PowerFault::None: return "none";
+    case PowerFault::SleepStuckLow: return "SLEEP stuck low";
+    case PowerFault::RegonStuckOff: return "REGON stuck off";
+    case PowerFault::RegonStuckOn: return "REGON stuck on";
+    case PowerFault::CorePsStuckOff: return "core PS stuck off";
+    case PowerFault::PeripheralPsStuckOff: return "peripheral PS stuck off";
+  }
+  return "?";
+}
+
+LowPowerSram::LowPowerSram(const SramConfig& config)
+    : config_(config),
+      tech_(Technology::lp40nm()),
+      array_(config.words, config.bits),
+      switches_(tech_, config.corner),
+      power_model_(tech_, config.corner,
+                   config.words * static_cast<std::size_t>(config.bits)),
+      retention_(FlipTimeModel{config.flip},
+                 resolve_baseline_drv(config, Technology::lp40nm())),
+      flip_model_(config.flip) {}
+
+LowPowerSram::~LowPowerSram() = default;
+
+VoltageRegulator& LowPowerSram::regulator() const {
+  if (!regulator_) {
+    ArrayLoadModel::Options load;
+    load.total_cells = array_.cell_count();
+    load.weak_cells = weak_.size();
+    load.weak_drv = weak_.empty() ? 0.0 : weak_.max_drv();
+    regulator_ =
+        std::make_unique<VoltageRegulator>(tech_, config_.corner, load);
+    if (defect_) regulator_->inject_defect(defect_->first, defect_->second);
+    regulator_->set_vdd(config_.vdd);
+    regulator_->select_vref(config_.vref);
+  }
+  return *regulator_;
+}
+
+std::uint64_t LowPowerSram::read_word(std::size_t address) {
+  if (!pm_control_.operations_allowed())
+    throw Error("LowPowerSram: read in " + power_mode_name(mode()) +
+                " mode (peripheral circuitry is unpowered)");
+  ++operations_;
+  elapsed_ += config_.cycle_time;
+  if (power_fault_ == PowerFault::CorePsStuckOff) {
+    array_.read_word(address);  // bounds check still applies
+    return 0;                   // unpowered array reads discharged
+  }
+  if (power_fault_ == PowerFault::PeripheralPsStuckOff) {
+    array_.read_word(address);
+    const int bits = array_.bits_per_word();
+    return bits == 64 ? ~0ull : ((1ull << bits) - 1);  // floating bus
+  }
+  return array_.read_word(address);
+}
+
+void LowPowerSram::write_word(std::size_t address, std::uint64_t value) {
+  if (!pm_control_.operations_allowed())
+    throw Error("LowPowerSram: write in " + power_mode_name(mode()) +
+                " mode (peripheral circuitry is unpowered)");
+  ++operations_;
+  elapsed_ += config_.cycle_time;
+  if (power_fault_ == PowerFault::CorePsStuckOff ||
+      power_fault_ == PowerFault::PeripheralPsStuckOff) {
+    array_.read_word(address);  // bounds check; the write itself is lost
+    return;
+  }
+  array_.write_word(address, value);
+}
+
+void LowPowerSram::set_power_inputs(bool sleep, bool pwron) {
+  const PowerMode before = mode();
+  const PowerMode after = pm_control_.set_inputs(sleep, pwron);
+  if (before == after) return;
+
+  if (before == PowerMode::DeepSleep) finish_ds_episode();
+  if (after == PowerMode::DeepSleep) ds_dwell_ = 0.0;
+  if (after == PowerMode::PowerOff) {
+    array_.randomize(power_on_seed_++);  // contents decay unpredictably
+  }
+  if (before == PowerMode::PowerOff && after == PowerMode::Active) {
+    array_.randomize(power_on_seed_++);  // power-on garbage
+  }
+  // Mode transitions cost the wake-up/entry latency of the switch network.
+  elapsed_ += switches_.wakeup_time(config_.vdd, tech_.vddcc_capacitance(),
+                                    config_.temp_c);
+}
+
+void LowPowerSram::enter_deep_sleep() { set_power_inputs(true, true); }
+
+void LowPowerSram::advance_time(double seconds) {
+  if (seconds < 0.0) throw InvalidArgument("advance_time: negative duration");
+  elapsed_ += seconds;
+  if (mode() == PowerMode::DeepSleep) ds_dwell_ += seconds;
+}
+
+void LowPowerSram::deep_sleep(double duration) {
+  if (mode() != PowerMode::Active)
+    throw Error("LowPowerSram: DSM requires ACT mode");
+  if (power_fault_ == PowerFault::SleepStuckLow) {
+    // The DSM request never reaches the PM control: the device idles in
+    // ACT for the dwell instead (data trivially retained, no power saved).
+    advance_time(duration);
+    return;
+  }
+  enter_deep_sleep();
+  advance_time(duration);
+}
+
+void LowPowerSram::wake_up() {
+  if (power_fault_ == PowerFault::SleepStuckLow &&
+      mode() == PowerMode::Active) {
+    return;  // never slept; the wake-up request is a no-op
+  }
+  if (mode() != PowerMode::DeepSleep)
+    throw Error("LowPowerSram: WUP requires DS mode");
+  set_power_inputs(false, true);
+}
+
+void LowPowerSram::finish_ds_episode() {
+  DsEpisode episode;
+  episode.duration = ds_dwell_;
+  episode.temp_c = config_.temp_c;
+
+  if (power_fault_ == PowerFault::RegonStuckOff) {
+    // No regulation in DS: VDD_CC collapses to ground through the array.
+    episode.steady_vreg = 0.0;
+    last_flips_ = retention_.apply(array_, weak_, episode);
+    ds_dwell_ = 0.0;
+    return;
+  }
+
+  Waveform entry;
+  VoltageRegulator& reg = regulator();
+  if (defect_ && is_gate_site(defect_->first)) {
+    // Delay/undershoot defects only reveal themselves during the DS entry.
+    constexpr double kWindow = 30e-6;
+    TransientOptions topts;
+    topts.dt_max = kWindow / 100.0;
+    entry = reg.simulate_ds_entry(kWindow, config_.temp_c, &topts);
+    episode.entry_wave = &entry;
+    episode.steady_vreg = entry.values[0].back();
+  } else {
+    reg.set_regon(true);
+    reg.set_power_switch(false);
+    episode.steady_vreg = reg.vreg_dc(config_.temp_c);
+  }
+
+  last_flips_ = retention_.apply(array_, weak_, episode);
+  ds_dwell_ = 0.0;
+}
+
+void LowPowerSram::power_off() { set_power_inputs(false, false); }
+
+void LowPowerSram::power_on() { set_power_inputs(false, true); }
+
+void LowPowerSram::set_vdd(double vdd) {
+  if (!(vdd > 0.0)) throw InvalidArgument("set_vdd: vdd must be positive");
+  config_.vdd = vdd;
+  invalidate_regulator();
+}
+
+void LowPowerSram::select_vref(VrefLevel level) {
+  config_.vref = level;
+  invalidate_regulator();
+}
+
+void LowPowerSram::set_temperature(double temp_c) {
+  config_.temp_c = temp_c;
+  if (!config_.baseline_drv) {
+    const CoreCell cell(tech_, CellVariation{}, config_.corner);
+    retention_.set_baseline_drv(drv_ds(cell, temp_c));
+  }
+}
+
+void LowPowerSram::inject_power_fault(PowerFault fault) {
+  power_fault_ = fault;
+}
+
+void LowPowerSram::inject_regulator_defect(DefectId id, double ohms) {
+  defect_ = std::make_pair(defect_site(id).id, ohms);
+  invalidate_regulator();
+}
+
+void LowPowerSram::clear_regulator_defects() {
+  defect_.reset();
+  invalidate_regulator();
+}
+
+void LowPowerSram::add_weak_cell(std::size_t address, int bit,
+                                 const DrvResult& drv) {
+  weak_.add(WeakCell{address, bit, drv}, array_);
+  invalidate_regulator();  // weak cells change the VDD_CC load (CS5 effect)
+}
+
+void LowPowerSram::add_weak_cell(std::size_t address, int bit,
+                                 const CellVariation& variation) {
+  const PvtDrvResult worst = drv_ds_worst(tech_, variation);
+  add_weak_cell(address, bit, worst.drv);
+}
+
+void LowPowerSram::clear_weak_cells() {
+  weak_.clear();
+  invalidate_regulator();
+}
+
+double LowPowerSram::vreg_ds() const {
+  VoltageRegulator& reg = regulator();
+  reg.set_regon(true);
+  reg.set_power_switch(false);
+  return reg.vreg_dc(config_.temp_c);
+}
+
+double LowPowerSram::static_power() const {
+  switch (mode()) {
+    case PowerMode::Active: {
+      double power =
+          power_model_.active_idle_power(config_.vdd, config_.temp_c);
+      if (power_fault_ == PowerFault::RegonStuckOn) {
+        // The regulator burns its own bias on top of the ACT leakage.
+        VoltageRegulator& reg = regulator();
+        reg.set_regon(true);
+        reg.set_power_switch(true);
+        power += reg.static_power_dc(config_.temp_c) -
+                 power_model_.array_power(config_.vdd, config_.temp_c);
+      }
+      return power;
+    }
+    case PowerMode::DeepSleep: {
+      if (power_fault_ == PowerFault::RegonStuckOff) {
+        return power_model_.power_off_power(config_.vdd, config_.temp_c);
+      }
+      VoltageRegulator& reg = regulator();
+      reg.set_regon(true);
+      reg.set_power_switch(false);
+      return reg.static_power_dc(config_.temp_c);
+    }
+    case PowerMode::PowerOff:
+      return power_model_.power_off_power(config_.vdd, config_.temp_c);
+  }
+  return 0.0;
+}
+
+}  // namespace lpsram

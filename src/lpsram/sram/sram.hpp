@@ -1,0 +1,184 @@
+// The low-power SRAM device model (paper Fig. 1): word-oriented array, power
+// mode control, power switches, embedded voltage regulator and retention
+// physics, behind the operation interface a memory tester drives.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "lpsram/regulator/characterize.hpp"
+#include "lpsram/sram/array.hpp"
+#include "lpsram/sram/power_modes.hpp"
+#include "lpsram/sram/power_switch.hpp"
+#include "lpsram/sram/retention.hpp"
+#include "lpsram/sram/static_power.hpp"
+
+namespace lpsram {
+
+// The operation surface a March test executor drives. Write/read act on
+// whole words against an all-0s/all-1s data background; deep_sleep/wake_up
+// are the DSM/WUP extensions of March m-LZ.
+class MemoryTarget {
+ public:
+  virtual ~MemoryTarget() = default;
+  virtual std::size_t words() const = 0;
+  virtual int bits_per_word() const = 0;
+  virtual std::uint64_t read_word(std::size_t address) = 0;
+  virtual void write_word(std::size_t address, std::uint64_t value) = 0;
+  // Switch ACT -> DS and stay there for `duration` seconds.
+  virtual void deep_sleep(double duration) = 0;
+  // Switch DS -> ACT (the wake-up phase).
+  virtual void wake_up() = 0;
+
+  // Backdoor (verification) access: no timing, no mode legality, no fault
+  // effects. Used by fault injectors and checkers.
+  virtual std::uint64_t peek(std::size_t address) const = 0;
+  virtual void poke(std::size_t address, std::uint64_t value) = 0;
+};
+
+// Power-infrastructure fault modes (the authors' companion work [13] on
+// power-mode control and power-gating malfunction; March LZ's original
+// target). Injected behaviourally into LowPowerSram.
+enum class PowerFault {
+  None,
+  // The SLEEP input is stuck low: DSM requests are ignored, the device
+  // silently stays in ACT. Functionally invisible to March tests (nothing
+  // is lost because nothing sleeps) — it is caught by the power screen,
+  // since deep-sleep never delivers its static power reduction.
+  SleepStuckLow,
+  // REGON stuck off: in DS mode the regulator never engages and VDD_CC
+  // collapses — every cell loses its data; March m-LZ fails on the first
+  // post-wake-up read.
+  RegonStuckOff,
+  // REGON stuck on: the regulator also runs in ACT mode. No functional
+  // failure; the ACT static power rises by the regulator's own consumption.
+  RegonStuckOn,
+  // Core-array power switches stuck off: the array is unpowered even in
+  // ACT; writes are lost and reads return the discharged value (0).
+  CorePsStuckOff,
+  // Peripheral power switches stuck off: I/O circuitry dead; writes are
+  // dropped and reads float to all-ones.
+  PeripheralPsStuckOff,
+};
+
+std::string power_fault_name(PowerFault fault);
+
+struct SramConfig {
+  std::size_t words = 4096;
+  int bits = 64;
+  Corner corner = Corner::Typical;
+  double vdd = 1.1;
+  VrefLevel vref = VrefLevel::V070;
+  double temp_c = 25.0;
+  FlipTimeModel::Params flip{};
+  double cycle_time = 10e-9;  // one read/write operation [s]
+  // Baseline (symmetric-cell) DRV; if unset it is computed from the cell
+  // model at construction.
+  std::optional<DrvResult> baseline_drv;
+};
+
+class LowPowerSram final : public MemoryTarget {
+ public:
+  explicit LowPowerSram(const SramConfig& config);
+  ~LowPowerSram() override;
+
+  // --- MemoryTarget --------------------------------------------------------
+  std::size_t words() const override { return array_.words(); }
+  int bits_per_word() const override { return array_.bits_per_word(); }
+  // Read/write are only legal in ACT mode; anything else throws Error (a
+  // test sequencing bug, since the real device's periphery is unpowered).
+  std::uint64_t read_word(std::size_t address) override;
+  void write_word(std::size_t address, std::uint64_t value) override;
+  void deep_sleep(double duration) override;
+  void wake_up() override;
+  std::uint64_t peek(std::size_t address) const override {
+    return array_.read_word(address);
+  }
+  void poke(std::size_t address, std::uint64_t value) override {
+    array_.write_word(address, value);
+  }
+
+  // --- power-mode interface --------------------------------------------------
+  PowerMode mode() const noexcept { return pm_control_.mode(); }
+  // Primary-input level control (SLEEP / PWRON), as on the real pins.
+  void set_power_inputs(bool sleep, bool pwron);
+  void enter_deep_sleep();            // ACT -> DS
+  void advance_time(double seconds);  // dwell in the current mode
+  void power_off();                   // -> PO (data lost)
+  void power_on();                    // PO -> ACT
+
+  // --- configuration -----------------------------------------------------------
+  const SramConfig& config() const noexcept { return config_; }
+  void set_vdd(double vdd);
+  void select_vref(VrefLevel level);
+  void set_temperature(double temp_c);
+
+  // --- defects and weak cells -----------------------------------------------------
+  // Injects a resistive-open defect into the embedded voltage regulator.
+  void inject_regulator_defect(DefectId id, double ohms);
+  void clear_regulator_defects();
+  std::optional<std::pair<DefectId, double>> regulator_defect() const noexcept {
+    return defect_;
+  }
+
+  // Injects a power-infrastructure fault (see PowerFault).
+  void inject_power_fault(PowerFault fault);
+  PowerFault power_fault() const noexcept { return power_fault_; }
+
+  // Registers a weak cell with an explicit DRV pair.
+  void add_weak_cell(std::size_t address, int bit, const DrvResult& drv);
+  // Registers a weak cell from a variation pattern (DRV computed at the
+  // current corner over the full temperature grid, like Table I does).
+  void add_weak_cell(std::size_t address, int bit,
+                     const CellVariation& variation);
+  void clear_weak_cells();
+  const WeakCellMap& weak_cells() const noexcept { return weak_; }
+
+  // --- observability --------------------------------------------------------------
+  // Steady-state Vreg the array would see in DS right now [V].
+  double vreg_ds() const;
+  // Static power in the current mode [W].
+  double static_power() const;
+  // Number of cells that flipped during the last completed DS episode.
+  std::size_t last_episode_flips() const noexcept { return last_flips_; }
+  // Simulated elapsed time [s] and operation count.
+  double elapsed_time() const noexcept { return elapsed_; }
+  std::uint64_t operation_count() const noexcept { return operations_; }
+
+  // Direct array access for checkers/benches (bypasses mode legality).
+  const MemoryArray& array() const noexcept { return array_; }
+  MemoryArray& array() noexcept { return array_; }
+
+  const Technology& technology() const noexcept { return tech_; }
+  const DrvResult& baseline_drv() const noexcept {
+    return retention_.baseline_drv();
+  }
+
+ private:
+  VoltageRegulator& regulator() const;
+  void invalidate_regulator() noexcept { regulator_.reset(); }
+  void finish_ds_episode();
+
+  SramConfig config_;
+  Technology tech_;
+  MemoryArray array_;
+  WeakCellMap weak_;
+  PowerModeControl pm_control_;
+  PowerSwitchNetwork switches_;
+  StaticPowerModel power_model_;
+  RetentionEvaluator retention_;
+  FlipTimeModel flip_model_;
+
+  std::optional<std::pair<DefectId, double>> defect_;
+  PowerFault power_fault_ = PowerFault::None;
+  mutable std::unique_ptr<VoltageRegulator> regulator_;
+
+  double ds_dwell_ = 0.0;  // accumulated time in the current DS episode
+  std::size_t last_flips_ = 0;
+  double elapsed_ = 0.0;
+  std::uint64_t operations_ = 0;
+  std::uint64_t power_on_seed_ = 0x5EEDB00Cull;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,31 @@
+#include "lpsram/sram/static_power.hpp"
+
+namespace lpsram {
+
+StaticPowerModel::StaticPowerModel(const Technology& tech, Corner corner,
+                                   std::size_t cells,
+                                   double peripheral_fraction)
+    : array_(tech, corner, ArrayLoadModel::Options{cells, 0, 0.0, 0.05}),
+      switches_(tech, corner),
+      peripheral_fraction_(peripheral_fraction) {}
+
+double StaticPowerModel::array_power(double v_array, double temp_c) const {
+  return v_array * array_.current(v_array, temp_c);
+}
+
+double StaticPowerModel::peripheral_power(double vdd, double temp_c) const {
+  return peripheral_fraction_ * array_power(vdd, temp_c);
+}
+
+double StaticPowerModel::active_idle_power(double vdd, double temp_c) const {
+  return array_power(vdd, temp_c) + peripheral_power(vdd, temp_c);
+}
+
+double StaticPowerModel::power_off_power(double vdd, double temp_c) const {
+  PowerSwitchNetwork off = switches_;
+  off.set_all(false);
+  // Gated rails discharged to ~0 V in PO.
+  return vdd * off.off_leakage(vdd, 0.0, temp_c);
+}
+
+}  // namespace lpsram

@@ -1,0 +1,44 @@
+// Static power accounting for the three power modes.
+//
+// ACT-idle power = core-cell array leakage at VDD + peripheral leakage
+// (decoder, I/O, control — modeled as an equivalent fraction of the array's
+// leakage, the dominant term in a 90%-memory SoC block). DS power is read
+// from the regulator's DC solve (it already includes the divider, amplifier
+// and the array load at Vreg); PO power is the off-leakage of the power
+// switches only. This is the scaffolding behind the paper's Section IV.B
+// category-1 observation: even a defect that pins Vreg at VDD still saves
+// over 30% versus ACT idle, because the peripheral stays gated off.
+#pragma once
+
+#include "lpsram/regulator/array_load.hpp"
+#include "lpsram/sram/power_switch.hpp"
+
+namespace lpsram {
+
+class StaticPowerModel {
+ public:
+  StaticPowerModel(const Technology& tech, Corner corner,
+                   std::size_t cells = 256 * 1024,
+                   double peripheral_fraction = 0.6);
+
+  // Core-cell array leakage power with the array held at `v_array` [W].
+  double array_power(double v_array, double temp_c) const;
+
+  // Peripheral circuitry leakage power at VDD [W].
+  double peripheral_power(double vdd, double temp_c) const;
+
+  // ACT mode, no accesses: array + peripheral leakage [W].
+  double active_idle_power(double vdd, double temp_c) const;
+
+  // PO mode: only power-switch off-leakage remains [W].
+  double power_off_power(double vdd, double temp_c) const;
+
+  double peripheral_fraction() const noexcept { return peripheral_fraction_; }
+
+ private:
+  ArrayLoadModel array_;
+  PowerSwitchNetwork switches_;
+  double peripheral_fraction_;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,49 @@
+// Monte-Carlo array-level DRV statistics.
+//
+// The paper derives a deterministic worst case (every transistor at 6 sigma,
+// Table I CS1) and tests against it. Its reference [6] (Wang et al.) frames
+// the same quantity statistically: the minimum standby voltage of an array
+// is the maximum DRV over its cells, an extreme-value statistic that grows
+// with array size. This module samples per-cell variation, evaluates the
+// DRV surrogate, and reports the distribution of the array DRV_DS —
+// quantifying how conservative the 6-sigma corner is for a given capacity
+// and what retention yield a chosen Vreg buys.
+#pragma once
+
+#include <cstdint>
+
+#include "lpsram/stats/drv_surrogate.hpp"
+
+namespace lpsram {
+
+struct ArrayDrvOptions {
+  std::size_t cells = 256 * 1024;
+  int trials = 200;  // Monte-Carlo array instances
+  std::uint64_t seed = 0xA44Au;
+};
+
+struct ArrayDrvDistribution {
+  std::vector<double> samples;  // per-trial array DRV_DS [V], sorted
+
+  double mean = 0.0;
+  double stddev = 0.0;
+  // Gumbel (extreme value type I) parameters from the method of moments:
+  // beta = stddev * sqrt(6)/pi, mu = mean - gamma * beta.
+  double gumbel_mu = 0.0;
+  double gumbel_beta = 0.0;
+
+  // Empirical quantile (p in [0,1]).
+  double percentile(double p) const;
+  // Gumbel-model quantile.
+  double gumbel_quantile(double p) const;
+  // Fraction of arrays whose DRV_DS stays at or below `vreg` — the retention
+  // yield at that regulated voltage.
+  double yield_at(double vreg) const;
+};
+
+// Simulates `trials` arrays of `cells` cells each with i.i.d. N(0,1) sigma
+// variation per transistor, taking the per-array max of the surrogate DRV.
+ArrayDrvDistribution simulate_array_drv(const DrvSurrogate& surrogate,
+                                        const ArrayDrvOptions& options = {});
+
+}  // namespace lpsram

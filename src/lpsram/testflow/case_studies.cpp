@@ -1,0 +1,77 @@
+#include "lpsram/testflow/case_studies.hpp"
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+std::string CaseStudy::name() const {
+  return "CS" + std::to_string(index) + (degrades_one ? "-1" : "-0");
+}
+
+CaseStudy case_study(int index, bool degrades_one) {
+  CaseStudy cs;
+  cs.index = index;
+  cs.degrades_one = true;  // build the -1 pattern first, mirror at the end
+
+  // Patterns from Table I (sigma units, signed-Vth convention).
+  switch (index) {
+    case 1:
+      cs.variation.mpcc1 = -6;
+      cs.variation.mncc1 = -6;
+      cs.variation.mpcc2 = +6;
+      cs.variation.mncc2 = +6;
+      cs.variation.mncc3 = -6;
+      cs.variation.mncc4 = +6;
+      break;
+    case 2:
+      cs.variation.mpcc1 = -3;
+      cs.variation.mncc1 = -3;
+      break;
+    case 3:
+      cs.variation.mpcc2 = +3;
+      cs.variation.mncc2 = +3;
+      break;
+    case 4:
+      cs.variation.mpcc2 = +0.1;
+      cs.variation.mncc2 = +0.1;
+      break;
+    case 5:
+      cs.variation.mpcc1 = -3;
+      cs.variation.mncc1 = -3;
+      cs.cell_count = 64;  // one weak cell per 8 bit lines (out of 256K)
+      break;
+    default:
+      throw InvalidArgument("case_study: index must be 1..5");
+  }
+
+  if (!degrades_one) {
+    cs.degrades_one = false;
+    cs.variation = cs.variation.mirrored();
+  }
+  return cs;
+}
+
+std::vector<CaseStudy> paper_case_studies() {
+  std::vector<CaseStudy> all;
+  for (int i = 1; i <= 5; ++i) {
+    all.push_back(case_study(i, true));
+    all.push_back(case_study(i, false));
+  }
+  return all;
+}
+
+std::vector<CaseStudy> table2_case_studies() {
+  std::vector<CaseStudy> list;
+  for (int i = 1; i <= 5; ++i) list.push_back(case_study(i, true));
+  return list;
+}
+
+CaseStudyDrv characterize_case_study(const Technology& tech,
+                                     const CaseStudy& cs) {
+  CaseStudyDrv row;
+  row.cs = cs;
+  row.worst = drv_ds_worst(tech, cs.variation);
+  return row;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,50 @@
+// The paper's five case studies of Vth variation inside core-cells
+// (Table I). CSx-1 degrades SNM_DS1 (retention of '1'); CSx-0 is the exact
+// mirror pattern degrading SNM_DS0. CS5 applies the CS2 pattern to 64 cells
+// (one per 8 bit lines) to expose the load-interaction effect on the
+// regulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lpsram/cell/drv.hpp"
+
+namespace lpsram {
+
+struct CaseStudy {
+  int index = 1;            // 1..5
+  bool degrades_one = true; // true = CSx-1, false = CSx-0
+  std::size_t cell_count = 1;
+  CellVariation variation;
+
+  std::string name() const;  // "CS1-1"
+  // The stored value whose retention the case study attacks.
+  StoredBit attacked_bit() const noexcept {
+    return degrades_one ? StoredBit::One : StoredBit::Zero;
+  }
+};
+
+// A single case study by index/variant (throws for index outside 1..5).
+CaseStudy case_study(int index, bool degrades_one);
+
+// All ten rows of Table I, in paper order.
+std::vector<CaseStudy> paper_case_studies();
+
+// The five CSx-1 variants (what Table II simulates; the CSx-0 mirrors give
+// identical numbers by symmetry).
+std::vector<CaseStudy> table2_case_studies();
+
+// Characterized case study: the Table I row.
+struct CaseStudyDrv {
+  CaseStudy cs;
+  PvtDrvResult worst;  // max over the PVT grid with argmax conditions
+  double drv_ds() const noexcept { return worst.drv.drv(); }
+};
+
+// Computes the DRV row for one case study over the full corner/temperature
+// grid (supply scaling is what the DRV search itself does).
+CaseStudyDrv characterize_case_study(const Technology& tech,
+                                     const CaseStudy& cs);
+
+}  // namespace lpsram

@@ -1,0 +1,123 @@
+#include "lpsram/testflow/defect_characterization.hpp"
+
+#include <algorithm>
+
+#include "lpsram/util/error.hpp"
+#include "lpsram/util/rootfind.hpp"
+
+namespace lpsram {
+
+VrefLevel vref_for_vdd(double vdd, double worst_drv) {
+  // Lowest Vref whose expected Vreg still clears the worst-case DRV.
+  VrefLevel best = VrefLevel::V078;
+  double best_vreg = vdd * vref_fraction(best);
+  for (const VrefLevel level : kAllVrefLevels) {
+    const double vreg = vdd * vref_fraction(level);
+    if (vreg >= worst_drv && vreg < best_vreg) {
+      best = level;
+      best_vreg = vreg;
+    }
+  }
+  return best;
+}
+
+DefectCharacterizer::DefectCharacterizer(const Technology& tech,
+                                         DefectCharacterizationOptions options)
+    : tech_(tech), options_(std::move(options)) {
+  if (options_.pvt.empty()) options_.pvt = full_pvt_grid(tech_);
+  worst_drv_ = options_.worst_drv;
+  if (worst_drv_ <= 0.0) {
+    const CaseStudyDrv cs1 = characterize_case_study(tech_, case_study(1, true));
+    worst_drv_ = cs1.drv_ds();
+  }
+}
+
+double DefectCharacterizer::cs_drv(const CaseStudy& cs, Corner corner,
+                                   double temp_c) const {
+  const auto key = std::make_tuple(cs.index, static_cast<int>(corner),
+                                   static_cast<int>(temp_c * 4));
+  const auto found = drv_cache_.find(key);
+  if (found != drv_cache_.end()) return found->second;
+
+  const CoreCell cell(tech_, cs.variation, corner);
+  const double drv = drv_hold(cell, cs.attacked_bit(), temp_c);
+  drv_cache_.emplace(key, drv);
+  return drv;
+}
+
+DefectCsResult DefectCharacterizer::characterize(DefectId id,
+                                                 const CaseStudy& cs) const {
+  // Per-case-study characterizer: the weak cells load the regulator (CS5).
+  auto found = chars_.find(cs.index);
+  if (found == chars_.end()) {
+    ArrayLoadModel::Options load;
+    load.total_cells = 256 * 1024;
+    load.weak_cells = cs.cell_count > 1 ? cs.cell_count : 0;
+    if (load.weak_cells > 0) {
+      // Weak-cell DRV for the load model: typical-corner hot value.
+      load.weak_drv = cs_drv(cs, Corner::Typical, 125.0);
+    }
+    found = chars_
+                .emplace(cs.index, std::make_unique<RegulatorCharacterizer>(
+                                       tech_, load, options_.flip))
+                .first;
+  }
+  const RegulatorCharacterizer& characterizer = *found->second;
+
+  DefectCsResult result;
+  result.id = id;
+  result.cs_name = cs.name();
+  result.min_resistance = options_.r_high * 2.0;
+  result.open_only = true;
+
+  for (const PvtPoint& pvt : options_.pvt) {
+    DsCondition condition;
+    condition.corner = pvt.corner;
+    condition.vdd = pvt.vdd;
+    condition.vref = vref_for_vdd(pvt.vdd, worst_drv_);
+    condition.temp_c = pvt.temp_c;
+    condition.ds_time = options_.ds_time;
+
+    const double drv = cs_drv(cs, pvt.corner, pvt.temp_c);
+
+    auto drf_at = [&](double ohms) {
+      return characterizer.causes_drf(condition, id, ohms, drv);
+    };
+
+    // Early skip: if the current best resistance does not cause a DRF at
+    // this PVT point, its own minimum lies above the best — monotonicity
+    // lets us skip the whole search.
+    if (!result.open_only && !drf_at(result.min_resistance)) continue;
+
+    const double r = monotone_threshold_log(drf_at, options_.r_low,
+                                            options_.r_high,
+                                            options_.rel_tolerance);
+    if (r > options_.r_high) continue;  // undetectable at this PVT
+
+    if (r < result.min_resistance) {
+      result.min_resistance = r;
+      result.open_only = false;
+      result.worst_pvt = pvt;
+      result.vref_at_worst = condition.vref;
+    }
+  }
+
+  if (result.open_only) result.min_resistance = options_.r_high;
+  return result;
+}
+
+std::vector<std::vector<DefectCsResult>> DefectCharacterizer::table(
+    std::span<const DefectId> defects,
+    std::span<const CaseStudy> case_studies) const {
+  std::vector<std::vector<DefectCsResult>> rows;
+  rows.reserve(defects.size());
+  for (const DefectId id : defects) {
+    std::vector<DefectCsResult> row;
+    row.reserve(case_studies.size());
+    for (const CaseStudy& cs : case_studies) row.push_back(characterize(id, cs));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,74 @@
+// Table II engine: for each regulator defect and each case study, find the
+// minimal resistive-open value that causes a data retention fault in DS
+// mode, together with the PVT condition that requires it.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lpsram/regulator/characterize.hpp"
+#include "lpsram/testflow/case_studies.hpp"
+#include "lpsram/testflow/pvt.hpp"
+
+namespace lpsram {
+
+// The paper's regulator setup rule (Section IV.A): pick the Vref level that
+// puts the expected Vreg as close as possible to — but not lower than — the
+// worst-case DRV_DS (so 1.2V -> 0.64*VDD, 1.1V -> 0.70*VDD, 1.0V -> 0.74*VDD
+// for a ~730 mV worst-case DRV).
+VrefLevel vref_for_vdd(double vdd, double worst_drv);
+
+struct DefectCharacterizationOptions {
+  std::vector<PvtPoint> pvt;        // empty = full 45-point grid
+  double r_low = 1.0;               // search range [ohm]
+  double r_high = 500e6;            // paper's "actual open" threshold
+  double rel_tolerance = 1.05;      // bracket ratio of the bisection
+  double ds_time = 1e-3;            // DS dwell per test (Table II setup)
+  double worst_drv = 0.0;           // 0 = computed from CS1 internally
+  FlipTimeModel flip{};
+};
+
+// One Table II cell: defect x case study.
+struct DefectCsResult {
+  DefectId id = 0;
+  std::string cs_name;
+  double min_resistance = 0.0;  // smallest R causing a DRF
+  bool open_only = false;       // true = "> 500M" (no finite R below the cap)
+  PvtPoint worst_pvt;           // the PVT needing the minimal resistance
+  VrefLevel vref_at_worst = VrefLevel::V070;
+};
+
+class DefectCharacterizer {
+ public:
+  DefectCharacterizer(const Technology& tech,
+                      DefectCharacterizationOptions options = {});
+
+  // Min resistance for one defect under one case study (the -1 variant is
+  // simulated; mirrors are symmetric).
+  DefectCsResult characterize(DefectId id, const CaseStudy& cs) const;
+
+  // Full Table II: rows = defects, columns = case studies.
+  std::vector<std::vector<DefectCsResult>> table(
+      std::span<const DefectId> defects,
+      std::span<const CaseStudy> case_studies) const;
+
+  const DefectCharacterizationOptions& options() const noexcept {
+    return options_;
+  }
+  double worst_drv() const noexcept { return worst_drv_; }
+
+ private:
+  // DRV of the case-study cell at a given corner/temperature (cached).
+  double cs_drv(const CaseStudy& cs, Corner corner, double temp_c) const;
+
+  Technology tech_;
+  DefectCharacterizationOptions options_;
+  double worst_drv_ = 0.0;
+  // Cache: characterizers keyed by case-study index (load model differs),
+  // and per-CS DRV values keyed by (corner, temp).
+  mutable std::map<int, std::unique_ptr<RegulatorCharacterizer>> chars_;
+  mutable std::map<std::tuple<int, int, int>, double> drv_cache_;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,37 @@
+#include "lpsram/testflow/pvt.hpp"
+
+#include <cstdio>
+
+namespace lpsram {
+
+std::vector<PvtPoint> full_pvt_grid(const Technology& tech) {
+  std::vector<PvtPoint> grid;
+  grid.reserve(45);
+  for (const Corner corner : kAllCorners) {
+    for (const double vdd : tech.vdd_levels()) {
+      for (const double temp : tech.temperatures()) {
+        grid.push_back(PvtPoint{corner, vdd, temp});
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<PvtPoint> reduced_pvt_grid(const Technology& tech) {
+  const double vdd = tech.vdd_nominal();
+  return {
+      PvtPoint{Corner::Typical, vdd, 25.0},
+      PvtPoint{Corner::Typical, vdd, 125.0},
+      PvtPoint{Corner::FastNSlowP, vdd, 25.0},
+      PvtPoint{Corner::FastNSlowP, vdd, 125.0},
+  };
+}
+
+std::string pvt_name(const PvtPoint& point) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s, %.1fV, %.0fC",
+                corner_name(point.corner).c_str(), point.vdd, point.temp_c);
+  return buf;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,21 @@
+// PVT grid helpers for the paper's sweeps: 5 process corners x 3 supply
+// voltages x 3 temperatures = 45 combinations per experiment point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lpsram/device/technology.hpp"
+
+namespace lpsram {
+
+// The full 45-point grid, ordered corner-major.
+std::vector<PvtPoint> full_pvt_grid(const Technology& tech);
+
+// A 4-point grid (typical/fs x 25/125 C at nominal VDD) for fast tests.
+std::vector<PvtPoint> reduced_pvt_grid(const Technology& tech);
+
+// "fs, 1.0V, 125C" — the format Table II uses.
+std::string pvt_name(const PvtPoint& point);
+
+}  // namespace lpsram

@@ -1,0 +1,110 @@
+#include "lpsram/testflow/report.hpp"
+
+#include <cstdio>
+
+#include "lpsram/util/table.hpp"
+#include "lpsram/util/units.hpp"
+
+namespace lpsram {
+
+std::string fig4_report(std::span<const Fig4Point> points) {
+  AsciiTable table({"Transistor", "Vth var (sigma)", "DRV_DS1 (mV)",
+                    "DRV_DS0 (mV)"});
+  CellTransistor last = CellTransistor::MPcc1;
+  bool first = true;
+  for (const Fig4Point& p : points) {
+    if (!first && p.transistor != last) table.add_separator();
+    first = false;
+    last = p.transistor;
+    char sigma[32];
+    std::snprintf(sigma, sizeof(sigma), "%+.1f", p.sigma);
+    table.add_row({cell_transistor_name(p.transistor), sigma,
+                   millivolt_format(p.drv1), millivolt_format(p.drv0)});
+  }
+  return table.str();
+}
+
+std::string table1_report(std::span<const CaseStudyDrv> rows) {
+  AsciiTable table({"Case study", "#cells", "MPcc1", "MNcc1", "MPcc2", "MNcc2",
+                    "MNcc3", "MNcc4", "DRV_DS0 (mV)", "DRV_DS1 (mV)",
+                    "DRV_DS (mV)"});
+  auto sig = [](double s) {
+    if (s == 0.0) return std::string("0");
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%+gs", s);
+    return std::string(buf);
+  };
+  for (const CaseStudyDrv& row : rows) {
+    const CellVariation& v = row.cs.variation;
+    table.add_row({row.cs.name(), std::to_string(row.cs.cell_count),
+                   sig(v.mpcc1), sig(v.mncc1), sig(v.mpcc2), sig(v.mncc2),
+                   sig(v.mncc3), sig(v.mncc4),
+                   millivolt_format(row.worst.drv.drv0),
+                   millivolt_format(row.worst.drv.drv1),
+                   millivolt_format(row.drv_ds())});
+  }
+  return table.str();
+}
+
+std::string table2_report(
+    const std::vector<std::vector<DefectCsResult>>& rows,
+    std::span<const CaseStudy> case_studies, double open_threshold) {
+  std::vector<std::string> header = {"Def."};
+  for (const CaseStudy& cs : case_studies) {
+    header.push_back(cs.name() + " MinRes");
+    header.push_back(cs.name() + " PVT");
+  }
+  AsciiTable table(std::move(header));
+  for (const auto& row : rows) {
+    if (row.empty()) continue;
+    std::vector<std::string> cells = {defect_name(row.front().id)};
+    for (const DefectCsResult& r : row) {
+      if (r.open_only) {
+        cells.push_back("> " + eng_format(open_threshold, 0));
+        cells.push_back("-");
+      } else {
+        cells.push_back(eng_format(r.min_resistance, 2));
+        cells.push_back(pvt_name(r.worst_pvt));
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  return table.str();
+}
+
+std::string table3_report(const OptimizedFlow& flow, const MarchTest& test,
+                          std::size_t words, double cycle_time) {
+  AsciiTable table({"Iter.", "VDD", "Vref", "Vreg", "DS time",
+                    "Detection maximized for"});
+  for (std::size_t i = 0; i < flow.iterations.size(); ++i) {
+    const FlowIteration& it = flow.iterations[i];
+    char vdd[16], vreg[16], ds[16];
+    std::snprintf(vdd, sizeof(vdd), "%.1fV", it.condition.vdd);
+    std::snprintf(vreg, sizeof(vreg), "%.3fV", it.condition.expected_vreg());
+    std::snprintf(ds, sizeof(ds), "%.0fms", it.condition.ds_time * 1e3);
+    std::string defects;
+    for (std::size_t d = 0; d < it.maximized.size(); ++d) {
+      if (d) defects += ",";
+      defects += defect_name(it.maximized[d]);
+    }
+    table.add_row({std::to_string(i + 1), vdd, vref_name(it.condition.vref),
+                   vreg, ds, defects});
+  }
+  std::string out = table.str();
+  char summary[256];
+  std::snprintf(summary, sizeof(summary),
+                "%s (%s) x %zu iterations vs %zu naive: %.0f%% test time "
+                "reduction\n",
+                test.name.c_str(), test.complexity().c_str(),
+                flow.iterations.size(), flow.naive_iterations,
+                100.0 * flow.time_reduction(test, words, cycle_time));
+  out += summary;
+  if (!flow.undetectable.empty()) {
+    out += "undetectable (negligible) defects:";
+    for (const DefectId id : flow.undetectable) out += " " + defect_name(id);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,34 @@
+// Rendering of the reproduced paper artifacts (Table I/II/III, Fig. 4) as
+// ASCII tables, shared by the bench harnesses and examples.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "lpsram/testflow/flow_optimizer.hpp"
+
+namespace lpsram {
+
+// Fig. 4: DRV vs per-transistor Vth variation.
+struct Fig4Point {
+  CellTransistor transistor = CellTransistor::MPcc1;
+  double sigma = 0.0;  // variation in sigma units
+  double drv1 = 0.0;   // worst-case DRV_DS1 over corners x temps [V]
+  double drv0 = 0.0;   // worst-case DRV_DS0 [V]
+};
+
+std::string fig4_report(std::span<const Fig4Point> points);
+
+// Table I: case studies with their DRV_DS0 / DRV_DS1 / DRV_DS.
+std::string table1_report(std::span<const CaseStudyDrv> rows);
+
+// Table II: min defect resistance per defect x case study with worst PVT.
+std::string table2_report(
+    const std::vector<std::vector<DefectCsResult>>& rows,
+    std::span<const CaseStudy> case_studies, double open_threshold = 500e6);
+
+// Table III: the optimized flow.
+std::string table3_report(const OptimizedFlow& flow, const MarchTest& test,
+                          std::size_t words, double cycle_time);
+
+}  // namespace lpsram

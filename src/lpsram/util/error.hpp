@@ -1,0 +1,34 @@
+// Library error types. All lpsram errors derive from lpsram::Error so callers
+// can catch the whole family with one handler.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lpsram {
+
+// Base class for all errors thrown by the lpsram library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown when an iterative numerical method fails to converge.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+// Thrown when input arguments violate an API precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+// Thrown when a March test string cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace lpsram

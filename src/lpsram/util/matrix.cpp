@@ -1,0 +1,97 @@
+#include "lpsram/util/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void Matrix::set_zero() noexcept {
+  std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& x) const {
+  if (x.size() != cols_) throw InvalidArgument("Matrix::multiply: size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+LuSolver::LuSolver(Matrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols())
+    throw InvalidArgument("LuSolver: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  double max_pivot = 0.0;
+  double min_pivot = std::numeric_limits<double>::infinity();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest |a(i,k)| for i >= k.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::fabs(lu_(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (pivot_mag < 1e-300)
+      throw ConvergenceError("LuSolver: singular matrix at column " +
+                             std::to_string(k));
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+      std::swap(perm_[k], perm_[pivot_row]);
+    }
+    max_pivot = std::max(max_pivot, pivot_mag);
+    min_pivot = std::min(min_pivot, pivot_mag);
+
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu_(i, k) * inv_pivot;
+      lu_(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(i, c) -= factor * lu_(k, c);
+    }
+  }
+  pivot_ratio_ = (max_pivot > 0.0) ? min_pivot / max_pivot : 0.0;
+}
+
+std::vector<double> LuSolver::solve(const std::vector<double>& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw InvalidArgument("LuSolver::solve: size mismatch");
+
+  // Apply the row permutation, then forward/backward substitution.
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t c = 0; c < i; ++c) acc -= lu_(i, c) * x[c];
+    x[i] = acc;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) acc -= lu_(ii, c) * x[c];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_linear_system(Matrix a, const std::vector<double>& b) {
+  return LuSolver(std::move(a)).solve(b);
+}
+
+}  // namespace lpsram

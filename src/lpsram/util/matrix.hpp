@@ -1,0 +1,63 @@
+// Small dense linear-algebra kernel used by the MNA circuit solver.
+//
+// Circuit matrices in this project are tiny (tens of nodes), so a dense LU
+// with partial pivoting is both simple and fast; no sparse machinery needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lpsram {
+
+// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  // Sets every entry to zero, keeping the shape.
+  void set_zero() noexcept;
+
+  // Matrix-vector product; `x.size()` must equal `cols()`.
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// In-place LU factorization with partial pivoting and the solve that uses it.
+// Factoring a singular (or numerically singular) matrix throws
+// ConvergenceError.
+class LuSolver {
+ public:
+  // Factorizes `a` (copied). Throws ConvergenceError if singular.
+  explicit LuSolver(Matrix a);
+
+  // Solves A x = b for x. `b.size()` must equal the matrix dimension.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  // Reciprocal condition estimate based on pivot magnitudes (cheap heuristic).
+  double pivot_ratio() const noexcept { return pivot_ratio_; }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  double pivot_ratio_ = 0.0;
+};
+
+// Convenience wrapper: solves A x = b in one call.
+std::vector<double> solve_linear_system(Matrix a, const std::vector<double>& b);
+
+}  // namespace lpsram

@@ -1,0 +1,26 @@
+// Small string helpers used by the March parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lpsram {
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+// Splits on a delimiter character; empty pieces are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+}  // namespace lpsram

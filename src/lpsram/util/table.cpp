@@ -1,0 +1,58 @@
+#include "lpsram/util/table.hpp"
+
+#include <algorithm>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw InvalidArgument("AsciiTable: empty header");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw InvalidArgument("AsciiTable: row arity mismatch");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void AsciiTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string AsciiTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  auto hline = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    line += "\n";
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+              " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = hline();
+  out += render_row(header_);
+  out += hline();
+  for (const Row& row : rows_) {
+    out += row.separator ? hline() : render_row(row.cells);
+  }
+  out += hline();
+  return out;
+}
+
+}  // namespace lpsram

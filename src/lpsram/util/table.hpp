@@ -1,0 +1,38 @@
+// ASCII table formatter used by the bench harnesses to print Table I/II/III
+// and the Fig. 4 series in a layout comparable with the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lpsram {
+
+// Simple column-aligned ASCII table. Usage:
+//   AsciiTable t({"Def.", "Min. Res.", "PVT"});
+//   t.add_row({"Df1", "9.76K", "fs, 1.0V, 125C"});
+//   std::cout << t.str();
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  // Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Appends a horizontal separator line at this position.
+  void add_separator();
+
+  // Renders the full table.
+  std::string str() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace lpsram

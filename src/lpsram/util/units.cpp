@@ -1,0 +1,54 @@
+#include "lpsram/util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace lpsram {
+
+double thermal_voltage(double temp_c) noexcept {
+  return kBoltzmann * celsius_to_kelvin(temp_c) / kElementaryCharge;
+}
+
+std::string eng_format(double value, int digits) {
+  struct Scale {
+    double factor;
+    const char* suffix;
+  };
+  static constexpr std::array<Scale, 7> kScales = {{
+      {1e9, "G"},
+      {1e6, "M"},
+      {1e3, "K"},
+      {1.0, ""},
+      {1e-3, "m"},
+      {1e-6, "u"},
+      {1e-9, "n"},
+  }};
+
+  if (value == 0.0) return "0";
+  const double mag = std::fabs(value);
+  const Scale* chosen = &kScales.back();
+  for (const Scale& s : kScales) {
+    if (mag >= s.factor) {
+      chosen = &s;
+      break;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", digits, value / chosen->factor,
+                chosen->suffix);
+  return buf;
+}
+
+std::string resistance_format(double ohms, double open_threshold) {
+  if (ohms > open_threshold) return "> " + eng_format(open_threshold, 0);
+  return eng_format(ohms, 2);
+}
+
+std::string millivolt_format(double volts, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, volts * 1e3);
+  return buf;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,42 @@
+// Physical constants, unit helpers and engineering-notation formatting.
+//
+// All quantities in this library are plain doubles in SI units: volts, amps,
+// ohms, farads, seconds, watts. Temperatures are degrees Celsius at API
+// boundaries (matching how the paper reports PVT conditions) and converted to
+// kelvin internally where physics needs it.
+#pragma once
+
+#include <string>
+
+namespace lpsram {
+
+// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+// 0 degrees Celsius in kelvin.
+inline constexpr double kZeroCelsiusInKelvin = 273.15;
+// Reference temperature for device parameters [deg C].
+inline constexpr double kReferenceTempC = 25.0;
+
+// Converts a temperature from Celsius to kelvin.
+constexpr double celsius_to_kelvin(double temp_c) noexcept {
+  return temp_c + kZeroCelsiusInKelvin;
+}
+
+// Thermal voltage kT/q [V] at a given temperature in Celsius.
+double thermal_voltage(double temp_c) noexcept;
+
+// Formats a value using engineering notation with the scale suffixes the
+// paper's Table II uses (e.g. 97.65K, 2.36M, 976.56). `digits` is the number
+// of digits after the decimal point.
+std::string eng_format(double value, int digits = 2);
+
+// Formats a resistance for table output; values above `open_threshold` are
+// rendered as "> 500M" like the paper's Table II.
+std::string resistance_format(double ohms, double open_threshold = 500e6);
+
+// Formats a voltage in millivolts (e.g. "730").
+std::string millivolt_format(double volts, int digits = 0);
+
+}  // namespace lpsram

@@ -1,0 +1,467 @@
+// Tests for the BIST module: microcode assembly round trips, cycle-stepped
+// execution equivalence with the software March executor, response
+// compression, and retention diagnosis.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "lpsram/bist/diagnosis.hpp"
+#include "lpsram/bist/repair.hpp"
+#include "lpsram/faults/injector.hpp"
+#include "lpsram/march/executor.hpp"
+#include "lpsram/march/library.hpp"
+#include "lpsram/march/parser.hpp"
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+SramConfig small_config() {
+  SramConfig config;
+  config.words = 32;
+  config.bits = 8;
+  config.baseline_drv = DrvResult{0.12, 0.12};
+  return config;
+}
+
+SramConfig retention_config() {
+  SramConfig config;
+  config.words = 4096;
+  config.bits = 64;
+  config.corner = Corner::FastNSlowP;
+  config.vdd = 1.0;
+  config.vref = VrefLevel::V074;
+  config.temp_c = 125.0;
+  config.baseline_drv = DrvResult{0.20, 0.20};
+  return config;
+}
+
+DrvResult weak_drv() {
+  CellVariation v;
+  v.mpcc1 = -6;
+  v.mncc1 = -6;
+  v.mpcc2 = +6;
+  v.mncc2 = +6;
+  v.mncc3 = -6;
+  v.mncc4 = +6;
+  static const DrvResult drv =
+      drv_ds(CoreCell(Technology::lp40nm(), v, Corner::FastNSlowP), 125.0);
+  return drv;
+}
+
+// ---------- microcode ----------------------------------------------------
+
+TEST(Microcode, AssemblesMarchMlz) {
+  const auto program = assemble(march::march_m_lz());
+  // ME1 (3) + DSM + WUP + ME4 (5) + DSM + WUP + ME7 (3) + HALT = 16.
+  ASSERT_EQ(program.size(), 16u);
+  EXPECT_EQ(program[0].op, BistInstruction::Op::LoopStart);
+  EXPECT_EQ(program[1].op, BistInstruction::Op::WriteData);
+  EXPECT_EQ(program[1].data, 1);
+  EXPECT_EQ(program[3].op, BistInstruction::Op::DeepSleep);
+  EXPECT_EQ(program[4].op, BistInstruction::Op::WakeUp);
+  EXPECT_EQ(program.back().op, BistInstruction::Op::Halt);
+}
+
+TEST(Microcode, RoundTripsEveryLibraryTest) {
+  for (const MarchTest& t : march::all_tests()) {
+    const MarchTest back = disassemble(assemble(t), t.name);
+    ASSERT_EQ(back.elements.size(), t.elements.size()) << t.name;
+    for (std::size_t i = 0; i < t.elements.size(); ++i) {
+      EXPECT_EQ(back.elements[i].kind, t.elements[i].kind) << t.name;
+      EXPECT_EQ(back.elements[i].ops, t.elements[i].ops) << t.name;
+      // Any-order elements come back Ascending; direction is otherwise kept.
+      if (t.elements[i].order == AddressOrder::Descending) {
+        EXPECT_EQ(back.elements[i].order, AddressOrder::Descending);
+      }
+    }
+  }
+}
+
+TEST(Microcode, InstructionStrings) {
+  EXPECT_EQ((BistInstruction{BistInstruction::Op::LoopStart, true, 0}).str(),
+            "LOOP down");
+  EXPECT_EQ((BistInstruction{BistInstruction::Op::ReadCompare, false, 1}).str(),
+            "RDC 1");
+  EXPECT_EQ((BistInstruction{BistInstruction::Op::Halt, false, 0}).str(),
+            "HALT");
+}
+
+TEST(Microcode, ValidationRejectsMalformedPrograms) {
+  using Op = BistInstruction::Op;
+  // no halt
+  EXPECT_THROW(validate_program({{Op::LoopStart, false, 0}}), InvalidArgument);
+  // op outside loop
+  EXPECT_THROW(validate_program({{Op::WriteData, false, 0},
+                                 {Op::Halt, false, 0}}),
+               InvalidArgument);
+  // empty loop
+  EXPECT_THROW(validate_program({{Op::LoopStart, false, 0},
+                                 {Op::LoopEnd, false, 0},
+                                 {Op::Halt, false, 0}}),
+               InvalidArgument);
+  // unclosed loop
+  EXPECT_THROW(validate_program({{Op::LoopStart, false, 0},
+                                 {Op::WriteData, false, 0},
+                                 {Op::Halt, false, 0}}),
+               InvalidArgument);
+  // power op inside loop
+  EXPECT_THROW(validate_program({{Op::LoopStart, false, 0},
+                                 {Op::WriteData, false, 0},
+                                 {Op::DeepSleep, false, 0},
+                                 {Op::LoopEnd, false, 0},
+                                 {Op::Halt, false, 0}}),
+               InvalidArgument);
+}
+
+// ---------- controller ----------------------------------------------------
+
+TEST(BistController, HealthyRunPassesAndCountsOps) {
+  LowPowerSram sram(small_config());
+  BistController bist(sram);
+  bist.load(march::march_m_lz());
+  EXPECT_EQ(bist.state(), BistController::State::Idle);
+  bist.run();
+  EXPECT_EQ(bist.state(), BistController::State::Done);
+  EXPECT_TRUE(bist.response().pass());
+  EXPECT_EQ(bist.memory_ops(), 5u * sram.words());
+  // Elapsed: ops + 2 DS dwells + 2 wake-ups.
+  EXPECT_NEAR(bist.elapsed(), 5 * 32 * 10e-9 + 2e-3 + 2e-6, 1e-9);
+}
+
+TEST(BistController, MatchesSoftwareExecutorOnEveryLibraryTest) {
+  for (const MarchTest& t : march::all_tests()) {
+    LowPowerSram a(small_config());
+    LowPowerSram b(small_config());
+    // Plant identical non-background contents so read elements that precede
+    // an init would fail identically (none do in the library; this checks
+    // the equivalence of data generation instead).
+    MarchExecutorOptions options;
+    options.ds_time = 1e-4;
+    MarchExecutor executor(a, options);
+    const MarchRunResult sw = executor.run(t);
+
+    BistController::Config config;
+    config.ds_time = 1e-4;
+    BistController bist(b, config);
+    bist.load(t);
+    bist.run();
+    EXPECT_EQ(bist.response().pass(), sw.passed) << t.name;
+    EXPECT_EQ(bist.memory_ops(), sw.operations) << t.name;
+    // Final memory contents identical word-for-word.
+    for (std::size_t addr = 0; addr < a.words(); ++addr)
+      ASSERT_EQ(a.peek(addr), b.peek(addr)) << t.name << " @" << addr;
+  }
+}
+
+TEST(BistController, DetectsPlantedMismatch) {
+  LowPowerSram sram(small_config());
+  for (std::size_t a = 0; a < sram.words(); ++a) sram.poke(a, 0xFF);
+  sram.poke(13, 0xBF);
+  BistController bist(sram);
+  bist.load(parse_march("{ up(r1) }", "read-ones"));
+  bist.run();
+  EXPECT_FALSE(bist.response().pass());
+  ASSERT_EQ(bist.response().log().size(), 1u);
+  EXPECT_EQ(bist.response().log()[0].address, 13u);
+  EXPECT_EQ(bist.response().log()[0].syndrome, 0x40u);  // bit 6
+}
+
+TEST(BistController, SleepStateVisible) {
+  LowPowerSram sram(small_config());
+  BistController bist(sram);
+  bist.load(march::march_m_lz());
+  bist.start();
+  bool saw_sleep = false;
+  while (bist.step()) {
+    if (bist.state() == BistController::State::Sleeping) saw_sleep = true;
+  }
+  EXPECT_TRUE(saw_sleep);
+}
+
+TEST(BistController, BackgroundAwareDataGeneration) {
+  LowPowerSram sram(small_config());
+  BistController::Config config;
+  config.background = DataBackground::bit_stripe(1);
+  BistController bist(sram, config);
+  bist.load(parse_march("{ any(w0); up(r0) }", "stripe"));
+  bist.run();
+  EXPECT_TRUE(bist.response().pass());
+  EXPECT_EQ(sram.peek(0), 0xAAu);
+}
+
+TEST(BistController, FailLogBounded) {
+  LowPowerSram sram(small_config());
+  for (std::size_t a = 0; a < sram.words(); ++a) sram.poke(a, 0x00);
+  BistController::Config config;
+  config.max_fail_log = 4;
+  BistController bist(sram, config);
+  bist.load(parse_march("{ up(r1) }", "all-fail"));
+  bist.run();
+  EXPECT_EQ(bist.response().log().size(), 4u);
+  EXPECT_EQ(bist.response().fail_count(), sram.words());
+}
+
+TEST(BistController, RunawayGuard) {
+  LowPowerSram sram(small_config());
+  BistController bist(sram);
+  bist.load(march::march_ss());
+  EXPECT_THROW(bist.run(/*max_steps=*/10), Error);
+}
+
+// ---------- response signatures & diagnosis ---------------------------------------
+
+TEST(Diagnosis, SpatialSignatures) {
+  const std::size_t words = 64;
+  const int bits = 16;
+  {
+    BistResponse r(words, bits);
+    EXPECT_EQ(classify_spatial(r, words, bits), SpatialSignature::Clean);
+  }
+  {
+    BistResponse r(words, bits);
+    r.record(5, 10, 1ull << 3);
+    EXPECT_EQ(classify_spatial(r, words, bits), SpatialSignature::SingleCell);
+  }
+  {
+    BistResponse r(words, bits);  // same row (addresses 8..15 share row 1)
+    r.record(5, 8, 1ull << 3);
+    r.record(5, 9, 1ull << 7);
+    EXPECT_EQ(classify_spatial(r, words, bits), SpatialSignature::SingleRow);
+  }
+  {
+    BistResponse r(words, bits);  // same bit, different rows
+    r.record(5, 0, 1ull << 3);
+    r.record(5, 60, 1ull << 3);
+    EXPECT_EQ(classify_spatial(r, words, bits),
+              SpatialSignature::SingleColumn);
+  }
+  {
+    BistResponse r(words, bits);
+    for (std::size_t a = 0; a < words; ++a) r.record(5, a, 0xFFFF);
+    EXPECT_EQ(classify_spatial(r, words, bits), SpatialSignature::WholeArray);
+  }
+}
+
+TEST(Diagnosis, SingleCellRetentionLossOfOne) {
+  LowPowerSram sram(retention_config());
+  sram.add_weak_cell(1234, 17, weak_drv());
+  sram.inject_regulator_defect(7, 3e6);  // Vreg just below the weak DRV1
+
+  BistController bist(sram);
+  bist.load(march::march_m_lz());
+  bist.run();
+  ASSERT_FALSE(bist.response().pass());
+
+  const RetentionDiagnosis d =
+      diagnose_retention(assemble(march::march_m_lz()), bist.response(),
+                         sram.words(), sram.bits_per_word());
+  EXPECT_TRUE(d.retention_related);
+  ASSERT_TRUE(d.lost_value.has_value());
+  EXPECT_EQ(*d.lost_value, StoredBit::One);
+  EXPECT_EQ(d.spatial, SpatialSignature::SingleCell);
+}
+
+TEST(Diagnosis, ZeroRetentionLossPointsAtDrvDs0) {
+  LowPowerSram sram(retention_config());
+  const DrvResult one_sided = weak_drv();
+  sram.add_weak_cell(33, 7, DrvResult{one_sided.drv0, one_sided.drv1});
+  sram.inject_regulator_defect(7, 3e6);
+
+  BistController bist(sram);
+  bist.load(march::march_m_lz());
+  bist.run();
+  ASSERT_FALSE(bist.response().pass());
+  const RetentionDiagnosis d =
+      diagnose_retention(assemble(march::march_m_lz()), bist.response(),
+                         sram.words(), sram.bits_per_word());
+  EXPECT_TRUE(d.retention_related);
+  ASSERT_TRUE(d.lost_value.has_value());
+  EXPECT_EQ(*d.lost_value, StoredBit::Zero);
+}
+
+TEST(Diagnosis, CollapsedRegulatorIsWholeArrayRetention) {
+  LowPowerSram sram(retention_config());
+  sram.inject_regulator_defect(19, 50e6);  // Vreg ~ 0: below the baseline DRV
+
+  BistController bist(sram);
+  bist.load(march::march_m_lz());
+  bist.run();
+  ASSERT_FALSE(bist.response().pass());
+  const RetentionDiagnosis d =
+      diagnose_retention(assemble(march::march_m_lz()), bist.response(),
+                         sram.words(), sram.bits_per_word());
+  EXPECT_TRUE(d.retention_related);
+  EXPECT_EQ(d.spatial, SpatialSignature::WholeArray);
+}
+
+TEST(Diagnosis, StuckAtAliasRequiresDifferentialScreening) {
+  // An SA0 cell also fails exactly at the post-wake-up r1 of March m-LZ —
+  // the retention signature aliases. The methodology screens classic faults
+  // with a DSM-free test first; together the two verdicts separate the
+  // cases.
+  LowPowerSram sram(retention_config());
+  FaultyMemory faulty(sram);
+  FaultDescriptor saf;
+  saf.cls = FaultClass::StuckAt0;
+  saf.address = 77;
+  saf.bit = 3;
+  faulty.add_fault(saf);
+
+  // Classic screen: March C- fails the SA0 device (not retention-related).
+  MarchExecutorOptions options;
+  options.ds_time = 1e-3;
+  MarchExecutor executor(faulty, options);
+  EXPECT_FALSE(executor.run(march::march_c_minus()).passed);
+
+  // The BIST retention diagnosis alone would flag it retention-related:
+  BistController bist(faulty);
+  bist.load(march::march_m_lz());
+  bist.run();
+  const RetentionDiagnosis d =
+      diagnose_retention(assemble(march::march_m_lz()), bist.response(),
+                         sram.words(), sram.bits_per_word());
+  EXPECT_TRUE(d.retention_related);  // the alias, by design
+  // ...which is why the recipe is: classic test clean + m-LZ failing =>
+  // DRF_DS. Verified in Diagnosis.SingleCellRetentionLossOfOne where March
+  // C- passes (see also Integration.MarchMlzCatchesDrfDsThatMarchCMinusMisses).
+}
+
+TEST(Microcode, FuzzAssembleDisassembleRoundTrip) {
+  // Random valid March tests survive the microcode round trip with their
+  // operation streams and complexity intact.
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<int> n_elements(1, 5);
+  std::uniform_int_distribution<int> n_ops(1, 4);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int trial = 0; trial < 100; ++trial) {
+    MarchTest t;
+    t.name = "fuzz";
+    const int elements = n_elements(rng);
+    for (int e = 0; e < elements; ++e) {
+      if (coin(rng) == 0 && e + 1 < elements) {
+        t.elements.push_back(MarchElement::deep_sleep());
+        t.elements.push_back(MarchElement::wake_up());
+        continue;
+      }
+      std::vector<MarchOp> ops;
+      const int count = n_ops(rng);
+      for (int o = 0; o < count; ++o) {
+        ops.push_back({coin(rng) ? MarchOp::Type::Read : MarchOp::Type::Write,
+                       coin(rng)});
+      }
+      t.elements.push_back(MarchElement::make(
+          coin(rng) ? AddressOrder::Ascending : AddressOrder::Descending,
+          std::move(ops)));
+    }
+    if (t.elements.empty())
+      t.elements.push_back(MarchElement::make(AddressOrder::Ascending, {w0()}));
+    t.validate();
+
+    const MarchTest back = disassemble(assemble(t), t.name);
+    ASSERT_EQ(back.elements.size(), t.elements.size());
+    for (std::size_t i = 0; i < t.elements.size(); ++i) {
+      EXPECT_EQ(back.elements[i].kind, t.elements[i].kind);
+      EXPECT_EQ(back.elements[i].ops, t.elements[i].ops);
+      EXPECT_EQ(back.elements[i].order, t.elements[i].order);
+    }
+    EXPECT_EQ(back.complexity(), t.complexity());
+  }
+}
+
+// ---------- redundancy repair ----------------------------------------------------
+
+TEST(Repair, SingleCellUsesOneSpare) {
+  const std::vector<FailCell> cells = {{5, 3}};
+  const RepairSolution s = allocate_repair(cells, {1, 1});
+  EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(s.spares_used(), 1);
+}
+
+TEST(Repair, FullRowForcesRowSpare) {
+  std::vector<FailCell> cells;
+  for (int col = 0; col < 10; ++col) cells.push_back({7, col});
+  const RepairSolution s = allocate_repair(cells, {1, 2});
+  ASSERT_TRUE(s.feasible);
+  ASSERT_EQ(s.rows.size(), 1u);  // must-repair: 10 cols > 2 spare cols
+  EXPECT_EQ(s.rows[0], 7);
+  EXPECT_TRUE(s.cols.empty());
+}
+
+TEST(Repair, FullColumnForcesColumnSpare) {
+  std::vector<FailCell> cells;
+  for (int row = 0; row < 10; ++row) cells.push_back({row, 4});
+  const RepairSolution s = allocate_repair(cells, {2, 1});
+  ASSERT_TRUE(s.feasible);
+  ASSERT_EQ(s.cols.size(), 1u);
+  EXPECT_EQ(s.cols[0], 4);
+}
+
+TEST(Repair, InfeasibleWhenSparesExhausted) {
+  std::vector<FailCell> cells;
+  for (int row = 0; row < 5; ++row)
+    for (int col = 0; col < 5; ++col) cells.push_back({row * 11, col * 7});
+  const RepairSolution s = allocate_repair(cells, {2, 2});
+  EXPECT_FALSE(s.feasible);  // 5x5 scattered grid needs 5 lines minimum
+}
+
+TEST(Repair, MixedScenarioGreedy) {
+  // One bad row (6 cells) + one bad column (4 cells) + a stray cell.
+  std::vector<FailCell> cells;
+  for (int col = 0; col < 6; ++col) cells.push_back({3, col});
+  for (int row = 10; row < 14; ++row) cells.push_back({row, 9});
+  cells.push_back({20, 12});
+  const RepairSolution s = allocate_repair(cells, {2, 2});
+  ASSERT_TRUE(s.feasible);
+  EXPECT_LE(s.spares_used(), 3);
+  EXPECT_NE(std::find(s.rows.begin(), s.rows.end(), 3), s.rows.end());
+  EXPECT_NE(std::find(s.cols.begin(), s.cols.end(), 9), s.cols.end());
+}
+
+TEST(Repair, EmptyLogIsTriviallyFeasible) {
+  const RepairSolution s = allocate_repair(std::vector<FailCell>{}, {0, 0});
+  EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(s.spares_used(), 0);
+}
+
+TEST(Repair, FromBistResponseEndToEnd) {
+  // A stuck-at column injected behaviourally; BIST finds it; the allocator
+  // replaces exactly that column.
+  LowPowerSram sram(small_config());
+  FaultyMemory faulty(sram);
+  for (std::size_t addr = 0; addr < sram.words(); addr += 4) {
+    FaultDescriptor f;
+    f.cls = FaultClass::StuckAt0;
+    f.address = addr;
+    f.bit = 5;
+    faulty.add_fault(f);
+  }
+  BistController::Config config;
+  config.max_fail_log = 4096;
+  config.ds_time = 1e-4;
+  BistController bist(faulty, config);
+  bist.load(march::march_c_minus());
+  bist.run();
+  ASSERT_FALSE(bist.response().pass());
+
+  const RepairSolution s = allocate_repair(bist.response(), {2, 2});
+  ASSERT_TRUE(s.feasible);
+  ASSERT_EQ(s.cols.size(), 1u);
+  EXPECT_EQ(s.cols[0], 5);
+  EXPECT_TRUE(s.rows.empty());
+}
+
+TEST(Repair, TruncatedLogRejected) {
+  LowPowerSram sram(small_config());
+  for (std::size_t a = 0; a < sram.words(); ++a) sram.poke(a, 0x00);
+  BistController::Config config;
+  config.max_fail_log = 2;  // far too small for a full-array failure
+  BistController bist(sram, config);
+  bist.load(parse_march("{ up(r1) }", "all-fail"));
+  bist.run();
+  EXPECT_THROW(fail_cells(bist.response()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lpsram

@@ -1,0 +1,244 @@
+// Tests for the core facade: DRF_DS classification, the retention analyzer,
+// and the test-flow generator applied to real SRAM instances.
+#include <gtest/gtest.h>
+
+#include "lpsram/core/drf_ds.hpp"
+#include "lpsram/core/methodology.hpp"
+#include "lpsram/core/retention_analyzer.hpp"
+
+namespace lpsram {
+namespace {
+
+const Technology& tech() {
+  static const Technology t = Technology::lp40nm();
+  return t;
+}
+
+// A fast flow-optimizer setup shared by the heavier tests.
+FlowOptimizer::Options fast_flow_options() {
+  FlowOptimizer::Options o;
+  o.rel_tolerance = 1.15;
+  return o;
+}
+
+// ---------- DRF_DS classification ----------------------------------------------------
+
+TEST(DrfDs, ImpactNames) {
+  EXPECT_EQ(defect_impact_name(DefectImpact::Negligible), "negligible");
+  EXPECT_EQ(defect_impact_name(DefectImpact::Both), "power + DRF");
+}
+
+TEST(DrfDs, ClassificationMatchesSectionIVB) {
+  DsCondition condition;
+  condition.vdd = 1.0;
+  condition.vref = VrefLevel::V074;
+  condition.temp_c = 125.0;
+  condition.corner = Corner::FastNSlowP;
+  const double drv = 0.70;
+  const auto classes = DrfDsFaultModel::classify(tech(), condition, drv);
+  ASSERT_EQ(classes.size(), 32u);
+  auto impact_of = [&](DefectId id) {
+    return classes[static_cast<std::size_t>(id - 1)].impact;
+  };
+
+  // Pure retention-fault defects (paper category 2 examples).
+  for (const DefectId id : {16, 19, 29, 32}) {
+    EXPECT_EQ(impact_of(id), DefectImpact::RetentionFault) << "Df" << id;
+  }
+  // Divider defects that raise the selected tap: power category.
+  EXPECT_EQ(impact_of(6), DefectImpact::IncreasedPower);
+  // Reference-path gate defect: negligible.
+  EXPECT_EQ(impact_of(24), DefectImpact::Negligible);
+  // Df1 only lowers taps: retention fault, never extra power.
+  EXPECT_EQ(impact_of(1), DefectImpact::RetentionFault);
+}
+
+TEST(DrfDs, Df2LowersVregAtLowTaps) {
+  // Paper category 3: Df2's direction depends on the selected tap. With
+  // Vref = 0.74*VDD its DRF effect is maximized.
+  DsCondition condition;
+  condition.vdd = 1.0;
+  condition.vref = VrefLevel::V074;
+  condition.temp_c = 125.0;
+  condition.corner = Corner::FastNSlowP;
+  const auto classes = DrfDsFaultModel::classify(tech(), condition, 0.70);
+  const DefectImpact impact = classes[1].impact;  // Df2
+  EXPECT_TRUE(impact == DefectImpact::RetentionFault ||
+              impact == DefectImpact::Both);
+}
+
+TEST(DrfDs, OccursDelegatesToElectrical) {
+  const RegulatorCharacterizer ch(tech(), ArrayLoadModel::Options{});
+  DsCondition condition;
+  condition.vdd = 1.0;
+  condition.vref = VrefLevel::V074;
+  condition.temp_c = 125.0;
+  condition.corner = Corner::FastNSlowP;
+  EXPECT_TRUE(DrfDsFaultModel::occurs(ch, condition, 19, 10e6, 0.70));
+  EXPECT_FALSE(DrfDsFaultModel::occurs(ch, condition, 19, 1.0, 0.70));
+}
+
+// ---------- retention analyzer ----------------------------------------------------
+
+TEST(RetentionAnalyzer, FacadeMatchesCellModule) {
+  const RetentionAnalyzer analyzer(tech());
+  CellVariation v;
+  v.mpcc1 = -3;
+  v.mncc1 = -3;
+  const DrvResult direct = drv_ds(CoreCell(tech(), v), 25.0);
+  const DrvResult viaFacade = analyzer.drv(v, Corner::Typical, 25.0);
+  EXPECT_NEAR(direct.drv1, viaFacade.drv1, 1e-9);
+
+  const SnmPair snm = analyzer.snm(v, 0.8, Corner::Typical, 25.0);
+  EXPECT_GT(snm.snm0, snm.snm1);  // '1' side is the weakened one
+}
+
+TEST(RetentionAnalyzer, WorstCaseDrvInPaperBand) {
+  const RetentionAnalyzer analyzer(tech());
+  const double drv = analyzer.worst_case_drv();
+  EXPECT_GT(drv, 0.60);
+  EXPECT_LT(drv, 0.80);  // paper: 730 mV
+}
+
+TEST(RetentionAnalyzer, Fig4SweepShape) {
+  const RetentionAnalyzer analyzer(tech());
+  const std::vector<double> sigmas = {-3.0, 0.0, 3.0};
+  const std::vector<Corner> corners = {Corner::Typical};
+  const std::vector<double> temps = {25.0};
+  const auto points = analyzer.fig4_sweep(sigmas, corners, temps);
+  ASSERT_EQ(points.size(), 18u);  // 6 transistors x 3 sigmas
+
+  // MPcc1 series: DRV_DS1 falls as sigma goes -3 -> +3 ... i.e. the -3
+  // point is the adverse one.
+  EXPECT_GT(points[0].drv1, points[1].drv1);
+  EXPECT_GE(points[1].drv1, points[2].drv1 - 1e-3);
+  // By mirror symmetry DRV_DS0 behaves oppositely.
+  EXPECT_LT(points[0].drv0, points[2].drv0);
+}
+
+// ---------- test flow generator + runner ----------------------------------------------
+
+class FlowFixture : public ::testing::Test {
+ protected:
+  static const GeneratedTestFlow& flow() {
+    static const GeneratedTestFlow f = [] {
+      const TestFlowGenerator generator(Technology::lp40nm(),
+                                        fast_flow_options());
+      return generator.generate();
+    }();
+    return f;
+  }
+
+  static SramConfig device_config() {
+    SramConfig config;
+    config.words = 64;
+    config.bits = 16;
+    config.corner = Corner::FastNSlowP;
+    config.temp_c = 125.0;
+    config.baseline_drv = DrvResult{0.20, 0.20};
+    return config;
+  }
+
+  static DrvResult weak_drv() {
+    static const DrvResult drv = drv_ds(
+        CoreCell(Technology::lp40nm(), case_study(1, true).variation,
+                 Corner::FastNSlowP),
+        125.0);
+    return drv;
+  }
+};
+
+TEST_F(FlowFixture, GeneratesPaperShapedFlow) {
+  const GeneratedTestFlow& f = flow();
+  EXPECT_EQ(f.test.name, "March m-LZ");
+  EXPECT_GT(f.worst_drv, 0.6);
+  // Paper strategy: exactly one iteration per VDD level, the paper's three
+  // conditions.
+  ASSERT_EQ(f.flow.iterations.size(), 3u);
+  EXPECT_DOUBLE_EQ(f.flow.iterations[0].condition.vdd, 1.0);
+  EXPECT_EQ(f.flow.iterations[0].condition.vref, VrefLevel::V074);
+  EXPECT_DOUBLE_EQ(f.flow.iterations[1].condition.vdd, 1.1);
+  EXPECT_EQ(f.flow.iterations[1].condition.vref, VrefLevel::V070);
+  EXPECT_DOUBLE_EQ(f.flow.iterations[2].condition.vdd, 1.2);
+  EXPECT_EQ(f.flow.iterations[2].condition.vref, VrefLevel::V064);
+  // Every chosen condition keeps the expected Vreg above the worst DRV.
+  for (const FlowIteration& it : f.flow.iterations)
+    EXPECT_GE(it.condition.expected_vreg(), f.worst_drv);
+  // The first (greediest) iteration maximizes detection of most defects.
+  EXPECT_GE(f.flow.iterations[0].maximized.size(), 8u);
+}
+
+TEST_F(FlowFixture, HealthyDevicePassesFlow) {
+  LowPowerSram sram(device_config());
+  sram.add_weak_cell(10, 3, weak_drv());
+  const FlowRunResult run = run_flow(sram, flow());
+  EXPECT_FALSE(run.any_failure);
+  EXPECT_EQ(run.iterations.size(), flow().flow.iterations.size());
+  EXPECT_GT(run.total_test_time, 0.0);
+}
+
+TEST_F(FlowFixture, DefectiveDeviceFailsFlow) {
+  for (const DefectId id : {19, 1, 29}) {
+    LowPowerSram sram(device_config());
+    sram.add_weak_cell(10, 3, weak_drv());
+    sram.inject_regulator_defect(id, 50e6);
+    const FlowRunResult run = run_flow(sram, flow());
+    EXPECT_TRUE(run.any_failure) << "Df" << id;
+  }
+}
+
+TEST_F(FlowFixture, DetectionRequiresWeakCellOrBaselineViolation) {
+  // Without any weak cell, a moderate defect that only undercuts the CS1
+  // DRV (not the baseline) goes undetected — retention faults are defined
+  // by the array's weakest cell.
+  LowPowerSram sram(device_config());
+  sram.inject_regulator_defect(19, 30e3);  // Vreg ~ 0.4-0.6: above baseline
+  const FlowRunResult run = run_flow(sram, flow());
+  EXPECT_FALSE(run.any_failure);
+}
+
+TEST_F(FlowFixture, GreedyFlowAlsoValidatesOnDevices) {
+  // The unconstrained greedy cover built from the same matrix must also
+  // pass a healthy device and catch a defective one.
+  FlowOptimizer::Options options = fast_flow_options();
+  options.worst_drv = flow().worst_drv;
+  options.strategy = FlowStrategy::GreedyMinimal;
+  const FlowOptimizer optimizer(Technology::lp40nm(), options);
+  GeneratedTestFlow greedy = flow();
+  greedy.flow = optimizer.optimize(flow().matrix);
+  EXPECT_LE(greedy.flow.iterations.size(), flow().flow.iterations.size());
+
+  LowPowerSram healthy(device_config());
+  healthy.add_weak_cell(10, 3, weak_drv());
+  EXPECT_FALSE(run_flow(healthy, greedy).any_failure);
+
+  LowPowerSram faulty(device_config());
+  faulty.add_weak_cell(10, 3, weak_drv());
+  faulty.inject_regulator_defect(29, 1e6);  // hard collapse: Vreg ~ 0
+  EXPECT_TRUE(run_flow(faulty, greedy).any_failure);
+}
+
+// ---------- methodology (mini run) ----------------------------------------------------
+
+TEST(Methodology, EndToEndMiniRun) {
+  MethodologyOptions options;
+  options.flow = fast_flow_options();
+  const Methodology methodology(tech(), options);
+  // Characterize a representative defect subset to keep the test quick.
+  const std::vector<DefectId> defects = {1, 16, 19, 24, 29, 32};
+  const MethodologyReport report = methodology.run(defects);
+
+  EXPECT_EQ(report.table1.size(), 10u);
+  EXPECT_GT(report.worst_drv, 0.6);
+  EXPECT_TRUE(report.healthy_passes);
+  // Df24 is undetectable; the other five must be caught.
+  EXPECT_EQ(report.validations.size(), 5u);
+  EXPECT_DOUBLE_EQ(report.validation_coverage(), 1.0);
+  for (const DefectValidation& v : report.validations) {
+    EXPECT_TRUE(v.detected) << "Df" << v.id;
+    EXPECT_GE(v.failing_iteration, 0) << "Df" << v.id;
+  }
+}
+
+}  // namespace
+}  // namespace lpsram

@@ -1,0 +1,290 @@
+// Unit tests for the device module: EKV MOSFET model physics, analytic
+// derivatives, corners, variation sign conventions and technology factories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lpsram/device/technology.hpp"
+#include "lpsram/util/units.hpp"
+
+namespace lpsram {
+namespace {
+
+MosfetParams test_nmos() {
+  MosfetParams p;
+  p.type = MosType::Nmos;
+  p.vth0 = 0.45;
+  p.kp = 260e-6;
+  p.w = 200e-9;
+  p.l = 40e-9;
+  p.n_slope = 1.4;
+  p.lambda = 0.05;
+  return p;
+}
+
+MosfetParams test_pmos() {
+  MosfetParams p = test_nmos();
+  p.type = MosType::Pmos;
+  return p;
+}
+
+// ---------- basic current behaviour ----------------------------------------
+
+TEST(Mosfet, NmosOffAtZeroGate) {
+  const Mosfet m(test_nmos());
+  const double i_on = m.ids(1.1, 1.1, 0.0, 25.0);
+  const double i_off = m.ids(0.0, 1.1, 0.0, 25.0);
+  EXPECT_GT(i_on, 1e-6);        // microamps on
+  EXPECT_GT(i_off, 0.0);        // subthreshold leakage, not zero
+  EXPECT_LT(i_off, i_on * 1e-4);  // but orders of magnitude below on
+}
+
+TEST(Mosfet, ZeroVdsZeroCurrent) {
+  const Mosfet m(test_nmos());
+  EXPECT_DOUBLE_EQ(m.ids(1.1, 0.5, 0.5, 25.0), 0.0);
+}
+
+TEST(Mosfet, SymmetricReversal) {
+  // EKV is source/drain symmetric: swapping D and S negates the current.
+  const Mosfet m(test_nmos());
+  const double fwd = m.ids(0.8, 0.7, 0.2, 25.0);
+  const double rev = m.ids(0.8, 0.2, 0.7, 25.0);
+  EXPECT_NEAR(fwd, -rev, std::fabs(fwd) * 1e-9);
+}
+
+TEST(Mosfet, CurrentIncreasesWithGate) {
+  const Mosfet m(test_nmos());
+  double prev = 0.0;
+  for (double vg = 0.0; vg <= 1.2; vg += 0.1) {
+    const double i = m.ids(vg, 1.1, 0.0, 25.0);
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Mosfet, SubthresholdSlopeMatchesNFactor) {
+  // In weak inversion Id ~ exp(Vg / (n VT)): a decade per n*VT*ln10.
+  const Mosfet m(test_nmos());
+  const double vt = thermal_voltage(25.0);
+  const double n = test_nmos().n_slope;
+  const double i1 = m.ids(0.15, 1.1, 0.0, 25.0);
+  const double i2 = m.ids(0.25, 1.1, 0.0, 25.0);
+  const double decades = std::log10(i2 / i1);
+  const double expected = 0.10 / (n * vt * std::log(10.0));
+  EXPECT_NEAR(decades, expected, expected * 0.05);
+}
+
+TEST(Mosfet, SaturationCurrentRoughlyQuadraticInOverdrive) {
+  const Mosfet m(test_nmos());
+  const double i1 = m.ids(0.45 + 0.3, 1.2, 0.0, 25.0);
+  const double i2 = m.ids(0.45 + 0.6, 1.2, 0.0, 25.0);
+  const double ratio = i2 / i1;
+  EXPECT_GT(ratio, 2.5);  // quadratic-ish: ~4 ideal, reduced by CLM/moderate inv.
+  EXPECT_LT(ratio, 5.0);
+}
+
+// ---------- PMOS mirror -------------------------------------------------------
+
+TEST(Mosfet, PmosConductsWithGateLow) {
+  const Mosfet m(test_pmos());
+  // Source at VDD, gate at 0: strongly on, current flows source->drain, i.e.
+  // the into-drain current is negative.
+  const double i = m.ids(0.0, 0.0, 1.1, 25.0);
+  EXPECT_LT(i, -1e-6);
+  // Gate at VDD: off (tiny magnitude).
+  EXPECT_GT(std::fabs(m.ids(1.1, 0.0, 1.1, 25.0)), 0.0);
+  EXPECT_LT(std::fabs(m.ids(1.1, 0.0, 1.1, 25.0)), std::fabs(i) * 1e-4);
+}
+
+TEST(Mosfet, PmosMirrorsWellReferencedNmos) {
+  // The PMOS well ties to its highest terminal, so with vs >= vd the PMOS
+  // current equals the negated NMOS current at the well-referenced bias
+  // (vs - vg, vs - vd, 0).
+  const Mosfet n(test_nmos());
+  const Mosfet p(test_pmos());
+  const double ip = p.ids(0.3, 0.2, 1.1, 25.0);
+  const double in = n.ids(1.1 - 0.3, 1.1 - 0.2, 0.0, 25.0);
+  EXPECT_NEAR(ip, -in, std::fabs(in) * 1e-6);
+}
+
+TEST(Mosfet, PmosOffLeakMatchesNmosOffLeak) {
+  // With identical parameters, a PMOS at Vsg = 0 must leak like an NMOS at
+  // Vgs = 0 — the well reference removes any spurious body bias.
+  const Mosfet n(test_nmos());
+  const Mosfet p(test_pmos());
+  const double i_n = n.ids(0.0, 1.1, 0.0, 25.0);
+  const double i_p = -p.ids(1.1, 0.0, 1.1, 25.0);
+  EXPECT_NEAR(i_p, i_n, i_n * 0.05);
+}
+
+// ---------- analytic derivatives vs finite differences ------------------------------
+
+struct BiasPoint {
+  double vg, vd, vs;
+};
+
+class MosfetDerivativeTest
+    : public ::testing::TestWithParam<std::tuple<MosType, BiasPoint>> {};
+
+TEST_P(MosfetDerivativeTest, MatchesFiniteDifference) {
+  const auto [type, bias] = GetParam();
+  MosfetParams params = test_nmos();
+  params.type = type;
+  const Mosfet m(params);
+  const double temp = 25.0;
+  const MosEval e = m.eval(bias.vg, bias.vd, bias.vs, temp);
+
+  const double h = 1e-6;
+  const double gm_fd =
+      (m.ids(bias.vg + h, bias.vd, bias.vs, temp) -
+       m.ids(bias.vg - h, bias.vd, bias.vs, temp)) / (2 * h);
+  const double gds_fd =
+      (m.ids(bias.vg, bias.vd + h, bias.vs, temp) -
+       m.ids(bias.vg, bias.vd - h, bias.vs, temp)) / (2 * h);
+  const double gms_fd =
+      (m.ids(bias.vg, bias.vd, bias.vs + h, temp) -
+       m.ids(bias.vg, bias.vd, bias.vs - h, temp)) / (2 * h);
+
+  const double scale = std::max({std::fabs(gm_fd), std::fabs(gds_fd),
+                                 std::fabs(gms_fd), 1e-15});
+  EXPECT_NEAR(e.gm, gm_fd, scale * 1e-4);
+  EXPECT_NEAR(e.gds, gds_fd, scale * 1e-4);
+  EXPECT_NEAR(e.gms, gms_fd, scale * 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, MosfetDerivativeTest,
+    ::testing::Combine(
+        ::testing::Values(MosType::Nmos, MosType::Pmos),
+        ::testing::Values(BiasPoint{0.0, 1.1, 0.0},   // off
+                          BiasPoint{0.45, 1.1, 0.0},  // threshold
+                          BiasPoint{1.1, 1.1, 0.0},   // strong inversion
+                          BiasPoint{0.8, 0.05, 0.0},  // triode
+                          BiasPoint{0.3, 0.3, 0.1},   // weak inversion
+                          BiasPoint{0.6, -0.2, 0.4},  // reverse mode
+                          BiasPoint{-0.5, 0.7, -0.1})));
+
+// ---------- temperature ----------------------------------------------------------
+
+TEST(Mosfet, LeakageGrowsStronglyWithTemperature) {
+  const Mosfet m(test_nmos());
+  const double cold = m.ids(0.0, 1.1, 0.0, -30.0);
+  const double hot = m.ids(0.0, 1.1, 0.0, 125.0);
+  EXPECT_GT(hot / cold, 100.0);  // orders of magnitude
+}
+
+TEST(Mosfet, OnCurrentDropsWithTemperature) {
+  // Strong inversion: mobility degradation dominates the Vth drop.
+  const Mosfet m(test_nmos());
+  const double cold = m.ids(1.1, 1.1, 0.0, -30.0);
+  const double hot = m.ids(1.1, 1.1, 0.0, 125.0);
+  EXPECT_LT(hot, cold);
+}
+
+TEST(Mosfet, VthEffectiveIncludesTempAndShift) {
+  MosfetParams p = test_nmos();
+  p.dvth = 0.05;
+  const Mosfet m(p);
+  EXPECT_NEAR(m.vth_effective(25.0), 0.50, 1e-12);
+  EXPECT_LT(m.vth_effective(125.0), m.vth_effective(25.0));
+}
+
+// ---------- corners ----------------------------------------------------------
+
+TEST(Corners, TypicalIsNeutral) {
+  const CornerShift s = corner_shift(Corner::Typical);
+  EXPECT_DOUBLE_EQ(s.dvth_n, 0.0);
+  EXPECT_DOUBLE_EQ(s.dvth_p, 0.0);
+  EXPECT_DOUBLE_EQ(s.mob_n, 1.0);
+  EXPECT_DOUBLE_EQ(s.mob_p, 1.0);
+}
+
+TEST(Corners, FastLowersVthSlowRaises) {
+  EXPECT_LT(corner_shift(Corner::Fast).dvth_n, 0.0);
+  EXPECT_GT(corner_shift(Corner::Slow).dvth_n, 0.0);
+}
+
+TEST(Corners, MixedCornersSplitPolarities) {
+  const CornerShift fs = corner_shift(Corner::FastNSlowP);
+  EXPECT_LT(fs.dvth_n, 0.0);
+  EXPECT_GT(fs.dvth_p, 0.0);
+  const CornerShift sf = corner_shift(Corner::SlowNFastP);
+  EXPECT_GT(sf.dvth_n, 0.0);
+  EXPECT_LT(sf.dvth_p, 0.0);
+}
+
+TEST(Corners, NamesMatchPaperNotation) {
+  EXPECT_EQ(corner_name(Corner::FastNSlowP), "fs");
+  EXPECT_EQ(corner_name(Corner::SlowNFastP), "sf");
+  EXPECT_EQ(corner_name(Corner::Typical), "typical");
+  EXPECT_EQ(kAllCorners.size(), 5u);
+}
+
+TEST(Corners, ApplyCornerShiftsParams) {
+  const Technology tech = Technology::lp40nm();
+  const MosfetParams base = tech.cell_pulldown();
+  const MosfetParams fast = Technology::apply_corner(base, Corner::Fast);
+  EXPECT_LT(fast.dvth, base.dvth);
+  EXPECT_GT(fast.mob_factor, base.mob_factor);
+}
+
+// ---------- variation sign convention ----------------------------------------------
+
+TEST(Variation, SignedConventionNmos) {
+  const VariationModel var;
+  // Positive sigma on NMOS raises Vth (weaker device).
+  EXPECT_GT(var.shift_volts(3.0, MosType::Nmos), 0.0);
+  EXPECT_LT(var.shift_volts(-3.0, MosType::Nmos), 0.0);
+}
+
+TEST(Variation, SignedConventionPmosIsMirrored) {
+  const VariationModel var;
+  // Positive sigma on PMOS means signed Vth rises = |Vth| shrinks =
+  // *stronger* device; our dvth is a magnitude shift, hence negative.
+  EXPECT_LT(var.shift_volts(3.0, MosType::Pmos), 0.0);
+  EXPECT_GT(var.shift_volts(-3.0, MosType::Pmos), 0.0);
+}
+
+TEST(Variation, SamplerIsDeterministic) {
+  VthSampler a(7);
+  VthSampler b(7);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(a.sample_sigma(), b.sample_sigma());
+}
+
+// ---------- technology ----------------------------------------------------------
+
+TEST(Technology, PaperPvtGrids) {
+  const Technology tech = Technology::lp40nm();
+  EXPECT_DOUBLE_EQ(tech.vdd_nominal(), 1.1);
+  EXPECT_EQ(tech.vdd_levels().size(), 3u);
+  EXPECT_EQ(tech.temperatures().size(), 3u);
+  EXPECT_DOUBLE_EQ(tech.temperatures()[0], -30.0);
+  EXPECT_DOUBLE_EQ(tech.temperatures()[2], 125.0);
+}
+
+TEST(Technology, CellBetaRatioDiscipline) {
+  const Technology tech = Technology::lp40nm();
+  const double w_pd = tech.cell_pulldown().w;
+  const double w_pg = tech.cell_pass().w;
+  const double w_pu = tech.cell_pullup().w;
+  EXPECT_GT(w_pd, w_pg);
+  EXPECT_GE(w_pg, w_pu);
+}
+
+TEST(Technology, PassGateIsHighVt) {
+  const Technology tech = Technology::lp40nm();
+  EXPECT_GT(tech.cell_pass().vth0, tech.cell_pulldown().vth0);
+}
+
+TEST(Technology, DeviceTypesAreCorrect) {
+  const Technology tech = Technology::lp40nm();
+  EXPECT_EQ(tech.cell_pullup().type, MosType::Pmos);
+  EXPECT_EQ(tech.cell_pulldown().type, MosType::Nmos);
+  EXPECT_EQ(tech.reg_output_pmos().type, MosType::Pmos);
+  EXPECT_EQ(tech.reg_tail_nmos().type, MosType::Nmos);
+  EXPECT_EQ(tech.power_switch_pmos().type, MosType::Pmos);
+}
+
+}  // namespace
+}  // namespace lpsram

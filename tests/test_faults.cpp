@@ -1,0 +1,423 @@
+// Tests for the classic fault models and the fault simulator: the March
+// engine must earn the textbook coverage guarantees before the paper's
+// retention extension means anything.
+#include <gtest/gtest.h>
+
+#include "lpsram/faults/coverage.hpp"
+#include "lpsram/util/error.hpp"
+#include "lpsram/march/library.hpp"
+
+namespace lpsram {
+namespace {
+
+SramConfig small_config() {
+  SramConfig config;
+  config.words = 32;
+  config.bits = 8;
+  config.baseline_drv = DrvResult{0.12, 0.12};
+  return config;
+}
+
+FaultListOptions list_options() {
+  FaultListOptions o;
+  o.max_cells = 12;
+  return o;
+}
+
+// ---------- FaultyMemory semantics ----------------------------------------------
+
+TEST(FaultyMemory, StuckAt0ForcesStorageAndReads) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.cls = FaultClass::StuckAt0;
+  f.address = 4;
+  f.bit = 2;
+  mem.add_fault(f);
+  mem.write_word(4, 0xFF);
+  EXPECT_EQ(mem.read_word(4), 0xFFu & ~(1u << 2));
+}
+
+TEST(FaultyMemory, StuckAt1) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.cls = FaultClass::StuckAt1;
+  f.address = 4;
+  f.bit = 0;
+  mem.add_fault(f);
+  mem.write_word(4, 0x00);
+  EXPECT_EQ(mem.read_word(4), 0x01u);
+}
+
+TEST(FaultyMemory, TransitionUpFailsOnlyRisingWrites) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.cls = FaultClass::TransitionUp;
+  f.address = 7;
+  f.bit = 3;
+  mem.add_fault(f);
+  mem.write_word(7, 0x00);
+  mem.write_word(7, 0xFF);  // 0 -> 1 on the victim: fails
+  EXPECT_EQ(mem.read_word(7), 0xFFu & ~(1u << 3));
+  // Cell forced to 1 via the backdoor: a 1 -> 1 write is unaffected.
+  mem.poke(7, 0xFF);
+  mem.write_word(7, 0xFF);
+  EXPECT_EQ(mem.read_word(7), 0xFFu);
+}
+
+TEST(FaultyMemory, TransitionDownFailsFallingWrites) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.cls = FaultClass::TransitionDown;
+  f.address = 7;
+  f.bit = 3;
+  mem.add_fault(f);
+  mem.write_word(7, 0xFF);
+  mem.write_word(7, 0x00);  // 1 -> 0 fails on the victim
+  EXPECT_EQ(mem.read_word(7), 1u << 3);
+}
+
+TEST(FaultyMemory, CouplingInversionOnAggressorTransition) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.cls = FaultClass::CouplingInversion;
+  f.address = 2;            // victim word
+  f.bit = 1;
+  f.aggressor_address = 3;  // different word
+  f.aggressor_bit = 0;
+  f.aggressor_up = true;
+  mem.add_fault(f);
+
+  mem.write_word(2, 0x00);
+  mem.write_word(3, 0x00);
+  mem.write_word(3, 0x01);  // aggressor rises -> victim inverts
+  EXPECT_EQ(mem.read_word(2), 1u << 1);
+  mem.write_word(3, 0x00);  // falling edge: no effect for <up> fault
+  EXPECT_EQ(mem.read_word(2), 1u << 1);
+}
+
+TEST(FaultyMemory, CouplingIdempotentForcesValue) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.cls = FaultClass::CouplingIdempotent;
+  f.address = 2;
+  f.bit = 1;
+  f.aggressor_address = 3;
+  f.aggressor_bit = 0;
+  f.aggressor_up = false;  // sensitized by 1 -> 0
+  f.forced_value = 1;
+  mem.add_fault(f);
+
+  mem.write_word(2, 0x00);
+  mem.write_word(3, 0x01);
+  mem.write_word(3, 0x00);  // falling aggressor forces victim to 1
+  EXPECT_EQ(mem.read_word(2), 1u << 1);
+  // Idempotent: repeating leaves it forced, writes can restore.
+  mem.write_word(2, 0x00);
+  EXPECT_EQ(mem.read_word(2), 0u);
+}
+
+TEST(FaultyMemory, CouplingStateForcesWhileAggressorHolds) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.cls = FaultClass::CouplingState;
+  f.address = 5;
+  f.bit = 0;
+  f.aggressor_address = 6;
+  f.aggressor_bit = 0;
+  f.aggressor_state = 1;
+  f.forced_value = 0;
+  mem.add_fault(f);
+
+  mem.write_word(6, 0x01);  // aggressor in state 1
+  mem.write_word(5, 0x01);
+  EXPECT_EQ(mem.read_word(5), 0x00u);  // forced low at read
+  mem.write_word(6, 0x00);  // aggressor leaves the state
+  mem.write_word(5, 0x01);
+  EXPECT_EQ(mem.read_word(5), 0x01u);
+}
+
+TEST(FaultyMemory, RetentionDecayAfterIdleTime) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram, /*cycle_time=*/10e-9);
+  FaultDescriptor f;
+  f.cls = FaultClass::RetentionDecay;
+  f.address = 1;
+  f.bit = 0;
+  f.forced_value = 0;
+  f.retention_time = 1e-4;
+  mem.add_fault(f);
+
+  mem.write_word(1, 0x01);
+  EXPECT_EQ(mem.read_word(1), 0x01u);  // immediately fine
+  mem.deep_sleep(1e-3);                // idle: exceeds retention time
+  mem.wake_up();
+  EXPECT_EQ(mem.read_word(1), 0x00u);  // decayed
+}
+
+TEST(FaultyMemory, OutOfRangeVictimThrows) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.address = 999;
+  EXPECT_THROW(mem.add_fault(f), InvalidArgument);
+}
+
+TEST(FaultDescriptor, StringsAreInformative) {
+  FaultDescriptor f;
+  f.cls = FaultClass::CouplingIdempotent;
+  f.address = 3;
+  f.bit = 1;
+  f.aggressor_address = 4;
+  f.aggressor_bit = 2;
+  f.forced_value = 1;
+  EXPECT_NE(f.str().find("CFid"), std::string::npos);
+  EXPECT_NE(f.str().find("agg(4,2)"), std::string::npos);
+  EXPECT_EQ(fault_class_name(FaultClass::StuckAt0), "SA0");
+}
+
+TEST(FaultyMemory, WriteDisturbFlipsOnNonTransitionWrite) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.cls = FaultClass::WriteDisturb;
+  f.address = 2;
+  f.bit = 0;
+  f.sensitizing_state = 1;
+  mem.add_fault(f);
+
+  mem.write_word(2, 0x01);  // 0 -> 1 transition: no disturb
+  EXPECT_EQ(mem.read_word(2), 0x01u);
+  mem.write_word(2, 0x01);  // 1 -> 1 non-transition: flips
+  EXPECT_EQ(mem.read_word(2), 0x00u);
+}
+
+TEST(FaultyMemory, ReadDisturbFlipsAndReturnsFlipped) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.cls = FaultClass::ReadDisturb;
+  f.address = 2;
+  f.bit = 0;
+  f.sensitizing_state = 1;
+  mem.add_fault(f);
+
+  mem.write_word(2, 0x01);
+  EXPECT_EQ(mem.read_word(2), 0x00u);  // flipped value returned
+  EXPECT_EQ(mem.peek(2), 0x00u);       // and stored
+}
+
+TEST(FaultyMemory, DeceptiveReadDisturbReturnsCorrectThenFlips) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.cls = FaultClass::DeceptiveReadDisturb;
+  f.address = 2;
+  f.bit = 0;
+  f.sensitizing_state = 0;
+  mem.add_fault(f);
+
+  mem.write_word(2, 0x00);
+  EXPECT_EQ(mem.read_word(2), 0x00u);  // first read looks fine
+  EXPECT_EQ(mem.peek(2), 0x01u);       // but the cell flipped
+  EXPECT_EQ(mem.read_word(2), 0x01u);  // a second read exposes it
+}
+
+TEST(FaultyMemory, IncorrectReadLeavesStorageIntact) {
+  LowPowerSram sram(small_config());
+  FaultyMemory mem(sram);
+  FaultDescriptor f;
+  f.cls = FaultClass::IncorrectRead;
+  f.address = 2;
+  f.bit = 0;
+  f.sensitizing_state = 1;
+  mem.add_fault(f);
+
+  mem.write_word(2, 0x01);
+  EXPECT_EQ(mem.read_word(2), 0x00u);  // bus value wrong
+  EXPECT_EQ(mem.peek(2), 0x01u);       // storage fine
+}
+
+// ---------- fault list generation ----------------------------------------------
+
+TEST(FaultLists, SizesAndDeterminism) {
+  LowPowerSram sram(small_config());
+  const auto saf = generate_stuck_at(sram, list_options());
+  EXPECT_EQ(saf.size(), 24u);  // 12 cells x SA0/SA1
+  const auto tf = generate_transition(sram, list_options());
+  EXPECT_EQ(tf.size(), 24u);
+  const auto cf = generate_coupling(sram, list_options());
+  EXPECT_EQ(cf.size(), 12u * 10u);  // 2 CFin + 4 CFid + 4 CFst per victim
+  const auto again = generate_stuck_at(sram, list_options());
+  EXPECT_EQ(saf[0].address, again[0].address);
+  const auto disturb = generate_disturb(sram, list_options());
+  EXPECT_EQ(disturb.size(), 12u * 8u);  // 4 classes x 2 states per cell
+  const auto intra = generate_intra_word_coupling(sram, list_options());
+  EXPECT_EQ(intra.size(), 12u * 4u);
+  EXPECT_EQ(generate_all(sram, list_options()).size(),
+            saf.size() + tf.size() + cf.size() + disturb.size() +
+                generate_retention(sram, list_options()).size());
+}
+
+// ---------- coverage guarantees ----------------------------------------------
+
+double coverage_of(const MarchTest& test,
+                   const std::vector<FaultDescriptor>& faults) {
+  LowPowerSram sram(small_config());
+  MarchExecutorOptions options;
+  options.ds_time = 1e-4;
+  FaultSimulator sim(sram, options);
+  return sim.simulate(test, faults).coverage();
+}
+
+TEST(Coverage, MatsPlusDetectsAllStuckAt) {
+  LowPowerSram sram(small_config());
+  EXPECT_DOUBLE_EQ(
+      coverage_of(march::mats_plus(), generate_stuck_at(sram, list_options())),
+      1.0);
+}
+
+TEST(Coverage, MarchCMinusDetectsStaticSingleCellFaults) {
+  LowPowerSram sram(small_config());
+  EXPECT_DOUBLE_EQ(
+      coverage_of(march::march_c_minus(),
+                  generate_stuck_at(sram, list_options())),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      coverage_of(march::march_c_minus(),
+                  generate_transition(sram, list_options())),
+      1.0);
+}
+
+TEST(Coverage, MarchCMinusDetectsCouplingFaults) {
+  LowPowerSram sram(small_config());
+  EXPECT_DOUBLE_EQ(coverage_of(march::march_c_minus(),
+                               generate_coupling(sram, list_options())),
+                   1.0);
+}
+
+TEST(Coverage, MarchSsAtLeastMatchesMarchCMinus) {
+  LowPowerSram sram(small_config());
+  const auto faults = generate_all(sram, list_options());
+  const double ss = coverage_of(march::march_ss(), faults);
+  const double cm = coverage_of(march::march_c_minus(), faults);
+  EXPECT_GE(ss, cm - 1e-12);
+}
+
+TEST(Coverage, MatsPlusMissesSomeCouplingFaults) {
+  // Sanity for the simulator: a weak test must NOT get full marks.
+  LowPowerSram sram(small_config());
+  EXPECT_LT(coverage_of(march::mats_plus(),
+                        generate_coupling(sram, list_options())),
+            1.0);
+}
+
+TEST(Coverage, DsmTestsCatchRetentionDecayOthersMiss) {
+  // The classic DRF needs an idle period: tests with a DSM dwell (March LZ /
+  // m-LZ) catch it, pure marching tests do not.
+  LowPowerSram sram(small_config());
+  FaultListOptions o = list_options();
+  o.retention_time = 1e-5;  // decays within the 1e-4 s DS dwell
+  const auto faults = generate_retention(sram, o);
+  EXPECT_DOUBLE_EQ(coverage_of(march::march_m_lz(), faults), 1.0);
+  EXPECT_LT(coverage_of(march::march_c_minus(), faults), 0.5);
+}
+
+TEST(Coverage, AnyReadingTestDetectsRdfAndIrf) {
+  // RDF/IRF return a wrong value on the very read that sensitizes them:
+  // even MATS+ (which reads both states once) reaches full coverage.
+  LowPowerSram sram(small_config());
+  std::vector<FaultDescriptor> faults;
+  for (const FaultDescriptor& f : generate_disturb(sram, list_options())) {
+    if (f.cls == FaultClass::ReadDisturb || f.cls == FaultClass::IncorrectRead)
+      faults.push_back(f);
+  }
+  EXPECT_DOUBLE_EQ(coverage_of(march::mats_plus(), faults), 1.0);
+}
+
+TEST(Coverage, MarchSsClosesDrdfAndWdfThatMarchCMinusMisses) {
+  // The faults March SS was built for: deceptive read disturb needs a
+  // double read (rx,rx), write disturb needs a non-transition write —
+  // March C- has neither for every state.
+  LowPowerSram sram(small_config());
+  std::vector<FaultDescriptor> hard;
+  for (const FaultDescriptor& f : generate_disturb(sram, list_options())) {
+    const bool drdf = f.cls == FaultClass::DeceptiveReadDisturb;
+    const bool wdf1 =
+        f.cls == FaultClass::WriteDisturb && f.sensitizing_state == 1;
+    if (drdf || wdf1) hard.push_back(f);
+  }
+  EXPECT_LT(coverage_of(march::march_c_minus(), hard), 1.0);
+  EXPECT_DOUBLE_EQ(coverage_of(march::march_ss(), hard), 1.0);
+}
+
+TEST(Coverage, IntraWordCouplingNeedsDataBackgrounds) {
+  // With the solid background, two cells of one word always hold equal
+  // values: CFst<1;1>-style intra-word faults escape March C-. Running the
+  // standard background set closes the gap.
+  LowPowerSram sram(small_config());
+  const auto faults = generate_intra_word_coupling(sram, list_options());
+
+  const double solid = coverage_of(march::march_c_minus(), faults);
+  EXPECT_LT(solid, 1.0);
+
+  // Multi-background serial simulation.
+  std::size_t detected = 0;
+  for (const FaultDescriptor& fault : faults) {
+    for (std::size_t a = 0; a < sram.words(); ++a) sram.poke(a, 0);
+    FaultyMemory faulty(sram);
+    faulty.add_fault(fault);
+    MarchExecutorOptions options;
+    options.ds_time = 1e-4;
+    options.stop_on_first_failure = true;
+    const auto result = run_with_backgrounds(
+        faulty, march::march_c_minus(),
+        standard_backgrounds(sram.bits_per_word()), options);
+    if (!result.passed) ++detected;
+  }
+  EXPECT_EQ(detected, faults.size());
+}
+
+TEST(Coverage, ScrambledTopologicalCouplingStillCovered) {
+  // On a twisted layout the coupling pairs connect logically-distant
+  // addresses; March C- runs both address directions, so the textbook
+  // coverage guarantee survives any bijective scrambling.
+  LowPowerSram sram(small_config());
+  const AddressScrambler scrambler =
+      AddressScrambler::bit_reverse(sram.words());
+  const auto faults = generate_coupling(sram, scrambler, list_options());
+  EXPECT_EQ(faults.size(), 12u * 10u);
+  // At least one pair is logically non-adjacent (the point of scrambling).
+  bool distant = false;
+  for (const FaultDescriptor& f : faults) {
+    const std::size_t d = f.aggressor_address > f.address
+                              ? f.aggressor_address - f.address
+                              : f.address - f.aggressor_address;
+    distant = distant || d > 1;
+  }
+  EXPECT_TRUE(distant);
+  EXPECT_DOUBLE_EQ(coverage_of(march::march_c_minus(), faults), 1.0);
+}
+
+TEST(Coverage, SummaryTableRendersAllClasses) {
+  LowPowerSram sram(small_config());
+  MarchExecutorOptions options;
+  options.ds_time = 1e-4;
+  FaultSimulator sim(sram, options);
+  const FaultSimResult result =
+      sim.simulate(march::march_ss(), generate_all(sram, list_options()));
+  const CoverageByClass summary = summarize(result);
+  EXPECT_GE(summary.counts.size(), 6u);
+  const std::string table = coverage_table(summary);
+  EXPECT_NE(table.find("SA0"), std::string::npos);
+  EXPECT_NE(table.find("overall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lpsram

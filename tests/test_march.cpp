@@ -1,0 +1,353 @@
+// Tests for the March engine: notation, parser, executor semantics, the test
+// library, and the test-time model behind the 75% reduction claim.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lpsram/march/executor.hpp"
+#include "lpsram/march/library.hpp"
+#include "lpsram/march/parser.hpp"
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+SramConfig small_config() {
+  SramConfig config;
+  config.words = 32;
+  config.bits = 8;
+  config.baseline_drv = DrvResult{0.12, 0.12};
+  return config;
+}
+
+// ---------- notation ----------------------------------------------------
+
+TEST(Notation, OpStrings) {
+  EXPECT_EQ(r0().str(), "r0");
+  EXPECT_EQ(r1().str(), "r1");
+  EXPECT_EQ(w0().str(), "w0");
+  EXPECT_EQ(w1().str(), "w1");
+}
+
+TEST(Notation, ElementStrings) {
+  EXPECT_EQ(MarchElement::deep_sleep().str(), "DSM");
+  EXPECT_EQ(MarchElement::wake_up().str(), "WUP");
+  EXPECT_EQ(MarchElement::make(AddressOrder::Ascending, {r1(), w0()}).str(),
+            "up(r1,w0)");
+  EXPECT_EQ(MarchElement::make(AddressOrder::Any, {w1()}).str(), "any(w1)");
+}
+
+TEST(Notation, MarchMlzStructureMatchesPaper) {
+  const MarchTest t = march::march_m_lz();
+  EXPECT_EQ(t.name, "March m-LZ");
+  EXPECT_EQ(t.elements.size(), 7u);  // ME1..ME7
+  EXPECT_EQ(t.ops_per_cell(), 5);
+  EXPECT_EQ(t.constant_ops(), 4);
+  EXPECT_EQ(t.complexity(), "5N+4");  // paper: length 5N+4
+  EXPECT_EQ(t.deep_sleep_phases(), 2);
+  EXPECT_EQ(t.notation(),
+            "{ any(w1); DSM; WUP; up(r1,w0,r0); DSM; WUP; up(r0) }");
+}
+
+TEST(Notation, LibraryComplexities) {
+  EXPECT_EQ(march::mats_plus().complexity(), "5N");
+  EXPECT_EQ(march::march_x().complexity(), "6N");
+  EXPECT_EQ(march::march_y().complexity(), "8N");
+  EXPECT_EQ(march::march_a().complexity(), "15N");
+  EXPECT_EQ(march::march_b().complexity(), "17N");
+  EXPECT_EQ(march::pmovi().complexity(), "13N");
+  EXPECT_EQ(march::march_c_minus().complexity(), "10N");
+  EXPECT_EQ(march::march_ss().complexity(), "22N");
+  EXPECT_EQ(march::march_lz().complexity(), "4N+2");
+  EXPECT_EQ(march::all_tests().size(), 10u);
+}
+
+TEST(Notation, ValidationCatchesBadSequences) {
+  MarchTest t;
+  t.name = "bad";
+  EXPECT_THROW(t.validate(), InvalidArgument);  // empty
+
+  t.elements = {MarchElement::wake_up()};
+  EXPECT_THROW(t.validate(), InvalidArgument);  // WUP without DSM
+
+  t.elements = {MarchElement::make(AddressOrder::Any, {w1()}),
+                MarchElement::deep_sleep()};
+  EXPECT_THROW(t.validate(), InvalidArgument);  // ends in DS
+
+  t.elements = {MarchElement::deep_sleep(),
+                MarchElement::make(AddressOrder::Any, {r1()}),
+                MarchElement::wake_up()};
+  EXPECT_THROW(t.validate(), InvalidArgument);  // ops while asleep
+
+  t.elements = {MarchElement::deep_sleep(), MarchElement::deep_sleep()};
+  EXPECT_THROW(t.validate(), InvalidArgument);  // nested DSM
+}
+
+TEST(Notation, EveryLibraryTestValidates) {
+  for (const MarchTest& t : march::all_tests()) {
+    EXPECT_NO_THROW(t.validate()) << t.name;
+    EXPECT_GE(t.ops_per_cell(), 3) << t.name;
+  }
+}
+
+// ---------- parser ----------------------------------------------------
+
+TEST(Parser, RoundTripsLibrary) {
+  for (const MarchTest& t : march::all_tests()) {
+    const MarchTest parsed = parse_march(t.notation(), t.name);
+    EXPECT_EQ(parsed.elements, t.elements) << t.name;
+    EXPECT_EQ(parsed.notation(), t.notation()) << t.name;
+  }
+}
+
+TEST(Parser, AcceptsSymbolOrders) {
+  const MarchTest t = parse_march("{ *(w0); ^(r0,w1); v(r1,w0) }");
+  EXPECT_EQ(t.elements[0].order, AddressOrder::Any);
+  EXPECT_EQ(t.elements[1].order, AddressOrder::Ascending);
+  EXPECT_EQ(t.elements[2].order, AddressOrder::Descending);
+}
+
+TEST(Parser, WhitespaceInsensitive) {
+  const MarchTest t =
+      parse_march("  {any(w1);DSM;  WUP;up( r1 , w0 ,r0 )}  ");
+  EXPECT_EQ(t.elements.size(), 4u);
+}
+
+class ParserErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserErrorTest, Rejects) {
+  EXPECT_THROW(parse_march(GetParam()), ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, ParserErrorTest,
+    ::testing::Values("", "{", "{ }trailing", "{ up() }", "{ up(x0) }",
+                      "{ up(r2) }", "{ up(r0,) }", "{ sideways(r0) }",
+                      "{ up(r0) ", "{ up r0 }", "{ DS M }"));
+
+TEST(Parser, StructurallyInvalidButParseableThrowsInvalidArgument) {
+  // Parses fine but fails validate() (WUP without DSM).
+  EXPECT_THROW(parse_march("{ any(w1); WUP }"), InvalidArgument);
+}
+
+// ---------- executor ----------------------------------------------------
+
+TEST(Executor, HealthyMemoryPassesAllLibraryTests) {
+  LowPowerSram sram(small_config());
+  MarchExecutorOptions options;
+  options.ds_time = 1e-4;
+  MarchExecutor executor(sram, options);
+  for (const MarchTest& t : march::all_tests()) {
+    const MarchRunResult r = executor.run(t);
+    EXPECT_TRUE(r.passed) << t.name;
+    EXPECT_EQ(r.total_failures, 0u) << t.name;
+    EXPECT_EQ(r.operations,
+              static_cast<std::uint64_t>(t.ops_per_cell()) * sram.words())
+        << t.name;
+  }
+}
+
+TEST(Executor, DetectsPlantedError) {
+  LowPowerSram sram(small_config());
+  MarchExecutor executor(sram, {});
+  // MATS+ starts with w0 everywhere; planting a stuck bit via the backdoor
+  // won't survive the init, so instead check a read-expectation mismatch by
+  // running a read-only test against a poked pattern.
+  const MarchTest read_ones = parse_march("{ up(r1) }", "read-ones");
+  for (std::size_t a = 0; a < sram.words(); ++a) sram.poke(a, 0xFF);
+  sram.poke(13, 0xBF);  // one bit low
+  const MarchRunResult r = executor.run(read_ones);
+  EXPECT_FALSE(r.passed);
+  EXPECT_EQ(r.total_failures, 1u);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].address, 13u);
+  EXPECT_EQ(r.failures[0].expected, 0xFFu);
+  EXPECT_EQ(r.failures[0].actual, 0xBFu);
+}
+
+TEST(Executor, DescendingOrderVisitsReverse) {
+  LowPowerSram sram(small_config());
+  // w1 ascending writes then r1 descending reads: if descending order were
+  // broken, a transition-style planted error at the last address would be
+  // masked. Verify order via failure ordering: plant errors at addresses 3
+  // and 20; descending read reports 20 first.
+  for (std::size_t a = 0; a < sram.words(); ++a) sram.poke(a, 0xFF);
+  sram.poke(3, 0x7F);
+  sram.poke(20, 0x7F);
+  MarchExecutor executor(sram, {});
+  const MarchRunResult r = executor.run(parse_march("{ v(r1) }", "rev"));
+  ASSERT_EQ(r.failures.size(), 2u);
+  EXPECT_EQ(r.failures[0].address, 20u);
+  EXPECT_EQ(r.failures[1].address, 3u);
+}
+
+TEST(Executor, StopOnFirstFailure) {
+  LowPowerSram sram(small_config());
+  for (std::size_t a = 0; a < sram.words(); ++a) sram.poke(a, 0x00);
+  MarchExecutorOptions options;
+  options.stop_on_first_failure = true;
+  MarchExecutor executor(sram, options);
+  const MarchRunResult r = executor.run(parse_march("{ up(r1) }", "r1"));
+  EXPECT_FALSE(r.passed);
+  EXPECT_EQ(r.total_failures, 1u);
+  EXPECT_LT(r.operations, sram.words());
+}
+
+TEST(Executor, FailureCapRespected) {
+  LowPowerSram sram(small_config());
+  for (std::size_t a = 0; a < sram.words(); ++a) sram.poke(a, 0x00);
+  MarchExecutorOptions options;
+  options.max_failures = 5;
+  MarchExecutor executor(sram, options);
+  const MarchRunResult r = executor.run(parse_march("{ up(r1) }", "r1"));
+  EXPECT_EQ(r.failures.size(), 5u);
+  EXPECT_EQ(r.total_failures, sram.words());
+}
+
+TEST(Executor, MarchMlzDrivesPowerModes) {
+  LowPowerSram sram(small_config());
+  MarchExecutorOptions options;
+  options.ds_time = 2e-4;
+  MarchExecutor executor(sram, options);
+  const double t0 = sram.elapsed_time();
+  const MarchRunResult r = executor.run(march::march_m_lz());
+  EXPECT_TRUE(r.passed);
+  EXPECT_EQ(sram.mode(), PowerMode::Active);
+  // Two DSM dwells must appear in the simulated time.
+  EXPECT_GT(sram.elapsed_time() - t0, 2 * options.ds_time);
+}
+
+// ---------- data backgrounds ----------------------------------------------------
+
+TEST(Backgrounds, SolidIsAllZeros) {
+  const DataBackground bg = DataBackground::solid();
+  EXPECT_EQ(bg.zero_pattern(0, 16), 0u);
+  EXPECT_EQ(bg.one_pattern(0, 16), 0xFFFFu);
+  EXPECT_EQ(bg.one_pattern(5, 64), ~0ull);
+  EXPECT_EQ(bg.name(), "solid");
+}
+
+TEST(Backgrounds, BitStripePatterns) {
+  EXPECT_EQ(DataBackground::bit_stripe(1).zero_pattern(0, 8), 0xAAu);
+  EXPECT_EQ(DataBackground::bit_stripe(2).zero_pattern(0, 8), 0xCCu);
+  EXPECT_EQ(DataBackground::bit_stripe(4).zero_pattern(0, 8), 0xF0u);
+  EXPECT_THROW(DataBackground::bit_stripe(0), InvalidArgument);
+}
+
+TEST(Backgrounds, CheckerboardAlternatesWithAddress) {
+  const DataBackground bg = DataBackground::checkerboard();
+  EXPECT_EQ(bg.zero_pattern(0, 8), 0xAAu);
+  EXPECT_EQ(bg.zero_pattern(1, 8), 0x55u);
+}
+
+TEST(Backgrounds, RowStripeAlternatesWords) {
+  const DataBackground bg = DataBackground::row_stripe();
+  EXPECT_EQ(bg.zero_pattern(0, 8), 0x00u);
+  EXPECT_EQ(bg.zero_pattern(1, 8), 0xFFu);
+}
+
+TEST(Backgrounds, StandardSetCoversEveryIntraWordPair) {
+  // log2(bits)+1 backgrounds; every pair of bits differs under at least one.
+  const int bits = 16;
+  const auto set = standard_backgrounds(bits);
+  EXPECT_EQ(set.size(), 5u);  // solid + stripes 1,2,4,8
+  for (int a = 0; a < bits; ++a) {
+    for (int b = a + 1; b < bits; ++b) {
+      bool covered = false;
+      for (const DataBackground& bg : set) {
+        const std::uint64_t p = bg.zero_pattern(0, bits);
+        covered = covered || (((p >> a) & 1) != ((p >> b) & 1));
+      }
+      EXPECT_TRUE(covered) << "bits " << a << "," << b;
+    }
+  }
+}
+
+TEST(Backgrounds, ExecutorPassesHealthyMemoryUnderEveryBackground) {
+  LowPowerSram sram(small_config());
+  const auto result = run_with_backgrounds(
+      sram, march::march_c_minus(), standard_backgrounds(8), {});
+  EXPECT_TRUE(result.passed);
+  EXPECT_EQ(result.runs.size(), 4u);  // solid + stripes 1,2,4 for 8 bits
+  EXPECT_EQ(result.total_failures, 0u);
+}
+
+TEST(Backgrounds, ExecutorUsesPatternInReadsAndWrites) {
+  LowPowerSram sram(small_config());
+  MarchExecutorOptions options;
+  options.background = DataBackground::bit_stripe(1);
+  MarchExecutor executor(sram, options);
+  // After any(w0) every word must hold the stripe pattern.
+  executor.run(parse_march("{ any(w0) }", "init"));
+  EXPECT_EQ(sram.peek(3), 0xAAu);
+  // And r0 against that pattern passes.
+  EXPECT_TRUE(executor.run(parse_march("{ up(r0) }", "check")).passed);
+  // While a solid-background read of the same contents fails.
+  MarchExecutor solid(sram, {});
+  EXPECT_FALSE(solid.run(parse_march("{ up(r0) }", "solid-check")).passed);
+}
+
+// ---------- randomized round-trip properties ------------------------------------
+
+MarchTest random_march(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> n_elements(1, 6);
+  std::uniform_int_distribution<int> n_ops(1, 5);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> order_pick(0, 2);
+  MarchTest t;
+  t.name = "fuzz";
+  bool asleep = false;
+  const int elements = n_elements(rng);
+  for (int e = 0; e < elements; ++e) {
+    if (!asleep && coin(rng) == 0 && e + 1 < elements) {
+      t.elements.push_back(MarchElement::deep_sleep());
+      t.elements.push_back(MarchElement::wake_up());
+      continue;
+    }
+    std::vector<MarchOp> ops;
+    const int count = n_ops(rng);
+    for (int o = 0; o < count; ++o) {
+      ops.push_back({coin(rng) ? MarchOp::Type::Read : MarchOp::Type::Write,
+                     coin(rng)});
+    }
+    const AddressOrder order = order_pick(rng) == 0   ? AddressOrder::Ascending
+                               : order_pick(rng) == 1 ? AddressOrder::Descending
+                                                      : AddressOrder::Any;
+    t.elements.push_back(MarchElement::make(order, std::move(ops)));
+  }
+  if (t.elements.empty())
+    t.elements.push_back(MarchElement::make(AddressOrder::Any, {w0()}));
+  return t;
+}
+
+TEST(Parser, FuzzPrintParseRoundTrip) {
+  std::mt19937_64 rng(20260705);
+  for (int trial = 0; trial < 200; ++trial) {
+    const MarchTest t = random_march(rng);
+    t.validate();
+    const MarchTest back = parse_march(t.notation(), t.name);
+    EXPECT_EQ(back.elements, t.elements) << t.notation();
+    EXPECT_EQ(back.complexity(), t.complexity());
+  }
+}
+
+// ---------- test-time model ----------------------------------------------------
+
+TEST(TestTime, LinearInWordsAndDsTime) {
+  const MarchTest t = march::march_m_lz();
+  const double base = march_test_time(t, 4096, 10e-9, 1e-3);
+  // 5N ops + 2 DS dwells dominate.
+  EXPECT_NEAR(base, 5 * 4096 * 10e-9 + 2e-3 + 4e-6, 1e-6);
+  EXPECT_GT(march_test_time(t, 8192, 10e-9, 1e-3), base);
+  EXPECT_GT(march_test_time(t, 4096, 10e-9, 2e-3), base);
+}
+
+TEST(TestTime, TwelveVsThreeIterationsIs75Percent) {
+  // The paper's headline arithmetic.
+  const MarchTest t = march::march_m_lz();
+  const double one = march_test_time(t, 4096, 10e-9, 1e-3);
+  EXPECT_NEAR(1.0 - (3 * one) / (12 * one), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace lpsram

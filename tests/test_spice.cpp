@@ -1,0 +1,360 @@
+// Unit tests for the MNA circuit simulator: netlist construction, DC solves
+// against hand-computed circuits, convergence aids, and transient accuracy
+// against analytic RC solutions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lpsram/device/technology.hpp"
+#include "lpsram/spice/transient.hpp"
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+// ---------- netlist ----------------------------------------------------------
+
+TEST(Netlist, NodeBookkeeping) {
+  Netlist nl;
+  EXPECT_EQ(nl.node_count(), 1u);  // ground
+  const NodeId a = nl.add_node("a");
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(nl.node("a"), a);
+  EXPECT_TRUE(nl.has_node("a"));
+  EXPECT_FALSE(nl.has_node("b"));
+  EXPECT_THROW(nl.add_node("a"), InvalidArgument);
+  EXPECT_THROW(nl.node("missing"), InvalidArgument);
+  EXPECT_EQ(nl.node_name(kGround), "0");
+}
+
+TEST(Netlist, ElementValidation) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  EXPECT_THROW(nl.add_resistor("R", a, kGround, 0.0), InvalidArgument);
+  EXPECT_THROW(nl.add_resistor("R", a, kGround, -5.0), InvalidArgument);
+  EXPECT_THROW(nl.add_capacitor("C", a, kGround, -1e-12), InvalidArgument);
+  EXPECT_THROW(nl.add_current_load("L", a, nullptr), InvalidArgument);
+  EXPECT_THROW(nl.add_resistor("R", 99, kGround, 1.0), InvalidArgument);
+}
+
+TEST(Netlist, FindAndMutateElements) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const ElementId r = nl.add_resistor("R1", a, kGround, 100.0);
+  const ElementId v = nl.add_vsource("V1", a, kGround, 1.0);
+  EXPECT_EQ(nl.find("R1"), r);
+  EXPECT_TRUE(nl.has_element("V1"));
+  EXPECT_FALSE(nl.has_element("nope"));
+  EXPECT_THROW(nl.find("nope"), InvalidArgument);
+
+  nl.set_resistance(r, 200.0);
+  EXPECT_DOUBLE_EQ(nl.resistance(r), 200.0);
+  nl.set_source_voltage(v, 2.5);
+  EXPECT_DOUBLE_EQ(nl.source_voltage(v), 2.5);
+  EXPECT_THROW(nl.set_resistance(v, 1.0), InvalidArgument);
+  EXPECT_THROW(nl.set_source_voltage(r, 1.0), InvalidArgument);
+  EXPECT_EQ(nl.vsource_branch(v), 0);
+  EXPECT_THROW(nl.vsource_branch(r), InvalidArgument);
+}
+
+// ---------- DC: linear circuits ----------------------------------------------------
+
+TEST(DcSolver, VoltageDivider) {
+  Netlist nl;
+  const NodeId vin = nl.add_node("vin");
+  const NodeId mid = nl.add_node("mid");
+  nl.add_vsource("V", vin, kGround, 1.0);
+  nl.add_resistor("R1", vin, mid, 1e3);
+  nl.add_resistor("R2", mid, kGround, 3e3);
+  const DcResult r = solve_dc(nl, 25.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.node_v[static_cast<std::size_t>(mid)], 0.75, 1e-9);
+}
+
+TEST(DcSolver, SixResistorDividerTaps) {
+  // The regulator reference chain: check all five tap fractions.
+  Netlist nl;
+  const NodeId vdd = nl.add_node("vdd");
+  nl.add_vsource("V", vdd, kGround, 1.0);
+  const double total = 2e6;
+  const double fractions[] = {0.78, 0.74, 0.70, 0.64, 0.52};
+  const double segments[] = {0.22, 0.04, 0.04, 0.06, 0.12, 0.52};
+  NodeId prev = vdd;
+  std::vector<NodeId> taps;
+  for (int i = 0; i < 5; ++i) {
+    const NodeId tap = nl.add_node("tap" + std::to_string(i));
+    nl.add_resistor("R" + std::to_string(i), prev, tap, segments[i] * total);
+    taps.push_back(tap);
+    prev = tap;
+  }
+  nl.add_resistor("R5", prev, kGround, segments[5] * total);
+  const DcResult r = solve_dc(nl, 25.0);
+  ASSERT_TRUE(r.converged);
+  // Tolerance: the solver's gmin floor (1e-12 S) against MOhm-scale divider
+  // resistances shifts each tap by ~R*gmin ~ a few microvolts.
+  for (int i = 0; i < 5; ++i)
+    EXPECT_NEAR(r.node_v[static_cast<std::size_t>(taps[i])], fractions[i], 1e-5);
+}
+
+TEST(DcSolver, CurrentSourceIntoResistor) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_isource("I", kGround, a, 1e-3);  // pushes 1 mA into node a
+  nl.add_resistor("R", a, kGround, 2e3);
+  const DcResult r = solve_dc(nl, 25.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.node_v[static_cast<std::size_t>(a)], 2.0, 1e-6);
+}
+
+TEST(DcSolver, TwoVoltageSources) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  nl.add_vsource("Va", a, kGround, 2.0);
+  nl.add_vsource("Vb", b, kGround, 1.0);
+  nl.add_resistor("R", a, b, 1e3);
+  const DcSolver solver(nl, 25.0);
+  const DcResult r = solver.solve();
+  ASSERT_TRUE(r.converged);
+  // 1 mA flows a -> b; source Va delivers it: branch current = -1 mA with
+  // the MNA sign convention (current into the + terminal).
+  EXPECT_NEAR(solver.source_current(r, nl.find("Va")), -1e-3, 1e-9);
+  EXPECT_NEAR(solver.source_current(r, nl.find("Vb")), 1e-3, 1e-9);
+}
+
+TEST(DcSolver, FloatingNodeRegularizedByGmin) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId floating = nl.add_node("floating");
+  nl.add_vsource("V", a, kGround, 1.0);
+  nl.add_resistor("R", a, floating, 1e3);  // dead-ends into gmin only
+  const DcResult r = solve_dc(nl, 25.0);
+  ASSERT_TRUE(r.converged);
+  // Node follows its only driver through the gmin leak.
+  EXPECT_NEAR(r.node_v[static_cast<std::size_t>(floating)], 1.0, 1e-6);
+}
+
+TEST(DcSolver, CurrentLoadNonlinear) {
+  // I(V) = 1uA * (V/1V)^2 load against a 1V source through 100k.
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId vin = nl.add_node("vin");
+  nl.add_vsource("V", vin, kGround, 1.0);
+  nl.add_resistor("R", vin, a, 1e5);
+  nl.add_current_load("L", a, [](double v, double) {
+    return std::make_pair(1e-6 * v * v, 2e-6 * v);
+  });
+  const DcResult r = solve_dc(nl, 25.0);
+  ASSERT_TRUE(r.converged);
+  const double v = r.node_v[static_cast<std::size_t>(a)];
+  // KCL: (1 - v)/1e5 = 1e-6 v^2.
+  EXPECT_NEAR((1.0 - v) / 1e5, 1e-6 * v * v, 1e-12);
+}
+
+// ---------- DC: nonlinear MOS circuits ------------------------------------------------
+
+TEST(DcSolver, DiodeConnectedNmos) {
+  const Technology tech = Technology::lp40nm();
+  Netlist nl;
+  const NodeId vdd = nl.add_node("vdd");
+  const NodeId d = nl.add_node("d");
+  nl.add_vsource("V", vdd, kGround, 1.1);
+  nl.add_resistor("R", vdd, d, 100e3);
+  nl.add_mosfet("M", tech.reg_diffpair_nmos(), d, d, kGround);
+  const DcResult r = solve_dc(nl, 25.0);
+  ASSERT_TRUE(r.converged);
+  const double v = r.node_v[static_cast<std::size_t>(d)];
+  // Diode voltage near Vth, well inside the rails.
+  EXPECT_GT(v, 0.2);
+  EXPECT_LT(v, 0.8);
+  // KCL at the node must balance to numerical tolerance.
+  const Mosfet m{tech.reg_diffpair_nmos()};
+  EXPECT_NEAR((1.1 - v) / 100e3, m.ids(v, v, 0.0, 25.0), 1e-9);
+}
+
+TEST(DcSolver, CmosInverterTransfersCorrectly) {
+  const Technology tech = Technology::lp40nm();
+  Netlist nl;
+  const NodeId vdd = nl.add_node("vdd");
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("Vdd", vdd, kGround, 1.1);
+  const ElementId vin = nl.add_vsource("Vin", in, kGround, 0.0);
+  nl.add_mosfet("MP", tech.cell_pullup(), in, out, vdd);
+  nl.add_mosfet("MN", tech.cell_pulldown(), in, out, kGround);
+
+  DcResult r = solve_dc(nl, 25.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.node_v[static_cast<std::size_t>(out)], 1.05);  // input low -> out high
+
+  nl.set_source_voltage(vin, 1.1);
+  r = solve_dc(nl, 25.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.node_v[static_cast<std::size_t>(out)], 0.05);  // input high -> out low
+}
+
+TEST(DcSolver, WarmStartConverges) {
+  const Technology tech = Technology::lp40nm();
+  Netlist nl;
+  const NodeId vdd = nl.add_node("vdd");
+  const NodeId d = nl.add_node("d");
+  nl.add_vsource("V", vdd, kGround, 1.1);
+  nl.add_resistor("R", vdd, d, 100e3);
+  nl.add_mosfet("M", tech.reg_diffpair_nmos(), d, d, kGround);
+  const DcSolver solver(nl, 25.0);
+  const DcResult cold = solver.solve();
+  const DcResult warm = solver.solve(&cold.x);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, cold.iterations);
+  EXPECT_NEAR(warm.node_v[2], cold.node_v[2], 1e-9);
+}
+
+TEST(DcSolver, BadInitialGuessSizeThrows) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_vsource("V", a, kGround, 1.0);
+  const DcSolver solver(nl, 25.0);
+  const std::vector<double> wrong(7, 0.0);
+  EXPECT_THROW(solver.solve(&wrong), InvalidArgument);
+}
+
+TEST(DcSolver, NegativeNodeSolutionWithinClampWindow) {
+  // A current source pulling a node below ground: the solution (-1 V) lies
+  // inside the node-voltage limiting window and must be found exactly; the
+  // clamp only bounds intermediate Newton excursions.
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_isource("I", a, kGround, 1e-4);  // pulls current out of `a`
+  nl.add_resistor("R", a, kGround, 1e4);
+  const DcResult r = solve_dc(nl, 25.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.node_v[static_cast<std::size_t>(a)], -1.0, 1e-6);
+  EXPECT_GE(r.node_v[static_cast<std::size_t>(a)], -2.0 - 1e-9);
+}
+
+TEST(DcSolver, SourceSteppingRestoresSourceValues) {
+  // Even when the fallback strategies run, the netlist's source values must
+  // be observably unchanged afterwards.
+  const Technology tech = Technology::lp40nm();
+  Netlist nl;
+  const NodeId vdd = nl.add_node("vdd");
+  const NodeId d = nl.add_node("d");
+  const ElementId v = nl.add_vsource("V", vdd, kGround, 1.1);
+  nl.add_resistor("R", vdd, d, 1e5);
+  nl.add_mosfet("M", tech.reg_diffpair_nmos(), d, d, kGround);
+  DcOptions options;
+  options.max_iterations = 1;  // force every strategy to fail fast or engage
+  try {
+    solve_dc(nl, 25.0, options);
+  } catch (const ConvergenceError&) {
+  }
+  EXPECT_DOUBLE_EQ(nl.source_voltage(v), 1.1);
+}
+
+TEST(DcSolver, KclHoldsAtSolution) {
+  // Property: at a converged operating point the assembled residual is tiny
+  // on every node row.
+  const Technology tech = Technology::lp40nm();
+  Netlist nl;
+  const NodeId vdd = nl.add_node("vdd");
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("Vdd", vdd, kGround, 1.1);
+  nl.add_vsource("Vin", in, kGround, 0.4);
+  nl.add_mosfet("MP", tech.cell_pullup(), in, out, vdd);
+  nl.add_mosfet("MN", tech.cell_pulldown(), in, out, kGround);
+  nl.add_resistor("RL", out, kGround, 1e6);
+
+  const DcSolver solver(nl, 25.0);
+  const DcResult r = solver.solve();
+  ASSERT_TRUE(r.converged);
+  Matrix jac(solver.assembler().dimension(), solver.assembler().dimension());
+  std::vector<double> residual;
+  solver.assembler().assemble(r.x, jac, residual, 1e-12);
+  for (std::size_t i = 0; i < nl.node_count() - 1; ++i)
+    EXPECT_LT(std::fabs(residual[i]), 1e-9) << "node row " << i;
+}
+
+TEST(DcSolver, CurrentConservationThroughSources) {
+  // The current delivered by the only source equals the current absorbed by
+  // the only load path.
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_vsource("V", a, kGround, 2.0);
+  nl.add_resistor("R", a, kGround, 1e4);
+  const DcSolver solver(nl, 25.0);
+  const DcResult r = solver.solve();
+  // gmin injects ~V*1e-12 extra; tolerate it.
+  EXPECT_NEAR(solver.source_current(r, nl.find("V")), -2e-4, 1e-9);
+}
+
+// ---------- transient ----------------------------------------------------------
+
+TEST(Transient, RcChargingMatchesAnalytic) {
+  Netlist nl;
+  const NodeId vin = nl.add_node("vin");
+  const NodeId out = nl.add_node("out");
+  const ElementId v = nl.add_vsource("V", vin, kGround, 0.0);
+  nl.add_resistor("R", vin, out, 1e3);
+  nl.add_capacitor("C", out, kGround, 1e-9);  // tau = 1 us
+
+  TransientOptions opts;
+  opts.t_stop = 5e-6;
+  opts.dt_initial = 1e-9;
+  opts.dt_max = 2e-8;
+
+  TransientSolver solver(nl, 25.0, opts);
+  // Step the source to 1 V at t = 0+.
+  const Waveform wave = solver.run({out}, [&](double t, Netlist& n) {
+    n.set_source_voltage(v, t > 0.0 ? 1.0 : 0.0);
+  });
+
+  ASSERT_GT(wave.time.size(), 50u);
+  const double v_1tau = wave.at(0, 1e-6);
+  const double v_3tau = wave.at(0, 3e-6);
+  EXPECT_NEAR(v_1tau, 1.0 - std::exp(-1.0), 0.02);
+  EXPECT_NEAR(v_3tau, 1.0 - std::exp(-3.0), 0.02);
+}
+
+TEST(Transient, CapacitorHoldsDcSteadyState) {
+  Netlist nl;
+  const NodeId vin = nl.add_node("vin");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V", vin, kGround, 1.0);
+  nl.add_resistor("R1", vin, out, 1e3);
+  nl.add_resistor("R2", out, kGround, 1e3);
+  nl.add_capacitor("C", out, kGround, 1e-12);
+
+  TransientOptions opts;
+  opts.t_stop = 1e-6;
+  TransientSolver solver(nl, 25.0, opts);
+  const Waveform wave = solver.run({out});
+  // Already at the operating point: stays at the divider value throughout.
+  EXPECT_NEAR(wave.min_value(0), 0.5, 1e-6);
+  EXPECT_NEAR(wave.values[0].back(), 0.5, 1e-6);
+}
+
+TEST(Waveform, DeficitIntegral) {
+  Waveform w;
+  w.time = {0.0, 1.0, 2.0};
+  w.values = {{0.5, 0.5, 0.5}};
+  // Threshold 0.6: deficit 0.1 V for 2 s.
+  EXPECT_NEAR(w.deficit_integral(0, 0.6), 0.2, 1e-12);
+  // Threshold below the waveform: zero.
+  EXPECT_DOUBLE_EQ(w.deficit_integral(0, 0.4), 0.0);
+  EXPECT_THROW(w.deficit_integral(5, 0.5), InvalidArgument);
+}
+
+TEST(Waveform, InterpolationAndMin) {
+  Waveform w;
+  w.time = {0.0, 1.0};
+  w.values = {{0.0, 1.0}};
+  EXPECT_NEAR(w.at(0, 0.25), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(w.at(0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(w.min_value(0), 0.0);
+  EXPECT_THROW(w.min_value(3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lpsram

@@ -1,0 +1,163 @@
+// Tests for the statistics module: DRV surrogate fidelity and the
+// Monte-Carlo array-level DRV distribution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lpsram/stats/array_stats.hpp"
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+const Technology& tech() {
+  static const Technology t = Technology::lp40nm();
+  return t;
+}
+
+const DrvSurrogate& surrogate() {
+  static const DrvSurrogate s = DrvSurrogate::train(tech());
+  return s;
+}
+
+// ---------- surrogate ----------------------------------------------------
+
+TEST(DrvSurrogate, WeightSignsMatchFig4Directions) {
+  // Adverse directions for DRV_DS1 (paper Fig. 4 observation 1): MPcc1,
+  // MNcc1 negative; MPcc2, MNcc2 positive. Hence negative weights for the
+  // first pair and positive for the second.
+  const auto& w = surrogate().weights();
+  EXPECT_LT(w[0], 0.0);  // MPcc1
+  EXPECT_LT(w[1], 0.0);  // MNcc1
+  EXPECT_GT(w[2], 0.0);  // MPcc2
+  EXPECT_GT(w[3], 0.0);  // MNcc2
+  // Inverter weights dominate the pass-gate weights.
+  EXPECT_GT(std::fabs(w[0]), std::fabs(w[4]));
+  EXPECT_GT(std::fabs(w[3]), std::fabs(w[5]));
+}
+
+TEST(DrvSurrogate, HoldoutAccuracyBounded) {
+  EXPECT_LT(surrogate().rms_error(), 0.10);  // < 100 mV RMS on holdout
+  EXPECT_GT(surrogate().rms_error(), 0.0);
+}
+
+TEST(DrvSurrogate, PredictsNamedPatternsNearExact) {
+  // CS2 pattern.
+  CellVariation cs2;
+  cs2.mpcc1 = -3;
+  cs2.mncc1 = -3;
+  const double exact =
+      drv_hold(CoreCell(tech(), cs2), StoredBit::One, 25.0);
+  EXPECT_NEAR(surrogate().predict_drv1(cs2), exact, 0.06);
+
+  // Symmetric cell: near the floor.
+  CellVariation sym;
+  const double exact_sym =
+      drv_hold(CoreCell(tech(), sym), StoredBit::One, 25.0);
+  EXPECT_NEAR(surrogate().predict_drv1(sym), exact_sym, 0.04);
+}
+
+TEST(DrvSurrogate, MirrorSymmetry) {
+  CellVariation v;
+  v.mpcc1 = -2.5;
+  v.mncc2 = +1.5;
+  v.mncc3 = -1.0;
+  EXPECT_DOUBLE_EQ(surrogate().predict_drv0(v),
+                   surrogate().predict_drv1(v.mirrored()));
+  EXPECT_DOUBLE_EQ(surrogate().predict_drv(v),
+                   std::max(surrogate().predict_drv1(v),
+                            surrogate().predict_drv0(v)));
+}
+
+TEST(DrvSurrogate, MonotoneInScore) {
+  // Along the fitted direction the prediction must be non-decreasing.
+  double prev = 0.0;
+  for (double s = -4.0; s <= 4.0; s += 0.5) {
+    CellVariation v;
+    v.mpcc1 = -s;  // adverse for '1' when s > 0
+    v.mncc1 = -s;
+    const double drv = surrogate().predict_drv1(v);
+    if (s > -3.9) {
+      EXPECT_GE(drv, prev - 1e-12);
+    }
+    prev = drv;
+  }
+}
+
+TEST(DrvSurrogate, RejectsTinyTrainingSets) {
+  DrvSurrogateOptions options;
+  options.training_samples = 10;
+  EXPECT_THROW(DrvSurrogate::train(tech(), options), InvalidArgument);
+}
+
+// ---------- array Monte Carlo ----------------------------------------------
+
+TEST(ArrayStats, DistributionGrowsWithArraySize) {
+  ArrayDrvOptions small;
+  small.cells = 1024;
+  small.trials = 40;
+  ArrayDrvOptions big;
+  big.cells = 64 * 1024;
+  big.trials = 40;
+  const ArrayDrvDistribution a = simulate_array_drv(surrogate(), small);
+  const ArrayDrvDistribution b = simulate_array_drv(surrogate(), big);
+  EXPECT_GT(b.mean, a.mean);  // extreme value statistics: max grows with N
+}
+
+TEST(ArrayStats, DeterministicUnderSeed) {
+  ArrayDrvOptions options;
+  options.cells = 2048;
+  options.trials = 10;
+  const ArrayDrvDistribution a = simulate_array_drv(surrogate(), options);
+  const ArrayDrvDistribution b = simulate_array_drv(surrogate(), options);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.samples[i], b.samples[i]);
+}
+
+TEST(ArrayStats, PercentilesOrderedAndYieldMonotone) {
+  ArrayDrvOptions options;
+  options.cells = 4096;
+  options.trials = 50;
+  const ArrayDrvDistribution d = simulate_array_drv(surrogate(), options);
+  EXPECT_LE(d.percentile(0.1), d.percentile(0.5));
+  EXPECT_LE(d.percentile(0.5), d.percentile(0.9));
+  EXPECT_LE(d.yield_at(d.percentile(0.1)), d.yield_at(d.percentile(0.9)));
+  EXPECT_DOUBLE_EQ(d.yield_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.yield_at(0.0), 0.0);
+}
+
+TEST(ArrayStats, GumbelFitTracksEmpiricalMedian) {
+  ArrayDrvOptions options;
+  options.cells = 8192;
+  options.trials = 120;
+  const ArrayDrvDistribution d = simulate_array_drv(surrogate(), options);
+  EXPECT_NEAR(d.gumbel_quantile(0.5), d.percentile(0.5), 3.0 * d.stddev);
+  EXPECT_GT(d.gumbel_beta, 0.0);
+}
+
+TEST(ArrayStats, SixSigmaCornerIsConservative) {
+  // The paper's deterministic worst case (CS1, ~719 mV here) should bound
+  // the Monte-Carlo array DRV with huge margin at the reference capacity.
+  ArrayDrvOptions options;
+  options.cells = 256 * 1024;
+  options.trials = 25;
+  const ArrayDrvDistribution d = simulate_array_drv(surrogate(), options);
+  EXPECT_LT(d.samples.back(), 0.719);
+  // And Vreg at the paper's first iteration (0.74 V) yields 100% retention.
+  EXPECT_DOUBLE_EQ(d.yield_at(0.74), 1.0);
+}
+
+TEST(ArrayStats, InputValidation) {
+  ArrayDrvOptions bad;
+  bad.trials = 0;
+  EXPECT_THROW(simulate_array_drv(surrogate(), bad), InvalidArgument);
+  ArrayDrvDistribution empty;
+  EXPECT_THROW(empty.percentile(0.5), Error);
+  ArrayDrvDistribution one;
+  one.samples = {0.3};
+  EXPECT_THROW(one.gumbel_quantile(0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lpsram

@@ -1,0 +1,255 @@
+// Unit tests for the util module: units/formatting, dense LU, root finding,
+// strings and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "lpsram/util/error.hpp"
+#include "lpsram/util/matrix.hpp"
+#include "lpsram/util/rootfind.hpp"
+#include "lpsram/util/strings.hpp"
+#include "lpsram/util/table.hpp"
+#include "lpsram/util/units.hpp"
+
+namespace lpsram {
+namespace {
+
+// ---------- units ------------------------------------------------------------
+
+TEST(Units, ThermalVoltageAt25C) {
+  // kT/q at 298.15 K is about 25.7 mV.
+  EXPECT_NEAR(thermal_voltage(25.0), 0.02569, 1e-4);
+}
+
+TEST(Units, ThermalVoltageScalesWithTemperature) {
+  EXPECT_LT(thermal_voltage(-30.0), thermal_voltage(25.0));
+  EXPECT_LT(thermal_voltage(25.0), thermal_voltage(125.0));
+  // Linear in absolute temperature.
+  const double ratio = thermal_voltage(125.0) / thermal_voltage(25.0);
+  EXPECT_NEAR(ratio, celsius_to_kelvin(125.0) / celsius_to_kelvin(25.0), 1e-12);
+}
+
+TEST(Units, CelsiusToKelvin) {
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(0.0), 273.15);
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(-273.15), 0.0);
+}
+
+TEST(Units, EngFormatSuffixes) {
+  EXPECT_EQ(eng_format(9760.0, 2), "9.76K");
+  EXPECT_EQ(eng_format(2.36e6, 2), "2.36M");
+  EXPECT_EQ(eng_format(976.56, 2), "976.56");
+  EXPECT_EQ(eng_format(1.5e9, 1), "1.5G");
+  EXPECT_EQ(eng_format(0.0), "0");
+}
+
+TEST(Units, EngFormatSubUnit) {
+  EXPECT_EQ(eng_format(0.012, 0), "12m");
+  EXPECT_EQ(eng_format(3.3e-6, 1), "3.3u");
+}
+
+TEST(Units, EngFormatNegative) {
+  EXPECT_EQ(eng_format(-9760.0, 2), "-9.76K");
+  EXPECT_EQ(eng_format(-0.012, 0), "-12m");
+}
+
+TEST(Units, ResistanceFormatOpenThreshold) {
+  EXPECT_EQ(resistance_format(1e9), "> 500M");
+  EXPECT_EQ(resistance_format(97.65e3), "97.65K");
+}
+
+TEST(Units, MillivoltFormat) {
+  EXPECT_EQ(millivolt_format(0.730), "730");
+  EXPECT_EQ(millivolt_format(0.0601, 1), "60.1");
+}
+
+// ---------- matrix / LU ----------------------------------------------------------
+
+TEST(Matrix, MultiplyIdentity) {
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+  const std::vector<double> x = {1.0, -2.0, 3.0};
+  EXPECT_EQ(a.multiply(x), x);
+}
+
+TEST(Matrix, MultiplySizeMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(a.multiply({1.0, 2.0}), InvalidArgument);
+}
+
+TEST(LuSolver, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  const std::vector<double> x = solve_linear_system(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolver, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  const std::vector<double> x = solve_linear_system(a, {2.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuSolver, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(LuSolver{a}, ConvergenceError);
+}
+
+TEST(LuSolver, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(LuSolver{a}, InvalidArgument);
+}
+
+TEST(LuSolver, RandomRoundTrip) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 12);
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+      a(i, i) += 3.0;  // diagonally dominant => well conditioned
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = dist(rng);
+    const std::vector<double> b = a.multiply(x_true);
+    const std::vector<double> x = solve_linear_system(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(LuSolver, WideDynamicRange) {
+  // Conductance-like matrix spanning 12 decades still solves accurately.
+  Matrix a(2, 2);
+  a(0, 0) = 1e3 + 1e-9; a(0, 1) = -1e-9;
+  a(1, 0) = -1e-9;      a(1, 1) = 2e-9;
+  const std::vector<double> x = solve_linear_system(a, {1.0, 0.0});
+  // Node 1 follows node 0 through the tiny coupling: x1 = x0/2.
+  EXPECT_NEAR(x[1], x[0] / 2.0, 1e-9);
+}
+
+// ---------- root finding ----------------------------------------------------------
+
+TEST(RootFind, BisectSqrt2) {
+  const RootResult r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-7);
+}
+
+TEST(RootFind, BrentSqrt2FasterThanBisect) {
+  RootFindOptions opts;
+  opts.x_tolerance = 1e-12;
+  const RootResult rb = brent([](double x) { return x * x - 2.0; }, 0.0, 2.0, opts);
+  const RootResult ri = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0, opts);
+  EXPECT_TRUE(rb.converged);
+  EXPECT_NEAR(rb.x, std::sqrt(2.0), 1e-10);
+  EXPECT_LT(rb.iterations, ri.iterations);
+}
+
+TEST(RootFind, BrentStiffExponential) {
+  // Subthreshold-like residual: e^(40x) - 1000.
+  const RootResult r =
+      brent([](double x) { return std::exp(40.0 * x) - 1000.0; }, -1.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::log(1000.0) / 40.0, 1e-7);
+}
+
+TEST(RootFind, NoSignChangeThrows) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               InvalidArgument);
+  EXPECT_THROW(brent([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               InvalidArgument);
+}
+
+TEST(RootFind, EndpointRoot) {
+  const RootResult r = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 0.0);
+}
+
+TEST(RootFind, MonotoneThresholdFindsStep) {
+  const double threshold = monotone_threshold_log(
+      [](double x) { return x >= 1234.0; }, 1.0, 1e6, 1.001);
+  EXPECT_NEAR(threshold, 1234.0, 1234.0 * 2e-3);
+}
+
+TEST(RootFind, MonotoneThresholdAlwaysTrue) {
+  EXPECT_DOUBLE_EQ(
+      monotone_threshold_log([](double) { return true; }, 1.0, 1e6), 1.0);
+}
+
+TEST(RootFind, MonotoneThresholdNeverTrueReturnsSentinel) {
+  const double r =
+      monotone_threshold_log([](double) { return false; }, 1.0, 1e6);
+  EXPECT_GT(r, 1e6);
+}
+
+TEST(RootFind, MonotoneThresholdBadRangeThrows) {
+  EXPECT_THROW(
+      monotone_threshold_log([](double) { return true; }, -1.0, 1e6),
+      InvalidArgument);
+  EXPECT_THROW(monotone_threshold_log([](double) { return true; }, 10.0, 5.0),
+               InvalidArgument);
+}
+
+// ---------- strings ----------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello "), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a;b;;c", ';');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("March m-LZ", "March"));
+  EXPECT_FALSE(starts_with("m-LZ", "March"));
+}
+
+TEST(Strings, ToLowerAndJoin) {
+  EXPECT_EQ(to_lower("DSM"), "dsm");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+// ---------- table ----------------------------------------------------------
+
+TEST(AsciiTable, RendersAlignedCells) {
+  AsciiTable t({"Def.", "Min. Res."});
+  t.add_row({"Df1", "9.76K"});
+  t.add_row({"Df16", "976.56"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| Df1 "), std::string::npos);
+  EXPECT_NE(s.find("| Df16 "), std::string::npos);
+  EXPECT_NE(s.find("9.76K"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(AsciiTable, ArityMismatchThrows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(AsciiTable, EmptyHeaderThrows) {
+  EXPECT_THROW(AsciiTable({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lpsram
