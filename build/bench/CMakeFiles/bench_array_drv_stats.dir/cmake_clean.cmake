@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_array_drv_stats.dir/bench_array_drv_stats.cpp.o"
+  "CMakeFiles/bench_array_drv_stats.dir/bench_array_drv_stats.cpp.o.d"
+  "bench_array_drv_stats"
+  "bench_array_drv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_array_drv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_array_drv_stats.
+# This may be replaced when dependencies are built.

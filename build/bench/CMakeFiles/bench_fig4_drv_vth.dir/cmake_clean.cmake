@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_drv_vth.dir/bench_fig4_drv_vth.cpp.o"
+  "CMakeFiles/bench_fig4_drv_vth.dir/bench_fig4_drv_vth.cpp.o.d"
+  "bench_fig4_drv_vth"
+  "bench_fig4_drv_vth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_drv_vth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

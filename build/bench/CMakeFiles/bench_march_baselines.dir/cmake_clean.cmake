@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_march_baselines.dir/bench_march_baselines.cpp.o"
+  "CMakeFiles/bench_march_baselines.dir/bench_march_baselines.cpp.o.d"
+  "bench_march_baselines"
+  "bench_march_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_march_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

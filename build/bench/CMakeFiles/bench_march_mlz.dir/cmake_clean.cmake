@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_march_mlz.dir/bench_march_mlz.cpp.o"
+  "CMakeFiles/bench_march_mlz.dir/bench_march_mlz.cpp.o.d"
+  "bench_march_mlz"
+  "bench_march_mlz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_march_mlz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_case_studies.cpp" "bench/CMakeFiles/bench_table1_case_studies.dir/bench_table1_case_studies.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_case_studies.dir/bench_table1_case_studies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpsram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_testflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_defects.dir/bench_table2_defects.cpp.o"
+  "CMakeFiles/bench_table2_defects.dir/bench_table2_defects.cpp.o.d"
+  "bench_table2_defects"
+  "bench_table2_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

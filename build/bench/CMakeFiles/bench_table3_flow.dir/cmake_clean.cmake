@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_flow.dir/bench_table3_flow.cpp.o"
+  "CMakeFiles/bench_table3_flow.dir/bench_table3_flow.cpp.o.d"
+  "bench_table3_flow"
+  "bench_table3_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_retention_diagnosis.dir/bist_retention_diagnosis.cpp.o"
+  "CMakeFiles/bist_retention_diagnosis.dir/bist_retention_diagnosis.cpp.o.d"
+  "bist_retention_diagnosis"
+  "bist_retention_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_retention_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/march_playground.dir/march_playground.cpp.o"
+  "CMakeFiles/march_playground.dir/march_playground.cpp.o.d"
+  "march_playground"
+  "march_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/march_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regulator_characterization.dir/regulator_characterization.cpp.o"
+  "CMakeFiles/regulator_characterization.dir/regulator_characterization.cpp.o.d"
+  "regulator_characterization"
+  "regulator_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regulator_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retention_analysis.dir/retention_analysis.cpp.o"
+  "CMakeFiles/retention_analysis.dir/retention_analysis.cpp.o.d"
+  "retention_analysis"
+  "retention_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retention_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

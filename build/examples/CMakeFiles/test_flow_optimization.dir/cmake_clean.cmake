@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_optimization.dir/test_flow_optimization.cpp.o"
+  "CMakeFiles/test_flow_optimization.dir/test_flow_optimization.cpp.o.d"
+  "test_flow_optimization"
+  "test_flow_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

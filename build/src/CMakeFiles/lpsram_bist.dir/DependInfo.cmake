@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lpsram/bist/controller.cpp" "src/CMakeFiles/lpsram_bist.dir/lpsram/bist/controller.cpp.o" "gcc" "src/CMakeFiles/lpsram_bist.dir/lpsram/bist/controller.cpp.o.d"
+  "/root/repo/src/lpsram/bist/diagnosis.cpp" "src/CMakeFiles/lpsram_bist.dir/lpsram/bist/diagnosis.cpp.o" "gcc" "src/CMakeFiles/lpsram_bist.dir/lpsram/bist/diagnosis.cpp.o.d"
+  "/root/repo/src/lpsram/bist/microcode.cpp" "src/CMakeFiles/lpsram_bist.dir/lpsram/bist/microcode.cpp.o" "gcc" "src/CMakeFiles/lpsram_bist.dir/lpsram/bist/microcode.cpp.o.d"
+  "/root/repo/src/lpsram/bist/repair.cpp" "src/CMakeFiles/lpsram_bist.dir/lpsram/bist/repair.cpp.o" "gcc" "src/CMakeFiles/lpsram_bist.dir/lpsram/bist/repair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpsram_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

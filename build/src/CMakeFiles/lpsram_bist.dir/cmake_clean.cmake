@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_bist.dir/lpsram/bist/controller.cpp.o"
+  "CMakeFiles/lpsram_bist.dir/lpsram/bist/controller.cpp.o.d"
+  "CMakeFiles/lpsram_bist.dir/lpsram/bist/diagnosis.cpp.o"
+  "CMakeFiles/lpsram_bist.dir/lpsram/bist/diagnosis.cpp.o.d"
+  "CMakeFiles/lpsram_bist.dir/lpsram/bist/microcode.cpp.o"
+  "CMakeFiles/lpsram_bist.dir/lpsram/bist/microcode.cpp.o.d"
+  "CMakeFiles/lpsram_bist.dir/lpsram/bist/repair.cpp.o"
+  "CMakeFiles/lpsram_bist.dir/lpsram/bist/repair.cpp.o.d"
+  "liblpsram_bist.a"
+  "liblpsram_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

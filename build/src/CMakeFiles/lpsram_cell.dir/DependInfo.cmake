@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lpsram/cell/core_cell.cpp" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/core_cell.cpp.o" "gcc" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/core_cell.cpp.o.d"
+  "/root/repo/src/lpsram/cell/drv.cpp" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/drv.cpp.o" "gcc" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/drv.cpp.o.d"
+  "/root/repo/src/lpsram/cell/flip_time.cpp" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/flip_time.cpp.o" "gcc" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/flip_time.cpp.o.d"
+  "/root/repo/src/lpsram/cell/margins.cpp" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/margins.cpp.o" "gcc" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/margins.cpp.o.d"
+  "/root/repo/src/lpsram/cell/snm.cpp" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/snm.cpp.o" "gcc" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/snm.cpp.o.d"
+  "/root/repo/src/lpsram/cell/vtc.cpp" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/vtc.cpp.o" "gcc" "src/CMakeFiles/lpsram_cell.dir/lpsram/cell/vtc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpsram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/core_cell.cpp.o"
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/core_cell.cpp.o.d"
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/drv.cpp.o"
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/drv.cpp.o.d"
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/flip_time.cpp.o"
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/flip_time.cpp.o.d"
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/margins.cpp.o"
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/margins.cpp.o.d"
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/snm.cpp.o"
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/snm.cpp.o.d"
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/vtc.cpp.o"
+  "CMakeFiles/lpsram_cell.dir/lpsram/cell/vtc.cpp.o.d"
+  "liblpsram_cell.a"
+  "liblpsram_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

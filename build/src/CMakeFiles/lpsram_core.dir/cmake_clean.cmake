@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_core.dir/lpsram/core/drf_ds.cpp.o"
+  "CMakeFiles/lpsram_core.dir/lpsram/core/drf_ds.cpp.o.d"
+  "CMakeFiles/lpsram_core.dir/lpsram/core/methodology.cpp.o"
+  "CMakeFiles/lpsram_core.dir/lpsram/core/methodology.cpp.o.d"
+  "CMakeFiles/lpsram_core.dir/lpsram/core/retention_analyzer.cpp.o"
+  "CMakeFiles/lpsram_core.dir/lpsram/core/retention_analyzer.cpp.o.d"
+  "CMakeFiles/lpsram_core.dir/lpsram/core/test_flow_generator.cpp.o"
+  "CMakeFiles/lpsram_core.dir/lpsram/core/test_flow_generator.cpp.o.d"
+  "liblpsram_core.a"
+  "liblpsram_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

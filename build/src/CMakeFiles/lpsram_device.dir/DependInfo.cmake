@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lpsram/device/corners.cpp" "src/CMakeFiles/lpsram_device.dir/lpsram/device/corners.cpp.o" "gcc" "src/CMakeFiles/lpsram_device.dir/lpsram/device/corners.cpp.o.d"
+  "/root/repo/src/lpsram/device/mosfet.cpp" "src/CMakeFiles/lpsram_device.dir/lpsram/device/mosfet.cpp.o" "gcc" "src/CMakeFiles/lpsram_device.dir/lpsram/device/mosfet.cpp.o.d"
+  "/root/repo/src/lpsram/device/technology.cpp" "src/CMakeFiles/lpsram_device.dir/lpsram/device/technology.cpp.o" "gcc" "src/CMakeFiles/lpsram_device.dir/lpsram/device/technology.cpp.o.d"
+  "/root/repo/src/lpsram/device/variation.cpp" "src/CMakeFiles/lpsram_device.dir/lpsram/device/variation.cpp.o" "gcc" "src/CMakeFiles/lpsram_device.dir/lpsram/device/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpsram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_device.dir/lpsram/device/corners.cpp.o"
+  "CMakeFiles/lpsram_device.dir/lpsram/device/corners.cpp.o.d"
+  "CMakeFiles/lpsram_device.dir/lpsram/device/mosfet.cpp.o"
+  "CMakeFiles/lpsram_device.dir/lpsram/device/mosfet.cpp.o.d"
+  "CMakeFiles/lpsram_device.dir/lpsram/device/technology.cpp.o"
+  "CMakeFiles/lpsram_device.dir/lpsram/device/technology.cpp.o.d"
+  "CMakeFiles/lpsram_device.dir/lpsram/device/variation.cpp.o"
+  "CMakeFiles/lpsram_device.dir/lpsram/device/variation.cpp.o.d"
+  "liblpsram_device.a"
+  "liblpsram_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_faults.dir/lpsram/faults/coverage.cpp.o"
+  "CMakeFiles/lpsram_faults.dir/lpsram/faults/coverage.cpp.o.d"
+  "CMakeFiles/lpsram_faults.dir/lpsram/faults/fault_model.cpp.o"
+  "CMakeFiles/lpsram_faults.dir/lpsram/faults/fault_model.cpp.o.d"
+  "CMakeFiles/lpsram_faults.dir/lpsram/faults/fault_sim.cpp.o"
+  "CMakeFiles/lpsram_faults.dir/lpsram/faults/fault_sim.cpp.o.d"
+  "CMakeFiles/lpsram_faults.dir/lpsram/faults/injector.cpp.o"
+  "CMakeFiles/lpsram_faults.dir/lpsram/faults/injector.cpp.o.d"
+  "liblpsram_faults.a"
+  "liblpsram_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lpsram/march/backgrounds.cpp" "src/CMakeFiles/lpsram_march.dir/lpsram/march/backgrounds.cpp.o" "gcc" "src/CMakeFiles/lpsram_march.dir/lpsram/march/backgrounds.cpp.o.d"
+  "/root/repo/src/lpsram/march/executor.cpp" "src/CMakeFiles/lpsram_march.dir/lpsram/march/executor.cpp.o" "gcc" "src/CMakeFiles/lpsram_march.dir/lpsram/march/executor.cpp.o.d"
+  "/root/repo/src/lpsram/march/library.cpp" "src/CMakeFiles/lpsram_march.dir/lpsram/march/library.cpp.o" "gcc" "src/CMakeFiles/lpsram_march.dir/lpsram/march/library.cpp.o.d"
+  "/root/repo/src/lpsram/march/notation.cpp" "src/CMakeFiles/lpsram_march.dir/lpsram/march/notation.cpp.o" "gcc" "src/CMakeFiles/lpsram_march.dir/lpsram/march/notation.cpp.o.d"
+  "/root/repo/src/lpsram/march/parser.cpp" "src/CMakeFiles/lpsram_march.dir/lpsram/march/parser.cpp.o" "gcc" "src/CMakeFiles/lpsram_march.dir/lpsram/march/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpsram_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

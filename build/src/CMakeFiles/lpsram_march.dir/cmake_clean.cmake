@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_march.dir/lpsram/march/backgrounds.cpp.o"
+  "CMakeFiles/lpsram_march.dir/lpsram/march/backgrounds.cpp.o.d"
+  "CMakeFiles/lpsram_march.dir/lpsram/march/executor.cpp.o"
+  "CMakeFiles/lpsram_march.dir/lpsram/march/executor.cpp.o.d"
+  "CMakeFiles/lpsram_march.dir/lpsram/march/library.cpp.o"
+  "CMakeFiles/lpsram_march.dir/lpsram/march/library.cpp.o.d"
+  "CMakeFiles/lpsram_march.dir/lpsram/march/notation.cpp.o"
+  "CMakeFiles/lpsram_march.dir/lpsram/march/notation.cpp.o.d"
+  "CMakeFiles/lpsram_march.dir/lpsram/march/parser.cpp.o"
+  "CMakeFiles/lpsram_march.dir/lpsram/march/parser.cpp.o.d"
+  "liblpsram_march.a"
+  "liblpsram_march.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_march.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

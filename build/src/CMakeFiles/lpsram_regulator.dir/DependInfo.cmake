@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lpsram/regulator/array_load.cpp" "src/CMakeFiles/lpsram_regulator.dir/lpsram/regulator/array_load.cpp.o" "gcc" "src/CMakeFiles/lpsram_regulator.dir/lpsram/regulator/array_load.cpp.o.d"
+  "/root/repo/src/lpsram/regulator/characterize.cpp" "src/CMakeFiles/lpsram_regulator.dir/lpsram/regulator/characterize.cpp.o" "gcc" "src/CMakeFiles/lpsram_regulator.dir/lpsram/regulator/characterize.cpp.o.d"
+  "/root/repo/src/lpsram/regulator/defects.cpp" "src/CMakeFiles/lpsram_regulator.dir/lpsram/regulator/defects.cpp.o" "gcc" "src/CMakeFiles/lpsram_regulator.dir/lpsram/regulator/defects.cpp.o.d"
+  "/root/repo/src/lpsram/regulator/regulator.cpp" "src/CMakeFiles/lpsram_regulator.dir/lpsram/regulator/regulator.cpp.o" "gcc" "src/CMakeFiles/lpsram_regulator.dir/lpsram/regulator/regulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpsram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_regulator.dir/lpsram/regulator/array_load.cpp.o"
+  "CMakeFiles/lpsram_regulator.dir/lpsram/regulator/array_load.cpp.o.d"
+  "CMakeFiles/lpsram_regulator.dir/lpsram/regulator/characterize.cpp.o"
+  "CMakeFiles/lpsram_regulator.dir/lpsram/regulator/characterize.cpp.o.d"
+  "CMakeFiles/lpsram_regulator.dir/lpsram/regulator/defects.cpp.o"
+  "CMakeFiles/lpsram_regulator.dir/lpsram/regulator/defects.cpp.o.d"
+  "CMakeFiles/lpsram_regulator.dir/lpsram/regulator/regulator.cpp.o"
+  "CMakeFiles/lpsram_regulator.dir/lpsram/regulator/regulator.cpp.o.d"
+  "liblpsram_regulator.a"
+  "liblpsram_regulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_regulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lpsram_regulator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_spice.dir/lpsram/spice/dc_solver.cpp.o"
+  "CMakeFiles/lpsram_spice.dir/lpsram/spice/dc_solver.cpp.o.d"
+  "CMakeFiles/lpsram_spice.dir/lpsram/spice/elements.cpp.o"
+  "CMakeFiles/lpsram_spice.dir/lpsram/spice/elements.cpp.o.d"
+  "CMakeFiles/lpsram_spice.dir/lpsram/spice/netlist.cpp.o"
+  "CMakeFiles/lpsram_spice.dir/lpsram/spice/netlist.cpp.o.d"
+  "CMakeFiles/lpsram_spice.dir/lpsram/spice/transient.cpp.o"
+  "CMakeFiles/lpsram_spice.dir/lpsram/spice/transient.cpp.o.d"
+  "liblpsram_spice.a"
+  "liblpsram_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

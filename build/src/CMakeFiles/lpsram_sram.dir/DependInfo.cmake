@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lpsram/sram/array.cpp" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/array.cpp.o" "gcc" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/array.cpp.o.d"
+  "/root/repo/src/lpsram/sram/energy.cpp" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/energy.cpp.o" "gcc" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/energy.cpp.o.d"
+  "/root/repo/src/lpsram/sram/power_modes.cpp" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/power_modes.cpp.o" "gcc" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/power_modes.cpp.o.d"
+  "/root/repo/src/lpsram/sram/power_switch.cpp" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/power_switch.cpp.o" "gcc" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/power_switch.cpp.o.d"
+  "/root/repo/src/lpsram/sram/retention.cpp" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/retention.cpp.o" "gcc" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/retention.cpp.o.d"
+  "/root/repo/src/lpsram/sram/scrambler.cpp" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/scrambler.cpp.o" "gcc" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/scrambler.cpp.o.d"
+  "/root/repo/src/lpsram/sram/sram.cpp" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/sram.cpp.o" "gcc" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/sram.cpp.o.d"
+  "/root/repo/src/lpsram/sram/static_power.cpp" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/static_power.cpp.o" "gcc" "src/CMakeFiles/lpsram_sram.dir/lpsram/sram/static_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpsram_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/array.cpp.o"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/array.cpp.o.d"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/energy.cpp.o"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/energy.cpp.o.d"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/power_modes.cpp.o"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/power_modes.cpp.o.d"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/power_switch.cpp.o"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/power_switch.cpp.o.d"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/retention.cpp.o"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/retention.cpp.o.d"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/scrambler.cpp.o"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/scrambler.cpp.o.d"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/sram.cpp.o"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/sram.cpp.o.d"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/static_power.cpp.o"
+  "CMakeFiles/lpsram_sram.dir/lpsram/sram/static_power.cpp.o.d"
+  "liblpsram_sram.a"
+  "liblpsram_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lpsram/stats/array_stats.cpp" "src/CMakeFiles/lpsram_stats.dir/lpsram/stats/array_stats.cpp.o" "gcc" "src/CMakeFiles/lpsram_stats.dir/lpsram/stats/array_stats.cpp.o.d"
+  "/root/repo/src/lpsram/stats/drv_surrogate.cpp" "src/CMakeFiles/lpsram_stats.dir/lpsram/stats/drv_surrogate.cpp.o" "gcc" "src/CMakeFiles/lpsram_stats.dir/lpsram/stats/drv_surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpsram_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_stats.dir/lpsram/stats/array_stats.cpp.o"
+  "CMakeFiles/lpsram_stats.dir/lpsram/stats/array_stats.cpp.o.d"
+  "CMakeFiles/lpsram_stats.dir/lpsram/stats/drv_surrogate.cpp.o"
+  "CMakeFiles/lpsram_stats.dir/lpsram/stats/drv_surrogate.cpp.o.d"
+  "liblpsram_stats.a"
+  "liblpsram_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lpsram/testflow/case_studies.cpp" "src/CMakeFiles/lpsram_testflow.dir/lpsram/testflow/case_studies.cpp.o" "gcc" "src/CMakeFiles/lpsram_testflow.dir/lpsram/testflow/case_studies.cpp.o.d"
+  "/root/repo/src/lpsram/testflow/defect_characterization.cpp" "src/CMakeFiles/lpsram_testflow.dir/lpsram/testflow/defect_characterization.cpp.o" "gcc" "src/CMakeFiles/lpsram_testflow.dir/lpsram/testflow/defect_characterization.cpp.o.d"
+  "/root/repo/src/lpsram/testflow/flow_optimizer.cpp" "src/CMakeFiles/lpsram_testflow.dir/lpsram/testflow/flow_optimizer.cpp.o" "gcc" "src/CMakeFiles/lpsram_testflow.dir/lpsram/testflow/flow_optimizer.cpp.o.d"
+  "/root/repo/src/lpsram/testflow/pvt.cpp" "src/CMakeFiles/lpsram_testflow.dir/lpsram/testflow/pvt.cpp.o" "gcc" "src/CMakeFiles/lpsram_testflow.dir/lpsram/testflow/pvt.cpp.o.d"
+  "/root/repo/src/lpsram/testflow/report.cpp" "src/CMakeFiles/lpsram_testflow.dir/lpsram/testflow/report.cpp.o" "gcc" "src/CMakeFiles/lpsram_testflow.dir/lpsram/testflow/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpsram_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpsram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

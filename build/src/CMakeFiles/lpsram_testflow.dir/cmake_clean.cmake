@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_testflow.dir/lpsram/testflow/case_studies.cpp.o"
+  "CMakeFiles/lpsram_testflow.dir/lpsram/testflow/case_studies.cpp.o.d"
+  "CMakeFiles/lpsram_testflow.dir/lpsram/testflow/defect_characterization.cpp.o"
+  "CMakeFiles/lpsram_testflow.dir/lpsram/testflow/defect_characterization.cpp.o.d"
+  "CMakeFiles/lpsram_testflow.dir/lpsram/testflow/flow_optimizer.cpp.o"
+  "CMakeFiles/lpsram_testflow.dir/lpsram/testflow/flow_optimizer.cpp.o.d"
+  "CMakeFiles/lpsram_testflow.dir/lpsram/testflow/pvt.cpp.o"
+  "CMakeFiles/lpsram_testflow.dir/lpsram/testflow/pvt.cpp.o.d"
+  "CMakeFiles/lpsram_testflow.dir/lpsram/testflow/report.cpp.o"
+  "CMakeFiles/lpsram_testflow.dir/lpsram/testflow/report.cpp.o.d"
+  "liblpsram_testflow.a"
+  "liblpsram_testflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_testflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

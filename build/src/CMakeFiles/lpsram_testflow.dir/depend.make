@@ -1,0 +1,2 @@
+# Empty dependencies file for lpsram_testflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lpsram/util/matrix.cpp" "src/CMakeFiles/lpsram_util.dir/lpsram/util/matrix.cpp.o" "gcc" "src/CMakeFiles/lpsram_util.dir/lpsram/util/matrix.cpp.o.d"
+  "/root/repo/src/lpsram/util/rootfind.cpp" "src/CMakeFiles/lpsram_util.dir/lpsram/util/rootfind.cpp.o" "gcc" "src/CMakeFiles/lpsram_util.dir/lpsram/util/rootfind.cpp.o.d"
+  "/root/repo/src/lpsram/util/strings.cpp" "src/CMakeFiles/lpsram_util.dir/lpsram/util/strings.cpp.o" "gcc" "src/CMakeFiles/lpsram_util.dir/lpsram/util/strings.cpp.o.d"
+  "/root/repo/src/lpsram/util/table.cpp" "src/CMakeFiles/lpsram_util.dir/lpsram/util/table.cpp.o" "gcc" "src/CMakeFiles/lpsram_util.dir/lpsram/util/table.cpp.o.d"
+  "/root/repo/src/lpsram/util/units.cpp" "src/CMakeFiles/lpsram_util.dir/lpsram/util/units.cpp.o" "gcc" "src/CMakeFiles/lpsram_util.dir/lpsram/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

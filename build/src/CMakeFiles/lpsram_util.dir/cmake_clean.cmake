@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsram_util.dir/lpsram/util/matrix.cpp.o"
+  "CMakeFiles/lpsram_util.dir/lpsram/util/matrix.cpp.o.d"
+  "CMakeFiles/lpsram_util.dir/lpsram/util/rootfind.cpp.o"
+  "CMakeFiles/lpsram_util.dir/lpsram/util/rootfind.cpp.o.d"
+  "CMakeFiles/lpsram_util.dir/lpsram/util/strings.cpp.o"
+  "CMakeFiles/lpsram_util.dir/lpsram/util/strings.cpp.o.d"
+  "CMakeFiles/lpsram_util.dir/lpsram/util/table.cpp.o"
+  "CMakeFiles/lpsram_util.dir/lpsram/util/table.cpp.o.d"
+  "CMakeFiles/lpsram_util.dir/lpsram/util/units.cpp.o"
+  "CMakeFiles/lpsram_util.dir/lpsram/util/units.cpp.o.d"
+  "liblpsram_util.a"
+  "liblpsram_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsram_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regulator.dir/test_regulator.cpp.o"
+  "CMakeFiles/test_regulator.dir/test_regulator.cpp.o.d"
+  "test_regulator"
+  "test_regulator.pdb"
+  "test_regulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

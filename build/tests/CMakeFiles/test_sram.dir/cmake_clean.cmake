@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sram.dir/test_sram.cpp.o"
+  "CMakeFiles/test_sram.dir/test_sram.cpp.o.d"
+  "test_sram"
+  "test_sram.pdb"
+  "test_sram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

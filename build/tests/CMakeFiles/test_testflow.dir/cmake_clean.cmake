@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testflow.dir/test_testflow.cpp.o"
+  "CMakeFiles/test_testflow.dir/test_testflow.cpp.o.d"
+  "test_testflow"
+  "test_testflow.pdb"
+  "test_testflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
