@@ -1,6 +1,9 @@
 #include "lpsram/core/retention_analyzer.hpp"
 
+#include <cstdio>
+
 #include "lpsram/testflow/case_studies.hpp"
+#include "lpsram/util/error.hpp"
 
 namespace lpsram {
 
@@ -22,7 +25,7 @@ PvtDrvResult RetentionAnalyzer::drv_worst(const CellVariation& variation) const 
 
 std::vector<Fig4Point> RetentionAnalyzer::fig4_sweep(
     std::span<const double> sigmas, std::span<const Corner> corners,
-    std::span<const double> temps) const {
+    std::span<const double> temps, SweepReport* report) const {
   const std::span<const Corner> corner_grid =
       corners.empty() ? std::span<const Corner>(kAllCorners) : corners;
   const std::span<const double> temp_grid =
@@ -34,9 +37,24 @@ std::vector<Fig4Point> RetentionAnalyzer::fig4_sweep(
     for (const double sigma : sigmas) {
       CellVariation variation;
       variation.set(t, sigma);
-      const PvtDrvResult worst =
-          drv_ds_worst(tech_, variation, corner_grid, temp_grid);
-      points.push_back(Fig4Point{t, sigma, worst.drv.drv1, worst.drv.drv0});
+      const auto sweep_point = [&] {
+        const PvtDrvResult worst =
+            drv_ds_worst(tech_, variation, corner_grid, temp_grid);
+        points.push_back(Fig4Point{t, sigma, worst.drv.drv1, worst.drv.drv0});
+      };
+      if (!report) {
+        sweep_point();
+        continue;
+      }
+      try {
+        sweep_point();
+        report->add_success();
+      } catch (const Error& e) {
+        char context[64];
+        std::snprintf(context, sizeof(context), "%s @ %+.1f sigma",
+                      cell_transistor_name(t).c_str(), sigma);
+        report->quarantine(context, e);
+      }
     }
   }
   return points;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lpsram/cell/snm.hpp"
+#include "lpsram/runtime/quarantine.hpp"
 #include "lpsram/testflow/report.hpp"
 
 namespace lpsram {
@@ -28,10 +29,13 @@ class RetentionAnalyzer {
 
   // Fig. 4 sweep: for each of the six transistors and each sigma value,
   // the worst-case DRV_DS1 / DRV_DS0. `corners`/`temps` default to the
-  // full grid when empty.
+  // full grid when empty. With `report`, (transistor, sigma) points whose
+  // DRV solve fails are quarantined and skipped instead of aborting the
+  // sweep; without it the first failure propagates.
   std::vector<Fig4Point> fig4_sweep(std::span<const double> sigmas,
                                     std::span<const Corner> corners = {},
-                                    std::span<const double> temps = {}) const;
+                                    std::span<const double> temps = {},
+                                    SweepReport* report = nullptr) const;
 
   // The worst-case DRV_DS of the SRAM: the CS1 pattern (all six transistors
   // at 6 sigma in the adverse direction) over the PVT grid.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "lpsram/util/error.hpp"
 #include "lpsram/util/units.hpp"
 
 namespace lpsram {
@@ -25,35 +26,60 @@ std::string ds_condition_name(const DsCondition& condition) {
 }
 
 RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
-                                     VrefLevel vref) {
+                                     VrefLevel vref, SweepReport* report) {
   RegulationMetrics metrics;
   VoltageRegulator reg(tech, corner);
   reg.select_vref(vref);
   reg.set_regon(true);
   reg.set_power_switch(false);
 
+  // Runs one measurement point; quarantines a solve failure when a report
+  // collects partial results, propagates it otherwise.
+  const auto probe = [&](const std::string& context, const auto& body) {
+    if (!report) {
+      body();
+      return;
+    }
+    try {
+      body();
+      report->add_success();
+    } catch (const Error& e) {
+      report->quarantine(context, e);
+    }
+  };
+
   for (const double vdd : tech.vdd_levels()) {
-    reg.set_vdd(vdd);
-    reg.set_regon(true);
-    reg.set_power_switch(false);
-    const double error = std::fabs(reg.vreg_dc(25.0) - reg.expected_vreg());
-    metrics.line_error = std::max(metrics.line_error, error);
+    char context[48];
+    std::snprintf(context, sizeof(context), "line regulation @ %.1fV", vdd);
+    probe(context, [&] {
+      reg.set_vdd(vdd);
+      reg.set_regon(true);
+      reg.set_power_switch(false);
+      const double error = std::fabs(reg.vreg_dc(25.0) - reg.expected_vreg());
+      metrics.line_error = std::max(metrics.line_error, error);
+    });
   }
 
   reg.set_vdd(tech.vdd_nominal());
   reg.set_regon(true);
   reg.set_power_switch(false);
-  const double v0 = reg.vreg_dc(25.0);
-  constexpr double kLoadStep = 100e-6;
-  reg.set_test_load(kLoadStep);
-  const double v1 = reg.vreg_dc(25.0);
-  reg.set_test_load(0.0);
-  metrics.load_regulation = (v0 - v1) / kLoadStep;
+  probe("load regulation @ nominal VDD", [&] {
+    const double v0 = reg.vreg_dc(25.0);
+    constexpr double kLoadStep = 100e-6;
+    reg.set_test_load(kLoadStep);
+    const double v1 = reg.vreg_dc(25.0);
+    reg.set_test_load(0.0);
+    metrics.load_regulation = (v0 - v1) / kLoadStep;
+  });
 
-  const double v25 = reg.vreg_dc(25.0);
   for (const double temp : tech.temperatures()) {
-    metrics.temp_drift =
-        std::max(metrics.temp_drift, std::fabs(reg.vreg_dc(temp) - v25));
+    char context[48];
+    std::snprintf(context, sizeof(context), "temp drift @ %.0fC", temp);
+    probe(context, [&] {
+      const double v25 = reg.vreg_dc(25.0);
+      metrics.temp_drift =
+          std::max(metrics.temp_drift, std::fabs(reg.vreg_dc(temp) - v25));
+    });
   }
   return metrics;
 }

@@ -8,6 +8,7 @@
 
 #include "lpsram/cell/flip_time.hpp"
 #include "lpsram/regulator/regulator.hpp"
+#include "lpsram/runtime/quarantine.hpp"
 
 namespace lpsram {
 
@@ -38,9 +39,13 @@ struct RegulationMetrics {
   double temp_drift = 0.0;
 };
 
-// Measures the metrics at one corner / reference setting.
+// Measures the metrics at one corner / reference setting. When `report` is
+// given, individual supply/temperature points that fail to solve are
+// quarantined into it (the metrics then cover the surviving points only);
+// without it the first failure propagates.
 RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
-                                     VrefLevel vref);
+                                     VrefLevel vref,
+                                     SweepReport* report = nullptr);
 
 class RegulatorCharacterizer {
  public:

@@ -293,21 +293,28 @@ double VoltageRegulator::defect_resistance(DefectId id) const {
       e_defect_[static_cast<std::size_t>(defect_site(id).id - 1)]);
 }
 
-DcResult VoltageRegulator::solve_dc(double temp_c) const {
-  DcSolver solver(netlist_, temp_c);
-  DcResult result;
-  if (!warm_start_.empty()) {
-    try {
-      result = solver.solve(&warm_start_);
-      warm_start_ = result.x;
-      return result;
-    } catch (const ConvergenceError&) {
-      // fall through to a cold solve
-    }
+SolveOutcome VoltageRegulator::solve_dc_outcome(double temp_c) const {
+  const ResilientDcSolver solver(netlist_, temp_c, DcOptions{}, solve_policy_);
+  const std::vector<double>* warm = warm_start_.empty() ? nullptr : &warm_start_;
+  SolveOutcome outcome = solver.solve(warm);
+  // Every fallback (a warm start that failed and was rescued by a later
+  // rung) is now visible in the telemetry instead of being swallowed.
+  telemetry_.record(outcome);
+  if (outcome.ok()) {
+    warm_start_ = outcome.result.x;
+  } else {
+    warm_start_.clear();  // a stale guess near a failure point misleads
   }
-  result = solver.solve();
-  warm_start_ = result.x;
-  return result;
+  return outcome;
+}
+
+DcResult VoltageRegulator::solve_dc(double temp_c) const {
+  SolveOutcome outcome = solve_dc_outcome(temp_c);
+  if (!outcome.ok()) {
+    const ResilientDcSolver solver(netlist_, temp_c, DcOptions{}, solve_policy_);
+    solver.throw_outcome(outcome);
+  }
+  return std::move(outcome.result);
 }
 
 double VoltageRegulator::vreg_dc(double temp_c) const {

@@ -26,6 +26,7 @@
 
 #include "lpsram/regulator/array_load.hpp"
 #include "lpsram/regulator/defects.hpp"
+#include "lpsram/runtime/retry_ladder.hpp"
 #include "lpsram/spice/transient.hpp"
 
 namespace lpsram {
@@ -67,8 +68,26 @@ class VoltageRegulator {
 
   // --- analyses ------------------------------------------------------------
   // DC operating point in the current configuration. Warm-started across
-  // calls, which makes resistance sweeps cheap.
+  // calls, which makes resistance sweeps cheap. Runs the resilient retry
+  // ladder; throws RetryExhausted / SolveTimeout (both ConvergenceError)
+  // when every rung fails. Every solve — including warm-start fallbacks
+  // that used to be swallowed silently — is recorded in solve_telemetry().
   DcResult solve_dc(double temp_c) const;
+  // Structured variant: never throws for convergence trouble; inspect
+  // outcome.status. Telemetry is recorded either way.
+  SolveOutcome solve_dc_outcome(double temp_c) const;
+
+  // Retry-ladder policy for this regulator's solves (deadline, budgets,
+  // strategy order).
+  void set_solve_policy(RetryLadderOptions policy) {
+    solve_policy_ = std::move(policy);
+  }
+  const RetryLadderOptions& solve_policy() const noexcept {
+    return solve_policy_;
+  }
+  // Running solve counters: warm hits, fallbacks, degradations, failures.
+  const SolveTelemetry& solve_telemetry() const noexcept { return telemetry_; }
+  void reset_solve_telemetry() { telemetry_.reset(); }
   // Regulated output voltage (VDD_CC) at DC.
   double vreg_dc(double temp_c) const;
   // Current drawn from the main VDD rail at DC [A].
@@ -125,6 +144,8 @@ class VoltageRegulator {
   NodeId n_mpreg1_gate_ = kGround;
 
   mutable std::vector<double> warm_start_;
+  RetryLadderOptions solve_policy_;
+  mutable SolveTelemetry telemetry_;
 
   static constexpr double kSwitchOn = 2e3;    // selector on-resistance [ohm]
   static constexpr double kSwitchOff = 1e12;  // selector off-resistance [ohm]

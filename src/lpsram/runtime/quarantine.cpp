@@ -1,0 +1,47 @@
+#include "lpsram/runtime/quarantine.hpp"
+
+#include <cstdio>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+std::string error_type_name(const std::exception& error) {
+  if (dynamic_cast<const SolveTimeout*>(&error)) return "SolveTimeout";
+  if (dynamic_cast<const RetryExhausted*>(&error)) return "RetryExhausted";
+  if (dynamic_cast<const ConvergenceError*>(&error)) return "ConvergenceError";
+  if (dynamic_cast<const InvalidArgument*>(&error)) return "InvalidArgument";
+  if (dynamic_cast<const ParseError*>(&error)) return "ParseError";
+  if (dynamic_cast<const Error*>(&error)) return "Error";
+  return "std::exception";
+}
+
+void SweepReport::quarantine(std::string context, const std::exception& error) {
+  ++attempted_;
+  quarantined_.push_back(QuarantinedPoint{std::move(context),
+                                          error_type_name(error),
+                                          error.what()});
+}
+
+void SweepReport::merge(const SweepReport& other) {
+  attempted_ += other.attempted_;
+  completed_ += other.completed_;
+  quarantined_.insert(quarantined_.end(), other.quarantined_.begin(),
+                      other.quarantined_.end());
+}
+
+std::string SweepReport::summary() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%zu/%zu points solved (%.1f%% coverage)",
+                completed_, attempted_, coverage() * 100.0);
+  std::string text = buf;
+  if (!quarantined_.empty()) {
+    text += "; quarantined:";
+    for (const QuarantinedPoint& q : quarantined_) {
+      text += "\n  [" + q.error_type + "] " + q.context + ": " + q.reason;
+    }
+  }
+  return text;
+}
+
+}  // namespace lpsram

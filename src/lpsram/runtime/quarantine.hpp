@@ -1,0 +1,61 @@
+// Partial-results accounting for PVT/defect sweeps: instead of aborting a
+// 45-corner characterization on the first ConvergenceError, sweep drivers
+// quarantine the failing point with its diagnostic and keep going. A
+// SweepReport states exactly what fraction of the grid the surviving
+// numbers trust.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace lpsram {
+
+// One sweep point that failed to solve and was excluded from the results.
+struct QuarantinedPoint {
+  std::string context;     // human-readable point id, e.g. "Df16 x CS1 @ fs, 1.0V, 125C"
+  std::string error_type;  // "SolveTimeout", "RetryExhausted", "ConvergenceError", ...
+  std::string reason;      // the error's what()
+};
+
+// Taxonomy name of an lpsram error (most-derived first), for quarantine
+// records and telemetry.
+std::string error_type_name(const std::exception& error);
+
+class SweepReport {
+ public:
+  // Every sweep point passes through exactly one of these two.
+  void add_success() { ++attempted_; ++completed_; }
+  void quarantine(std::string context, const std::exception& error);
+
+  std::size_t attempted() const noexcept { return attempted_; }
+  std::size_t completed() const noexcept { return completed_; }
+  std::size_t quarantined_count() const noexcept { return quarantined_.size(); }
+  const std::vector<QuarantinedPoint>& quarantined() const noexcept {
+    return quarantined_;
+  }
+
+  // Fraction of attempted points that completed (1.0 for an empty sweep).
+  double coverage() const noexcept {
+    return attempted_ == 0 ? 1.0
+                           : static_cast<double>(completed_) /
+                                 static_cast<double>(attempted_);
+  }
+  bool complete() const noexcept { return completed_ == attempted_; }
+
+  // Folds another report into this one (per-cell reports into a table-wide
+  // one).
+  void merge(const SweepReport& other);
+
+  // "43/45 points solved (95.6% coverage); quarantined: ..." — one line per
+  // quarantined point.
+  std::string summary() const;
+
+ private:
+  std::size_t attempted_ = 0;
+  std::size_t completed_ = 0;
+  std::vector<QuarantinedPoint> quarantined_;
+};
+
+}  // namespace lpsram

@@ -1,0 +1,299 @@
+#include "lpsram/runtime/retry_ladder.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "lpsram/spice/hooks.hpp"
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// SplitMix64: deterministic, seed-driven perturbation stream.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double uniform_pm1(std::uint64_t hash) {
+  // [-1, 1) from the top 53 bits.
+  return 2.0 * (static_cast<double>(hash >> 11) * 0x1.0p-53) - 1.0;
+}
+
+}  // namespace
+
+ResilientDcSolver::ResilientDcSolver(const Netlist& netlist, double temp_c,
+                                     DcOptions dc_options,
+                                     RetryLadderOptions options)
+    : netlist_(netlist),
+      temp_c_(temp_c),
+      dc_options_(std::move(dc_options)),
+      options_(std::move(options)) {}
+
+double ResilientDcSolver::now() const {
+  return options_.clock ? options_.clock() : steady_seconds();
+}
+
+void ResilientDcSolver::sleep_backoff(double seconds) const {
+  if (seconds <= 0.0) return;
+  if (options_.sleeper) {
+    options_.sleeper(seconds);
+  } else {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+void ResilientDcSolver::finish_success(SolveOutcome& outcome,
+                                       SolveStrategy strategy,
+                                       DcResult result) const {
+  outcome.strategy = strategy;
+  outcome.iterations = result.iterations;
+  const DcSolver reporter(netlist_, temp_c_, dc_options_);
+  const ResidualReport report = reporter.residual_report(result.x);
+  outcome.worst_residual = report.worst;
+  outcome.worst_node = report.node;
+  outcome.result = std::move(result);
+  if (outcome.status != SolveStatus::Degraded)
+    outcome.status = SolveStatus::Converged;
+}
+
+bool ResilientDcSolver::run_strategy(SolveStrategy strategy,
+                                     const std::vector<double>* warm_start,
+                                     AttemptRecord& record,
+                                     SolveOutcome& outcome) const {
+  // Effective options for this attempt: per-attempt iteration budget plus a
+  // progress callback that counts every Newton iteration into the attempt
+  // record (so failed attempts report their real cost) and enforces the
+  // deadline inside Newton, so a stalled solve cannot outlive its budget.
+  DcOptions opts = dc_options_;
+  if (options_.iteration_budget > 0)
+    opts.max_iterations = options_.iteration_budget;
+  {
+    auto base_progress = dc_options_.progress;
+    int* counter = &record.iterations;
+    opts.progress = [counter, base_progress](const NewtonProgress& p) {
+      ++*counter;
+      if (base_progress) base_progress(p);
+    };
+  }
+  if (options_.deadline_s > 0.0) {
+    const double deadline = start_time_ + options_.deadline_s;
+    auto base_progress = opts.progress;
+    opts.progress = [this, deadline, base_progress](const NewtonProgress& p) {
+      if (base_progress) base_progress(p);
+      if (now() > deadline) {
+        SolveFailureInfo info;
+        info.deadline_s = options_.deadline_s;
+        info.elapsed_s = now() - start_time_;
+        info.iterations = p.iteration;
+        info.worst_residual = p.max_residual;
+        throw SolveTimeout("resilient solve: deadline exceeded mid-Newton",
+                           std::move(info));
+      }
+    };
+  }
+
+  switch (strategy) {
+    case SolveStrategy::WarmStart: {
+      // Pure Newton from the neighboring sweep point — cheap, no internal
+      // cascade; if the neighborhood assumption is wrong, escalate fast.
+      DcOptions warm = opts;
+      warm.allow_gmin_stepping = false;
+      warm.allow_source_stepping = false;
+      DcResult result = DcSolver(netlist_, temp_c_, warm).solve(warm_start);
+      finish_success(outcome, strategy, std::move(result));
+      return true;
+    }
+
+    case SolveStrategy::ColdStart: {
+      DcResult result = DcSolver(netlist_, temp_c_, opts).solve();
+      finish_success(outcome, strategy, std::move(result));
+      return true;
+    }
+
+    case SolveStrategy::DenseGmin: {
+      // Half-decade gmin continuation driven from this layer: each step is
+      // warm-started from the previous one, denser than the solver's own
+      // decade schedule.
+      DcOptions step = opts;
+      step.allow_gmin_stepping = false;
+      step.allow_source_stepping = false;
+      std::vector<double> x;
+      const std::vector<double>* guess = warm_start;
+      for (double g = 1e-2; g > dc_options_.gmin; g *= 0.3162) {
+        step.gmin = g;
+        DcResult stage = DcSolver(netlist_, temp_c_, step).solve(guess);
+        x = std::move(stage.x);
+        guess = &x;
+      }
+      step.gmin = dc_options_.gmin;
+      DcResult result = DcSolver(netlist_, temp_c_, step).solve(guess);
+      finish_success(outcome, strategy, std::move(result));
+      return true;
+    }
+
+    case SolveStrategy::RelaxedPolish: {
+      DcOptions relaxed = opts;
+      relaxed.v_tolerance = dc_options_.v_tolerance * options_.relax_factor;
+      relaxed.residual_tolerance =
+          dc_options_.residual_tolerance * options_.relax_factor;
+      DcResult coarse = DcSolver(netlist_, temp_c_, relaxed).solve(warm_start);
+      // Polish at full tolerance, warm-started from the relaxed point.
+      DcOptions tight = opts;
+      tight.allow_gmin_stepping = false;
+      tight.allow_source_stepping = false;
+      try {
+        DcResult polished = DcSolver(netlist_, temp_c_, tight).solve(&coarse.x);
+        finish_success(outcome, strategy, std::move(polished));
+      } catch (const ConvergenceError&) {
+        // The relaxed point is usable but below full tolerance: degrade
+        // gracefully rather than discarding it.
+        outcome.status = SolveStatus::Degraded;
+        finish_success(outcome, strategy, std::move(coarse));
+      }
+      return true;
+    }
+
+    case SolveStrategy::PerturbedGuess: {
+      const std::size_t dim = SystemAssembler(netlist_, temp_c_).dimension();
+      std::vector<double> base(dim, 0.0);
+      if (warm_start && warm_start->size() == dim) base = *warm_start;
+      std::string last_error;
+      for (int k = 0; k < options_.perturb_attempts; ++k) {
+        std::vector<double> guess = base;
+        for (std::size_t i = 0; i < guess.size(); ++i) {
+          const std::uint64_t h = splitmix64(
+              options_.seed ^ (static_cast<std::uint64_t>(k) << 32) ^ i);
+          guess[i] += options_.perturb_magnitude * uniform_pm1(h);
+        }
+        try {
+          DcResult result = DcSolver(netlist_, temp_c_, opts).solve(&guess);
+          finish_success(outcome, strategy, std::move(result));
+          return true;
+        } catch (const SolveTimeout&) {
+          throw;
+        } catch (const ConvergenceError& e) {
+          last_error = e.what();
+        }
+      }
+      throw ConvergenceError("perturbed-guess: all " +
+                             std::to_string(options_.perturb_attempts) +
+                             " perturbations diverged (last: " + last_error +
+                             ")");
+    }
+  }
+  throw ConvergenceError("unknown solve strategy");
+}
+
+SolveOutcome ResilientDcSolver::solve(
+    const std::vector<double>* warm_start) const {
+  SolveOutcome outcome;
+  start_time_ = now();
+
+  int escalation = 0;
+  for (const SolveStrategy strategy : options_.ladder) {
+    if (strategy == SolveStrategy::WarmStart &&
+        (warm_start == nullptr || warm_start->empty()))
+      continue;  // nothing to warm-start from
+
+    // Deadline check between rungs.
+    if (options_.deadline_s > 0.0 &&
+        now() - start_time_ > options_.deadline_s) {
+      outcome.timed_out = true;
+      outcome.error = "deadline exceeded before strategy " +
+                      strategy_name(strategy);
+      break;
+    }
+
+    AttemptRecord record;
+    record.strategy = strategy;
+    if (escalation > 0 && options_.backoff_base_s > 0.0) {
+      record.backoff_s = std::min(
+          options_.backoff_base_s *
+              std::pow(options_.backoff_factor, escalation - 1),
+          options_.backoff_cap_s);
+      sleep_backoff(record.backoff_s);
+    }
+
+    if (SolverObserver* observer = solver_observer())
+      observer->on_ladder_attempt(escalation, strategy_name(strategy));
+
+    const double attempt_start = now();
+    ++outcome.attempts;
+    ++escalation;
+    try {
+      const bool final = run_strategy(strategy, warm_start, record, outcome);
+      record.elapsed_s = now() - attempt_start;
+      record.converged = final;
+      outcome.history.push_back(std::move(record));
+      if (final) break;
+    } catch (const SolveTimeout& e) {
+      record.elapsed_s = now() - attempt_start;
+      record.error = e.what();
+      outcome.history.push_back(std::move(record));
+      outcome.timed_out = true;
+      outcome.error = e.what();
+      break;
+    } catch (const ConvergenceError& e) {
+      record.elapsed_s = now() - attempt_start;
+      record.error = e.what();
+      outcome.history.push_back(std::move(record));
+      outcome.error = e.what();  // escalate to the next rung
+    }
+  }
+
+  outcome.elapsed_s = now() - start_time_;
+  if (outcome.ok()) outcome.error.clear();
+  if (!outcome.ok() && outcome.error.empty())
+    outcome.error = "retry ladder empty or every rung skipped";
+  return outcome;
+}
+
+void ResilientDcSolver::throw_outcome(const SolveOutcome& outcome) const {
+  SolveFailureInfo info;
+  info.attempts = outcome.attempts;
+  for (const AttemptRecord& a : outcome.history) info.iterations += a.iterations;
+  info.elapsed_s = outcome.elapsed_s;
+  info.deadline_s = options_.deadline_s;
+  info.worst_residual = outcome.worst_residual;
+  info.worst_node = outcome.worst_node;
+  for (const AttemptRecord& a : outcome.history) {
+    if (!info.strategies.empty()) info.strategies += ",";
+    info.strategies += strategy_name(a.strategy);
+  }
+
+  char buf[256];
+  if (outcome.timed_out) {
+    std::snprintf(buf, sizeof(buf),
+                  "SolveTimeout: deadline of %.3f s exceeded after %d "
+                  "attempts (%.3f s elapsed; strategies: %s)",
+                  options_.deadline_s, outcome.attempts, outcome.elapsed_s,
+                  info.strategies.c_str());
+    throw SolveTimeout(buf, std::move(info));
+  }
+  std::snprintf(buf, sizeof(buf),
+                "RetryExhausted: %d attempts failed in %.3f s (strategies: "
+                "%s; last error: %s)",
+                outcome.attempts, outcome.elapsed_s, info.strategies.c_str(),
+                outcome.error.c_str());
+  throw RetryExhausted(buf, std::move(info));
+}
+
+DcResult ResilientDcSolver::solve_or_throw(
+    const std::vector<double>* warm_start) const {
+  SolveOutcome outcome = solve(warm_start);
+  if (!outcome.ok()) throw_outcome(outcome);
+  return std::move(outcome.result);
+}
+
+}  // namespace lpsram

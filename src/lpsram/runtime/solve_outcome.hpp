@@ -1,0 +1,77 @@
+// Structured result of a resilient DC solve: replaces throw-or-succeed with
+// a typed outcome carrying status, the strategy that produced the result,
+// iteration/residual/timing telemetry, and the full attempt history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lpsram/spice/dc_solver.hpp"
+
+namespace lpsram {
+
+// The escalation rungs of the retry ladder, in their default order.
+enum class SolveStrategy {
+  WarmStart,      // caller-provided guess (neighboring sweep point)
+  ColdStart,      // zero guess, stock solver fallbacks
+  DenseGmin,      // runtime-level gmin continuation, half-decade schedule
+  RelaxedPolish,  // loose tolerances first, then warm-started tight polish
+  PerturbedGuess, // seed-driven randomized initial-guess perturbation
+};
+
+std::string strategy_name(SolveStrategy strategy);
+
+enum class SolveStatus {
+  Converged,  // full-tolerance operating point
+  Degraded,   // relaxed-tolerance point accepted after polish failed
+  Failed,     // every rung exhausted (or deadline hit)
+};
+
+std::string status_name(SolveStatus status);
+
+// One retry-ladder attempt, recorded whether it succeeded or not.
+struct AttemptRecord {
+  SolveStrategy strategy = SolveStrategy::ColdStart;
+  bool converged = false;
+  int iterations = 0;      // Newton iterations consumed by the attempt
+  double elapsed_s = 0.0;  // wall-clock spent in the attempt [s]
+  double backoff_s = 0.0;  // backoff slept before the attempt [s]
+  std::string error;       // failure message (empty on success)
+};
+
+struct SolveOutcome {
+  SolveStatus status = SolveStatus::Failed;
+  SolveStrategy strategy = SolveStrategy::ColdStart;  // rung that produced `result`
+  int attempts = 0;             // ladder rungs tried
+  int iterations = 0;           // Newton iterations of the winning attempt
+  double worst_residual = 0.0;  // max |KCL residual| of the final estimate [A]
+  std::string worst_node;       // node carrying the worst residual
+  double elapsed_s = 0.0;       // total wall-clock across all attempts [s]
+  bool timed_out = false;       // deadline cut the solve off
+  std::string error;            // failure description (empty unless Failed)
+  DcResult result;              // valid when status != Failed
+  std::vector<AttemptRecord> history;
+
+  bool ok() const noexcept { return status != SolveStatus::Failed; }
+
+  // "converged via cold-start: 12 iters, 3.1e-13 A residual, 0.8 ms"
+  std::string summary() const;
+};
+
+// Running counters a solve-owning component (e.g. VoltageRegulator) keeps so
+// silent fallbacks become visible telemetry instead of swallowed exceptions.
+struct SolveTelemetry {
+  std::uint64_t solves = 0;
+  std::uint64_t warm_hits = 0;   // first-rung warm start succeeded
+  std::uint64_t fallbacks = 0;   // warm start failed but a later rung recovered
+  std::uint64_t degraded = 0;    // accepted a relaxed-tolerance solution
+  std::uint64_t failures = 0;    // retry ladder exhausted
+  std::uint64_t timeouts = 0;    // deadline enforced
+  SolveOutcome last;             // most recent outcome, for inspection
+
+  void record(const SolveOutcome& outcome);
+  void reset() { *this = SolveTelemetry{}; }
+};
+
+}  // namespace lpsram

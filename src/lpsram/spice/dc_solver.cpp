@@ -2,21 +2,74 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
+#include "lpsram/spice/hooks.hpp"
 #include "lpsram/util/error.hpp"
 
 namespace lpsram {
+namespace {
+
+// Restores source values if a solve strategy exits early (including by an
+// exception thrown from a progress callback or observer).
+class SourceRestorer {
+ public:
+  SourceRestorer(Netlist& netlist,
+                 const std::vector<std::pair<ElementId, double>>& vsources,
+                 const std::vector<std::pair<ElementId, double>>& isources)
+      : netlist_(netlist), vsources_(vsources), isources_(isources) {}
+  ~SourceRestorer() {
+    for (const auto& [id, volts] : vsources_) netlist_.set_source_voltage(id, volts);
+    for (const auto& [id, amps] : isources_) netlist_.set_source_current(id, amps);
+  }
+
+ private:
+  Netlist& netlist_;
+  const std::vector<std::pair<ElementId, double>>& vsources_;
+  const std::vector<std::pair<ElementId, double>>& isources_;
+};
+
+bool all_finite(const std::vector<double>& values) {
+  for (const double v : values)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+}  // namespace
 
 DcSolver::DcSolver(const Netlist& netlist, double temp_c, DcOptions options)
-    : netlist_(netlist), assembler_(netlist, temp_c), options_(options) {}
+    : netlist_(netlist), assembler_(netlist, temp_c), options_(std::move(options)) {}
 
 bool DcSolver::newton(std::vector<double>& x, double gmin,
-                      int* iterations_out) const {
+                      NewtonStats* stats) const {
   Matrix jacobian(assembler_.dimension(), assembler_.dimension());
   std::vector<double> residual;
 
   for (int it = 0; it < options_.max_iterations; ++it) {
     assembler_.assemble(x, jacobian, residual, gmin);
+
+    if (SolverObserver* observer = solver_observer()) {
+      NewtonEvent event;
+      event.iteration = it;
+      event.gmin = gmin;
+      event.jacobian = &jacobian;
+      event.residual = &residual;
+      observer->on_newton_iteration(event);
+    }
+
+    double max_residual = 0.0;
+    const std::size_t n_nodes = netlist_.node_count() - 1;
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      max_residual = std::max(max_residual, std::fabs(residual[i]));
+    if (stats) {
+      stats->iterations = it + 1;
+      stats->max_residual = max_residual;
+    }
+
+    // A non-finite residual (device model blow-up or injected fault) can
+    // never converge — bail out so the caller escalates instead of burning
+    // the whole iteration budget on NaN arithmetic.
+    if (!all_finite(residual)) return false;
 
     // Solve J * dx = -F.
     std::vector<double> rhs(residual.size());
@@ -31,16 +84,22 @@ bool DcSolver::newton(std::vector<double>& x, double gmin,
     // Damped update: limit voltage steps to keep the exponential device
     // models inside their sane range.
     double max_dv = 0.0;
-    const std::size_t n_nodes = netlist_.node_count() - 1;
     for (std::size_t i = 0; i < n_nodes; ++i)
       max_dv = std::max(max_dv, std::fabs(dx[i]));
+    if (!std::isfinite(max_dv)) return false;
     const double scale =
         max_dv > options_.step_limit ? options_.step_limit / max_dv : 1.0;
     for (std::size_t i = 0; i < dx.size(); ++i) x[i] += scale * dx[i];
     for (std::size_t i = 0; i < n_nodes; ++i)
       x[i] = std::clamp(x[i], options_.v_min, options_.v_max);
 
-    if (iterations_out) *iterations_out = it + 1;
+    if (options_.progress) {
+      NewtonProgress progress;
+      progress.iteration = it + 1;
+      progress.max_dv = max_dv;
+      progress.max_residual = max_residual;
+      options_.progress(progress);  // may throw (deadline enforcement)
+    }
 
     // Converged when the full (unscaled) Newton step is tiny — at that point
     // the residual is quadratically small as well.
@@ -49,7 +108,30 @@ bool DcSolver::newton(std::vector<double>& x, double gmin,
   return false;
 }
 
+ResidualReport DcSolver::residual_report(const std::vector<double>& x) const {
+  Matrix jacobian(assembler_.dimension(), assembler_.dimension());
+  std::vector<double> residual;
+  assembler_.assemble(x, jacobian, residual, options_.gmin);
+
+  ResidualReport report;
+  std::size_t worst_row = 0;
+  const std::size_t n_nodes = netlist_.node_count() - 1;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const double magnitude =
+        std::isfinite(residual[i]) ? std::fabs(residual[i]) : HUGE_VAL;
+    if (magnitude >= report.worst) {
+      report.worst = magnitude;
+      worst_row = i;
+    }
+  }
+  // Node row i corresponds to node id i+1 (ground is eliminated).
+  report.node = netlist_.node_name(static_cast<NodeId>(worst_row + 1));
+  return report;
+}
+
 DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
+  if (SolverObserver* observer = solver_observer()) observer->on_solve_begin();
+
   std::vector<double> x(assembler_.dimension(), 0.0);
   if (initial_guess) {
     if (initial_guess->size() != x.size())
@@ -58,34 +140,39 @@ DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
   }
 
   DcResult result;
+  int total_iterations = 0;
 
   // Strategy 1: plain Newton from the given guess.
-  int iters = 0;
-  if (newton(x, options_.gmin, &iters)) {
+  NewtonStats stats;
+  if (newton(x, options_.gmin, &stats)) {
     result.converged = true;
-    result.iterations = iters;
+    result.iterations = stats.iterations;
     result.x = std::move(x);
     result.node_v = assembler_.node_voltages(result.x);
     return result;
   }
+  total_iterations += stats.iterations;
+  std::vector<double> best = x;  // best-effort estimate for diagnostics
 
   // Strategy 2: gmin stepping — start heavily damped toward ground and relax.
   if (options_.allow_gmin_stepping) {
     std::vector<double> xg(assembler_.dimension(), 0.0);
     bool ok = true;
     for (double g = 1e-3; g >= options_.gmin; g *= 0.1) {
-      if (!newton(xg, g, &iters)) {
+      if (!newton(xg, g, &stats)) {
         ok = false;
         break;
       }
     }
-    if (ok && newton(xg, options_.gmin, &iters)) {
+    total_iterations += stats.iterations;
+    if (ok && newton(xg, options_.gmin, &stats)) {
       result.converged = true;
-      result.iterations = iters;
+      result.iterations = stats.iterations;
       result.x = std::move(xg);
       result.node_v = assembler_.node_voltages(result.x);
       return result;
     }
+    total_iterations += ok ? stats.iterations : 0;
   }
 
   // Strategy 3: source stepping — ramp all sources from zero.
@@ -100,8 +187,10 @@ DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
         isources.push_back({static_cast<ElementId>(ei), i->amps});
     }
     // We need mutability: const_cast is confined here and values are restored
-    // before returning (the netlist is observably unchanged).
+    // before returning (the netlist is observably unchanged). The RAII guard
+    // also restores if a progress callback or observer throws mid-ramp.
     Netlist& mutable_netlist = const_cast<Netlist&>(netlist_);
+    const SourceRestorer restore(mutable_netlist, vsources, isources);
     std::vector<double> xs(assembler_.dimension(), 0.0);
     bool ok = true;
     for (double scale : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
@@ -109,20 +198,16 @@ DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
         mutable_netlist.set_source_voltage(id, volts * scale);
       for (const auto& [id, amps] : isources)
         mutable_netlist.set_source_current(id, amps * scale);
-      if (!newton(xs, options_.gmin, &iters)) {
+      if (!newton(xs, options_.gmin, &stats)) {
         ok = false;
         break;
       }
     }
-    // Restore original source values.
-    for (const auto& [id, volts] : vsources)
-      mutable_netlist.set_source_voltage(id, volts);
-    for (const auto& [id, amps] : isources)
-      mutable_netlist.set_source_current(id, amps);
+    total_iterations += stats.iterations;
 
     if (ok) {
       result.converged = true;
-      result.iterations = iters;
+      result.iterations = stats.iterations;
       result.x = std::move(xs);
       result.node_v = assembler_.node_voltages(result.x);
       return result;
@@ -131,26 +216,37 @@ DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
 
   // Strategy 4: heavily damped Newton — slow but settles limit cycles caused
   // by sharp nonlinearities (e.g. a regulator driven deep into collapse).
-  {
+  // A fallback like the others: skipped when the caller disabled them (the
+  // retry ladder's pure-Newton rungs must stay cheap and predictable).
+  if (options_.allow_gmin_stepping || options_.allow_source_stepping) {
     DcOptions damped = options_;
     damped.step_limit = 0.02;
-    damped.max_iterations = 2000;
+    // Small steps need proportionally more iterations; scale the configured
+    // budget instead of overriding it so per-attempt caps stay meaningful.
+    damped.max_iterations = options_.max_iterations * 20;
     DcSolver damped_solver(netlist_, assembler_.temperature(), damped);
     std::vector<double> xd(assembler_.dimension(), 0.0);
     if (initial_guess) xd = *initial_guess;
-    int iters = 0;
-    if (damped_solver.newton(xd, options_.gmin, &iters)) {
+    if (damped_solver.newton(xd, options_.gmin, &stats)) {
       result.converged = true;
-      result.iterations = iters;
+      result.iterations = stats.iterations;
       result.x = std::move(xd);
       result.node_v = assembler_.node_voltages(result.x);
       return result;
     }
+    total_iterations += stats.iterations;
+    best = std::move(xd);
   }
 
-  throw ConvergenceError(
-      "DcSolver: failed to find a DC operating point (plain Newton, gmin "
-      "stepping, source stepping and damped Newton all diverged)");
+  const ResidualReport report = residual_report(best);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "DcSolver: failed to find a DC operating point (plain Newton, "
+                "gmin stepping, source stepping and damped Newton all "
+                "diverged after %d iterations; worst residual %.3e A at node "
+                "'%s')",
+                total_iterations, report.worst, report.node.c_str());
+  throw ConvergenceError(buf);
 }
 
 double DcSolver::voltage(const DcResult& result, NodeId node) const {

@@ -3,12 +3,23 @@
 // in the reproduction.
 #pragma once
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "lpsram/spice/elements.hpp"
 #include "lpsram/spice/netlist.hpp"
 
 namespace lpsram {
+
+// Per-iteration progress snapshot delivered to DcOptions::progress. The
+// resilient runtime layer uses it to enforce wall-clock deadlines: the
+// callback may throw (e.g. SolveTimeout) to abort the solve mid-Newton.
+struct NewtonProgress {
+  int iteration = 0;       // 1-based within the current Newton attempt
+  double max_dv = 0.0;     // largest node-voltage step this iteration [V]
+  double max_residual = 0.0;  // largest |KCL residual| at entry [A]
+};
 
 struct DcOptions {
   int max_iterations = 150;
@@ -23,6 +34,9 @@ struct DcOptions {
   double v_max = 4.0;
   bool allow_gmin_stepping = true;
   bool allow_source_stepping = true;
+  // Invoked once per Newton iteration; may throw to abort the solve (the
+  // exception propagates out of solve()).
+  std::function<void(const NewtonProgress&)> progress;
 };
 
 struct DcResult {
@@ -32,13 +46,21 @@ struct DcResult {
   std::vector<double> node_v;  // per-node voltages including ground
 };
 
+// Worst KCL residual of a candidate solution, with the offending node named —
+// what makes a non-convergence report actionable without a debugger.
+struct ResidualReport {
+  double worst = 0.0;      // max |KCL residual| over node rows [A]
+  std::string node;        // name of the node carrying it
+};
+
 class DcSolver {
  public:
   DcSolver(const Netlist& netlist, double temp_c, DcOptions options = {});
 
   // Solves for the DC operating point. If `initial_guess` (raw unknown
   // vector) is given it seeds Newton — warm starts make parameter sweeps
-  // nearly free. Throws ConvergenceError if every strategy fails.
+  // nearly free. Throws ConvergenceError (with iteration count, worst-node
+  // name and final residual in the message) if every strategy fails.
   DcResult solve(const std::vector<double>* initial_guess = nullptr) const;
 
   const SystemAssembler& assembler() const noexcept { return assembler_; }
@@ -49,9 +71,18 @@ class DcSolver {
   // into the positive terminal from the external circuit).
   double source_current(const DcResult& result, ElementId vsrc) const;
 
+  // Assembles the residual at `x` and reports the worst KCL row (diagnostic;
+  // used for enriched failure messages and SolveOutcome telemetry).
+  ResidualReport residual_report(const std::vector<double>& x) const;
+
  private:
+  struct NewtonStats {
+    int iterations = 0;      // iterations consumed by this attempt
+    double max_residual = 0.0;  // residual at the last assembled point
+  };
+
   // One Newton solve at fixed gmin and source scale; returns converged flag.
-  bool newton(std::vector<double>& x, double gmin, int* iterations_out) const;
+  bool newton(std::vector<double>& x, double gmin, NewtonStats* stats) const;
 
   const Netlist& netlist_;
   SystemAssembler assembler_;

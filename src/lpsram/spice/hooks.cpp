@@ -1,0 +1,18 @@
+#include "lpsram/spice/hooks.hpp"
+
+namespace lpsram {
+namespace {
+
+SolverObserver* g_observer = nullptr;
+
+}  // namespace
+
+SolverObserver* solver_observer() noexcept { return g_observer; }
+
+SolverObserver* exchange_solver_observer(SolverObserver* observer) noexcept {
+  SolverObserver* previous = g_observer;
+  g_observer = observer;
+  return previous;
+}
+
+}  // namespace lpsram

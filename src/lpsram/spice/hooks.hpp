@@ -1,0 +1,75 @@
+// Instrumentation hooks for the Newton DC solver.
+//
+// A single process-wide SolverObserver can be installed (RAII via
+// ScopedSolverObserver); the DC solver reports every solve attempt and every
+// Newton iteration to it. Observers may *mutate* the assembled system —
+// that is the mechanism the runtime chaos harness uses to inject numerical
+// faults (NaN residuals, singular Jacobians, iteration-cap breaches,
+// artificial stalls) deterministically, without the solver knowing it is
+// under test. Observers may also throw to abort a solve (the resilient
+// runtime layer uses a per-options progress callback for its deadline, but
+// an observer throw propagates identically).
+//
+// The registry is intentionally process-global and NOT thread-safe: sweeps
+// in this project are single-threaded, and a global hook reaches solver
+// instances created many layers deep (e.g. inside VoltageRegulator) that no
+// options plumbing could reach without threading chaos state through every
+// constructor in between.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lpsram/util/matrix.hpp"
+
+namespace lpsram {
+
+// One Newton iteration, observed after system assembly and before the linear
+// solve. `jacobian` and `residual` are live and mutable.
+struct NewtonEvent {
+  int iteration = 0;  // 0-based within the current Newton attempt
+  double gmin = 0.0;  // gmin in force for this attempt
+  Matrix* jacobian = nullptr;
+  std::vector<double>* residual = nullptr;
+};
+
+class SolverObserver {
+ public:
+  virtual ~SolverObserver() = default;
+
+  // Called once at the top of every DcSolver::solve call.
+  virtual void on_solve_begin() {}
+
+  // Called each Newton iteration after assembly; may mutate the system or
+  // throw to abort the attempt.
+  virtual void on_newton_iteration(NewtonEvent& event) { (void)event; }
+
+  // Called by the resilient runtime layer before each retry-ladder attempt
+  // (attempt 0 = first rung). Plain DcSolver use never emits this.
+  virtual void on_ladder_attempt(int attempt, const std::string& strategy) {
+    (void)attempt;
+    (void)strategy;
+  }
+};
+
+// Currently installed observer (nullptr when none).
+SolverObserver* solver_observer() noexcept;
+
+// Installs `observer` (may be nullptr) and returns the previous one.
+SolverObserver* exchange_solver_observer(SolverObserver* observer) noexcept;
+
+// RAII installation: restores the previous observer on destruction.
+class ScopedSolverObserver {
+ public:
+  explicit ScopedSolverObserver(SolverObserver* observer)
+      : previous_(exchange_solver_observer(observer)) {}
+  ~ScopedSolverObserver() { exchange_solver_observer(previous_); }
+
+  ScopedSolverObserver(const ScopedSolverObserver&) = delete;
+  ScopedSolverObserver& operator=(const ScopedSolverObserver&) = delete;
+
+ private:
+  SolverObserver* previous_;
+};
+
+}  // namespace lpsram

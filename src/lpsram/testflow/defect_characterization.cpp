@@ -71,34 +71,52 @@ DefectCsResult DefectCharacterizer::characterize(DefectId id,
   result.open_only = true;
 
   for (const PvtPoint& pvt : options_.pvt) {
-    DsCondition condition;
-    condition.corner = pvt.corner;
-    condition.vdd = pvt.vdd;
-    condition.vref = vref_for_vdd(pvt.vdd, worst_drv_);
-    condition.temp_c = pvt.temp_c;
-    condition.ds_time = options_.ds_time;
+    const auto characterize_point = [&] {
+      DsCondition condition;
+      condition.corner = pvt.corner;
+      condition.vdd = pvt.vdd;
+      condition.vref = vref_for_vdd(pvt.vdd, worst_drv_);
+      condition.temp_c = pvt.temp_c;
+      condition.ds_time = options_.ds_time;
 
-    const double drv = cs_drv(cs, pvt.corner, pvt.temp_c);
+      const double drv = cs_drv(cs, pvt.corner, pvt.temp_c);
 
-    auto drf_at = [&](double ohms) {
-      return characterizer.causes_drf(condition, id, ohms, drv);
+      auto drf_at = [&](double ohms) {
+        return characterizer.causes_drf(condition, id, ohms, drv);
+      };
+
+      // Early skip: if the current best resistance does not cause a DRF at
+      // this PVT point, its own minimum lies above the best — monotonicity
+      // lets us skip the whole search.
+      if (!result.open_only && !drf_at(result.min_resistance)) return;
+
+      const double r = monotone_threshold_log(drf_at, options_.r_low,
+                                              options_.r_high,
+                                              options_.rel_tolerance);
+      if (r > options_.r_high) return;  // undetectable at this PVT
+
+      if (r < result.min_resistance) {
+        result.min_resistance = r;
+        result.open_only = false;
+        result.worst_pvt = pvt;
+        result.vref_at_worst = condition.vref;
+      }
     };
 
-    // Early skip: if the current best resistance does not cause a DRF at
-    // this PVT point, its own minimum lies above the best — monotonicity
-    // lets us skip the whole search.
-    if (!result.open_only && !drf_at(result.min_resistance)) continue;
-
-    const double r = monotone_threshold_log(drf_at, options_.r_low,
-                                            options_.r_high,
-                                            options_.rel_tolerance);
-    if (r > options_.r_high) continue;  // undetectable at this PVT
-
-    if (r < result.min_resistance) {
-      result.min_resistance = r;
-      result.open_only = false;
-      result.worst_pvt = pvt;
-      result.vref_at_worst = condition.vref;
+    if (!options_.quarantine) {
+      characterize_point();
+      result.sweep.add_success();
+      continue;
+    }
+    try {
+      characterize_point();
+      result.sweep.add_success();
+    } catch (const Error& e) {
+      // Partial results beat none: record the point as untrusted and keep
+      // sweeping the rest of the grid.
+      result.sweep.quarantine(
+          "Df" + std::to_string(id) + " x " + cs.name() + " @ " + pvt_name(pvt),
+          e);
     }
   }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lpsram/regulator/characterize.hpp"
+#include "lpsram/runtime/quarantine.hpp"
 #include "lpsram/testflow/case_studies.hpp"
 #include "lpsram/testflow/pvt.hpp"
 
@@ -27,6 +28,11 @@ struct DefectCharacterizationOptions {
   double ds_time = 1e-3;            // DS dwell per test (Table II setup)
   double worst_drv = 0.0;           // 0 = computed from CS1 internally
   FlipTimeModel flip{};
+  // Graceful degradation: quarantine PVT points whose solves fail (after
+  // the retry ladder) instead of aborting the sweep. The per-cell
+  // DefectCsResult::sweep states the surviving coverage. Set false to make
+  // the first failure propagate (fail-fast).
+  bool quarantine = true;
 };
 
 // One Table II cell: defect x case study.
@@ -37,6 +43,12 @@ struct DefectCsResult {
   bool open_only = false;       // true = "> 500M" (no finite R below the cap)
   PvtPoint worst_pvt;           // the PVT needing the minimal resistance
   VrefLevel vref_at_worst = VrefLevel::V070;
+  // Per-PVT-point solve accounting: which of the grid points this cell's
+  // numbers actually cover, and which were quarantined with what error.
+  SweepReport sweep;
+
+  // True when every PVT point of the grid was characterized.
+  bool trusted() const noexcept { return sweep.complete(); }
 };
 
 class DefectCharacterizer {

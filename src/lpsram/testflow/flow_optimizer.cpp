@@ -81,12 +81,26 @@ DetectionMatrix FlowOptimizer::build_matrix(
 
     for (std::size_t di = 0; di < matrix.defects.size(); ++di) {
       const DefectId id = matrix.defects[di];
-      const double r = monotone_threshold_log(
-          [&](double ohms) {
-            return characterizer.causes_drf(condition, id, ohms, drv);
-          },
-          options_.r_low, options_.r_high, options_.rel_tolerance);
-      matrix.rmin[ci][di] = r;
+      const auto probe = [&] {
+        return monotone_threshold_log(
+            [&](double ohms) {
+              return characterizer.causes_drf(condition, id, ohms, drv);
+            },
+            options_.r_low, options_.r_high, options_.rel_tolerance);
+      };
+      if (!options_.quarantine) {
+        matrix.rmin[ci][di] = probe();
+        matrix.sweep.add_success();
+        continue;
+      }
+      try {
+        matrix.rmin[ci][di] = probe();
+        matrix.sweep.add_success();
+      } catch (const Error& e) {
+        // Leave the "not detectable" sentinel in place and record the entry
+        // so coverage accounting stays honest.
+        matrix.sweep.quarantine(tc.str() + " x Df" + std::to_string(id), e);
+      }
     }
   }
   return matrix;

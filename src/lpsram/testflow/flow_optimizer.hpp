@@ -37,6 +37,10 @@ struct DetectionMatrix {
   // rmin[c][d]; values > r_high mean "not detectable under this condition".
   std::vector<std::vector<double>> rmin;
   double r_high = 500e6;
+  // Solve accounting for the probed (condition, defect) entries: quarantined
+  // entries read as "not detectable" in rmin and are listed here so the
+  // optimized flow states what fraction of the matrix it trusts.
+  SweepReport sweep;
 };
 
 struct FlowIteration {
@@ -86,6 +90,9 @@ struct FlowOptimizerOptions {
   double rel_tolerance = 1.05;
   FlowStrategy strategy = FlowStrategy::PaperPerVddLevel;
   FlipTimeModel flip{};
+  // Quarantine failing matrix entries instead of aborting the build (the
+  // entry then reads "not detectable"); false = fail-fast.
+  bool quarantine = true;
 };
 
 class FlowOptimizer {

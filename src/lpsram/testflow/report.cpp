@@ -72,6 +72,33 @@ std::string table2_report(
   return table.str();
 }
 
+SweepReport table2_coverage(
+    const std::vector<std::vector<DefectCsResult>>& rows) {
+  SweepReport total;
+  for (const auto& row : rows)
+    for (const DefectCsResult& r : row) total.merge(r.sweep);
+  return total;
+}
+
+std::string coverage_report(
+    const std::vector<std::vector<DefectCsResult>>& rows) {
+  AsciiTable table({"Def.", "CS", "Coverage", "Status"});
+  for (const auto& row : rows) {
+    for (const DefectCsResult& r : row) {
+      char coverage[32];
+      std::snprintf(coverage, sizeof(coverage), "%zu/%zu",
+                    r.sweep.completed(), r.sweep.attempted());
+      table.add_row({defect_name(r.id), r.cs_name, coverage,
+                     r.trusted() ? "ok" : "PARTIAL"});
+    }
+  }
+  std::string out = table.str();
+  const SweepReport total = table2_coverage(rows);
+  out += total.summary();
+  out += "\n";
+  return out;
+}
+
 std::string table3_report(const OptimizedFlow& flow, const MarchTest& test,
                           std::size_t words, double cycle_time) {
   AsciiTable table({"Iter.", "VDD", "Vref", "Vreg", "DS time",

@@ -31,4 +31,13 @@ std::string table2_report(
 std::string table3_report(const OptimizedFlow& flow, const MarchTest& test,
                           std::size_t words, double cycle_time);
 
+// Aggregated solve coverage of a Table II run (folds every cell's per-point
+// SweepReport into one).
+SweepReport table2_coverage(const std::vector<std::vector<DefectCsResult>>& rows);
+
+// Per-cell quarantine status of a Table II run: coverage per defect x case
+// study plus the quarantined-point details — the partial-results contract
+// made visible. Cells with full coverage print "ok".
+std::string coverage_report(const std::vector<std::vector<DefectCsResult>>& rows);
+
 }  // namespace lpsram

@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace lpsram {
 
@@ -17,6 +18,41 @@ class Error : public std::runtime_error {
 class ConvergenceError : public Error {
  public:
   explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+// Diagnostic context attached to solve-layer failures so sweep drivers can
+// quarantine a point with an actionable record instead of a bare message.
+struct SolveFailureInfo {
+  int attempts = 0;           // retry-ladder attempts consumed
+  int iterations = 0;         // Newton iterations across all attempts
+  double elapsed_s = 0.0;     // wall-clock time spent on this solve [s]
+  double deadline_s = 0.0;    // deadline in force (0 = none) [s]
+  double worst_residual = 0.0;  // max |KCL residual| at the best estimate [A]
+  std::string worst_node;     // node carrying the worst residual
+  std::string strategies;     // comma-separated list of strategies tried
+};
+
+// Thrown when every rung of the resilient solve retry ladder has failed.
+// Derives from ConvergenceError so legacy catch sites keep working.
+class RetryExhausted : public ConvergenceError {
+ public:
+  RetryExhausted(const std::string& what, SolveFailureInfo info)
+      : ConvergenceError(what), info_(std::move(info)) {}
+  const SolveFailureInfo& info() const noexcept { return info_; }
+
+ private:
+  SolveFailureInfo info_;
+};
+
+// Thrown when a solve is cut off by its wall-clock deadline.
+class SolveTimeout : public ConvergenceError {
+ public:
+  SolveTimeout(const std::string& what, SolveFailureInfo info)
+      : ConvergenceError(what), info_(std::move(info)) {}
+  const SolveFailureInfo& info() const noexcept { return info_; }
+
+ private:
+  SolveFailureInfo info_;
 };
 
 // Thrown when input arguments violate an API precondition.
