@@ -2,11 +2,14 @@
 // versus Vth variation injected into each single transistor of one core
 // cell, maximized over process corners and temperatures.
 //
-// Usage: bench_fig4_drv_vth [--fast]
+// Usage: bench_fig4_drv_vth [--fast] [--threads N]
 //   --fast restricts the PVT grid (typical/fs corners, 25/125 C) for a quick
 //   look; the default sweeps all 5 corners x 3 temperatures like the paper.
+//   --threads N picks the sweep-executor worker count (default: LPSRAM_THREADS
+//   env, else hardware concurrency); the points are bit-identical at any N.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "lpsram/core/retention_analyzer.hpp"
@@ -15,7 +18,14 @@
 using namespace lpsram;
 
 int main(int argc, char** argv) {
-  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+  bool fast = false;
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0)
+      fast = true;
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
+  }
 
   const Technology tech = Technology::lp40nm();
   const RetentionAnalyzer analyzer(tech);
@@ -40,8 +50,11 @@ int main(int argc, char** argv) {
       "raise DRV_DS1; pass-gate impact second-order; symmetric cell well "
       "above 60 mV.\n\n");
 
-  const auto points = analyzer.fig4_sweep(sigmas, corners, temps);
+  SweepTelemetry telemetry;
+  const auto points =
+      analyzer.fig4_sweep(sigmas, corners, temps, nullptr, &telemetry, threads);
   std::fputs(fig4_report(points).c_str(), stdout);
+  std::printf("\nsweep: %s\n", telemetry.summary().c_str());
 
   // Headline numbers the paper quotes around Fig. 4.
   CellVariation none;

@@ -3,11 +3,14 @@
 // the minimal defect resistance that causes a data retention fault in
 // deep-sleep mode, with the PVT condition that requires it.
 //
-// Usage: bench_table2_defects [--full]
+// Usage: bench_table2_defects [--full] [--threads N]
 //   default: a 9-point PVT subgrid (fs/sf/typical corners x 3 VDD at 125 C
 //            plus the hot/cold extremes) — minutes-scale accurate shape;
-//   --full:  the paper's complete 45-point grid.
+//   --full:  the paper's complete 45-point grid;
+//   --threads N: sweep-executor worker count (default: LPSRAM_THREADS env,
+//            else hardware concurrency). Results are bit-identical at any N.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "lpsram/testflow/report.hpp"
@@ -16,11 +19,19 @@
 using namespace lpsram;
 
 int main(int argc, char** argv) {
-  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  bool full = false;
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0)
+      full = true;
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
+  }
 
   const Technology tech = Technology::lp40nm();
 
   DefectCharacterizationOptions options;
+  options.threads = threads;
   if (!full) {
     for (const Corner corner :
          {Corner::FastNSlowP, Corner::SlowNFastP, Corner::Typical}) {
@@ -49,8 +60,10 @@ int main(int argc, char** argv) {
 
   const auto& defects = table2_defects();
   const auto case_studies = table2_case_studies();
-  const auto rows = characterizer.table(defects, case_studies);
+  SweepTelemetry telemetry;
+  const auto rows = characterizer.table(defects, case_studies, &telemetry);
   std::fputs(table2_report(rows, case_studies).c_str(), stdout);
+  std::printf("\nsweep: %s\n", telemetry.summary().c_str());
 
   // The paper's cross-check: CS5 requires lower Rmin than CS2 everywhere.
   std::size_t cs5_tighter = 0, comparable = 0;

@@ -2,7 +2,13 @@
 // 12-condition detection matrix for the 17 DRF-causing defects, runs the
 // greedy cover, prints the chosen iterations and the test-time reduction,
 // then validates the flow against defective SRAM instances (Section V).
+//
+// Usage: bench_table3_flow [--threads N]
+//   --threads N: sweep-executor worker count for the matrix build (the
+//   methodology reads it via LPSRAM_THREADS; default hardware concurrency).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "lpsram/core/methodology.hpp"
 #include "lpsram/testflow/report.hpp"
@@ -11,7 +17,15 @@
 
 using namespace lpsram;
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      // The methodology facade owns its FlowOptimizer options; the executor's
+      // automatic worker count (threads = 0) reads this variable.
+      ::setenv("LPSRAM_THREADS", argv[++i], 1);
+    }
+  }
+
   const Technology tech = Technology::lp40nm();
 
   std::printf(
@@ -69,6 +83,8 @@ int main() {
       table.add_row(std::move(cells));
     }
     std::fputs(table.str().c_str(), stdout);
+    std::printf("matrix build: %s\n",
+                report.generated.matrix.telemetry.summary().c_str());
   }
 
   // Section V validation: the flow must fail every injected DRF defect and

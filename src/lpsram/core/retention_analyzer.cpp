@@ -1,7 +1,10 @@
 #include "lpsram/core/retention_analyzer.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <exception>
 
+#include "lpsram/spice/hooks.hpp"
 #include "lpsram/testflow/case_studies.hpp"
 #include "lpsram/util/error.hpp"
 
@@ -25,38 +28,94 @@ PvtDrvResult RetentionAnalyzer::drv_worst(const CellVariation& variation) const 
 
 std::vector<Fig4Point> RetentionAnalyzer::fig4_sweep(
     std::span<const double> sigmas, std::span<const Corner> corners,
-    std::span<const double> temps, SweepReport* report) const {
+    std::span<const double> temps, SweepReport* report,
+    SweepTelemetry* telemetry, int threads) const {
   const std::span<const Corner> corner_grid =
       corners.empty() ? std::span<const Corner>(kAllCorners) : corners;
   const std::span<const double> temp_grid =
       temps.empty() ? std::span<const double>(tech_.temperatures()) : temps;
 
+  // One executor task per (transistor, sigma) point, enumerated in the
+  // serial order; quarantined points are skipped during the index-ordered
+  // collection below, so the surviving points keep their relative order.
+  struct Task {
+    CellTransistor transistor;
+    double sigma = 0.0;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(sigmas.size() * kAllCellTransistors.size());
+  for (const CellTransistor t : kAllCellTransistors)
+    for (const double sigma : sigmas) tasks.push_back({t, sigma});
+
+  struct Slot {
+    Fig4Point point;
+    bool ok = false;
+    std::exception_ptr error;
+    double wall_s = 0.0;
+  };
+  std::vector<Slot> slots(tasks.size());
+
+  SweepExecutorOptions exec_options;
+  exec_options.threads = threads;
+  SweepExecutor executor(exec_options);
+
+  const auto started = std::chrono::steady_clock::now();
+  executor.run(tasks.size(), [&](std::size_t i, int) {
+    const Task& task = tasks[i];
+    Slot& slot = slots[i];
+    // The DRV search is observer-free cell-layer code, but scope the task
+    // anyway: the contract is that no executor task ever shares a session
+    // observer instance with a concurrent task.
+    const ScopedTaskObserver task_scope(
+        fold_key(fold_key(0x66696734ULL,  // "fig4"
+                          static_cast<std::uint64_t>(task.transistor)),
+                 i));
+    const auto task_started = std::chrono::steady_clock::now();
+    CellVariation variation;
+    variation.set(task.transistor, task.sigma);
+    try {
+      const PvtDrvResult worst =
+          drv_ds_worst(tech_, variation, corner_grid, temp_grid);
+      slot.point =
+          Fig4Point{task.transistor, task.sigma, worst.drv.drv1, worst.drv.drv0};
+      slot.ok = true;
+    } catch (const Error&) {
+      if (!report) throw;
+      slot.error = std::current_exception();
+    }
+    slot.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - task_started)
+                      .count();
+  });
+
+  // Index-ordered collection.
   std::vector<Fig4Point> points;
-  points.reserve(sigmas.size() * kAllCellTransistors.size());
-  for (const CellTransistor t : kAllCellTransistors) {
-    for (const double sigma : sigmas) {
-      CellVariation variation;
-      variation.set(t, sigma);
-      const auto sweep_point = [&] {
-        const PvtDrvResult worst =
-            drv_ds_worst(tech_, variation, corner_grid, temp_grid);
-        points.push_back(Fig4Point{t, sigma, worst.drv.drv1, worst.drv.drv0});
-      };
-      if (!report) {
-        sweep_point();
-        continue;
-      }
+  points.reserve(tasks.size());
+  SweepTelemetry sweep;
+  sweep.tasks = tasks.size();
+  sweep.threads = executor.threads();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Slot& slot = slots[i];
+    sweep.cpu_s += slot.wall_s;
+    if (slot.ok) {
+      points.push_back(slot.point);
+      if (report) report->add_success();
+    } else if (report) {
       try {
-        sweep_point();
-        report->add_success();
+        std::rethrow_exception(slot.error);
       } catch (const Error& e) {
         char context[64];
         std::snprintf(context, sizeof(context), "%s @ %+.1f sigma",
-                      cell_transistor_name(t).c_str(), sigma);
+                      cell_transistor_name(tasks[i].transistor).c_str(),
+                      tasks[i].sigma);
         report->quarantine(context, e);
       }
     }
   }
+  sweep.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  if (telemetry) *telemetry = sweep;
   return points;
 }
 

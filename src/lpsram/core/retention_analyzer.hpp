@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lpsram/cell/snm.hpp"
+#include "lpsram/runtime/parallel.hpp"
 #include "lpsram/runtime/quarantine.hpp"
 #include "lpsram/testflow/report.hpp"
 
@@ -31,11 +32,16 @@ class RetentionAnalyzer {
   // the worst-case DRV_DS1 / DRV_DS0. `corners`/`temps` default to the
   // full grid when empty. With `report`, (transistor, sigma) points whose
   // DRV solve fails are quarantined and skipped instead of aborting the
-  // sweep; without it the first failure propagates.
+  // sweep; without it the first failure propagates. Points run on the
+  // parallel sweep executor (`threads` as in SweepExecutorOptions, 0 =
+  // automatic); ordering and values are bit-identical at any thread count.
+  // Aggregate sweep telemetry lands in `*telemetry` when given.
   std::vector<Fig4Point> fig4_sweep(std::span<const double> sigmas,
                                     std::span<const Corner> corners = {},
                                     std::span<const double> temps = {},
-                                    SweepReport* report = nullptr) const;
+                                    SweepReport* report = nullptr,
+                                    SweepTelemetry* telemetry = nullptr,
+                                    int threads = 0) const;
 
   // The worst-case DRV_DS of the SRAM: the CS1 pattern (all six transistors
   // at 6 sigma in the adverse direction) over the PVT grid.

@@ -1,9 +1,13 @@
 #include "lpsram/regulator/characterize.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <exception>
+#include <vector>
 
+#include "lpsram/spice/hooks.hpp"
 #include "lpsram/util/error.hpp"
 #include "lpsram/util/units.hpp"
 
@@ -26,61 +30,138 @@ std::string ds_condition_name(const DsCondition& condition) {
 }
 
 RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
-                                     VrefLevel vref, SweepReport* report) {
-  RegulationMetrics metrics;
-  VoltageRegulator reg(tech, corner);
-  reg.select_vref(vref);
-  reg.set_regon(true);
-  reg.set_power_switch(false);
-
-  // Runs one measurement point; quarantines a solve failure when a report
-  // collects partial results, propagates it otherwise.
-  const auto probe = [&](const std::string& context, const auto& body) {
-    if (!report) {
-      body();
-      return;
-    }
-    try {
-      body();
-      report->add_success();
-    } catch (const Error& e) {
-      report->quarantine(context, e);
-    }
+                                     VrefLevel vref, SweepReport* report,
+                                     SweepTelemetry* telemetry, int threads) {
+  // Probe points: one task per supply level (line regulation), one for the
+  // load step, one per temperature (drift). Each task builds and configures
+  // its own regulator — the executor contract forbids shared mutable solve
+  // state — and all reduction happens afterwards in index order, so the
+  // metrics are bit-identical at any thread count.
+  enum class Kind { Line, Load, Temp };
+  struct Probe {
+    Kind kind;
+    double value = 0.0;  // vdd for Line, temperature for Temp
+    std::string context;
   };
-
+  std::vector<Probe> probes;
   for (const double vdd : tech.vdd_levels()) {
     char context[48];
     std::snprintf(context, sizeof(context), "line regulation @ %.1fV", vdd);
-    probe(context, [&] {
-      reg.set_vdd(vdd);
-      reg.set_regon(true);
-      reg.set_power_switch(false);
-      const double error = std::fabs(reg.vreg_dc(25.0) - reg.expected_vreg());
-      metrics.line_error = std::max(metrics.line_error, error);
-    });
+    probes.push_back({Kind::Line, vdd, context});
   }
-
-  reg.set_vdd(tech.vdd_nominal());
-  reg.set_regon(true);
-  reg.set_power_switch(false);
-  probe("load regulation @ nominal VDD", [&] {
-    const double v0 = reg.vreg_dc(25.0);
-    constexpr double kLoadStep = 100e-6;
-    reg.set_test_load(kLoadStep);
-    const double v1 = reg.vreg_dc(25.0);
-    reg.set_test_load(0.0);
-    metrics.load_regulation = (v0 - v1) / kLoadStep;
-  });
-
+  probes.push_back({Kind::Load, 0.0, "load regulation @ nominal VDD"});
   for (const double temp : tech.temperatures()) {
     char context[48];
     std::snprintf(context, sizeof(context), "temp drift @ %.0fC", temp);
-    probe(context, [&] {
-      const double v25 = reg.vreg_dc(25.0);
-      metrics.temp_drift =
-          std::max(metrics.temp_drift, std::fabs(reg.vreg_dc(temp) - v25));
-    });
+    probes.push_back({Kind::Temp, temp, context});
   }
+
+  struct Slot {
+    bool ok = false;
+    double measured = 0.0;
+    std::exception_ptr error;
+    SolveTelemetry solves;
+    double wall_s = 0.0;
+  };
+  std::vector<Slot> slots(probes.size());
+
+  // Task identity for chaos forking and cache scoping: a pure function of
+  // (sweep, corner, vref, probe index) — never of scheduling.
+  const std::uint64_t salt = fold_key(
+      fold_key(0x6d656173757265ULL,  // "measure"
+               static_cast<std::uint64_t>(corner)),
+      static_cast<std::uint64_t>(vref));
+
+  SolveCache cache;
+  SweepExecutorOptions exec_options;
+  exec_options.threads = threads;
+  SweepExecutor executor(exec_options);
+
+  const auto started = std::chrono::steady_clock::now();
+  executor.run(probes.size(), [&](std::size_t i, int) {
+    const Probe& probe = probes[i];
+    Slot& slot = slots[i];
+    const std::uint64_t task_key = fold_key(salt, i);
+    const ScopedTaskObserver task_scope(task_key);
+    const auto task_started = std::chrono::steady_clock::now();
+
+    VoltageRegulator reg(tech, corner);
+    reg.set_solve_cache(&cache, task_key);
+    reg.select_vref(vref);
+    reg.set_regon(true);
+    reg.set_power_switch(false);
+    try {
+      switch (probe.kind) {
+        case Kind::Line: {
+          reg.set_vdd(probe.value);
+          reg.set_regon(true);
+          reg.set_power_switch(false);
+          slot.measured = std::fabs(reg.vreg_dc(25.0) - reg.expected_vreg());
+          break;
+        }
+        case Kind::Load: {
+          reg.set_vdd(tech.vdd_nominal());
+          reg.set_regon(true);
+          reg.set_power_switch(false);
+          const double v0 = reg.vreg_dc(25.0);
+          constexpr double kLoadStep = 100e-6;
+          reg.set_test_load(kLoadStep);
+          const double v1 = reg.vreg_dc(25.0);
+          reg.set_test_load(0.0);
+          slot.measured = (v0 - v1) / kLoadStep;
+          break;
+        }
+        case Kind::Temp: {
+          const double v25 = reg.vreg_dc(25.0);
+          slot.measured = std::fabs(reg.vreg_dc(probe.value) - v25);
+          break;
+        }
+      }
+      slot.ok = true;
+    } catch (const Error&) {
+      if (!report) throw;  // no quarantine collector: fail the sweep
+      slot.error = std::current_exception();
+    }
+    slot.solves = reg.solve_telemetry();
+    slot.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - task_started)
+                      .count();
+  });
+
+  // Index-ordered reduction.
+  RegulationMetrics metrics;
+  SweepTelemetry sweep;
+  sweep.tasks = probes.size();
+  sweep.threads = executor.threads();
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const Slot& slot = slots[i];
+    sweep.solves.merge(slot.solves);
+    sweep.cpu_s += slot.wall_s;
+    if (slot.ok) {
+      switch (probes[i].kind) {
+        case Kind::Line:
+          metrics.line_error = std::max(metrics.line_error, slot.measured);
+          break;
+        case Kind::Load:
+          metrics.load_regulation = slot.measured;
+          break;
+        case Kind::Temp:
+          metrics.temp_drift = std::max(metrics.temp_drift, slot.measured);
+          break;
+      }
+      if (report) report->add_success();
+    } else if (report) {
+      try {
+        std::rethrow_exception(slot.error);
+      } catch (const Error& e) {
+        report->quarantine(probes[i].context, e);
+      }
+    }
+  }
+  sweep.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  if (telemetry) *telemetry = sweep;
   return metrics;
 }
 
@@ -96,8 +177,24 @@ VoltageRegulator& RegulatorCharacterizer::regulator_for(Corner corner) const {
                 .emplace(corner, std::make_unique<VoltageRegulator>(
                                      tech_, corner, load_options_))
                 .first;
+    found->second->set_solve_cache(solve_cache_, cache_task_key_);
   }
   return *found->second;
+}
+
+void RegulatorCharacterizer::set_solve_cache(SolveCache* cache,
+                                             std::uint64_t task_key) {
+  solve_cache_ = cache;
+  cache_task_key_ = task_key;
+  for (auto& [corner, reg] : regulators_)
+    reg->set_solve_cache(cache, task_key);
+}
+
+SolveTelemetry RegulatorCharacterizer::solve_telemetry() const {
+  SolveTelemetry total;
+  for (const auto& [corner, reg] : regulators_)
+    total.merge(reg->solve_telemetry());
+  return total;
 }
 
 double RegulatorCharacterizer::vreg(const DsCondition& condition, DefectId id,

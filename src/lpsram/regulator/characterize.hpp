@@ -8,6 +8,7 @@
 
 #include "lpsram/cell/flip_time.hpp"
 #include "lpsram/regulator/regulator.hpp"
+#include "lpsram/runtime/parallel.hpp"
 #include "lpsram/runtime/quarantine.hpp"
 
 namespace lpsram {
@@ -42,11 +43,20 @@ struct RegulationMetrics {
 // Measures the metrics at one corner / reference setting. When `report` is
 // given, individual supply/temperature points that fail to solve are
 // quarantined into it (the metrics then cover the surviving points only);
-// without it the first failure propagates.
+// without it the first failure propagates. The probe points run on the
+// parallel sweep executor (`threads` as in SweepExecutorOptions; results are
+// bit-identical at any thread count) and aggregate sweep telemetry lands in
+// `*telemetry` when given.
 RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
                                      VrefLevel vref,
-                                     SweepReport* report = nullptr);
+                                     SweepReport* report = nullptr,
+                                     SweepTelemetry* telemetry = nullptr,
+                                     int threads = 1);
 
+// Not thread-safe: the characterizer owns per-corner VoltageRegulator
+// instances and reconfigures them per query. Parallel sweep drivers create
+// one characterizer per executor worker slot (a slot runs one task at a
+// time), never sharing an instance across concurrent tasks.
 class RegulatorCharacterizer {
  public:
   // `load_options` describes the array hanging on VDD_CC (including the weak
@@ -80,12 +90,24 @@ class RegulatorCharacterizer {
 
   const FlipTimeModel& flip_model() const noexcept { return flip_; }
 
+  // Attaches a shared operating-point cache, applied to the existing and
+  // every future per-corner regulator. `task_key` scopes lookups to one
+  // sweep task (see VoltageRegulator::set_solve_cache); sweep drivers call
+  // this again with the task's key before each task body.
+  void set_solve_cache(SolveCache* cache, std::uint64_t task_key = 0);
+
+  // Solve counters summed over the per-corner regulators. Sweep drivers
+  // snapshot this before/after a task to attribute solves to it.
+  SolveTelemetry solve_telemetry() const;
+
  private:
   VoltageRegulator& regulator_for(Corner corner) const;
 
   Technology tech_;
   ArrayLoadModel::Options load_options_;
   FlipTimeModel flip_;
+  SolveCache* solve_cache_ = nullptr;
+  std::uint64_t cache_task_key_ = 0;
   // One regulator instance per corner, built lazily and reconfigured per
   // query (warm-started DC solves make sweeps cheap).
   mutable std::map<Corner, std::unique_ptr<VoltageRegulator>> regulators_;

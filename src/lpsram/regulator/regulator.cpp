@@ -1,10 +1,39 @@
 #include "lpsram/regulator/regulator.hpp"
 
 #include <cmath>
+#include <cstring>
 
+#include "lpsram/runtime/parallel.hpp"
 #include "lpsram/util/error.hpp"
 
 namespace lpsram {
+namespace {
+
+std::uint64_t double_bits(double v) noexcept {
+  std::uint64_t out;
+  static_assert(sizeof(out) == sizeof(v));
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+// RAII over the concurrent-entry guard.
+class SolveGuard {
+ public:
+  explicit SolveGuard(std::atomic<bool>& flag) : flag_(flag) {
+    bool expected = false;
+    if (!flag_.compare_exchange_strong(expected, true,
+                                       std::memory_order_acquire))
+      throw Error(
+          "VoltageRegulator: concurrent solve detected — instances are not "
+          "thread-safe; use one regulator per sweep worker");
+  }
+  ~SolveGuard() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool>& flag_;
+};
+
+}  // namespace
 
 double vref_fraction(VrefLevel level) noexcept {
   switch (level) {
@@ -264,6 +293,8 @@ void VoltageRegulator::inject_defect(DefectId id, double ohms) {
   netlist_.set_resistance(e_defect_[static_cast<std::size_t>(
                               defect_site(id).id - 1)],
                           ohms);
+  cache_defect_id_ = defect_site(id).id;
+  cache_defect_ohms_ = ohms;
   warm_start_.clear();
 }
 
@@ -271,11 +302,17 @@ void VoltageRegulator::clear_defect(DefectId id) {
   netlist_.set_resistance(
       e_defect_[static_cast<std::size_t>(defect_site(id).id - 1)],
       healthy_resistance());
+  if (cache_defect_id_ == defect_site(id).id) {
+    cache_defect_id_ = 0;
+    cache_defect_ohms_ = healthy_resistance();
+  }
   warm_start_.clear();
 }
 
 void VoltageRegulator::clear_all_defects() {
   for (ElementId e : e_defect_) netlist_.set_resistance(e, healthy_resistance());
+  cache_defect_id_ = 0;
+  cache_defect_ohms_ = healthy_resistance();
   warm_start_.clear();
 }
 
@@ -294,7 +331,37 @@ double VoltageRegulator::defect_resistance(DefectId id) const {
 }
 
 SolveOutcome VoltageRegulator::solve_dc_outcome(double temp_c) const {
+  const SolveGuard guard(solving_);
   const ResilientDcSolver solver(netlist_, temp_c, DcOptions{}, solve_policy_);
+
+  // Cold start with a cache attached: seed the warm-start rung from the
+  // nearest cached neighbour along the defect-resistance axis. The key
+  // fingerprints everything else that shapes the operating point — netlist
+  // state minus the swept resistance, temperature, test load — plus the
+  // sweep task key, so lookups never cross task boundaries.
+  SolveCacheKey cache_key;
+  std::vector<double> cached_seed;
+  if (solve_cache_ != nullptr) {
+    const ElementId exclude =
+        cache_defect_id_ > 0
+            ? e_defect_[static_cast<std::size_t>(cache_defect_id_ - 1)]
+            : -1;
+    cache_key.circuit =
+        fold_key(fold_key(netlist_.state_signature(exclude), double_bits(temp_c)),
+                 double_bits(*test_load_amps_));
+    cache_key.task = cache_task_key_;
+    cache_key.defect = static_cast<std::int32_t>(cache_defect_id_);
+    if (warm_start_.empty()) {
+      if (solve_cache_->lookup_nearest(cache_key, cache_defect_ohms_,
+                                       &cached_seed)) {
+        ++telemetry_.cache_hits;
+        warm_start_ = std::move(cached_seed);
+      } else {
+        ++telemetry_.cache_misses;
+      }
+    }
+  }
+
   const std::vector<double>* warm = warm_start_.empty() ? nullptr : &warm_start_;
   SolveOutcome outcome = solver.solve(warm);
   // Every fallback (a warm start that failed and was rescued by a later
@@ -302,6 +369,10 @@ SolveOutcome VoltageRegulator::solve_dc_outcome(double temp_c) const {
   telemetry_.record(outcome);
   if (outcome.ok()) {
     warm_start_ = outcome.result.x;
+    if (solve_cache_ != nullptr) {
+      solve_cache_->store(cache_key, cache_defect_ohms_, outcome.result.x);
+      ++telemetry_.cache_stores;
+    }
   } else {
     warm_start_.clear();  // a stale guess near a failure point misleads
   }

@@ -20,6 +20,7 @@
 // end-to-end, including the Df8 delayed-activation droop.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -30,6 +31,8 @@
 #include "lpsram/spice/transient.hpp"
 
 namespace lpsram {
+
+class SolveCache;  // runtime/parallel.hpp
 
 // The four selectable reference levels (paper Section II.B).
 enum class VrefLevel { V078, V074, V070, V064 };
@@ -42,6 +45,11 @@ double vref_fraction(VrefLevel level) noexcept;
 // Display name, e.g. "0.74*VDD".
 std::string vref_name(VrefLevel level);
 
+// Not thread-safe: a VoltageRegulator carries mutable solve state (netlist
+// element values, warm start, telemetry) and must be driven by one thread at
+// a time. Parallel sweeps use one instance per executor worker slot; a
+// release-mode guard in solve_dc_outcome() throws on concurrent entry rather
+// than corrupting the solve.
 class VoltageRegulator {
  public:
   VoltageRegulator(const Technology& tech, Corner corner,
@@ -85,9 +93,23 @@ class VoltageRegulator {
   const RetryLadderOptions& solve_policy() const noexcept {
     return solve_policy_;
   }
-  // Running solve counters: warm hits, fallbacks, degradations, failures.
+  // Running solve counters: warm hits, fallbacks, degradations, failures,
+  // per-rung attempts and (when a cache is attached) cache traffic.
   const SolveTelemetry& solve_telemetry() const noexcept { return telemetry_; }
   void reset_solve_telemetry() { telemetry_.reset(); }
+
+  // Attaches a shared operating-point cache (nullptr detaches). When the
+  // regulator would otherwise cold-start a solve, it seeds the warm-start
+  // rung from the nearest cached neighbour instead — during a defect
+  // bisection every probe after the first finds a nearby point. `task_key`
+  // scopes this regulator's lookups to one sweep task so parallel sweeps
+  // stay deterministic (see runtime/parallel.hpp). The cache itself is
+  // thread-safe; this setter is not.
+  void set_solve_cache(SolveCache* cache, std::uint64_t task_key = 0) {
+    solve_cache_ = cache;
+    cache_task_key_ = task_key;
+  }
+  SolveCache* solve_cache() const noexcept { return solve_cache_; }
   // Regulated output voltage (VDD_CC) at DC.
   double vreg_dc(double temp_c) const;
   // Current drawn from the main VDD rail at DC [A].
@@ -146,6 +168,18 @@ class VoltageRegulator {
   mutable std::vector<double> warm_start_;
   RetryLadderOptions solve_policy_;
   mutable SolveTelemetry telemetry_;
+
+  // Operating-point cache plumbing (see set_solve_cache). The injected
+  // defect is tracked so cache keys can exclude the swept resistance from
+  // the circuit signature and use it as the nearest-neighbour axis instead.
+  SolveCache* solve_cache_ = nullptr;
+  std::uint64_t cache_task_key_ = 0;
+  DefectId cache_defect_id_ = 0;    // 0 = no defect injected
+  double cache_defect_ohms_ = 1.0;  // resistance of the tracked defect
+
+  // Concurrent-entry guard (cheap enough for release builds): set for the
+  // duration of solve_dc_outcome, throws instead of racing.
+  mutable std::atomic<bool> solving_{false};
 
   static constexpr double kSwitchOn = 2e3;    // selector on-resistance [ohm]
   static constexpr double kSwitchOff = 1e12;  // selector off-resistance [ohm]

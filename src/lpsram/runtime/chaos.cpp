@@ -33,6 +33,30 @@ std::string chaos_fault_name(ChaosFault fault) {
 ChaosEngine::ChaosEngine(ChaosPolicy policy)
     : policy_(std::move(policy)), injection_counts_(4, 0) {}
 
+ChaosEngine::ChaosEngine(ChaosPolicy policy, ChaosEngine* parent)
+    : policy_(std::move(policy)), parent_(parent), injection_counts_(4, 0) {}
+
+ChaosEngine::~ChaosEngine() {
+  if (parent_) parent_->absorb(*this);
+}
+
+std::unique_ptr<SolverObserver> ChaosEngine::fork_for_task(
+    std::uint64_t task_key) {
+  ChaosPolicy child = policy_;
+  child.seed = splitmix64(policy_.seed ^ task_key);
+  return std::unique_ptr<SolverObserver>(new ChaosEngine(std::move(child), this));
+}
+
+void ChaosEngine::absorb(const ChaosEngine& child) {
+  const std::lock_guard<std::mutex> lock(merge_mutex_);
+  solves_seen_ += child.solves_seen_;
+  solves_sabotaged_ += child.solves_sabotaged_;
+  first_attempts_seen_ += child.first_attempts_seen_;
+  first_attempts_sabotaged_ += child.first_attempts_sabotaged_;
+  for (std::size_t i = 0; i < injection_counts_.size(); ++i)
+    injection_counts_[i] += child.injection_counts_[i];
+}
+
 std::uint64_t ChaosEngine::injections(ChaosFault fault) const {
   return injection_counts_[static_cast<std::size_t>(fault)];
 }

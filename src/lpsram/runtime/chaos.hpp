@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,10 +56,20 @@ class ChaosEngine : public SolverObserver {
  public:
   explicit ChaosEngine(ChaosPolicy policy);
 
+  ~ChaosEngine() override;
+
   // SolverObserver
   void on_solve_begin() override;
   void on_newton_iteration(NewtonEvent& event) override;
   void on_ladder_attempt(int attempt, const std::string& strategy) override;
+
+  // Task-scoped fork for parallel sweeps: the child runs the same policy
+  // reseeded as a pure function of (parent seed, task_key), so the sabotage
+  // pattern a task sees depends only on the task's identity — never on how
+  // tasks interleave across threads. On destruction the child folds its
+  // counters back into this engine under a mutex, so parent-side telemetry
+  // totals are exact (though only stable once all forks are gone).
+  std::unique_ptr<SolverObserver> fork_for_task(std::uint64_t task_key) override;
 
   const ChaosPolicy& policy() const noexcept { return policy_; }
 
@@ -87,7 +99,16 @@ class ChaosEngine : public SolverObserver {
   }
 
  private:
+  // Fork constructor: same policy with a task-derived seed, counters folded
+  // into `parent` on destruction.
+  ChaosEngine(ChaosPolicy policy, ChaosEngine* parent);
+
+  // Adds `child`'s counters into this engine (under merge_mutex_).
+  void absorb(const ChaosEngine& child);
+
   ChaosPolicy policy_;
+  ChaosEngine* parent_ = nullptr;  // set on forks only
+  std::mutex merge_mutex_;         // guards counter absorption from forks
   std::uint64_t solves_seen_ = 0;
   std::uint64_t solves_sabotaged_ = 0;
   std::uint64_t first_attempts_seen_ = 0;

@@ -56,7 +56,42 @@ void SolveTelemetry::record(const SolveOutcome& outcome) {
     ++failures;
     if (outcome.timed_out) ++timeouts;
   }
+  for (const AttemptRecord& attempt : outcome.history)
+    ++rung_attempts[static_cast<std::size_t>(attempt.strategy)];
   last = outcome;
+}
+
+void SolveTelemetry::merge(const SolveTelemetry& other) {
+  solves += other.solves;
+  warm_hits += other.warm_hits;
+  fallbacks += other.fallbacks;
+  degraded += other.degraded;
+  failures += other.failures;
+  timeouts += other.timeouts;
+  for (std::size_t i = 0; i < rung_attempts.size(); ++i)
+    rung_attempts[i] += other.rung_attempts[i];
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_stores += other.cache_stores;
+  if (other.solves > 0) last = other.last;
+}
+
+SolveTelemetry telemetry_delta(const SolveTelemetry& before,
+                               const SolveTelemetry& after) {
+  SolveTelemetry delta;
+  delta.solves = after.solves - before.solves;
+  delta.warm_hits = after.warm_hits - before.warm_hits;
+  delta.fallbacks = after.fallbacks - before.fallbacks;
+  delta.degraded = after.degraded - before.degraded;
+  delta.failures = after.failures - before.failures;
+  delta.timeouts = after.timeouts - before.timeouts;
+  for (std::size_t i = 0; i < delta.rung_attempts.size(); ++i)
+    delta.rung_attempts[i] = after.rung_attempts[i] - before.rung_attempts[i];
+  delta.cache_hits = after.cache_hits - before.cache_hits;
+  delta.cache_misses = after.cache_misses - before.cache_misses;
+  delta.cache_stores = after.cache_stores - before.cache_stores;
+  delta.last = after.last;
+  return delta;
 }
 
 }  // namespace lpsram

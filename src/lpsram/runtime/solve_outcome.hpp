@@ -3,6 +3,7 @@
 // iteration/residual/timing telemetry, and the full attempt history.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -21,6 +22,9 @@ enum class SolveStrategy {
 };
 
 std::string strategy_name(SolveStrategy strategy);
+
+// Number of ladder rungs (size of per-strategy counter arrays).
+inline constexpr std::size_t kSolveStrategyCount = 5;
 
 enum class SolveStatus {
   Converged,  // full-tolerance operating point
@@ -61,6 +65,9 @@ struct SolveOutcome {
 
 // Running counters a solve-owning component (e.g. VoltageRegulator) keeps so
 // silent fallbacks become visible telemetry instead of swallowed exceptions.
+// Not thread-safe: one instance belongs to one solve owner on one thread at
+// a time; parallel sweeps keep per-task deltas and merge() them in task-index
+// order (see SweepTelemetry in runtime/parallel.hpp).
 struct SolveTelemetry {
   std::uint64_t solves = 0;
   std::uint64_t warm_hits = 0;   // first-rung warm start succeeded
@@ -68,10 +75,28 @@ struct SolveTelemetry {
   std::uint64_t degraded = 0;    // accepted a relaxed-tolerance solution
   std::uint64_t failures = 0;    // retry ladder exhausted
   std::uint64_t timeouts = 0;    // deadline enforced
+  // Ladder attempts per strategy, indexed by SolveStrategy: every entry of
+  // every outcome's history counts, converged or not.
+  std::array<std::uint64_t, kSolveStrategyCount> rung_attempts{};
+  // Operating-point cache traffic (counted by the solve owner when a
+  // SolveCache is attached; zero otherwise).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_stores = 0;
   SolveOutcome last;             // most recent outcome, for inspection
 
   void record(const SolveOutcome& outcome);
+  // Adds `other`'s counters into this one. `last` becomes other.last when
+  // `other` saw any solve — merging per-task deltas in task-index order
+  // therefore reproduces the serial "most recent outcome" exactly.
+  void merge(const SolveTelemetry& other);
   void reset() { *this = SolveTelemetry{}; }
 };
+
+// Counter-wise difference (after - before) of two snapshots of the same
+// telemetry instance; `last` is taken from `after`. Used by sweep drivers to
+// attribute solves to individual tasks.
+SolveTelemetry telemetry_delta(const SolveTelemetry& before,
+                               const SolveTelemetry& after);
 
 }  // namespace lpsram

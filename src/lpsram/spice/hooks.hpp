@@ -10,13 +10,20 @@
 // runtime layer uses a per-options progress callback for its deadline, but
 // an observer throw propagates identically).
 //
-// The registry is intentionally process-global and NOT thread-safe: sweeps
-// in this project are single-threaded, and a global hook reaches solver
-// instances created many layers deep (e.g. inside VoltageRegulator) that no
-// options plumbing could reach without threading chaos state through every
-// constructor in between.
+// Threading model (PR 2): the global registry slot is atomic, so installing
+// or removing an observer is race-free even while sweeps run. Observer
+// *callbacks*, however, are not required to be thread-safe — a parallel
+// sweep must not invoke one observer instance from many workers. The sweep
+// executor therefore scopes every task with ScopedTaskObserver, which asks
+// the installed session observer to fork_for_task() a task-private child
+// (installed as a thread-local override) and merges it back when the task
+// ends. An observer that does not implement fork_for_task() simply observes
+// nothing inside executor tasks (the thread-local override is null); it
+// still sees every solve issued outside of executor tasks.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,12 +57,31 @@ class SolverObserver {
     (void)attempt;
     (void)strategy;
   }
+
+  // Parallel-sweep support: returns a task-private child observer for the
+  // sweep task identified by `task_key`, or nullptr when the observer does
+  // not support task scoping (the default). The child is driven by exactly
+  // one worker thread for the task's lifetime and destroyed at task end —
+  // its destructor is where counters merge back into the parent. The child's
+  // behaviour must be a pure function of (parent state at fork, task_key) so
+  // a sweep is bit-reproducible regardless of how tasks map onto threads.
+  virtual std::unique_ptr<SolverObserver> fork_for_task(std::uint64_t task_key) {
+    (void)task_key;
+    return nullptr;
+  }
 };
 
-// Currently installed observer (nullptr when none).
+// Observer visible to the calling thread: the thread-local task override
+// when one is active (see ScopedTaskObserver), else the global session
+// observer. The solvers consult this on every solve/iteration.
 SolverObserver* solver_observer() noexcept;
 
-// Installs `observer` (may be nullptr) and returns the previous one.
+// The globally installed session observer, ignoring any thread-local task
+// override. This is what ScopedTaskObserver forks from.
+SolverObserver* session_solver_observer() noexcept;
+
+// Atomically installs `observer` (may be nullptr) as the session observer
+// and returns the previous one. Safe to call while other threads solve.
 SolverObserver* exchange_solver_observer(SolverObserver* observer) noexcept;
 
 // RAII installation: restores the previous observer on destruction.
@@ -70,6 +96,30 @@ class ScopedSolverObserver {
 
  private:
   SolverObserver* previous_;
+};
+
+// RAII task scope for parallel sweeps: forks the session observer for
+// `task_key` and installs the fork as this thread's observer override for
+// the scope's lifetime (a null fork suppresses the session observer inside
+// the scope — observer instances are not thread-safe and must not be shared
+// across concurrently running tasks). Destroying the scope destroys the
+// fork, which merges its telemetry back into the parent.
+class ScopedTaskObserver {
+ public:
+  explicit ScopedTaskObserver(std::uint64_t task_key);
+  ~ScopedTaskObserver();
+
+  ScopedTaskObserver(const ScopedTaskObserver&) = delete;
+  ScopedTaskObserver& operator=(const ScopedTaskObserver&) = delete;
+
+  // The task-private fork (nullptr when the session observer is absent or
+  // does not support forking).
+  SolverObserver* fork() const noexcept { return fork_.get(); }
+
+ private:
+  std::unique_ptr<SolverObserver> fork_;
+  SolverObserver* saved_observer_ = nullptr;
+  bool saved_active_ = false;
 };
 
 }  // namespace lpsram

@@ -167,4 +167,51 @@ int Netlist::vsource_branch(ElementId id) const {
   return vsource_branches_[static_cast<std::size_t>(id)];
 }
 
+namespace {
+
+// FNV-1a style folding; doubles hash by bit pattern so the signature is an
+// exact-value fingerprint, not a tolerance-based one.
+inline std::uint64_t fold(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+inline std::uint64_t bits(double v) noexcept {
+  std::uint64_t out;
+  static_assert(sizeof(out) == sizeof(v));
+  __builtin_memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t Netlist::state_signature(ElementId exclude) const noexcept {
+  std::uint64_t h = 0x6c707372616d5f6eULL;  // "lpsram_n"
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    h = fold(h, i);
+    if (static_cast<ElementId>(i) == exclude) continue;
+    const Element& e = elements_[i];
+    if (const auto* r = std::get_if<Resistor>(&e.body)) {
+      h = fold(h, bits(r->ohms));
+    } else if (const auto* c = std::get_if<Capacitor>(&e.body)) {
+      h = fold(h, bits(c->farads));
+    } else if (const auto* v = std::get_if<VSource>(&e.body)) {
+      h = fold(h, bits(v->volts));
+    } else if (const auto* s = std::get_if<ISource>(&e.body)) {
+      h = fold(h, bits(s->amps));
+    } else if (const auto* m = std::get_if<MosElement>(&e.body)) {
+      const MosfetParams& p = m->device.params();
+      h = fold(h, static_cast<std::uint64_t>(p.type));
+      h = fold(h, bits(p.vth0));
+      h = fold(h, bits(p.kp));
+      h = fold(h, bits(p.w));
+      h = fold(h, bits(p.l));
+      h = fold(h, bits(p.dvth));
+      h = fold(h, bits(p.mob_factor));
+    }
+    // CurrentLoad: position folded above, behaviour invisible (see header).
+  }
+  return h;
+}
+
 }  // namespace lpsram

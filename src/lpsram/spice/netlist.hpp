@@ -7,6 +7,7 @@
 // dc_solver.hpp / transient.hpp evaluate it.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <variant>
@@ -129,6 +130,18 @@ class Netlist {
   int vsource_branch(ElementId id) const;
 
   const std::vector<Element>& elements() const noexcept { return elements_; }
+
+  // Order-sensitive hash of the netlist's mutable electrical state: every
+  // element's value (resistance, capacitance, source level, MOSFET
+  // parameters) folded in element order. Two netlists built by the same code
+  // path have equal signatures iff their element values match, which is what
+  // the runtime SolveCache keys operating points on. `exclude` names one
+  // element (typically the swept defect resistor) whose value is left out of
+  // the hash so a resistance sweep shares a single cache bucket; -1 excludes
+  // nothing. CurrentLoad elements hash as position-only (their behaviour is
+  // a closure this function cannot see) — callers whose loads carry mutable
+  // state must fold that state into the key themselves.
+  std::uint64_t state_signature(ElementId exclude = -1) const noexcept;
 
  private:
   void check_node(NodeId id) const;

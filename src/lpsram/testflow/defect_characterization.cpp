@@ -1,7 +1,10 @@
 #include "lpsram/testflow/defect_characterization.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
 
+#include "lpsram/spice/hooks.hpp"
 #include "lpsram/util/error.hpp"
 #include "lpsram/util/rootfind.hpp"
 
@@ -36,6 +39,10 @@ double DefectCharacterizer::cs_drv(const CaseStudy& cs, Corner corner,
                                    double temp_c) const {
   const auto key = std::make_tuple(cs.index, static_cast<int>(corner),
                                    static_cast<int>(temp_c * 4));
+  // Computed under the lock: the DRV search is deterministic and observer-
+  // free, and holding the lock avoids duplicate work when two tasks race to
+  // the same (cs, corner, temp) entry.
+  const std::lock_guard<std::mutex> lock(drv_mutex_);
   const auto found = drv_cache_.find(key);
   if (found != drv_cache_.end()) return found->second;
 
@@ -45,97 +52,202 @@ double DefectCharacterizer::cs_drv(const CaseStudy& cs, Corner corner,
   return drv;
 }
 
-DefectCsResult DefectCharacterizer::characterize(DefectId id,
-                                                 const CaseStudy& cs) const {
-  // Per-case-study characterizer: the weak cells load the regulator (CS5).
-  auto found = chars_.find(cs.index);
-  if (found == chars_.end()) {
-    ArrayLoadModel::Options load;
-    load.total_cells = 256 * 1024;
-    load.weak_cells = cs.cell_count > 1 ? cs.cell_count : 0;
-    if (load.weak_cells > 0) {
-      // Weak-cell DRV for the load model: typical-corner hot value.
-      load.weak_drv = cs_drv(cs, Corner::Typical, 125.0);
+std::vector<std::vector<DefectCsResult>> DefectCharacterizer::run_cells(
+    std::span<const DefectId> defects, std::span<const CaseStudy> case_studies,
+    SweepTelemetry* total) const {
+  // One task per (defect, case study, PVT point); each task bisects the
+  // whole resistance range independently. (PR 1's early-skip against the
+  // running minimum was inherently order-dependent and is gone: tasks must
+  // not observe each other's results for the parallel reduction to be
+  // bit-identical to the serial one.)
+  struct Task {
+    std::size_t cell = 0;       // row-major index into (defects x cs)
+    DefectId id = 0;
+    const CaseStudy* cs = nullptr;
+    std::size_t pvt_index = 0;
+  };
+  const std::size_t grid = options_.pvt.size();
+  std::vector<Task> tasks;
+  tasks.reserve(defects.size() * case_studies.size() * grid);
+  for (std::size_t d = 0; d < defects.size(); ++d)
+    for (std::size_t c = 0; c < case_studies.size(); ++c)
+      for (std::size_t p = 0; p < grid; ++p)
+        tasks.push_back(
+            {d * case_studies.size() + c, defects[d], &case_studies[c], p});
+
+  struct Slot {
+    bool detectable = false;   // threshold found below r_high
+    double threshold = 0.0;
+    VrefLevel vref = VrefLevel::V070;
+    std::exception_ptr error;  // quarantined failure (quarantine mode only)
+    SolveTelemetry solves;
+    double wall_s = 0.0;
+  };
+  std::vector<Slot> slots(tasks.size());
+
+  SolveCache cache;
+  SweepExecutorOptions exec_options;
+  exec_options.threads = options_.threads;
+  SweepExecutor executor(exec_options);
+
+  // Worker-slot-private characterizers, one per case study actually touched
+  // (the weak cells of the case study load the regulator, so instances
+  // cannot be shared across case studies — nor across workers, as they
+  // carry mutable solve state).
+  struct WorkerState {
+    std::map<int, std::unique_ptr<RegulatorCharacterizer>> chars;
+  };
+  std::vector<WorkerState> workers(
+      static_cast<std::size_t>(executor.threads()));
+
+  const auto characterizer_for = [&](int worker,
+                                     const CaseStudy& cs) -> RegulatorCharacterizer& {
+    auto& chars = workers[static_cast<std::size_t>(worker)].chars;
+    auto found = chars.find(cs.index);
+    if (found == chars.end()) {
+      ArrayLoadModel::Options load;
+      load.total_cells = 256 * 1024;
+      load.weak_cells = cs.cell_count > 1 ? cs.cell_count : 0;
+      if (load.weak_cells > 0) {
+        // Weak-cell DRV for the load model: typical-corner hot value.
+        load.weak_drv = cs_drv(cs, Corner::Typical, 125.0);
+      }
+      found = chars
+                  .emplace(cs.index, std::make_unique<RegulatorCharacterizer>(
+                                         tech_, load, options_.flip))
+                  .first;
     }
-    found = chars_
-                .emplace(cs.index, std::make_unique<RegulatorCharacterizer>(
-                                       tech_, load, options_.flip))
-                .first;
-  }
-  const RegulatorCharacterizer& characterizer = *found->second;
+    return *found->second;
+  };
 
-  DefectCsResult result;
-  result.id = id;
-  result.cs_name = cs.name();
-  result.min_resistance = options_.r_high * 2.0;
-  result.open_only = true;
+  const auto started = std::chrono::steady_clock::now();
+  executor.run(tasks.size(), [&](std::size_t t, int worker) {
+    const Task& task = tasks[t];
+    const CaseStudy& cs = *task.cs;
+    const PvtPoint& pvt = options_.pvt[task.pvt_index];
+    Slot& slot = slots[t];
 
-  for (const PvtPoint& pvt : options_.pvt) {
-    const auto characterize_point = [&] {
+    // Task identity: a pure function of what the task computes, shared by
+    // characterize() and table() so both produce identical cells.
+    const std::uint64_t task_key = fold_key(
+        fold_key(fold_key(fold_key(0x7461626c653249ULL,  // "table2I"
+                                   static_cast<std::uint64_t>(task.id)),
+                          static_cast<std::uint64_t>(cs.index)),
+                 cs.degrades_one ? 1u : 0u),
+        task.pvt_index);
+    const ScopedTaskObserver task_scope(task_key);
+    const auto task_started = std::chrono::steady_clock::now();
+
+    RegulatorCharacterizer& characterizer = characterizer_for(worker, cs);
+    characterizer.set_solve_cache(options_.solve_cache ? &cache : nullptr,
+                                  task_key);
+    const SolveTelemetry before = characterizer.solve_telemetry();
+
+    try {
       DsCondition condition;
       condition.corner = pvt.corner;
       condition.vdd = pvt.vdd;
       condition.vref = vref_for_vdd(pvt.vdd, worst_drv_);
       condition.temp_c = pvt.temp_c;
       condition.ds_time = options_.ds_time;
+      slot.vref = condition.vref;
 
       const double drv = cs_drv(cs, pvt.corner, pvt.temp_c);
-
       auto drf_at = [&](double ohms) {
-        return characterizer.causes_drf(condition, id, ohms, drv);
+        return characterizer.causes_drf(condition, task.id, ohms, drv);
       };
-
-      // Early skip: if the current best resistance does not cause a DRF at
-      // this PVT point, its own minimum lies above the best — monotonicity
-      // lets us skip the whole search.
-      if (!result.open_only && !drf_at(result.min_resistance)) return;
-
-      const double r = monotone_threshold_log(drf_at, options_.r_low,
-                                              options_.r_high,
-                                              options_.rel_tolerance);
-      if (r > options_.r_high) return;  // undetectable at this PVT
-
-      if (r < result.min_resistance) {
-        result.min_resistance = r;
-        result.open_only = false;
-        result.worst_pvt = pvt;
-        result.vref_at_worst = condition.vref;
+      const double r = monotone_threshold_log(
+          drf_at, options_.r_low, options_.r_high, options_.rel_tolerance);
+      if (r <= options_.r_high) {
+        slot.detectable = true;
+        slot.threshold = r;
       }
-    };
-
-    if (!options_.quarantine) {
-      characterize_point();
-      result.sweep.add_success();
-      continue;
+    } catch (const Error&) {
+      if (!options_.quarantine) throw;  // executor: fail fast, rethrow first
+      slot.error = std::current_exception();
     }
-    try {
-      characterize_point();
-      result.sweep.add_success();
-    } catch (const Error& e) {
-      // Partial results beat none: record the point as untrusted and keep
-      // sweeping the rest of the grid.
-      result.sweep.quarantine(
-          "Df" + std::to_string(id) + " x " + cs.name() + " @ " + pvt_name(pvt),
-          e);
+
+    slot.solves = telemetry_delta(before, characterizer.solve_telemetry());
+    slot.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - task_started)
+                      .count();
+  });
+
+  // Index-ordered reduction: PVT-grid order within each cell, exactly the
+  // order the serial loop used.
+  std::vector<std::vector<DefectCsResult>> rows(defects.size());
+  for (std::size_t d = 0; d < defects.size(); ++d) {
+    rows[d].resize(case_studies.size());
+    for (std::size_t c = 0; c < case_studies.size(); ++c) {
+      DefectCsResult& result = rows[d][c];
+      result.id = defects[d];
+      result.cs_name = case_studies[c].name();
+      result.min_resistance = options_.r_high * 2.0;
+      result.open_only = true;
+      result.telemetry.tasks = grid;
+      result.telemetry.threads = executor.threads();
     }
   }
+  SweepTelemetry sweep;
+  sweep.tasks = tasks.size();
+  sweep.threads = executor.threads();
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const Task& task = tasks[t];
+    const Slot& slot = slots[t];
+    DefectCsResult& result = rows[task.cell / case_studies.size()]
+                                 [task.cell % case_studies.size()];
+    const PvtPoint& pvt = options_.pvt[task.pvt_index];
 
-  if (result.open_only) result.min_resistance = options_.r_high;
+    result.telemetry.solves.merge(slot.solves);
+    result.telemetry.cpu_s += slot.wall_s;
+    sweep.solves.merge(slot.solves);
+    sweep.cpu_s += slot.wall_s;
+
+    if (slot.error) {
+      try {
+        std::rethrow_exception(slot.error);
+      } catch (const Error& e) {
+        // Partial results beat none: record the point as untrusted and keep
+        // the rest of the grid.
+        result.sweep.quarantine("Df" + std::to_string(task.id) + " x " +
+                                    task.cs->name() + " @ " + pvt_name(pvt),
+                                e);
+      }
+      continue;
+    }
+    result.sweep.add_success();
+    if (slot.detectable && slot.threshold < result.min_resistance) {
+      result.min_resistance = slot.threshold;
+      result.open_only = false;
+      result.worst_pvt = pvt;
+      result.vref_at_worst = slot.vref;
+    }
+  }
+  for (auto& row : rows)
+    for (DefectCsResult& result : row)
+      if (result.open_only) result.min_resistance = options_.r_high;
+
+  sweep.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  if (total) *total = sweep;
+  return rows;
+}
+
+DefectCsResult DefectCharacterizer::characterize(DefectId id,
+                                                 const CaseStudy& cs) const {
+  SweepTelemetry total;
+  std::vector<std::vector<DefectCsResult>> rows =
+      run_cells({&id, 1}, {&cs, 1}, &total);
+  DefectCsResult result = std::move(rows[0][0]);
+  result.telemetry.wall_s = total.wall_s;  // single cell: sweep == cell
   return result;
 }
 
 std::vector<std::vector<DefectCsResult>> DefectCharacterizer::table(
-    std::span<const DefectId> defects,
-    std::span<const CaseStudy> case_studies) const {
-  std::vector<std::vector<DefectCsResult>> rows;
-  rows.reserve(defects.size());
-  for (const DefectId id : defects) {
-    std::vector<DefectCsResult> row;
-    row.reserve(case_studies.size());
-    for (const CaseStudy& cs : case_studies) row.push_back(characterize(id, cs));
-    rows.push_back(std::move(row));
-  }
-  return rows;
+    std::span<const DefectId> defects, std::span<const CaseStudy> case_studies,
+    SweepTelemetry* total) const {
+  return run_cells(defects, case_studies, total);
 }
 
 }  // namespace lpsram

@@ -3,6 +3,7 @@
 // mode, together with the PVT condition that requires it.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -33,6 +34,14 @@ struct DefectCharacterizationOptions {
   // DefectCsResult::sweep states the surviving coverage. Set false to make
   // the first failure propagate (fail-fast).
   bool quarantine = true;
+  // Executor worker count for the (defect x case study x PVT) task grid:
+  // 0 = automatic (LPSRAM_THREADS env, else hardware concurrency). Results
+  // are bit-identical at any thread count.
+  int threads = 0;
+  // Warm-start each task's bisection probes from the task-scoped
+  // operating-point SolveCache. Task scoping keeps parallel runs
+  // deterministic; cache on/off may differ within solver tolerance.
+  bool solve_cache = true;
 };
 
 // One Table II cell: defect x case study.
@@ -46,6 +55,10 @@ struct DefectCsResult {
   // Per-PVT-point solve accounting: which of the grid points this cell's
   // numbers actually cover, and which were quarantined with what error.
   SweepReport sweep;
+  // Executor/cache/solve telemetry of this cell's PVT tasks. Inside table()
+  // the per-cell wall_s is 0 (wall-clock is only meaningful per sweep and
+  // lands in the table-wide total); characterize() fills it in.
+  SweepTelemetry telemetry;
 
   // True when every PVT point of the grid was characterized.
   bool trusted() const noexcept { return sweep.complete(); }
@@ -57,13 +70,20 @@ class DefectCharacterizer {
                       DefectCharacterizationOptions options = {});
 
   // Min resistance for one defect under one case study (the -1 variant is
-  // simulated; mirrors are symmetric).
+  // simulated; mirrors are symmetric). Every PVT point of the grid is an
+  // independent executor task; the reduction over points runs afterwards in
+  // grid order, so the result is bit-identical to a serial run.
   DefectCsResult characterize(DefectId id, const CaseStudy& cs) const;
 
-  // Full Table II: rows = defects, columns = case studies.
+  // Full Table II: rows = defects, columns = case studies. The whole
+  // (defect x case study x PVT) grid is flattened into one executor run;
+  // each cell's result is bit-identical to characterize(id, cs) called
+  // alone. The table-wide telemetry (including wall-clock) lands in
+  // `*total` when given.
   std::vector<std::vector<DefectCsResult>> table(
       std::span<const DefectId> defects,
-      std::span<const CaseStudy> case_studies) const;
+      std::span<const CaseStudy> case_studies,
+      SweepTelemetry* total = nullptr) const;
 
   const DefectCharacterizationOptions& options() const noexcept {
     return options_;
@@ -71,15 +91,26 @@ class DefectCharacterizer {
   double worst_drv() const noexcept { return worst_drv_; }
 
  private:
-  // DRV of the case-study cell at a given corner/temperature (cached).
+  // DRV of the case-study cell at a given corner/temperature. Memoized
+  // under a mutex: the cell-layer DRV search never touches the DC-solver
+  // observer hooks, so its values are deterministic even under chaos and
+  // safe to share across tasks.
   double cs_drv(const CaseStudy& cs, Corner corner, double temp_c) const;
+
+  // Shared engine of characterize()/table(): runs the flattened task grid
+  // and reduces each cell in PVT order. Cells are row-major over
+  // (defects x case_studies); `total` (optional) receives the sweep-wide
+  // telemetry including wall-clock.
+  std::vector<std::vector<DefectCsResult>> run_cells(
+      std::span<const DefectId> defects,
+      std::span<const CaseStudy> case_studies, SweepTelemetry* total) const;
 
   Technology tech_;
   DefectCharacterizationOptions options_;
   double worst_drv_ = 0.0;
-  // Cache: characterizers keyed by case-study index (load model differs),
-  // and per-CS DRV values keyed by (corner, temp).
-  mutable std::map<int, std::unique_ptr<RegulatorCharacterizer>> chars_;
+  // Per-CS DRV memo keyed by (cs index, corner, temp); guarded by
+  // drv_mutex_ because executor tasks populate it concurrently.
+  mutable std::mutex drv_mutex_;
   mutable std::map<std::tuple<int, int, int>, double> drv_cache_;
 };
 

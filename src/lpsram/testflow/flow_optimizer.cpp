@@ -1,8 +1,12 @@
 #include "lpsram/testflow/flow_optimizer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <exception>
+#include <memory>
 
+#include "lpsram/spice/hooks.hpp"
 #include "lpsram/util/error.hpp"
 #include "lpsram/util/rootfind.hpp"
 
@@ -62,47 +66,115 @@ DetectionMatrix FlowOptimizer::build_matrix(
   const CoreCell cell(tech_, cs1.variation, options_.corner);
   const double drv = drv_hold(cell, cs1.attacked_bit(), options_.temp_c);
 
-  ArrayLoadModel::Options load;
-  load.total_cells = 256 * 1024;
-  const RegulatorCharacterizer characterizer(tech_, load, options_.flip);
-
+  // One executor task per valid (condition, defect) entry; invalid
+  // conditions are never probed (a healthy SRAM would fail there) and keep
+  // the "not detectable" sentinel.
+  struct Task {
+    std::size_t ci = 0;
+    std::size_t di = 0;
+  };
+  std::vector<Task> tasks;
   matrix.rmin.resize(matrix.conditions.size());
   for (std::size_t ci = 0; ci < matrix.conditions.size(); ++ci) {
-    const TestCondition& tc = matrix.conditions[ci];
     matrix.rmin[ci].assign(matrix.defects.size(), options_.r_high * 2.0);
-    if (!condition_valid(tc)) continue;  // never probed: healthy SRAM fails
+    if (!condition_valid(matrix.conditions[ci])) continue;
+    for (std::size_t di = 0; di < matrix.defects.size(); ++di)
+      tasks.push_back({ci, di});
+  }
 
-    DsCondition condition;
-    condition.corner = options_.corner;
-    condition.vdd = tc.vdd;
-    condition.vref = tc.vref;
-    condition.temp_c = options_.temp_c;
-    condition.ds_time = tc.ds_time;
+  struct Slot {
+    double rmin = 0.0;
+    bool ok = false;
+    std::exception_ptr error;
+    SolveTelemetry solves;
+    double wall_s = 0.0;
+  };
+  std::vector<Slot> slots(tasks.size());
 
-    for (std::size_t di = 0; di < matrix.defects.size(); ++di) {
-      const DefectId id = matrix.defects[di];
-      const auto probe = [&] {
-        return monotone_threshold_log(
-            [&](double ohms) {
-              return characterizer.causes_drf(condition, id, ohms, drv);
-            },
-            options_.r_low, options_.r_high, options_.rel_tolerance);
-      };
-      if (!options_.quarantine) {
-        matrix.rmin[ci][di] = probe();
-        matrix.sweep.add_success();
-        continue;
-      }
+  SolveCache cache;
+  SweepExecutorOptions exec_options;
+  exec_options.threads = options_.threads;
+  SweepExecutor executor(exec_options);
+
+  // One characterizer per worker slot: instances carry mutable solve state
+  // and must not be shared across concurrent tasks.
+  std::vector<std::unique_ptr<RegulatorCharacterizer>> workers(
+      static_cast<std::size_t>(executor.threads()));
+  ArrayLoadModel::Options load;
+  load.total_cells = 256 * 1024;
+
+  const auto started = std::chrono::steady_clock::now();
+  executor.run(tasks.size(), [&](std::size_t t, int worker) {
+    const Task& task = tasks[t];
+    const TestCondition& tc = matrix.conditions[task.ci];
+    const DefectId id = matrix.defects[task.di];
+    Slot& slot = slots[t];
+
+    const std::uint64_t task_key =
+        fold_key(fold_key(0x7461626c653349ULL,  // "table3I"
+                          task.ci),
+                 static_cast<std::uint64_t>(id));
+    const ScopedTaskObserver task_scope(task_key);
+    const auto task_started = std::chrono::steady_clock::now();
+
+    auto& characterizer = workers[static_cast<std::size_t>(worker)];
+    if (!characterizer)
+      characterizer =
+          std::make_unique<RegulatorCharacterizer>(tech_, load, options_.flip);
+    characterizer->set_solve_cache(options_.solve_cache ? &cache : nullptr,
+                                   task_key);
+    const SolveTelemetry before = characterizer->solve_telemetry();
+
+    try {
+      DsCondition condition;
+      condition.corner = options_.corner;
+      condition.vdd = tc.vdd;
+      condition.vref = tc.vref;
+      condition.temp_c = options_.temp_c;
+      condition.ds_time = tc.ds_time;
+      slot.rmin = monotone_threshold_log(
+          [&](double ohms) {
+            return characterizer->causes_drf(condition, id, ohms, drv);
+          },
+          options_.r_low, options_.r_high, options_.rel_tolerance);
+      slot.ok = true;
+    } catch (const Error&) {
+      if (!options_.quarantine) throw;
+      slot.error = std::current_exception();
+    }
+
+    slot.solves = telemetry_delta(before, characterizer->solve_telemetry());
+    slot.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - task_started)
+                      .count();
+  });
+
+  // (condition, defect)-ordered reduction, matching the serial loop.
+  matrix.telemetry.tasks = tasks.size();
+  matrix.telemetry.threads = executor.threads();
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const Task& task = tasks[t];
+    const Slot& slot = slots[t];
+    matrix.telemetry.solves.merge(slot.solves);
+    matrix.telemetry.cpu_s += slot.wall_s;
+    if (slot.ok) {
+      matrix.rmin[task.ci][task.di] = slot.rmin;
+      matrix.sweep.add_success();
+    } else {
       try {
-        matrix.rmin[ci][di] = probe();
-        matrix.sweep.add_success();
+        std::rethrow_exception(slot.error);
       } catch (const Error& e) {
         // Leave the "not detectable" sentinel in place and record the entry
         // so coverage accounting stays honest.
-        matrix.sweep.quarantine(tc.str() + " x Df" + std::to_string(id), e);
+        matrix.sweep.quarantine(matrix.conditions[task.ci].str() + " x Df" +
+                                    std::to_string(matrix.defects[task.di]),
+                                e);
       }
     }
   }
+  matrix.telemetry.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
   return matrix;
 }
 

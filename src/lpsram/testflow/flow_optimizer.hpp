@@ -41,6 +41,8 @@ struct DetectionMatrix {
   // entries read as "not detectable" in rmin and are listed here so the
   // optimized flow states what fraction of the matrix it trusts.
   SweepReport sweep;
+  // Executor/cache/solve telemetry of the matrix build.
+  SweepTelemetry telemetry;
 };
 
 struct FlowIteration {
@@ -93,6 +95,11 @@ struct FlowOptimizerOptions {
   // Quarantine failing matrix entries instead of aborting the build (the
   // entry then reads "not detectable"); false = fail-fast.
   bool quarantine = true;
+  // Executor worker count for the (condition x defect) probe grid: 0 =
+  // automatic. Results are bit-identical at any thread count.
+  int threads = 0;
+  // Warm-start each probe's bisection from the task-scoped SolveCache.
+  bool solve_cache = true;
 };
 
 class FlowOptimizer {
@@ -102,7 +109,9 @@ class FlowOptimizer {
   explicit FlowOptimizer(const Technology& tech, Options options = {});
 
   // Builds the detection matrix for the given defects, judging retention of
-  // the CS1 worst-case cell.
+  // the CS1 worst-case cell. Each valid (condition, defect) entry is an
+  // independent executor task; the reduction runs in (condition, defect)
+  // order, so the matrix is bit-identical at any thread count.
   DetectionMatrix build_matrix(std::span<const DefectId> defects) const;
 
   // Builds the flow per the configured strategy.

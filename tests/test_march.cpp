@@ -331,6 +331,160 @@ TEST(Parser, FuzzPrintParseRoundTrip) {
   }
 }
 
+// ---------- March m-LZ properties (paper Section V.A) ---------------------
+
+// The paper's test, element by element:
+//   { any(w1); DSM; WUP; up(r1,w0,r0); DSM; WUP; up(r0) }
+TEST(MarchMlz, ElementSequenceMatchesPaperExactly) {
+  const MarchTest t = march::march_m_lz();
+  ASSERT_EQ(t.elements.size(), 7u);
+  EXPECT_EQ(t.elements[0],
+            MarchElement::make(AddressOrder::Any, {w1()}));
+  EXPECT_EQ(t.elements[1], MarchElement::deep_sleep());
+  EXPECT_EQ(t.elements[2], MarchElement::wake_up());
+  EXPECT_EQ(t.elements[3],
+            MarchElement::make(AddressOrder::Ascending, {r1(), w0(), r0()}));
+  EXPECT_EQ(t.elements[4], MarchElement::deep_sleep());
+  EXPECT_EQ(t.elements[5], MarchElement::wake_up());
+  EXPECT_EQ(t.elements[6],
+            MarchElement::make(AddressOrder::Ascending, {r0()}));
+}
+
+TEST(MarchMlz, LengthIsFiveNPlusFourForSeveralN) {
+  const MarchTest t = march::march_m_lz();
+  for (const std::size_t n : {8u, 32u, 128u, 4096u}) {
+    // 5 per-cell operations x N, plus the 4 constant-time mode transitions
+    // (2 DSM + 2 WUP).
+    EXPECT_EQ(static_cast<std::size_t>(t.ops_per_cell()) * n +
+                  static_cast<std::size_t>(t.constant_ops()),
+              5 * n + 4);
+  }
+  // And the executor actually issues exactly 5N cell operations.
+  for (const std::size_t n : {8u, 32u, 128u}) {
+    SramConfig config = small_config();
+    config.words = n;
+    LowPowerSram sram(config);
+    MarchExecutorOptions options;
+    options.ds_time = 1e-4;
+    const MarchRunResult r = MarchExecutor(sram, options).run(t);
+    EXPECT_EQ(r.operations, 5 * n);
+  }
+}
+
+// Sizes a regulator defect so the DS-mode Vreg lands just below `target`.
+// Ends on a resistance whose operating point is known to solve: probes near
+// the regulator's collapse point can defeat the solver and are stepped past.
+double size_defect_for_vreg(LowPowerSram& sram, DefectId id, double target) {
+  double lo = 1.0, hi = 500e6;
+  double best = hi;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    sram.inject_regulator_defect(id, mid);
+    double vreg;
+    try {
+      vreg = sram.vreg_ds();
+    } catch (const ConvergenceError&) {
+      lo = mid;
+      continue;
+    }
+    if (vreg < target) {
+      hi = mid;
+      best = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  sram.inject_regulator_defect(id, best);
+  return best;
+}
+
+// The SRAM configuration the DRF_DS setup below uses: low supply, mid Vref,
+// hot.
+SramConfig drf_config() {
+  SramConfig config = small_config();
+  config.vdd = 1.0;
+  config.vref = VrefLevel::V074;
+  config.temp_c = 125.0;
+  return config;
+}
+
+// Turns a healthy SRAM into the textbook DRF_DS setup: weak cells whose DRV
+// for the attacked polarity sits above the defect-drooped Vreg.
+void plant_drf(LowPowerSram& sram, bool attack_one,
+               const std::vector<std::pair<std::size_t, int>>& cells) {
+  const DrvResult weak = attack_one ? DrvResult{0.70, 0.02}   // flips a '1'
+                                    : DrvResult{0.02, 0.70};  // flips a '0'
+  for (const auto& [address, bit] : cells) sram.add_weak_cell(address, bit, weak);
+  // Df19 sized so Vreg lands between the healthy baseline DRV (0.12) and
+  // the weak DRV (0.70): exactly the weak cells fail retention.
+  size_defect_for_vreg(sram, 19, 0.40);
+}
+
+TEST(MarchMlz, DetectsEveryInjectedDrfOfBothPolarities) {
+  const std::vector<std::pair<std::size_t, int>> cells = {
+      {3, 0}, {10, 3}, {31, 7}};
+  for (const bool attack_one : {true, false}) {
+    SCOPED_TRACE(attack_one ? "DRF_DS1" : "DRF_DS0");
+    LowPowerSram sram(drf_config());
+    plant_drf(sram, attack_one, cells);
+    MarchExecutorOptions options;
+    options.ds_time = 1e-3;
+    const MarchRunResult r = MarchExecutor(sram, options).run(march::march_m_lz());
+    EXPECT_FALSE(r.passed);
+    // Every planted fault shows up as a miscompare at its own address, with
+    // exactly the weak bit differing.
+    ASSERT_EQ(r.failures.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      EXPECT_EQ(r.failures[i].address, cells[i].first);
+      EXPECT_EQ(r.failures[i].expected ^ r.failures[i].actual,
+                1ull << cells[i].second);
+    }
+  }
+}
+
+TEST(MarchMlz, EachDeepSleepPhaseCoversOnePolarity) {
+  // With only DRF_DS1 faults the second DS phase (all-zero background) is
+  // clean: every failure is an r1 miscompare, none an r0 one.
+  LowPowerSram one(drf_config());
+  plant_drf(one, true, {{10, 3}});
+  MarchExecutorOptions options;
+  options.ds_time = 1e-3;
+  const MarchRunResult r1_run = MarchExecutor(one, options).run(march::march_m_lz());
+  ASSERT_EQ(r1_run.failures.size(), 1u);
+  EXPECT_EQ(r1_run.failures[0].expected, 0xFFu);
+
+  // And with only DRF_DS0 faults the failure is the mirror r0 miscompare.
+  LowPowerSram zero(drf_config());
+  plant_drf(zero, false, {{10, 3}});
+  const MarchRunResult r0_run =
+      MarchExecutor(zero, options).run(march::march_m_lz());
+  ASSERT_EQ(r0_run.failures.size(), 1u);
+  EXPECT_EQ(r0_run.failures[0].expected, 0x00u);
+}
+
+TEST(MarchMlz, DefectFreeArrayNeverMiscompares) {
+  // Healthy SRAM across supply/Vref/temperature configurations and all
+  // standard data backgrounds: m-LZ must never report a failure.
+  for (const double vdd : {1.0, 1.1, 1.2}) {
+    for (const VrefLevel vref : {VrefLevel::V078, VrefLevel::V070}) {
+      SramConfig config = small_config();
+      config.vdd = vdd;
+      config.vref = vref;
+      config.temp_c = 125.0;
+      LowPowerSram sram(config);
+      for (const DataBackground& background : standard_backgrounds(8)) {
+        MarchExecutorOptions options;
+        options.ds_time = 1e-4;
+        options.background = background;
+        const MarchRunResult r =
+            MarchExecutor(sram, options).run(march::march_m_lz());
+        EXPECT_TRUE(r.passed) << "vdd=" << vdd << " bg=" << background.name();
+        EXPECT_EQ(r.total_failures, 0u);
+      }
+    }
+  }
+}
+
 // ---------- test-time model ----------------------------------------------------
 
 TEST(TestTime, LinearInWordsAndDsTime) {
