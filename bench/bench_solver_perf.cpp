@@ -27,7 +27,12 @@ void BM_MosfetEval(benchmark::State& state) {
 }
 BENCHMARK(BM_MosfetEval);
 
-void BM_RegulatorDcCold(benchmark::State& state) {
+// Cold/warm regulator DC solves on a pinned kernel. BM_RegulatorDcCold /
+// BM_RegulatorDcWarm (no suffix) measure the production default (sparse);
+// the Sparse/Dense-suffixed variants are the head-to-head comparison
+// tools/check_bench_solver.py gates CI on.
+void regulator_dc_cold(benchmark::State& state, LinearSolverKind kind) {
+  const ScopedLinearSolverDefault kernel(kind);
   VoltageRegulator reg(tech(), Corner::Typical);
   reg.set_vdd(1.1);
   reg.select_vref(VrefLevel::V070);
@@ -36,9 +41,9 @@ void BM_RegulatorDcCold(benchmark::State& state) {
     benchmark::DoNotOptimize(reg.vreg_dc(25.0));
   }
 }
-BENCHMARK(BM_RegulatorDcCold);
 
-void BM_RegulatorDcWarm(benchmark::State& state) {
+void regulator_dc_warm(benchmark::State& state, LinearSolverKind kind) {
+  const ScopedLinearSolverDefault kernel(kind);
   VoltageRegulator reg(tech(), Corner::Typical);
   reg.set_vdd(1.1);
   reg.select_vref(VrefLevel::V070);
@@ -47,7 +52,36 @@ void BM_RegulatorDcWarm(benchmark::State& state) {
     benchmark::DoNotOptimize(reg.vreg_dc(25.0));
   }
 }
+
+void BM_RegulatorDcCold(benchmark::State& state) {
+  regulator_dc_cold(state, default_linear_solver());
+}
+BENCHMARK(BM_RegulatorDcCold);
+
+void BM_RegulatorDcColdSparse(benchmark::State& state) {
+  regulator_dc_cold(state, LinearSolverKind::Sparse);
+}
+BENCHMARK(BM_RegulatorDcColdSparse);
+
+void BM_RegulatorDcColdDense(benchmark::State& state) {
+  regulator_dc_cold(state, LinearSolverKind::Dense);
+}
+BENCHMARK(BM_RegulatorDcColdDense);
+
+void BM_RegulatorDcWarm(benchmark::State& state) {
+  regulator_dc_warm(state, default_linear_solver());
+}
 BENCHMARK(BM_RegulatorDcWarm);
+
+void BM_RegulatorDcWarmSparse(benchmark::State& state) {
+  regulator_dc_warm(state, LinearSolverKind::Sparse);
+}
+BENCHMARK(BM_RegulatorDcWarmSparse);
+
+void BM_RegulatorDcWarmDense(benchmark::State& state) {
+  regulator_dc_warm(state, LinearSolverKind::Dense);
+}
+BENCHMARK(BM_RegulatorDcWarmDense);
 
 void BM_DsEntryTransient(benchmark::State& state) {
   VoltageRegulator reg(tech(), Corner::Typical);

@@ -7,18 +7,22 @@
 namespace lpsram {
 namespace {
 
-// Numerically stable softplus: ln(1 + e^u).
-double softplus(double u) noexcept {
-  if (u > 35.0) return u;
-  if (u < -35.0) return std::exp(u);
-  return std::log1p(std::exp(u));
-}
+// Numerically stable softplus ln(1 + e^u) together with its derivative, the
+// logistic sigmoid — both from a single exponential, since every Newton
+// stamp needs the pair and exp dominates the evaluation cost.
+struct SoftplusEval {
+  double f;  // softplus(u)
+  double d;  // sigmoid(u) = softplus'(u)
+};
 
-// Logistic sigmoid, the derivative of softplus.
-double sigmoid(double u) noexcept {
-  if (u > 35.0) return 1.0;
-  if (u < -35.0) return std::exp(u);
-  return 1.0 / (1.0 + std::exp(-u));
+SoftplusEval softplus_eval(double u) noexcept {
+  if (u > 35.0) return {u, 1.0};
+  if (u < -35.0) {
+    const double e = std::exp(u);
+    return {e, e};
+  }
+  const double e = std::exp(u);
+  return {std::log1p(e), e / (1.0 + e)};
 }
 
 // Smooth |v| used so channel-length modulation keeps C1 continuity at Vds=0.
@@ -38,8 +42,12 @@ double Mosfet::vth_effective(double temp_c) const noexcept {
 double Mosfet::beta(double temp_c) const noexcept {
   const double t_ratio =
       celsius_to_kelvin(temp_c) / celsius_to_kelvin(kReferenceTempC);
-  return params_.kp * (params_.w / params_.l) * params_.mob_factor *
-         std::pow(t_ratio, -params_.mob_exp);
+  // mob_exp is 1.5 for every device in the kit; t^-1.5 via sqrt skips the
+  // much slower generic pow on the Newton hot path.
+  const double mob = params_.mob_exp == 1.5
+                         ? 1.0 / (t_ratio * std::sqrt(t_ratio))
+                         : std::pow(t_ratio, -params_.mob_exp);
+  return params_.kp * (params_.w / params_.l) * params_.mob_factor * mob;
 }
 
 MosEval Mosfet::eval(double vg, double vd, double vs,
@@ -50,15 +58,11 @@ MosEval Mosfet::eval(double vg, double vd, double vs,
   // Referencing to ground instead would forward-bias the mirrored body and
   // overestimate off-state leakage by orders of magnitude.
   if (params_.type == MosType::Pmos) {
-    MosfetParams mirrored = params_;
-    mirrored.type = MosType::Nmos;
-    const Mosfet nmos_view{mirrored};
-
     const double ref = 0.5 * (vd + vs + smooth_abs(vd - vs));
     const double rd = 0.5 * (1.0 + smooth_abs_d(vd - vs));  // d(ref)/d(vd)
     const double rs = 0.5 * (1.0 - smooth_abs_d(vd - vs));  // d(ref)/d(vs)
 
-    const MosEval n = nmos_view.eval(ref - vg, ref - vd, ref - vs, temp_c);
+    const MosEval n = eval_core(ref - vg, ref - vd, ref - vs, temp_c);
     MosEval e;
     e.id = -n.id;
     e.gm = n.gm;  // d(ref-vg)/dvg = -1, current negated: signs cancel
@@ -67,6 +71,11 @@ MosEval Mosfet::eval(double vg, double vd, double vs,
     return e;
   }
 
+  return eval_core(vg, vd, vs, temp_c);
+}
+
+MosEval Mosfet::eval_core(double vg, double vd, double vs,
+                          double temp_c) const noexcept {
   const double vt = thermal_voltage(temp_c);
   const double vth = vth_effective(temp_c);
   const double n = params_.n_slope;
@@ -76,18 +85,18 @@ MosEval Mosfet::eval(double vg, double vd, double vs,
   const double us = (vp - vs) / (2.0 * vt);
   const double ud = (vp - vd) / (2.0 * vt);
 
-  const double fs = softplus(us);
-  const double fd = softplus(ud);
-  const double i_forward = fs * fs;
-  const double i_reverse = fd * fd;
+  const SoftplusEval ss = softplus_eval(us);
+  const SoftplusEval sd = softplus_eval(ud);
+  const double i_forward = ss.f * ss.f;
+  const double i_reverse = sd.f * sd.f;
 
   const double vds = vd - vs;
   const double clm = 1.0 + params_.lambda * smooth_abs(vds);
   const double core = i0 * (i_forward - i_reverse);
 
   // d(F^2)/du = 2 F(u) sigma(u); chain through u = (vp - v)/2VT.
-  const double dfs = 2.0 * fs * sigmoid(us);
-  const double dfd = 2.0 * fd * sigmoid(ud);
+  const double dfs = 2.0 * ss.f * ss.d;
+  const double dfd = 2.0 * sd.f * sd.d;
   const double inv2vt = 1.0 / (2.0 * vt);
 
   MosEval e;

@@ -78,6 +78,13 @@ class Mosfet {
   double beta(double temp_c) const noexcept;
 
  private:
+  // The NMOS-convention EKV evaluation, shared by both device types: the
+  // PMOS branch of eval() mirrors its terminal voltages and calls this
+  // directly instead of materializing a mirrored device (copying params —
+  // including the instance-name string — per Newton iteration was a
+  // measurable slice of assembly time).
+  MosEval eval_core(double vg, double vd, double vs, double temp_c) const noexcept;
+
   MosfetParams params_;
 };
 

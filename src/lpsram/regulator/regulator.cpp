@@ -332,7 +332,12 @@ double VoltageRegulator::defect_resistance(DefectId id) const {
 
 SolveOutcome VoltageRegulator::solve_dc_outcome(double temp_c) const {
   const SolveGuard guard(solving_);
-  const ResilientDcSolver solver(netlist_, temp_c, DcOptions{}, solve_policy_);
+  // Hand the ladder the regulator's long-lived sparse workspace so repeated
+  // solves (defect ladders, PVT grids, warm restarts) reuse one symbolic
+  // analysis instead of redoing it per DcSolver.
+  DcOptions dc_options;
+  dc_options.shared_workspace = &newton_ws_;
+  const ResilientDcSolver solver(netlist_, temp_c, dc_options, solve_policy_);
 
   // Cold start with a cache attached: seed the warm-start rung from the
   // nearest cached neighbour along the defect-resistance axis. The key

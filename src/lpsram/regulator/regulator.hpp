@@ -166,6 +166,13 @@ class VoltageRegulator {
   NodeId n_mpreg1_gate_ = kGround;
 
   mutable std::vector<double> warm_start_;
+  // Long-lived sparse-kernel workspace handed to every DC solve via
+  // DcOptions::shared_workspace: the stamp-plan binding and the sparse LU's
+  // pivot order survive across solves (and across the whole defect ladder
+  // of a sweep task), so only the first solve of a regulator's life pays
+  // the symbolic analysis. Guarded by the same single-thread contract as
+  // the rest of the mutable solve state.
+  mutable NewtonWorkspace newton_ws_;
   RetryLadderOptions solve_policy_;
   mutable SolveTelemetry telemetry_;
 

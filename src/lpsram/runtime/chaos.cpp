@@ -97,13 +97,14 @@ void ChaosEngine::on_newton_iteration(NewtonEvent& event) {
       break;
 
     case ChaosFault::SingularJacobian: {
-      // Zero an entire row: LU partial pivoting finds no usable pivot and
-      // throws, exactly like a genuinely singular operating point.
-      Matrix& j = *event.jacobian;
+      // Zero an entire row through the representation-independent view:
+      // LU pivoting (dense or sparse) finds no usable pivot and throws,
+      // exactly like a genuinely singular operating point.
+      JacobianView& j = *event.jacobian;
       const std::size_t row =
           splitmix64(policy_.seed ^ static_cast<std::uint64_t>(event.iteration)) %
-          j.rows();
-      for (std::size_t c = 0; c < j.cols(); ++c) j(row, c) = 0.0;
+          j.dimension();
+      j.zero_row(row);
       break;
     }
 

@@ -1,6 +1,7 @@
 #include "lpsram/spice/dc_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 
@@ -8,6 +9,20 @@
 #include "lpsram/util/error.hpp"
 
 namespace lpsram {
+
+namespace {
+std::atomic<LinearSolverKind> g_default_linear_solver{LinearSolverKind::Sparse};
+}  // namespace
+
+LinearSolverKind default_linear_solver() noexcept {
+  return g_default_linear_solver.load(std::memory_order_relaxed);
+}
+
+LinearSolverKind set_default_linear_solver(LinearSolverKind kind) noexcept {
+  if (kind == LinearSolverKind::Auto) kind = LinearSolverKind::Sparse;
+  return g_default_linear_solver.exchange(kind, std::memory_order_relaxed);
+}
+
 namespace {
 
 // Restores source values if a solve strategy exits early (including by an
@@ -35,32 +50,118 @@ bool all_finite(const std::vector<double>& values) {
   return true;
 }
 
+enum class StepOutcome { Continue, Converged, Abort };
+
+// Shared tail of a Newton iteration, identical for the sparse and dense
+// kernels: damp the step, clamp node voltages, report progress, test
+// convergence. Keeping this in one place is what guarantees the two kernels
+// walk the same iterate sequence whenever their linear solves agree.
+// `residual_converged` is the secondary (SPICE ABSTOL-style) acceptance:
+// every KCL/branch residual is already below residual_tolerance, so the
+// system is solved even if dv cannot show it. On a high-impedance node (a
+// near-open defect in series with gmin) the voltage is only determined to
+// ~|Z|*eps*I — the Newton step there is pure rounding noise that can sit
+// above v_tolerance forever. The sparse kernel passes the real test; the
+// dense kernel passes `false` to keep its iterate sequence bit-identical
+// to the original implementation.
+StepOutcome apply_damped_step(const DcOptions& options, std::size_t n_nodes,
+                              const std::vector<double>& dx,
+                              std::vector<double>& x, int it,
+                              double max_residual,
+                              bool residual_converged) {
+  // Damped update: limit voltage steps to keep the exponential device
+  // models inside their sane range.
+  double max_dv = 0.0;
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    max_dv = std::max(max_dv, std::fabs(dx[i]));
+  if (!std::isfinite(max_dv)) return StepOutcome::Abort;
+  const double scale =
+      max_dv > options.step_limit ? options.step_limit / max_dv : 1.0;
+  for (std::size_t i = 0; i < dx.size(); ++i) x[i] += scale * dx[i];
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    x[i] = std::clamp(x[i], options.v_min, options.v_max);
+
+  if (options.progress) {
+    NewtonProgress progress;
+    progress.iteration = it + 1;
+    progress.max_dv = max_dv;
+    progress.max_residual = max_residual;
+    options.progress(progress);  // may throw (deadline enforcement)
+  }
+
+  // Converged when the full (unscaled) Newton step is tiny — at that point
+  // the residual is quadratically small as well — or when the residual test
+  // already passed.
+  return (max_dv < options.v_tolerance || residual_converged)
+             ? StepOutcome::Converged
+             : StepOutcome::Continue;
+}
+
+// Max |residual| over every row (KCL rows in amps, branch rows in volts).
+double max_abs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (const double e : v) m = std::max(m, std::fabs(e));
+  return m;
+}
+
 }  // namespace
 
 DcSolver::DcSolver(const Netlist& netlist, double temp_c, DcOptions options)
     : netlist_(netlist), assembler_(netlist, temp_c), options_(std::move(options)) {}
 
+LinearSolverKind DcSolver::resolved_solver() const noexcept {
+  return options_.linear_solver == LinearSolverKind::Auto
+             ? default_linear_solver()
+             : options_.linear_solver;
+}
+
 bool DcSolver::newton(std::vector<double>& x, double gmin,
                       NewtonStats* stats) const {
-  Matrix jacobian(assembler_.dimension(), assembler_.dimension());
-  std::vector<double> residual;
+  return resolved_solver() == LinearSolverKind::Dense
+             ? newton_dense(x, gmin, stats)
+             : newton_sparse(x, gmin, stats);
+}
+
+// Structure-aware kernel: symbolic stamp plan + frozen linear base + numeric
+// LU refactor, all in preallocated workspace storage — the steady-state
+// iteration performs zero heap allocations.
+bool DcSolver::newton_sparse(std::vector<double>& x, double gmin,
+                             NewtonStats* stats) const {
+  const std::size_t n_nodes = netlist_.node_count() - 1;
+  // A caller-provided workspace carries the symbolic analysis (plan binding,
+  // LU pivot order and fill) across DcSolver instances; otherwise use the
+  // per-solver scratch.
+  NewtonWorkspace& ws =
+      options_.shared_workspace ? *options_.shared_workspace : ws_;
 
   for (int it = 0; it < options_.max_iterations; ++it) {
-    assembler_.assemble(x, jacobian, residual, gmin);
+    assembler_.assemble_sparse(x, gmin, ws);
 
     if (SolverObserver* observer = solver_observer()) {
+      SparseJacobianView view(ws.jacobian);
       NewtonEvent event;
       event.iteration = it;
       event.gmin = gmin;
-      event.jacobian = &jacobian;
-      event.residual = &residual;
+      event.jacobian = &view;
+      event.residual = &ws.residual;
       observer->on_newton_iteration(event);
     }
 
-    double max_residual = 0.0;
-    const std::size_t n_nodes = netlist_.node_count() - 1;
-    for (std::size_t i = 0; i < n_nodes; ++i)
-      max_residual = std::max(max_residual, std::fabs(residual[i]));
+    // One fused pass over the residual: the node-row maximum (stats and
+    // progress contract), the all-row maximum (convergence criterion), the
+    // finiteness check and the RHS negation all touch the same vector.
+    double max_residual = 0.0;    // node rows only
+    double worst_residual = 0.0;  // every row, branch equations included
+    bool finite = true;
+    const std::size_t dim = ws.residual.size();
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double r = ws.residual[i];
+      const double mag = std::fabs(r);
+      if (!std::isfinite(mag)) finite = false;
+      if (mag > worst_residual) worst_residual = mag;
+      if (i < n_nodes && mag > max_residual) max_residual = mag;
+      ws.rhs[i] = -r;
+    }
     if (stats) {
       stats->iterations = it + 1;
       stats->max_residual = max_residual;
@@ -69,49 +170,90 @@ bool DcSolver::newton(std::vector<double>& x, double gmin,
     // A non-finite residual (device model blow-up or injected fault) can
     // never converge — bail out so the caller escalates instead of burning
     // the whole iteration budget on NaN arithmetic.
-    if (!all_finite(residual)) return false;
+    if (!finite) return false;
 
-    // Solve J * dx = -F.
-    std::vector<double> rhs(residual.size());
-    for (std::size_t i = 0; i < residual.size(); ++i) rhs[i] = -residual[i];
-    std::vector<double> dx;
+    // Solve J * dx = -F, refining only in the endgame (see
+    // kSparseRefineDvThreshold): the plain solve runs first, and only a
+    // step already small enough to be near the convergence tolerance is
+    // worth polishing.
     try {
-      dx = solve_linear_system(jacobian, rhs);
+      ws.lu.factor(ws.jacobian);
+      ws.lu.solve(ws.rhs, ws.dx);
+      double max_step = 0.0;
+      for (std::size_t i = 0; i < n_nodes; ++i)
+        max_step = std::max(max_step, std::fabs(ws.dx[i]));
+      if (max_step < kSparseRefineDvThreshold)
+        ws.lu.refine_step(ws.jacobian, ws.rhs, ws.dx);
     } catch (const ConvergenceError&) {
       return false;  // singular system at this point; let caller escalate
     }
 
-    // Damped update: limit voltage steps to keep the exponential device
-    // models inside their sane range.
-    double max_dv = 0.0;
-    for (std::size_t i = 0; i < n_nodes; ++i)
-      max_dv = std::max(max_dv, std::fabs(dx[i]));
-    if (!std::isfinite(max_dv)) return false;
-    const double scale =
-        max_dv > options_.step_limit ? options_.step_limit / max_dv : 1.0;
-    for (std::size_t i = 0; i < dx.size(); ++i) x[i] += scale * dx[i];
-    for (std::size_t i = 0; i < n_nodes; ++i)
-      x[i] = std::clamp(x[i], options_.v_min, options_.v_max);
+    const bool residual_ok = worst_residual < options_.residual_tolerance;
+    switch (apply_damped_step(options_, n_nodes, ws.dx, x, it, max_residual,
+                              residual_ok)) {
+      case StepOutcome::Converged: return true;
+      case StepOutcome::Abort: return false;
+      case StepOutcome::Continue: break;
+    }
+  }
+  return false;
+}
 
-    if (options_.progress) {
-      NewtonProgress progress;
-      progress.iteration = it + 1;
-      progress.max_dv = max_dv;
-      progress.max_residual = max_residual;
-      options_.progress(progress);  // may throw (deadline enforcement)
+// Dense fallback kernel (and test oracle): original dense assembly + LU,
+// minus the former per-iteration Jacobian copy (in-place factorization).
+bool DcSolver::newton_dense(std::vector<double>& x, double gmin,
+                            NewtonStats* stats) const {
+  Matrix jacobian(assembler_.dimension(), assembler_.dimension());
+  std::vector<double> residual;
+  const std::size_t n_nodes = netlist_.node_count() - 1;
+
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    assembler_.assemble(x, jacobian, residual, gmin);
+
+    if (SolverObserver* observer = solver_observer()) {
+      DenseJacobianView view(jacobian);
+      NewtonEvent event;
+      event.iteration = it;
+      event.gmin = gmin;
+      event.jacobian = &view;
+      event.residual = &residual;
+      observer->on_newton_iteration(event);
     }
 
-    // Converged when the full (unscaled) Newton step is tiny — at that point
-    // the residual is quadratically small as well.
-    if (max_dv < options_.v_tolerance) return true;
+    double max_residual = 0.0;
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      max_residual = std::max(max_residual, std::fabs(residual[i]));
+    if (stats) {
+      stats->iterations = it + 1;
+      stats->max_residual = max_residual;
+    }
+
+    if (!all_finite(residual)) return false;
+
+    // Solve J * dx = -F, factoring the Jacobian in place (it is rebuilt by
+    // the next assemble anyway).
+    std::vector<double> rhs(residual.size());
+    for (std::size_t i = 0; i < residual.size(); ++i) rhs[i] = -residual[i];
+    std::vector<double> dx;
+    try {
+      dx = solve_linear_system_in_place(jacobian, rhs);
+    } catch (const ConvergenceError&) {
+      return false;  // singular system at this point; let caller escalate
+    }
+
+    switch (apply_damped_step(options_, n_nodes, dx, x, it, max_residual,
+                              /*residual_converged=*/false)) {
+      case StepOutcome::Converged: return true;
+      case StepOutcome::Abort: return false;
+      case StepOutcome::Continue: break;
+    }
   }
   return false;
 }
 
 ResidualReport DcSolver::residual_report(const std::vector<double>& x) const {
-  Matrix jacobian(assembler_.dimension(), assembler_.dimension());
   std::vector<double> residual;
-  assembler_.assemble(x, jacobian, residual, options_.gmin);
+  assembler_.assemble_residual(x, residual, options_.gmin);
 
   ResidualReport report;
   std::size_t worst_row = 0;
@@ -140,18 +282,30 @@ DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
   }
 
   DcResult result;
+  // Newton iterations summed across every attempt, successful or not. Each
+  // newton() call's stats are folded in exactly once, immediately after the
+  // call — the pre-fix code overwrote `stats` across the gmin ladder and
+  // source ramp and only added the last attempt, so the ConvergenceError
+  // message and DcResult::total_iterations under-counted the real work.
   int total_iterations = 0;
-
-  // Strategy 1: plain Newton from the given guess.
   NewtonStats stats;
-  if (newton(x, options_.gmin, &stats)) {
+  const auto attempt = [&](DcSolver const& solver, std::vector<double>& xv,
+                           double g) {
+    const bool ok = solver.newton(xv, g, &stats);
+    total_iterations += stats.iterations;
+    return ok;
+  };
+  const auto finish = [&](std::vector<double>&& xv) {
     result.converged = true;
     result.iterations = stats.iterations;
-    result.x = std::move(x);
+    result.total_iterations = total_iterations;
+    result.x = std::move(xv);
     result.node_v = assembler_.node_voltages(result.x);
     return result;
-  }
-  total_iterations += stats.iterations;
+  };
+
+  // Strategy 1: plain Newton from the given guess.
+  if (attempt(*this, x, options_.gmin)) return finish(std::move(x));
   std::vector<double> best = x;  // best-effort estimate for diagnostics
 
   // Strategy 2: gmin stepping — start heavily damped toward ground and relax.
@@ -159,20 +313,12 @@ DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
     std::vector<double> xg(assembler_.dimension(), 0.0);
     bool ok = true;
     for (double g = 1e-3; g >= options_.gmin; g *= 0.1) {
-      if (!newton(xg, g, &stats)) {
+      if (!attempt(*this, xg, g)) {
         ok = false;
         break;
       }
     }
-    total_iterations += stats.iterations;
-    if (ok && newton(xg, options_.gmin, &stats)) {
-      result.converged = true;
-      result.iterations = stats.iterations;
-      result.x = std::move(xg);
-      result.node_v = assembler_.node_voltages(result.x);
-      return result;
-    }
-    total_iterations += ok ? stats.iterations : 0;
+    if (ok && attempt(*this, xg, options_.gmin)) return finish(std::move(xg));
   }
 
   // Strategy 3: source stepping — ramp all sources from zero.
@@ -198,20 +344,12 @@ DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
         mutable_netlist.set_source_voltage(id, volts * scale);
       for (const auto& [id, amps] : isources)
         mutable_netlist.set_source_current(id, amps * scale);
-      if (!newton(xs, options_.gmin, &stats)) {
+      if (!attempt(*this, xs, options_.gmin)) {
         ok = false;
         break;
       }
     }
-    total_iterations += stats.iterations;
-
-    if (ok) {
-      result.converged = true;
-      result.iterations = stats.iterations;
-      result.x = std::move(xs);
-      result.node_v = assembler_.node_voltages(result.x);
-      return result;
-    }
+    if (ok) return finish(std::move(xs));
   }
 
   // Strategy 4: heavily damped Newton — slow but settles limit cycles caused
@@ -227,14 +365,7 @@ DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
     DcSolver damped_solver(netlist_, assembler_.temperature(), damped);
     std::vector<double> xd(assembler_.dimension(), 0.0);
     if (initial_guess) xd = *initial_guess;
-    if (damped_solver.newton(xd, options_.gmin, &stats)) {
-      result.converged = true;
-      result.iterations = stats.iterations;
-      result.x = std::move(xd);
-      result.node_v = assembler_.node_voltages(result.x);
-      return result;
-    }
-    total_iterations += stats.iterations;
+    if (attempt(damped_solver, xd, options_.gmin)) return finish(std::move(xd));
     best = std::move(xd);
   }
 

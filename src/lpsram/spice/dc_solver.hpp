@@ -21,6 +21,35 @@ struct NewtonProgress {
   double max_residual = 0.0;  // largest |KCL residual| at entry [A]
 };
 
+// Which linear-solve kernel Newton runs on. `Sparse` is the structure-aware
+// CSR path (symbolic stamp plan + reusable sparse LU, zero allocations per
+// iteration); `Dense` is the original dense-LU path, kept as the fallback
+// and as the cross-check oracle in tests. `Auto` defers to the process-wide
+// default (see default_linear_solver), which starts as Sparse.
+enum class LinearSolverKind { Auto, Sparse, Dense };
+
+// Process-wide default used when DcOptions::linear_solver is Auto. Atomic:
+// safe to flip while sweeps run (each Newton attempt reads it once).
+LinearSolverKind default_linear_solver() noexcept;
+// Sets the process default; Auto is normalized to Sparse. Returns previous.
+LinearSolverKind set_default_linear_solver(LinearSolverKind kind) noexcept;
+
+// RAII override of the process default — how tests and benches flip the
+// whole stack (regulator, DRV, march flows) onto one kernel without
+// threading an option through every call site.
+class ScopedLinearSolverDefault {
+ public:
+  explicit ScopedLinearSolverDefault(LinearSolverKind kind)
+      : previous_(set_default_linear_solver(kind)) {}
+  ~ScopedLinearSolverDefault() { set_default_linear_solver(previous_); }
+
+  ScopedLinearSolverDefault(const ScopedLinearSolverDefault&) = delete;
+  ScopedLinearSolverDefault& operator=(const ScopedLinearSolverDefault&) = delete;
+
+ private:
+  LinearSolverKind previous_;
+};
+
 struct DcOptions {
   int max_iterations = 150;
   double v_tolerance = 1e-9;       // convergence: max |delta V| [V]
@@ -37,11 +66,38 @@ struct DcOptions {
   // Invoked once per Newton iteration; may throw to abort the solve (the
   // exception propagates out of solve()).
   std::function<void(const NewtonProgress&)> progress;
+  // Linear-solve kernel; Auto follows the process-wide default (Sparse).
+  LinearSolverKind linear_solver = LinearSolverKind::Auto;
+  // Optional long-lived workspace for the sparse kernel (non-owning; may be
+  // null). A caller that solves the same netlist repeatedly — e.g. a
+  // VoltageRegulator across a defect/PVT sweep — passes its own workspace so
+  // the symbolic work (stamp-plan binding, the sparse LU's pivot order and
+  // fill pattern) is amortized across solves instead of being redone by
+  // every DcSolver. The workspace must outlive every solver using it and is
+  // bound by the same single-thread contract as the solver itself.
+  NewtonWorkspace* shared_workspace = nullptr;
 };
+
+// Newton-step size below which the sparse kernel adds one step of iterative
+// refinement to its linear solve. The plain solve runs first; only when the
+// resulting |dx| is already this small is Newton in its endgame, where
+// factor rounding noise on ill-conditioned MNA systems (kappa ~ 1e12)
+// competes with v_tolerance and refinement buys the digits back. Gating on
+// the computed step rather than on the residual keeps refinement off the
+// step-limited opening iterations (where dx only needs a direction) and off
+// mid-solve residual dips that still take large steps. Shared by DcSolver
+// and TransientSolver.
+inline constexpr double kSparseRefineDvThreshold = 1e-5;
 
 struct DcResult {
   bool converged = false;
   int iterations = 0;        // Newton iterations of the final (successful) solve
+  // Newton iterations summed over *every* attempt of the solve, including
+  // failed strategies (plain Newton, each gmin-stepping rung, each
+  // source-stepping ramp point, damped fallback). This is what telemetry
+  // and cost accounting should use; `iterations` only describes the attempt
+  // that produced `x`.
+  int total_iterations = 0;
   std::vector<double> x;     // raw unknown vector (see SystemAssembler layout)
   std::vector<double> node_v;  // per-node voltages including ground
 };
@@ -82,11 +138,22 @@ class DcSolver {
   };
 
   // One Newton solve at fixed gmin and source scale; returns converged flag.
+  // Dispatches to the sparse or dense kernel per options/process default.
   bool newton(std::vector<double>& x, double gmin, NewtonStats* stats) const;
+  bool newton_sparse(std::vector<double>& x, double gmin,
+                     NewtonStats* stats) const;
+  bool newton_dense(std::vector<double>& x, double gmin,
+                    NewtonStats* stats) const;
+  LinearSolverKind resolved_solver() const noexcept;
 
   const Netlist& netlist_;
   SystemAssembler assembler_;
   DcOptions options_;
+  // Per-solver scratch for the sparse path: CSR values, frozen linear base,
+  // residual/rhs/dx and the analyze-once sparse LU. Mutable because solve()
+  // is const; a DcSolver is single-threaded by contract (parallel sweeps
+  // construct one solver per task), so this is not a race.
+  mutable NewtonWorkspace ws_;
 };
 
 // Convenience one-shot solve.

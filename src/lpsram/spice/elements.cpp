@@ -1,5 +1,7 @@
 #include "lpsram/spice/elements.hpp"
 
+#include <algorithm>
+
 #include "lpsram/util/error.hpp"
 
 namespace lpsram {
@@ -144,6 +146,191 @@ void SystemAssembler::assemble(const std::vector<double>& x, Matrix& jacobian,
       jacobian(u, u) += gmin;
     }
   }
+}
+
+const std::shared_ptr<const StampPlan>& SystemAssembler::plan() const {
+  if (!plan_) plan_ = stamp_plan_for(netlist_);
+  return plan_;
+}
+
+namespace {
+
+// Adds `v` into a planned slot; negative slots are ground rows/cols.
+inline void add_slot(std::vector<double>& values, int slot, double v) {
+  if (slot >= 0) values[static_cast<std::size_t>(slot)] += v;
+}
+
+inline double x_at(const std::vector<double>& x, int u) {
+  return u < 0 ? 0.0 : x[static_cast<std::size_t>(u)];
+}
+
+}  // namespace
+
+void SystemAssembler::assemble_sparse(const std::vector<double>& x,
+                                      double gmin, NewtonWorkspace& ws,
+                                      const std::vector<double>* x_prev,
+                                      double dt) const {
+  if (x.size() != dim_)
+    throw InvalidArgument("SystemAssembler: solution vector size mismatch");
+  ws.bind(plan());
+  const StampPlan& p = *ws.plan;
+
+  // --- linear base: refreeze when the (values, gmin) epoch moved ----------
+  // Keyed on the O(1) mutation stamp, not state_signature(): hashing every
+  // element value per Newton iteration would cost more than the restamp it
+  // is trying to avoid.
+  const std::uint64_t sig = netlist_.version();
+  if (!ws.base_valid || ws.base_version != sig || ws.base_gmin != gmin) {
+    std::fill(ws.base_values.begin(), ws.base_values.end(), 0.0);
+    std::fill(ws.base_rhs.begin(), ws.base_rhs.end(), 0.0);
+
+    for (const ResistorStamp& s : p.resistors) {
+      const auto& r = std::get<Resistor>(netlist_.element(s.el).body);
+      const double g = 1.0 / r.ohms;
+      add_slot(ws.base_values, s.saa, g);
+      add_slot(ws.base_values, s.sab, -g);
+      add_slot(ws.base_values, s.sba, -g);
+      add_slot(ws.base_values, s.sbb, g);
+    }
+    for (const VSourceStamp& s : p.vsources) {
+      const auto& v = std::get<VSource>(netlist_.element(s.el).body);
+      add_slot(ws.base_values, s.s_p_br, 1.0);
+      add_slot(ws.base_values, s.s_br_p, 1.0);
+      add_slot(ws.base_values, s.s_n_br, -1.0);
+      add_slot(ws.base_values, s.s_br_n, -1.0);
+      ws.base_rhs[static_cast<std::size_t>(s.branch_row)] -= v.volts;
+    }
+    for (const ISourceStamp& s : p.isources) {
+      const auto& i = std::get<ISource>(netlist_.element(s.el).body);
+      if (s.uf >= 0) ws.base_rhs[static_cast<std::size_t>(s.uf)] += i.amps;
+      if (s.ut >= 0) ws.base_rhs[static_cast<std::size_t>(s.ut)] -= i.amps;
+    }
+    if (gmin > 0.0)
+      for (std::size_t u = 0; u < p.n_nodes; ++u)
+        ws.base_values[static_cast<std::size_t>(p.gmin_slots[u])] += gmin;
+
+    ws.base_version = sig;
+    ws.base_gmin = gmin;
+    ws.base_valid = true;
+  }
+
+  // --- per-iteration: reload base, linear residual = A_base x + base_rhs --
+  // (single fused pass over the pattern; see SparseMatrix::load_multiply_add)
+  std::vector<double>& values = ws.jacobian.values();
+  ws.jacobian.load_multiply_add(ws.base_values, x, ws.base_rhs, ws.residual);
+
+  // --- restamp nonlinear devices only -------------------------------------
+  const std::vector<Element>& elements = netlist_.elements();
+  for (const MosStamp& s : p.mosfets) {
+    const auto& m =
+        *std::get_if<MosElement>(&elements[static_cast<std::size_t>(s.el)].body);
+    const MosEval e = m.device.eval(x_at(x, s.ug), x_at(x, s.ud),
+                                    x_at(x, s.us), temp_c_);
+    if (s.ud >= 0) ws.residual[static_cast<std::size_t>(s.ud)] += e.id;
+    if (s.us >= 0) ws.residual[static_cast<std::size_t>(s.us)] -= e.id;
+    add_slot(values, s.s_dg, e.gm);
+    add_slot(values, s.s_dd, e.gds);
+    add_slot(values, s.s_ds, e.gms);
+    add_slot(values, s.s_sg, -e.gm);
+    add_slot(values, s.s_sd, -e.gds);
+    add_slot(values, s.s_ss, -e.gms);
+  }
+  for (const LoadStamp& s : p.loads) {
+    const auto& load =
+        *std::get_if<CurrentLoad>(&elements[static_cast<std::size_t>(s.el)].body);
+    const auto [i, didv] = load.iv(x_at(x, s.u), temp_c_);
+    if (s.u >= 0) ws.residual[static_cast<std::size_t>(s.u)] += i;
+    add_slot(values, s.slot, didv);
+  }
+  if (dt > 0.0) {
+    if (!x_prev)
+      throw InvalidArgument("SystemAssembler: transient needs x_prev");
+    for (const CapacitorStamp& s : p.capacitors) {
+      const auto& c =
+          *std::get_if<Capacitor>(&elements[static_cast<std::size_t>(s.el)].body);
+      if (c.farads <= 0.0) continue;
+      const double g = c.farads / dt;
+      const double vab = x_at(x, s.ua) - x_at(x, s.ub);
+      const double vab_prev = x_at(*x_prev, s.ua) - x_at(*x_prev, s.ub);
+      const double i = g * (vab - vab_prev);
+      if (s.ua >= 0) ws.residual[static_cast<std::size_t>(s.ua)] += i;
+      if (s.ub >= 0) ws.residual[static_cast<std::size_t>(s.ub)] -= i;
+      add_slot(values, s.saa, g);
+      add_slot(values, s.sab, -g);
+      add_slot(values, s.sba, -g);
+      add_slot(values, s.sbb, g);
+    }
+  }
+}
+
+void SystemAssembler::assemble_residual(const std::vector<double>& x,
+                                        std::vector<double>& residual,
+                                        double gmin,
+                                        const std::vector<double>* x_prev,
+                                        double dt) const {
+  if (x.size() != dim_)
+    throw InvalidArgument("SystemAssembler: solution vector size mismatch");
+  residual.assign(dim_, 0.0);
+
+  auto res_node = [&](NodeId node, double value) {
+    const int u = unknown_of_node(node);
+    if (u >= 0) residual[static_cast<std::size_t>(u)] += value;
+  };
+  auto v_of = [&](NodeId node) { return node_voltage(x, node); };
+
+  for (std::size_t ei = 0; ei < netlist_.element_count(); ++ei) {
+    const Element& el = netlist_.element(static_cast<ElementId>(ei));
+
+    if (const auto* r = std::get_if<Resistor>(&el.body)) {
+      // Same arithmetic as assemble() (g = 1/R, then g * dv) so the two
+      // residuals agree bit-for-bit, not merely to rounding.
+      const double g = 1.0 / r->ohms;
+      const double i = g * (v_of(r->a) - v_of(r->b));
+      res_node(r->a, i);
+      res_node(r->b, -i);
+
+    } else if (const auto* c = std::get_if<Capacitor>(&el.body)) {
+      if (dt > 0.0 && c->farads > 0.0) {
+        if (!x_prev)
+          throw InvalidArgument("SystemAssembler: transient needs x_prev");
+        const int ua = unknown_of_node(c->a);
+        const int ub = unknown_of_node(c->b);
+        const double g = c->farads / dt;
+        const double vab = v_of(c->a) - v_of(c->b);
+        const double vab_prev = x_at(*x_prev, ua) - x_at(*x_prev, ub);
+        const double i = g * (vab - vab_prev);
+        res_node(c->a, i);
+        res_node(c->b, -i);
+      }
+
+    } else if (const auto* v = std::get_if<VSource>(&el.body)) {
+      const std::size_t branch_row =
+          n_nodes_ + static_cast<std::size_t>(
+                         netlist_.vsource_branch(static_cast<ElementId>(ei)));
+      const double i_branch = x[branch_row];
+      res_node(v->pos, i_branch);
+      res_node(v->neg, -i_branch);
+      residual[branch_row] += v_of(v->pos) - v_of(v->neg) - v->volts;
+
+    } else if (const auto* isrc = std::get_if<ISource>(&el.body)) {
+      res_node(isrc->from, isrc->amps);
+      res_node(isrc->to, -isrc->amps);
+
+    } else if (const auto* m = std::get_if<MosElement>(&el.body)) {
+      const MosEval e =
+          m->device.eval(v_of(m->g), v_of(m->d), v_of(m->s), temp_c_);
+      res_node(m->d, e.id);
+      res_node(m->s, -e.id);
+
+    } else if (const auto* load = std::get_if<CurrentLoad>(&el.body)) {
+      const auto [i, didv] = load->iv(v_of(load->node), temp_c_);
+      (void)didv;
+      res_node(load->node, i);
+    }
+  }
+
+  if (gmin > 0.0)
+    for (std::size_t u = 0; u < n_nodes_; ++u) residual[u] += gmin * x[u];
 }
 
 }  // namespace lpsram

@@ -8,9 +8,11 @@
 // voltage-source branch rows.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "lpsram/spice/netlist.hpp"
+#include "lpsram/spice/stamp_plan.hpp"
 #include "lpsram/util/matrix.hpp"
 
 namespace lpsram {
@@ -39,6 +41,32 @@ class SystemAssembler {
                 const std::vector<double>* x_prev = nullptr,
                 double dt = 0.0) const;
 
+  // Sparse structure-aware assembly into a NewtonWorkspace (see
+  // stamp_plan.hpp). Binds the workspace to this topology's stamp plan on
+  // first use; freezes the linear stamps (resistors, sources, gmin) into the
+  // workspace base whenever the (netlist values, gmin) epoch changes; then
+  // per call copies the base and restamps only nonlinear devices — MOSFETs,
+  // current loads, and capacitors when dt > 0. After the call, ws.jacobian
+  // and ws.residual hold the same system assemble() would produce (up to
+  // floating-point addition order). Allocation-free once ws is bound and the
+  // base is frozen.
+  void assemble_sparse(const std::vector<double>& x, double gmin,
+                       NewtonWorkspace& ws,
+                       const std::vector<double>* x_prev = nullptr,
+                       double dt = 0.0) const;
+
+  // Residual-only evaluation: same values as the residual produced by
+  // assemble(), with no Jacobian work at all. Used by convergence
+  // diagnostics (DcSolver::residual_report).
+  void assemble_residual(const std::vector<double>& x,
+                         std::vector<double>& residual, double gmin,
+                         const std::vector<double>* x_prev = nullptr,
+                         double dt = 0.0) const;
+
+  // This topology's symbolic stamp plan (built lazily, shared process-wide
+  // across assemblers of identical topology).
+  const std::shared_ptr<const StampPlan>& plan() const;
+
   // Node voltage from a solution vector (ground reads as 0).
   double node_voltage(const std::vector<double>& x, NodeId node) const;
 
@@ -60,6 +88,8 @@ class SystemAssembler {
   double temp_c_;
   std::size_t n_nodes_;  // excluding ground
   std::size_t dim_;
+  // Lazily fetched stamp plan (assemble_sparse / plan()).
+  mutable std::shared_ptr<const StampPlan> plan_;
 };
 
 }  // namespace lpsram

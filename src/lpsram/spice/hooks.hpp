@@ -28,15 +28,55 @@
 #include <vector>
 
 #include "lpsram/util/matrix.hpp"
+#include "lpsram/util/sparse.hpp"
 
 namespace lpsram {
+
+// Representation-independent handle to the live Jacobian of a Newton
+// iteration. Observers (chaos fault injection, TSan-exercised telemetry)
+// mutate the system through this view so they behave identically whether the
+// solver assembled a dense Matrix or the sparse CSR workspace — no dense
+// copy is ever materialized for the hook's benefit. Mutations a view cannot
+// express on a sparse pattern (writes to structurally absent entries) are
+// deliberately not offered: fault injection targets what the solver will
+// actually factor.
+class JacobianView {
+ public:
+  virtual ~JacobianView() = default;
+  virtual std::size_t dimension() const noexcept = 0;
+  // Makes row r numerically zero (a structurally singular system for the
+  // factorization that follows).
+  virtual void zero_row(std::size_t r) noexcept = 0;
+};
+
+class DenseJacobianView final : public JacobianView {
+ public:
+  explicit DenseJacobianView(Matrix& m) noexcept : m_(&m) {}
+  std::size_t dimension() const noexcept override { return m_->rows(); }
+  void zero_row(std::size_t r) noexcept override {
+    for (std::size_t c = 0; c < m_->cols(); ++c) (*m_)(r, c) = 0.0;
+  }
+
+ private:
+  Matrix* m_;
+};
+
+class SparseJacobianView final : public JacobianView {
+ public:
+  explicit SparseJacobianView(SparseMatrix& m) noexcept : m_(&m) {}
+  std::size_t dimension() const noexcept override { return m_->dimension(); }
+  void zero_row(std::size_t r) noexcept override { m_->zero_row(r); }
+
+ private:
+  SparseMatrix* m_;
+};
 
 // One Newton iteration, observed after system assembly and before the linear
 // solve. `jacobian` and `residual` are live and mutable.
 struct NewtonEvent {
   int iteration = 0;  // 0-based within the current Newton attempt
   double gmin = 0.0;  // gmin in force for this attempt
-  Matrix* jacobian = nullptr;
+  JacobianView* jacobian = nullptr;
   std::vector<double>* residual = nullptr;
 };
 

@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <utility>
 
+#include <atomic>
+
 #include "lpsram/util/error.hpp"
 
 namespace lpsram {
+namespace {
+
+// Process-wide monotonic stamp source: every mutation of any netlist draws a
+// unique value, so equal version() stamps imply identical electrical state
+// even across copies (a copy keeps its source's stamp — and its values —
+// until its own first mutation).
+std::atomic<std::uint64_t> g_netlist_version{0};
+
+}  // namespace
+
+void Netlist::touch() noexcept {
+  version_ = g_netlist_version.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 Netlist::Netlist() { node_names_.push_back("0"); }
 
@@ -45,6 +60,7 @@ ElementId Netlist::add_resistor(const std::string& name, NodeId a, NodeId b,
   if (!(ohms > 0.0)) throw InvalidArgument("Netlist: resistance must be > 0");
   elements_.push_back({name, Resistor{a, b, ohms}});
   vsource_branches_.push_back(-1);
+  touch();
   return static_cast<ElementId>(elements_.size() - 1);
 }
 
@@ -56,6 +72,7 @@ ElementId Netlist::add_capacitor(const std::string& name, NodeId a, NodeId b,
     throw InvalidArgument("Netlist: capacitance must be >= 0");
   elements_.push_back({name, Capacitor{a, b, farads}});
   vsource_branches_.push_back(-1);
+  touch();
   return static_cast<ElementId>(elements_.size() - 1);
 }
 
@@ -65,6 +82,7 @@ ElementId Netlist::add_vsource(const std::string& name, NodeId pos, NodeId neg,
   check_node(neg);
   elements_.push_back({name, VSource{pos, neg, volts}});
   vsource_branches_.push_back(static_cast<int>(vsource_count_++));
+  touch();
   return static_cast<ElementId>(elements_.size() - 1);
 }
 
@@ -74,6 +92,7 @@ ElementId Netlist::add_isource(const std::string& name, NodeId from, NodeId to,
   check_node(to);
   elements_.push_back({name, ISource{from, to, amps}});
   vsource_branches_.push_back(-1);
+  touch();
   return static_cast<ElementId>(elements_.size() - 1);
 }
 
@@ -87,6 +106,7 @@ ElementId Netlist::add_mosfet(const std::string& name,
   if (named.name.empty()) named.name = name;
   elements_.push_back({name, MosElement{Mosfet{named}, g, d, s}});
   vsource_branches_.push_back(-1);
+  touch();
   return static_cast<ElementId>(elements_.size() - 1);
 }
 
@@ -96,6 +116,7 @@ ElementId Netlist::add_current_load(const std::string& name, NodeId node,
   if (!iv) throw InvalidArgument("Netlist: null current-load function");
   elements_.push_back({name, CurrentLoad{node, std::move(iv)}});
   vsource_branches_.push_back(-1);
+  touch();
   return static_cast<ElementId>(elements_.size() - 1);
 }
 
@@ -106,6 +127,7 @@ const Element& Netlist::element(ElementId id) const {
 }
 
 Element& Netlist::element(ElementId id) {
+  touch();  // a mutable reference escapes: assume the caller writes through it
   return const_cast<Element&>(std::as_const(*this).element(id));
 }
 
@@ -134,6 +156,7 @@ void Netlist::set_resistance(ElementId id, double ohms) {
   if (!r) throw InvalidArgument("Netlist: element is not a resistor");
   if (!(ohms > 0.0)) throw InvalidArgument("Netlist: resistance must be > 0");
   r->ohms = ohms;
+  touch();
 }
 
 double Netlist::source_voltage(ElementId id) const {
@@ -146,17 +169,20 @@ void Netlist::set_source_voltage(ElementId id, double volts) {
   auto* v = std::get_if<VSource>(&element(id).body);
   if (!v) throw InvalidArgument("Netlist: element is not a voltage source");
   v->volts = volts;
+  touch();
 }
 
 void Netlist::set_source_current(ElementId id, double amps) {
   auto* i = std::get_if<ISource>(&element(id).body);
   if (!i) throw InvalidArgument("Netlist: element is not a current source");
   i->amps = amps;
+  touch();
 }
 
 MosfetParams& Netlist::mosfet_params(ElementId id) {
   auto* m = std::get_if<MosElement>(&element(id).body);
   if (!m) throw InvalidArgument("Netlist: element is not a MOSFET");
+  touch();  // mutable parameter reference escapes (corner application etc.)
   return m->device.params();
 }
 

@@ -143,13 +143,25 @@ class Netlist {
   // state must fold that state into the key themselves.
   std::uint64_t state_signature(ElementId exclude = -1) const noexcept;
 
+  // Monotonic mutation stamp, drawn from a process-wide counter: every
+  // mutation (element creation, value change, or handing out a mutable
+  // element/parameter reference) assigns a globally fresh value. Equal
+  // stamps therefore guarantee identical electrical state — copies share
+  // the stamp of their source until first mutation — which is what the
+  // sparse assembler's frozen-base epoch check keys on. O(1), unlike
+  // state_signature(), so it is safe to read every Newton iteration.
+  std::uint64_t version() const noexcept { return version_; }
+
  private:
   void check_node(NodeId id) const;
+  // Assigns a fresh process-unique version stamp; called by every mutator.
+  void touch() noexcept;
 
   std::vector<std::string> node_names_;
   std::vector<Element> elements_;
   std::vector<int> vsource_branches_;  // per element; -1 if not a VSource
   std::size_t vsource_count_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace lpsram

@@ -1,0 +1,297 @@
+#include "lpsram/spice/stamp_plan.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+// Appends `v` to the descriptor and folds it into the running FNV-1a hash.
+void fold(std::vector<std::int64_t>& descriptor, std::uint64_t& hash,
+          std::int64_t v) {
+  descriptor.push_back(v);
+  hash ^= static_cast<std::uint64_t>(v);
+  hash *= 0x100000001b3ULL;
+}
+
+// Full structural identity of a netlist: node/vsource counts plus every
+// element's variant index and terminal nodes, in element order. Element
+// *values* are deliberately absent — the plan is purely topological.
+std::pair<std::uint64_t, std::vector<std::int64_t>> topology_of(
+    const Netlist& netlist) {
+  std::vector<std::int64_t> d;
+  d.reserve(2 + netlist.element_count() * 4);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  fold(d, h, static_cast<std::int64_t>(netlist.node_count()));
+  fold(d, h, static_cast<std::int64_t>(netlist.vsource_count()));
+  for (std::size_t ei = 0; ei < netlist.element_count(); ++ei) {
+    const Element& el = netlist.element(static_cast<ElementId>(ei));
+    fold(d, h, static_cast<std::int64_t>(el.body.index()));
+    if (const auto* r = std::get_if<Resistor>(&el.body)) {
+      fold(d, h, r->a);
+      fold(d, h, r->b);
+    } else if (const auto* c = std::get_if<Capacitor>(&el.body)) {
+      fold(d, h, c->a);
+      fold(d, h, c->b);
+    } else if (const auto* v = std::get_if<VSource>(&el.body)) {
+      fold(d, h, v->pos);
+      fold(d, h, v->neg);
+      fold(d, h, netlist.vsource_branch(static_cast<ElementId>(ei)));
+    } else if (const auto* i = std::get_if<ISource>(&el.body)) {
+      fold(d, h, i->from);
+      fold(d, h, i->to);
+    } else if (const auto* m = std::get_if<MosElement>(&el.body)) {
+      fold(d, h, m->g);
+      fold(d, h, m->d);
+      fold(d, h, m->s);
+    } else if (const auto* l = std::get_if<CurrentLoad>(&el.body)) {
+      fold(d, h, l->node);
+    }
+  }
+  return {h, std::move(d)};
+}
+
+int unknown_of(NodeId node) noexcept {
+  return node == kGround ? -1 : node - 1;
+}
+
+// Pattern under construction: per-row column lists, deduplicated at the end.
+struct PatternBuilder {
+  explicit PatternBuilder(std::size_t dim) : rows(dim) {}
+
+  void add(int r, int c) {
+    if (r >= 0 && c >= 0) rows[static_cast<std::size_t>(r)].push_back(c);
+  }
+
+  void finalize(StampPlan& plan) {
+    plan.row_ptr.assign(rows.size() + 1, 0);
+    plan.cols.clear();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      plan.row_ptr[r] = static_cast<int>(plan.cols.size());
+      auto& row = rows[r];
+      std::sort(row.begin(), row.end());
+      row.erase(std::unique(row.begin(), row.end()), row.end());
+      plan.cols.insert(plan.cols.end(), row.begin(), row.end());
+    }
+    plan.row_ptr[rows.size()] = static_cast<int>(plan.cols.size());
+  }
+
+  std::vector<std::vector<int>> rows;
+};
+
+// Flat slot of (r, c) in the finalized pattern; -1 when r or c is ground.
+int slot_of(const StampPlan& plan, int r, int c) {
+  if (r < 0 || c < 0) return -1;
+  const auto begin = plan.cols.begin() + plan.row_ptr[static_cast<std::size_t>(r)];
+  const auto end = plan.cols.begin() + plan.row_ptr[static_cast<std::size_t>(r) + 1];
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c)
+    throw InvalidArgument("StampPlan: slot missing from own pattern");
+  return static_cast<int>(it - plan.cols.begin());
+}
+
+std::shared_ptr<const StampPlan> build_plan(const Netlist& netlist,
+                                            std::uint64_t signature,
+                                            std::vector<std::int64_t> descriptor) {
+  auto plan = std::make_shared<StampPlan>();
+  plan->n_nodes = netlist.node_count() - 1;
+  plan->dim = plan->n_nodes + netlist.vsource_count();
+  plan->topology_signature = signature;
+  plan->topology_descriptor = std::move(descriptor);
+
+  // Pass 1: collect the structural footprint of every element, plus the
+  // node-row diagonal so gmin always has a slot.
+  PatternBuilder pattern(plan->dim);
+  for (std::size_t u = 0; u < plan->n_nodes; ++u)
+    pattern.add(static_cast<int>(u), static_cast<int>(u));
+
+  for (std::size_t ei = 0; ei < netlist.element_count(); ++ei) {
+    const Element& el = netlist.element(static_cast<ElementId>(ei));
+    if (const auto* r = std::get_if<Resistor>(&el.body)) {
+      const int ua = unknown_of(r->a), ub = unknown_of(r->b);
+      pattern.add(ua, ua);
+      pattern.add(ua, ub);
+      pattern.add(ub, ua);
+      pattern.add(ub, ub);
+    } else if (const auto* c = std::get_if<Capacitor>(&el.body)) {
+      const int ua = unknown_of(c->a), ub = unknown_of(c->b);
+      pattern.add(ua, ua);
+      pattern.add(ua, ub);
+      pattern.add(ub, ua);
+      pattern.add(ub, ub);
+    } else if (const auto* v = std::get_if<VSource>(&el.body)) {
+      const int up = unknown_of(v->pos), un = unknown_of(v->neg);
+      const int br = static_cast<int>(plan->n_nodes) +
+                     netlist.vsource_branch(static_cast<ElementId>(ei));
+      pattern.add(up, br);
+      pattern.add(br, up);
+      pattern.add(un, br);
+      pattern.add(br, un);
+    } else if (const auto* m = std::get_if<MosElement>(&el.body)) {
+      const int ug = unknown_of(m->g), ud = unknown_of(m->d),
+                us = unknown_of(m->s);
+      pattern.add(ud, ug);
+      pattern.add(ud, ud);
+      pattern.add(ud, us);
+      pattern.add(us, ug);
+      pattern.add(us, ud);
+      pattern.add(us, us);
+    } else if (const auto* l = std::get_if<CurrentLoad>(&el.body)) {
+      const int u = unknown_of(l->node);
+      pattern.add(u, u);
+    }
+    // ISource: residual-only, no Jacobian footprint.
+  }
+  pattern.finalize(*plan);
+
+  // Pass 2: resolve every element's slots against the finalized pattern.
+  plan->gmin_slots.resize(plan->n_nodes);
+  for (std::size_t u = 0; u < plan->n_nodes; ++u)
+    plan->gmin_slots[u] =
+        slot_of(*plan, static_cast<int>(u), static_cast<int>(u));
+
+  for (std::size_t ei = 0; ei < netlist.element_count(); ++ei) {
+    const Element& el = netlist.element(static_cast<ElementId>(ei));
+    const ElementId id = static_cast<ElementId>(ei);
+    if (const auto* r = std::get_if<Resistor>(&el.body)) {
+      ResistorStamp s;
+      s.el = id;
+      s.ua = unknown_of(r->a);
+      s.ub = unknown_of(r->b);
+      if (s.ua >= 0) s.saa = slot_of(*plan, s.ua, s.ua);
+      if (s.ua >= 0 && s.ub >= 0) {
+        s.sab = slot_of(*plan, s.ua, s.ub);
+        s.sba = slot_of(*plan, s.ub, s.ua);
+      }
+      if (s.ub >= 0) s.sbb = slot_of(*plan, s.ub, s.ub);
+      plan->resistors.push_back(s);
+    } else if (const auto* c = std::get_if<Capacitor>(&el.body)) {
+      CapacitorStamp s;
+      s.el = id;
+      s.ua = unknown_of(c->a);
+      s.ub = unknown_of(c->b);
+      if (s.ua >= 0) s.saa = slot_of(*plan, s.ua, s.ua);
+      if (s.ua >= 0 && s.ub >= 0) {
+        s.sab = slot_of(*plan, s.ua, s.ub);
+        s.sba = slot_of(*plan, s.ub, s.ua);
+      }
+      if (s.ub >= 0) s.sbb = slot_of(*plan, s.ub, s.ub);
+      plan->capacitors.push_back(s);
+    } else if (const auto* v = std::get_if<VSource>(&el.body)) {
+      VSourceStamp s;
+      s.el = id;
+      s.up = unknown_of(v->pos);
+      s.un = unknown_of(v->neg);
+      s.branch_row =
+          static_cast<int>(plan->n_nodes) + netlist.vsource_branch(id);
+      if (s.up >= 0) {
+        s.s_p_br = slot_of(*plan, s.up, s.branch_row);
+        s.s_br_p = slot_of(*plan, s.branch_row, s.up);
+      }
+      if (s.un >= 0) {
+        s.s_n_br = slot_of(*plan, s.un, s.branch_row);
+        s.s_br_n = slot_of(*plan, s.branch_row, s.un);
+      }
+      plan->vsources.push_back(s);
+    } else if (const auto* i = std::get_if<ISource>(&el.body)) {
+      ISourceStamp s;
+      s.el = id;
+      s.uf = unknown_of(i->from);
+      s.ut = unknown_of(i->to);
+      plan->isources.push_back(s);
+    } else if (const auto* m = std::get_if<MosElement>(&el.body)) {
+      MosStamp s;
+      s.el = id;
+      s.ug = unknown_of(m->g);
+      s.ud = unknown_of(m->d);
+      s.us = unknown_of(m->s);
+      if (s.ud >= 0) {
+        if (s.ug >= 0) s.s_dg = slot_of(*plan, s.ud, s.ug);
+        s.s_dd = slot_of(*plan, s.ud, s.ud);
+        if (s.us >= 0) s.s_ds = slot_of(*plan, s.ud, s.us);
+      }
+      if (s.us >= 0) {
+        if (s.ug >= 0) s.s_sg = slot_of(*plan, s.us, s.ug);
+        if (s.ud >= 0) s.s_sd = slot_of(*plan, s.us, s.ud);
+        s.s_ss = slot_of(*plan, s.us, s.us);
+      }
+      plan->mosfets.push_back(s);
+    } else if (const auto* l = std::get_if<CurrentLoad>(&el.body)) {
+      LoadStamp s;
+      s.el = id;
+      s.u = unknown_of(l->node);
+      if (s.u >= 0) s.slot = slot_of(*plan, s.u, s.u);
+      plan->loads.push_back(s);
+    }
+  }
+  return plan;
+}
+
+// Process-wide plan cache. Keyed by the topology hash; descriptors are
+// compared on hit so a 64-bit collision can never hand back a wrong plan.
+struct PlanCache {
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::shared_ptr<const StampPlan>>>
+      by_signature;
+};
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const StampPlan> stamp_plan_for(const Netlist& netlist) {
+  auto [signature, descriptor] = topology_of(netlist);
+
+  PlanCache& cache = plan_cache();
+  {
+    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const auto it = cache.by_signature.find(signature);
+    if (it != cache.by_signature.end()) {
+      for (const auto& plan : it->second)
+        if (plan->topology_descriptor == descriptor) return plan;
+    }
+  }
+
+  // Build outside the lock (plan construction touches only the netlist);
+  // a racing builder of the same topology just means one redundant build,
+  // first insert wins.
+  auto plan = build_plan(netlist, signature, std::move(descriptor));
+
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  auto& bucket = cache.by_signature[signature];
+  for (const auto& existing : bucket)
+    if (existing->topology_descriptor == plan->topology_descriptor)
+      return existing;
+  bucket.push_back(plan);
+  return plan;
+}
+
+std::size_t stamp_plan_cache_size() noexcept {
+  PlanCache& cache = plan_cache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  std::size_t n = 0;
+  for (const auto& [sig, bucket] : cache.by_signature) n += bucket.size();
+  return n;
+}
+
+void NewtonWorkspace::bind(std::shared_ptr<const StampPlan> p) {
+  if (plan == p) return;
+  plan = std::move(p);
+  jacobian = SparseMatrix(plan->dim, plan->row_ptr, plan->cols);
+  base_values.assign(jacobian.nnz(), 0.0);
+  base_rhs.assign(plan->dim, 0.0);
+  base_valid = false;
+  residual.assign(plan->dim, 0.0);
+  dx.assign(plan->dim, 0.0);
+  rhs.assign(plan->dim, 0.0);
+}
+
+}  // namespace lpsram

@@ -1,0 +1,150 @@
+// Symbolic stamp plans for the sparse MNA solve path.
+//
+// Circuit topology is fixed once a netlist is built, so where every element
+// stamps — which CSR slots its Jacobian entries hit, which residual rows its
+// currents land in — can be computed once and replayed without per-iteration
+// `unknown_of_node` branching or variant re-dispatch. A StampPlan holds that
+// schedule: the Jacobian's CSR pattern plus, per element, the resolved
+// unknown indices and flat slot numbers.
+//
+// Plans are immutable and shared: `stamp_plan_for()` caches them keyed by a
+// topology signature, so the thousands of sweep tasks that all solve the
+// Fig. 5 regulator (32 defects x PVT points x resistance ladder) build the
+// plan once and share one instance across threads.
+//
+// NewtonWorkspace is the per-solver mutable counterpart: the CSR value
+// array, the frozen linear base (see below), residual/rhs/dx vectors and the
+// reusable sparse LU — everything a Newton iteration touches, preallocated
+// so the steady-state iteration performs zero heap allocations. A workspace
+// is owned by exactly one solver and is not thread-safe; parallel sweeps get
+// one per task-owning solver instance.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lpsram/spice/netlist.hpp"
+#include "lpsram/util/sparse.hpp"
+
+namespace lpsram {
+
+// Per-element stamp schedules. Unknown indices (`u*`) are -1 for ground;
+// slot indices (`s*`) are -1 when the corresponding row or column is ground
+// (the stamp helper skips negative slots).
+
+struct ResistorStamp {
+  ElementId el = -1;
+  int ua = -1, ub = -1;                        // unknowns of terminals a, b
+  int saa = -1, sab = -1, sba = -1, sbb = -1;  // slots (a,a) (a,b) (b,a) (b,b)
+};
+
+// Same footprint as a resistor: the backward-Euler companion is a
+// conductance C/dt between the terminals. The capacitance itself is read
+// live from the netlist at stamp time (plans are shared across netlists
+// whose topologies match but whose values differ).
+struct CapacitorStamp {
+  ElementId el = -1;
+  int ua = -1, ub = -1;
+  int saa = -1, sab = -1, sba = -1, sbb = -1;
+};
+
+struct VSourceStamp {
+  ElementId el = -1;
+  int up = -1, un = -1;  // unknowns of pos, neg
+  int branch_row = -1;   // row/col of the branch-current unknown
+  int s_p_br = -1, s_br_p = -1;  // slots (pos,branch) and (branch,pos)
+  int s_n_br = -1, s_br_n = -1;  // slots (neg,branch) and (branch,neg)
+};
+
+struct ISourceStamp {
+  ElementId el = -1;
+  int uf = -1, ut = -1;  // unknowns of from, to
+};
+
+struct MosStamp {
+  ElementId el = -1;
+  int ug = -1, ud = -1, us = -1;  // unknowns of gate, drain, source
+  // Slots for the 2x3 conductance block: rows {d, s} x cols {g, d, s}.
+  int s_dg = -1, s_dd = -1, s_ds = -1;
+  int s_sg = -1, s_sd = -1, s_ss = -1;
+};
+
+struct LoadStamp {
+  ElementId el = -1;
+  int u = -1;     // unknown of the load node
+  int slot = -1;  // diagonal slot (node,node)
+};
+
+struct StampPlan {
+  std::size_t n_nodes = 0;  // non-ground node count
+  std::size_t dim = 0;      // n_nodes + vsource count
+
+  // CSR pattern of the Jacobian (columns ascending within each row). The
+  // pattern is the union of every element's stamp footprint plus the node-row
+  // diagonal (gmin), so it is valid for every operating point on this
+  // topology.
+  std::vector<int> row_ptr;
+  std::vector<int> cols;
+
+  // Diagonal slot of each node row (gmin stamping), index 0..n_nodes-1.
+  std::vector<int> gmin_slots;
+
+  std::vector<ResistorStamp> resistors;
+  std::vector<CapacitorStamp> capacitors;
+  std::vector<VSourceStamp> vsources;
+  std::vector<ISourceStamp> isources;
+  std::vector<MosStamp> mosfets;
+  std::vector<LoadStamp> loads;
+
+  // Hash + full descriptor of the topology this plan was built from. The
+  // descriptor makes cache hits exact (no 64-bit collision risk).
+  std::uint64_t topology_signature = 0;
+  std::vector<std::int64_t> topology_descriptor;
+};
+
+// Builds (or fetches from the process-wide cache) the stamp plan for this
+// netlist's topology. Thread-safe; the returned plan is immutable and shared.
+std::shared_ptr<const StampPlan> stamp_plan_for(const Netlist& netlist);
+
+// Cache statistics for tests/benchmarks: plans currently cached.
+std::size_t stamp_plan_cache_size() noexcept;
+
+// Per-solver scratch for the sparse Newton path. bind() attaches a plan and
+// sizes all storage; after that, a Newton iteration allocates nothing.
+//
+// The "linear base" is the split-stamping state: the Jacobian values and
+// residual constant contributed by resistors, voltage/current sources and
+// gmin. Those change only when netlist element values or gmin change — the
+// epoch key below — so per iteration the assembler copies the base and
+// restamps only the nonlinear devices (MOSFETs, current loads, and
+// capacitors when in transient).
+struct NewtonWorkspace {
+  std::shared_ptr<const StampPlan> plan;
+  SparseMatrix jacobian;  // live values; pattern owned by the plan
+
+  // Frozen linear part: Jacobian values with only linear stamps applied, and
+  // the constant term of the linear residual (ISource amps, -V of sources).
+  // Linear residual at x is  A_base * x + base_rhs.
+  std::vector<double> base_values;
+  std::vector<double> base_rhs;
+  std::uint64_t base_version = 0;   // Netlist::version() at freeze
+  double base_gmin = -1.0;
+  bool base_valid = false;
+
+  std::vector<double> residual;
+  std::vector<double> dx;
+  std::vector<double> rhs;
+
+  SparseLu lu;
+
+  // Attaches `p` (no-op when already bound to the same plan) and sizes all
+  // storage. Invalidates the frozen base when the plan changes.
+  void bind(std::shared_ptr<const StampPlan> p);
+
+  // Forces the next assemble to re-freeze the linear base (e.g. after an
+  // external netlist mutation the state signature cannot see).
+  void invalidate_base() noexcept { base_valid = false; }
+};
+
+}  // namespace lpsram

@@ -48,6 +48,58 @@ TransientSolver::TransientSolver(Netlist& netlist, double temp_c,
       assembler_(netlist, temp_c) {}
 
 bool TransientSolver::step(double dt, std::vector<double>& x_next) {
+  const LinearSolverKind kind =
+      options_.dc.linear_solver == LinearSolverKind::Auto
+          ? default_linear_solver()
+          : options_.dc.linear_solver;
+  return kind == LinearSolverKind::Dense ? step_dense(dt, x_next)
+                                         : step_sparse(dt, x_next);
+}
+
+bool TransientSolver::step_sparse(double dt, std::vector<double>& x_next) {
+  x_next = x_;
+  const std::size_t n_nodes = netlist_.node_count() - 1;
+
+  for (int it = 0; it < options_.dc.max_iterations; ++it) {
+    assembler_.assemble_sparse(x_next, options_.dc.gmin, ws_, &x_, dt);
+    // Secondary (ABSTOL-style) acceptance, sparse kernel only — see the
+    // matching note in dc_solver.cpp: on a high-impedance node dv is
+    // rounding noise that may never drop under v_tolerance even though
+    // every KCL residual is at machine precision.
+    double max_res = 0.0;
+    for (std::size_t i = 0; i < ws_.residual.size(); ++i)
+      max_res = std::max(max_res, std::fabs(ws_.residual[i]));
+    const bool residual_ok = max_res < options_.dc.residual_tolerance;
+    for (std::size_t i = 0; i < ws_.residual.size(); ++i)
+      ws_.rhs[i] = -ws_.residual[i];
+    try {
+      ws_.lu.factor(ws_.jacobian);
+      // Refine only in the endgame (see kSparseRefineDvThreshold): early
+      // step-limited iterations just need a direction.
+      ws_.lu.solve(ws_.rhs, ws_.dx);
+      double max_step = 0.0;
+      for (std::size_t i = 0; i < n_nodes; ++i)
+        max_step = std::max(max_step, std::fabs(ws_.dx[i]));
+      if (max_step < kSparseRefineDvThreshold)
+        ws_.lu.refine_step(ws_.jacobian, ws_.rhs, ws_.dx);
+    } catch (const ConvergenceError&) {
+      return false;
+    }
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      max_dv = std::max(max_dv, std::fabs(ws_.dx[i]));
+    if (!std::isfinite(max_dv)) return false;
+    const double scale = max_dv > options_.dc.step_limit
+                             ? options_.dc.step_limit / max_dv
+                             : 1.0;
+    for (std::size_t i = 0; i < ws_.dx.size(); ++i)
+      x_next[i] += scale * ws_.dx[i];
+    if (max_dv < options_.dc.v_tolerance || residual_ok) return true;
+  }
+  return false;
+}
+
+bool TransientSolver::step_dense(double dt, std::vector<double>& x_next) {
   Matrix jacobian(assembler_.dimension(), assembler_.dimension());
   std::vector<double> residual;
   x_next = x_;
@@ -59,7 +111,7 @@ bool TransientSolver::step(double dt, std::vector<double>& x_next) {
     for (std::size_t i = 0; i < residual.size(); ++i) rhs[i] = -residual[i];
     std::vector<double> dx;
     try {
-      dx = solve_linear_system(jacobian, rhs);
+      dx = solve_linear_system_in_place(jacobian, rhs);
     } catch (const ConvergenceError&) {
       return false;
     }

@@ -58,13 +58,19 @@ class TransientSolver {
 
  private:
   // One backward-Euler step of size dt from state x_; returns success.
+  // Dispatches to the sparse or dense Newton kernel per options_.dc.
   bool step(double dt, std::vector<double>& x_next);
+  bool step_sparse(double dt, std::vector<double>& x_next);
+  bool step_dense(double dt, std::vector<double>& x_next);
 
   Netlist& netlist_;
   double temp_c_;
   TransientOptions options_;
   SystemAssembler assembler_;
   std::vector<double> x_;
+  // Sparse-path scratch, reused across all steps of a run (the stamp plan
+  // and LU pattern are per-topology, so nothing is rebuilt between steps).
+  NewtonWorkspace ws_;
 };
 
 }  // namespace lpsram

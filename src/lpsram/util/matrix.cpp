@@ -26,12 +26,18 @@ std::vector<double> Matrix::multiply(const std::vector<double>& x) const {
   return y;
 }
 
-LuSolver::LuSolver(Matrix a) : lu_(std::move(a)) {
-  if (lu_.rows() != lu_.cols())
+namespace {
+
+// Shared LU core: factors `lu` in place with partial pivoting, filling
+// `perm`; returns the min/max pivot ratio. Throws ConvergenceError if
+// singular. Used by both the owning LuSolver and the borrowing
+// solve_linear_system_in_place.
+double lu_factor_in_place(Matrix& lu, std::vector<std::size_t>& perm) {
+  if (lu.rows() != lu.cols())
     throw InvalidArgument("LuSolver: matrix must be square");
-  const std::size_t n = lu_.rows();
-  perm_.resize(n);
-  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  const std::size_t n = lu.rows();
+  perm.resize(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
 
   double max_pivot = 0.0;
   double min_pivot = std::numeric_limits<double>::infinity();
@@ -39,9 +45,9 @@ LuSolver::LuSolver(Matrix a) : lu_(std::move(a)) {
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: pick the largest |a(i,k)| for i >= k.
     std::size_t pivot_row = k;
-    double pivot_mag = std::fabs(lu_(k, k));
+    double pivot_mag = std::fabs(lu(k, k));
     for (std::size_t i = k + 1; i < n; ++i) {
-      const double mag = std::fabs(lu_(i, k));
+      const double mag = std::fabs(lu(i, k));
       if (mag > pivot_mag) {
         pivot_mag = mag;
         pivot_row = i;
@@ -52,46 +58,65 @@ LuSolver::LuSolver(Matrix a) : lu_(std::move(a)) {
                              std::to_string(k));
     if (pivot_row != k) {
       for (std::size_t c = 0; c < n; ++c)
-        std::swap(lu_(k, c), lu_(pivot_row, c));
-      std::swap(perm_[k], perm_[pivot_row]);
+        std::swap(lu(k, c), lu(pivot_row, c));
+      std::swap(perm[k], perm[pivot_row]);
     }
     max_pivot = std::max(max_pivot, pivot_mag);
     min_pivot = std::min(min_pivot, pivot_mag);
 
-    const double inv_pivot = 1.0 / lu_(k, k);
+    const double inv_pivot = 1.0 / lu(k, k);
     for (std::size_t i = k + 1; i < n; ++i) {
-      const double factor = lu_(i, k) * inv_pivot;
-      lu_(i, k) = factor;
+      const double factor = lu(i, k) * inv_pivot;
+      lu(i, k) = factor;
       if (factor == 0.0) continue;
-      for (std::size_t c = k + 1; c < n; ++c) lu_(i, c) -= factor * lu_(k, c);
+      for (std::size_t c = k + 1; c < n; ++c) lu(i, c) -= factor * lu(k, c);
     }
   }
-  pivot_ratio_ = (max_pivot > 0.0) ? min_pivot / max_pivot : 0.0;
+  return (max_pivot > 0.0) ? min_pivot / max_pivot : 0.0;
 }
 
-std::vector<double> LuSolver::solve(const std::vector<double>& b) const {
-  const std::size_t n = lu_.rows();
+std::vector<double> lu_substitute(const Matrix& lu,
+                                  const std::vector<std::size_t>& perm,
+                                  const std::vector<double>& b) {
+  const std::size_t n = lu.rows();
   if (b.size() != n) throw InvalidArgument("LuSolver::solve: size mismatch");
 
   // Apply the row permutation, then forward/backward substitution.
   std::vector<double> x(n);
-  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm[i]];
 
   for (std::size_t i = 1; i < n; ++i) {
     double acc = x[i];
-    for (std::size_t c = 0; c < i; ++c) acc -= lu_(i, c) * x[c];
+    for (std::size_t c = 0; c < i; ++c) acc -= lu(i, c) * x[c];
     x[i] = acc;
   }
   for (std::size_t ii = n; ii-- > 0;) {
     double acc = x[ii];
-    for (std::size_t c = ii + 1; c < n; ++c) acc -= lu_(ii, c) * x[c];
-    x[ii] = acc / lu_(ii, ii);
+    for (std::size_t c = ii + 1; c < n; ++c) acc -= lu(ii, c) * x[c];
+    x[ii] = acc / lu(ii, ii);
   }
   return x;
 }
 
+}  // namespace
+
+LuSolver::LuSolver(Matrix a) : lu_(std::move(a)) {
+  pivot_ratio_ = lu_factor_in_place(lu_, perm_);
+}
+
+std::vector<double> LuSolver::solve(const std::vector<double>& b) const {
+  return lu_substitute(lu_, perm_, b);
+}
+
 std::vector<double> solve_linear_system(Matrix a, const std::vector<double>& b) {
   return LuSolver(std::move(a)).solve(b);
+}
+
+std::vector<double> solve_linear_system_in_place(Matrix& a,
+                                                 const std::vector<double>& b) {
+  std::vector<std::size_t> perm;
+  lu_factor_in_place(a, perm);
+  return lu_substitute(a, perm, b);
 }
 
 }  // namespace lpsram

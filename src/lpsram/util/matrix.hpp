@@ -57,7 +57,13 @@ class LuSolver {
   double pivot_ratio_ = 0.0;
 };
 
-// Convenience wrapper: solves A x = b in one call.
+// Convenience wrapper: solves A x = b in one call (copies `a`).
 std::vector<double> solve_linear_system(Matrix a, const std::vector<double>& b);
+
+// Borrowing variant: factors `a` in place (destroying its contents) instead
+// of copying the full matrix — what the Newton loops use, since they rebuild
+// the Jacobian next iteration anyway. Throws ConvergenceError if singular.
+std::vector<double> solve_linear_system_in_place(Matrix& a,
+                                                 const std::vector<double>& b);
 
 }  // namespace lpsram

@@ -342,7 +342,13 @@ CellFingerprint fingerprint(const DefectCsResult& result) {
   return fp;
 }
 
-std::vector<CellFingerprint> run_sweep(int threads, bool solve_cache) {
+std::vector<CellFingerprint> run_sweep(
+    int threads, bool solve_cache,
+    LinearSolverKind solver = LinearSolverKind::Auto) {
+  // Pin the whole sweep (every DcOptions{} down the stack) onto one linear
+  // kernel; Auto leaves the process default (sparse) in force.
+  const ScopedLinearSolverDefault kernel(
+      solver == LinearSolverKind::Auto ? default_linear_solver() : solver);
   // Chaos that sabotages some first attempts AND some retries: a fixed,
   // seed-driven mixture of recovered solves and quarantined points. The
   // fingerprints below assert both kinds are identical at every thread
@@ -380,6 +386,21 @@ TEST(SweepDeterminism, BitIdenticalAcrossThreadCountsCacheOn) {
   std::uint64_t hits = 0;
   for (const auto& fp : serial) hits += fp.cache_hits;
   EXPECT_GT(hits, 0u);
+}
+
+// The determinism contract holds separately on each linear kernel: like the
+// solve cache, the sparse/dense choice may change which operating point a
+// solve lands on by last-ulp amounts, but thread count never may.
+TEST(SweepDeterminism, BitIdenticalAcrossThreadCountsSparseKernel) {
+  const auto serial = run_sweep(1, false, LinearSolverKind::Sparse);
+  EXPECT_EQ(run_sweep(2, false, LinearSolverKind::Sparse), serial);
+  EXPECT_EQ(run_sweep(8, false, LinearSolverKind::Sparse), serial);
+}
+
+TEST(SweepDeterminism, BitIdenticalAcrossThreadCountsDenseKernel) {
+  const auto serial = run_sweep(1, false, LinearSolverKind::Dense);
+  EXPECT_EQ(run_sweep(2, false, LinearSolverKind::Dense), serial);
+  EXPECT_EQ(run_sweep(8, false, LinearSolverKind::Dense), serial);
 }
 
 }  // namespace

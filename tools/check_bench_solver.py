@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""CI gate over bench_solver_perf output (BENCH_solver.json).
+
+Reads the google-benchmark JSON emitted by
+
+    bench_solver_perf --benchmark_out=BENCH_solver.json \
+                      --benchmark_out_format=json
+
+and fails (exit 1) if the structure-aware sparse kernel is not faster than
+the dense oracle on the regulator cold-solve benchmark — the regression
+this repo's solve-kernel work must never reintroduce. Warm-solve numbers
+are reported for context but not gated: they are dominated by Newton
+iteration count, not factorization cost.
+
+Usage: check_bench_solver.py [BENCH_solver.json]
+"""
+import json
+import sys
+
+
+def real_time_ns(benchmarks, name):
+    for b in benchmarks:
+        if b.get("name") == name and b.get("run_type", "iteration") != "aggregate":
+            return float(b["real_time"])
+    raise SystemExit(f"error: benchmark '{name}' missing from the report")
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_solver.json"
+    with open(path) as f:
+        report = json.load(f)
+    benchmarks = report.get("benchmarks", [])
+
+    cold_sparse = real_time_ns(benchmarks, "BM_RegulatorDcColdSparse")
+    cold_dense = real_time_ns(benchmarks, "BM_RegulatorDcColdDense")
+    warm_sparse = real_time_ns(benchmarks, "BM_RegulatorDcWarmSparse")
+    warm_dense = real_time_ns(benchmarks, "BM_RegulatorDcWarmDense")
+
+    print(f"cold: sparse {cold_sparse:12.0f} ns   dense {cold_dense:12.0f} ns"
+          f"   speedup {cold_dense / cold_sparse:5.2f}x")
+    print(f"warm: sparse {warm_sparse:12.0f} ns   dense {warm_dense:12.0f} ns"
+          f"   speedup {warm_dense / warm_sparse:5.2f}x")
+
+    if cold_sparse >= cold_dense:
+        print("FAIL: sparse kernel is not faster than dense on the regulator "
+              "cold solve", file=sys.stderr)
+        return 1
+    print("OK: sparse kernel beats dense on the regulator cold solve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
