@@ -1,0 +1,117 @@
+// Journal throughput microbenchmark: append (the per-task durability cost a
+// campaign pays while sweeping), replay (the resume cost), and compaction.
+//
+// The append path fsyncs every record by contract, so the append number is
+// dominated by the storage stack, not the framing — which is the point: it
+// bounds how much sweep throughput journaling can cost. Record shape mimics
+// a real campaign mix (task_done payloads with telemetry plus op_point
+// records carrying a ~40-node operating point).
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "lpsram/runtime/campaign.hpp"
+#include "lpsram/runtime/journal.hpp"
+
+using namespace lpsram;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<std::uint8_t> task_done_payload(std::uint64_t key) {
+  PayloadWriter out;
+  out.u64(key);
+  out.u8(1);
+  out.f64(1.234e6);
+  out.u8(2);
+  SolveTelemetry telemetry;
+  telemetry.solves = 37;
+  telemetry.cache_hits = 21;
+  telemetry.cache_misses = 16;
+  encode_telemetry(out, telemetry);
+  return out.take();
+}
+
+std::vector<std::uint8_t> op_point_payload(std::uint64_t key, double r) {
+  PayloadWriter out;
+  out.u64(0x1122334455667788ULL);  // circuit
+  out.u64(key);
+  out.u32(16);
+  out.f64(r);
+  std::vector<double> x(40);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = 0.7 + 1e-3 * static_cast<double>(i);
+  out.vec_f64(x);
+  return out.take();
+}
+
+}  // namespace
+
+int main() {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lpsram_bench.journal")
+          .string();
+  std::filesystem::remove(path);
+
+  constexpr int kTasks = 200;
+  constexpr int kOpPointsPerTask = 8;
+  constexpr int kRecords = kTasks * (1 + kOpPointsPerTask);
+
+  // Append: the campaign-mix record stream, every record flushed + fsync'd.
+  std::uint64_t bytes = 0;
+  {
+    JournalWriter writer;
+    writer.open(path, 0);
+    const auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < kTasks; ++t) {
+      const std::uint64_t key = 0x1000 + static_cast<std::uint64_t>(t);
+      for (int p = 0; p < kOpPointsPerTask; ++p) {
+        const auto payload = op_point_payload(key, 1e4 * (p + 1));
+        bytes += payload.size() + 9;
+        writer.append(3, payload);
+      }
+      const auto payload = task_done_payload(key);
+      bytes += payload.size() + 9;
+      writer.append(2, payload);
+    }
+    const double elapsed = seconds_since(start);
+    std::printf("append : %6d records, %7.2f MB in %6.3f s  -> %8.0f rec/s, "
+                "%6.1f MB/s (fsync per record)\n",
+                kRecords, bytes / 1e6, elapsed, kRecords / elapsed,
+                bytes / 1e6 / elapsed);
+  }
+
+  // Replay: full-file validation + decode, the fixed cost of a resume.
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const JournalReplay replay = replay_journal(path);
+    const double elapsed = seconds_since(start);
+    std::printf("replay : %6zu records, %7.2f MB in %6.3f s  -> %8.0f rec/s, "
+                "%6.1f MB/s%s\n",
+                replay.records.size(), replay.valid_bytes / 1e6, elapsed,
+                replay.records.size() / elapsed,
+                replay.valid_bytes / 1e6 / elapsed,
+                replay.torn_tail ? " (torn tail)" : "");
+  }
+
+  // Compaction: atomic snapshot rewrite of the whole record set.
+  {
+    const JournalReplay replay = replay_journal(path);
+    JournalWriter writer;
+    writer.open(path, replay.valid_bytes);
+    const auto start = std::chrono::steady_clock::now();
+    writer.compact(replay.records);
+    const double elapsed = seconds_since(start);
+    std::printf("compact: %6zu records rewritten in %6.3f s\n",
+                replay.records.size(), elapsed);
+  }
+
+  std::filesystem::remove(path);
+  return 0;
+}

@@ -2,14 +2,61 @@
 // regulation across conditions, Vreg-vs-defect-resistance curves for the
 // main defect families, and the deep-sleep entry transient with a delayed
 // activation defect.
+//
+// With `--resume <journal>` the binary instead runs the regulation-metrics
+// sweep as a durable campaign: probe points are journaled as they solve, and
+// rerunning the same command after an interruption (Ctrl-C, OOM kill, ...)
+// replays the finished points from the journal and solves only the rest —
+// with results bit-identical to an uninterrupted run. Inspect the journal
+// with tools/journal_inspect.py.
 #include <cstdio>
+#include <cstring>
 
 #include "lpsram/regulator/characterize.hpp"
+#include "lpsram/runtime/campaign.hpp"
 
 using namespace lpsram;
 
-int main() {
+namespace {
+
+int run_durable(const Technology& tech, const char* journal) {
+  Campaign campaign{std::string(journal)};
+  const std::size_t already = campaign.completed_tasks();
+  std::printf("campaign journal %s: %zu task(s) already journaled%s\n",
+              journal, already,
+              campaign.resumed_from_torn_tail() ? " (torn tail truncated)"
+                                                : "");
+  for (const Corner corner : {Corner::Typical, Corner::FastNSlowP,
+                              Corner::SlowNFastP}) {
+    SweepReport report;
+    SweepTelemetry telemetry;
+    const RegulationMetrics m =
+        measure_regulation(tech, corner, VrefLevel::V070, &report, &telemetry,
+                           /*threads=*/0, &campaign);
+    std::printf("%-4s line error %7.4f V | load reg %9.3e V/A | temp drift "
+                "%7.4f V   [%s]\n",
+                corner_name(corner).c_str(), m.line_error, m.load_regulation,
+                m.temp_drift, report.summary().c_str());
+  }
+  // Keep the journal compact for the next resume.
+  campaign.compact();
+  std::printf("journal now holds %zu completed task(s); rerun this command "
+              "to resume/replay.\n",
+              campaign.completed_tasks());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const Technology tech = Technology::lp40nm();
+
+  if (argc == 3 && std::strcmp(argv[1], "--resume") == 0)
+    return run_durable(tech, argv[2]);
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--resume <journal-file>]\n", argv[0]);
+    return 2;
+  }
 
   // Reference source taps (voltage divider of Fig. 5).
   {

@@ -2,8 +2,8 @@
 
 #include <chrono>
 #include <cstdio>
-#include <exception>
 
+#include "lpsram/spice/dc_solver.hpp"
 #include "lpsram/spice/hooks.hpp"
 #include "lpsram/testflow/case_studies.hpp"
 #include "lpsram/util/error.hpp"
@@ -29,7 +29,8 @@ PvtDrvResult RetentionAnalyzer::drv_worst(const CellVariation& variation) const 
 std::vector<Fig4Point> RetentionAnalyzer::fig4_sweep(
     std::span<const double> sigmas, std::span<const Corner> corners,
     std::span<const double> temps, SweepReport* report,
-    SweepTelemetry* telemetry, int threads) const {
+    SweepTelemetry* telemetry, int threads, Campaign* campaign,
+    const CancelToken* cancel) const {
   const std::span<const Corner> corner_grid =
       corners.empty() ? std::span<const Corner>(kAllCorners) : corners;
   const std::span<const double> temp_grid =
@@ -50,43 +51,96 @@ std::vector<Fig4Point> RetentionAnalyzer::fig4_sweep(
   struct Slot {
     Fig4Point point;
     bool ok = false;
-    std::exception_ptr error;
+    bool failed = false;  // quarantined (q holds the record)
+    QuarantinedPoint q;
     double wall_s = 0.0;
   };
   std::vector<Slot> slots(tasks.size());
+
+  // Stable task identity — also the campaign journal key for the point.
+  const auto key_of = [&tasks](std::size_t i) {
+    return fold_key(fold_key(0x66696734ULL,  // "fig4"
+                             static_cast<std::uint64_t>(tasks[i].transistor)),
+                    i);
+  };
+
+  // Campaign manifest: sigma list and the PVT grid the worst case is taken
+  // over. Resuming a journal recorded for a different grid is refused.
+  if (campaign) {
+    std::uint64_t fp = fold_key(0x66696734ULL, tasks.size());
+    for (const double sigma : sigmas) fp = fold_key(fp, key_bits(sigma));
+    for (const Corner corner : corner_grid)
+      fp = fold_key(fp, static_cast<std::uint64_t>(corner));
+    for (const double temp : temp_grid) fp = fold_key(fp, key_bits(temp));
+    campaign->bind_sweep(0x66696734ULL, fp);
+  }
 
   SweepExecutorOptions exec_options;
   exec_options.threads = threads;
   SweepExecutor executor(exec_options);
 
   const auto started = std::chrono::steady_clock::now();
-  executor.run(tasks.size(), [&](std::size_t i, int) {
+  const auto body = [&](std::size_t i, int) {
     const Task& task = tasks[i];
     Slot& slot = slots[i];
     // The DRV search is observer-free cell-layer code, but scope the task
     // anyway: the contract is that no executor task ever shares a session
     // observer instance with a concurrent task.
-    const ScopedTaskObserver task_scope(
-        fold_key(fold_key(0x66696734ULL,  // "fig4"
-                          static_cast<std::uint64_t>(task.transistor)),
-                 i));
+    const ScopedTaskObserver task_scope(key_of(i));
     const auto task_started = std::chrono::steady_clock::now();
     CellVariation variation;
     variation.set(task.transistor, task.sigma);
     try {
+      poll_cancel(cancel, "fig4_sweep", 0, 0.0);
       const PvtDrvResult worst =
           drv_ds_worst(tech_, variation, corner_grid, temp_grid);
       slot.point =
           Fig4Point{task.transistor, task.sigma, worst.drv.drv1, worst.drv.drv0};
       slot.ok = true;
-    } catch (const Error&) {
+    } catch (const Error& e) {
       if (!report) throw;
-      slot.error = std::current_exception();
+      char context[64];
+      std::snprintf(context, sizeof(context), "%s @ %+.1f sigma",
+                    cell_transistor_name(task.transistor).c_str(), task.sigma);
+      slot.failed = true;
+      slot.q = quarantined_point(context, e);
     }
     slot.wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - task_started)
                       .count();
-  });
+  };
+
+  // Journal payload: the DRV pair (transistor and sigma are re-derived from
+  // the task index on decode) or the quarantine record.
+  CampaignTaskCodec codec;
+  codec.encode = [&slots](std::size_t i) {
+    const Slot& slot = slots[i];
+    PayloadWriter out;
+    out.u8(slot.ok ? 1 : 0);
+    if (slot.ok) {
+      out.f64(slot.point.drv1);
+      out.f64(slot.point.drv0);
+    } else {
+      encode_quarantine(out, slot.q);
+    }
+    return out.take();
+  };
+  codec.decode = [&slots, &tasks](std::size_t i, PayloadReader& in) {
+    Slot& slot = slots[i];
+    slot.ok = in.u8() != 0;
+    if (slot.ok) {
+      slot.point.transistor = tasks[i].transistor;
+      slot.point.sigma = tasks[i].sigma;
+      slot.point.drv1 = in.f64();
+      slot.point.drv0 = in.f64();
+    } else {
+      slot.failed = true;
+      slot.q = decode_quarantine(in);
+    }
+  };
+
+  run_campaign(executor, campaign, /*cache=*/nullptr, tasks.size(), key_of,
+               body, codec);
 
   // Index-ordered collection.
   std::vector<Fig4Point> points;
@@ -101,15 +155,7 @@ std::vector<Fig4Point> RetentionAnalyzer::fig4_sweep(
       points.push_back(slot.point);
       if (report) report->add_success();
     } else if (report) {
-      try {
-        std::rethrow_exception(slot.error);
-      } catch (const Error& e) {
-        char context[64];
-        std::snprintf(context, sizeof(context), "%s @ %+.1f sigma",
-                      cell_transistor_name(tasks[i].transistor).c_str(),
-                      tasks[i].sigma);
-        report->quarantine(context, e);
-      }
+      report->quarantine(slot.q);
     }
   }
   sweep.wall_s =

@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "lpsram/cell/snm.hpp"
+#include "lpsram/runtime/campaign.hpp"
 #include "lpsram/runtime/parallel.hpp"
 #include "lpsram/runtime/quarantine.hpp"
 #include "lpsram/testflow/report.hpp"
+#include "lpsram/util/cancel.hpp"
 
 namespace lpsram {
 
@@ -35,13 +37,21 @@ class RetentionAnalyzer {
   // sweep; without it the first failure propagates. Points run on the
   // parallel sweep executor (`threads` as in SweepExecutorOptions, 0 =
   // automatic); ordering and values are bit-identical at any thread count.
-  // Aggregate sweep telemetry lands in `*telemetry` when given.
+  // Aggregate sweep telemetry lands in `*telemetry` when given. With a
+  // `campaign`, completed points are journaled as they finish and a resumed
+  // sweep replays them (bit-identical to an uninterrupted run); `cancel` is
+  // polled at each point's start (the cell-layer DRV search runs on scalar
+  // root-finding, not the Newton solvers, so cancellation here is
+  // per-point, not per-iteration) and cancelled points quarantine as
+  // SolveTimeout.
   std::vector<Fig4Point> fig4_sweep(std::span<const double> sigmas,
                                     std::span<const Corner> corners = {},
                                     std::span<const double> temps = {},
                                     SweepReport* report = nullptr,
                                     SweepTelemetry* telemetry = nullptr,
-                                    int threads = 0) const;
+                                    int threads = 0,
+                                    Campaign* campaign = nullptr,
+                                    const CancelToken* cancel = nullptr) const;
 
   // The worst-case DRV_DS of the SRAM: the CS1 pattern (all six transistors
   // at 6 sigma in the adverse direction) over the PVT grid.

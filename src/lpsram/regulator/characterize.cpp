@@ -31,7 +31,9 @@ std::string ds_condition_name(const DsCondition& condition) {
 
 RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
                                      VrefLevel vref, SweepReport* report,
-                                     SweepTelemetry* telemetry, int threads) {
+                                     SweepTelemetry* telemetry, int threads,
+                                     Campaign* campaign,
+                                     const CancelToken* cancel) {
   // Probe points: one task per supply level (line regulation), one for the
   // load step, one per temperature (drift). Each task builds and configures
   // its own regulator — the executor contract forbids shared mutable solve
@@ -59,7 +61,8 @@ RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
   struct Slot {
     bool ok = false;
     double measured = 0.0;
-    std::exception_ptr error;
+    bool failed = false;       // quarantined (q holds the record)
+    QuarantinedPoint q;
     SolveTelemetry solves;
     double wall_s = 0.0;
   };
@@ -72,21 +75,40 @@ RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
                static_cast<std::uint64_t>(corner)),
       static_cast<std::uint64_t>(vref));
 
+  // Campaign manifest: the probe grid is the configuration — resuming
+  // against a journal recorded for different supply/temperature lists would
+  // silently mis-key tasks.
+  if (campaign) {
+    std::uint64_t fingerprint = fold_key(salt, probes.size());
+    for (const double vdd : tech.vdd_levels())
+      fingerprint = fold_key(fingerprint, key_bits(vdd));
+    for (const double temp : tech.temperatures())
+      fingerprint = fold_key(fingerprint, key_bits(temp));
+    campaign->bind_sweep(salt, fingerprint);
+  }
+
   SolveCache cache;
   SweepExecutorOptions exec_options;
   exec_options.threads = threads;
   SweepExecutor executor(exec_options);
 
+  const auto key_of = [salt](std::size_t i) { return fold_key(salt, i); };
+
   const auto started = std::chrono::steady_clock::now();
-  executor.run(probes.size(), [&](std::size_t i, int) {
+  const auto body = [&](std::size_t i, int) {
     const Probe& probe = probes[i];
     Slot& slot = slots[i];
-    const std::uint64_t task_key = fold_key(salt, i);
+    const std::uint64_t task_key = key_of(i);
     const ScopedTaskObserver task_scope(task_key);
     const auto task_started = std::chrono::steady_clock::now();
 
     VoltageRegulator reg(tech, corner);
     reg.set_solve_cache(&cache, task_key);
+    if (cancel) {
+      RetryLadderOptions policy = reg.solve_policy();
+      policy.cancel = cancel;
+      reg.set_solve_policy(std::move(policy));
+    }
     reg.select_vref(vref);
     reg.set_regon(true);
     reg.set_power_switch(false);
@@ -118,15 +140,44 @@ RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
         }
       }
       slot.ok = true;
-    } catch (const Error&) {
+    } catch (const Error& e) {
       if (!report) throw;  // no quarantine collector: fail the sweep
-      slot.error = std::current_exception();
+      slot.failed = true;
+      slot.q = quarantined_point(probe.context, e);
     }
     slot.solves = reg.solve_telemetry();
     slot.wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - task_started)
                       .count();
-  });
+  };
+
+  // Slot payload: outcome + deterministic telemetry counters (timings and
+  // the `last` snapshot are outside the resume determinism contract).
+  CampaignTaskCodec codec;
+  codec.encode = [&slots](std::size_t i) {
+    const Slot& slot = slots[i];
+    PayloadWriter out;
+    out.u8(slot.ok ? 1 : 0);
+    if (slot.ok)
+      out.f64(slot.measured);
+    else
+      encode_quarantine(out, slot.q);
+    encode_telemetry(out, slot.solves);
+    return out.take();
+  };
+  codec.decode = [&slots](std::size_t i, PayloadReader& in) {
+    Slot& slot = slots[i];
+    slot.ok = in.u8() != 0;
+    if (slot.ok) {
+      slot.measured = in.f64();
+    } else {
+      slot.failed = true;
+      slot.q = decode_quarantine(in);
+    }
+    slot.solves = decode_telemetry(in);
+  };
+
+  run_campaign(executor, campaign, &cache, probes.size(), key_of, body, codec);
 
   // Index-ordered reduction.
   RegulationMetrics metrics;
@@ -151,11 +202,7 @@ RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
       }
       if (report) report->add_success();
     } else if (report) {
-      try {
-        std::rethrow_exception(slot.error);
-      } catch (const Error& e) {
-        report->quarantine(probes[i].context, e);
-      }
+      report->quarantine(slot.q);
     }
   }
   sweep.wall_s =
@@ -178,8 +225,15 @@ VoltageRegulator& RegulatorCharacterizer::regulator_for(Corner corner) const {
                                      tech_, corner, load_options_))
                 .first;
     found->second->set_solve_cache(solve_cache_, cache_task_key_);
+    if (has_solve_policy_) found->second->set_solve_policy(solve_policy_);
   }
   return *found->second;
+}
+
+void RegulatorCharacterizer::set_solve_policy(const RetryLadderOptions& policy) {
+  solve_policy_ = policy;
+  has_solve_policy_ = true;
+  for (auto& [corner, reg] : regulators_) reg->set_solve_policy(policy);
 }
 
 void RegulatorCharacterizer::set_solve_cache(SolveCache* cache,

@@ -8,8 +8,10 @@
 
 #include "lpsram/cell/flip_time.hpp"
 #include "lpsram/regulator/regulator.hpp"
+#include "lpsram/runtime/campaign.hpp"
 #include "lpsram/runtime/parallel.hpp"
 #include "lpsram/runtime/quarantine.hpp"
+#include "lpsram/util/cancel.hpp"
 
 namespace lpsram {
 
@@ -46,12 +48,16 @@ struct RegulationMetrics {
 // without it the first failure propagates. The probe points run on the
 // parallel sweep executor (`threads` as in SweepExecutorOptions; results are
 // bit-identical at any thread count) and aggregate sweep telemetry lands in
-// `*telemetry` when given.
+// `*telemetry` when given. With a `campaign`, completed probes are journaled
+// as they finish and a resumed call skips them (results bit-identical to an
+// uninterrupted run); `cancel` threads a CancelToken into every solve.
 RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
                                      VrefLevel vref,
                                      SweepReport* report = nullptr,
                                      SweepTelemetry* telemetry = nullptr,
-                                     int threads = 1);
+                                     int threads = 1,
+                                     Campaign* campaign = nullptr,
+                                     const CancelToken* cancel = nullptr);
 
 // Not thread-safe: the characterizer owns per-corner VoltageRegulator
 // instances and reconfigures them per query. Parallel sweep drivers create
@@ -96,6 +102,11 @@ class RegulatorCharacterizer {
   // this again with the task's key before each task body.
   void set_solve_cache(SolveCache* cache, std::uint64_t task_key = 0);
 
+  // Applies a retry-ladder policy (deadline, cancel token, ...) to the
+  // existing and every future per-corner regulator — how sweep drivers
+  // thread a CancelToken down into the Newton loops.
+  void set_solve_policy(const RetryLadderOptions& policy);
+
   // Solve counters summed over the per-corner regulators. Sweep drivers
   // snapshot this before/after a task to attribute solves to it.
   SolveTelemetry solve_telemetry() const;
@@ -108,6 +119,8 @@ class RegulatorCharacterizer {
   FlipTimeModel flip_;
   SolveCache* solve_cache_ = nullptr;
   std::uint64_t cache_task_key_ = 0;
+  RetryLadderOptions solve_policy_;
+  bool has_solve_policy_ = false;
   // One regulator instance per corner, built lazily and reconfigured per
   // query (warm-started DC solves make sweeps cheap).
   mutable std::map<Corner, std::unique_ptr<VoltageRegulator>> regulators_;

@@ -1,0 +1,137 @@
+// Crash-resumable campaign layer over SweepExecutor + the journal.
+//
+// A Campaign owns one journal file and exposes three things to a sweep
+// driver:
+//   * bind_sweep(salt, fingerprint) — registers the driver's configuration
+//     under its task-key salt; resuming against a journal recorded with a
+//     different configuration (different PVT grid, tolerances, ...) is
+//     refused instead of silently mixing results.
+//   * run_campaign(...) — the executor wrapper: replays finished tasks into
+//     their result slots from the journal (in index order, on the calling
+//     thread), runs only the pending indices through the executor, and
+//     journals each task's encoded slot as it finishes.
+//   * seed_cache(...) / operating-point journaling — completed tasks'
+//     DC operating points are journaled with them, and on resume they are
+//     seeded back into the SolveCache so surviving tasks keep their warm
+//     starts.
+//
+// Resume determinism contract: because SolveCache keys are task-scoped and
+// operating points are only journaled together with their task's completion
+// record, a resumed run re-executes pending tasks with exactly the solve
+// sequence they would have seen in the uninterrupted run — final tables and
+// deterministic telemetry counters are bit-identical. (Timings, and the
+// `last` outcome snapshot, are excluded from the contract; replayed tasks
+// report zero wall-clock.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lpsram/runtime/journal.hpp"
+#include "lpsram/runtime/parallel.hpp"
+#include "lpsram/runtime/quarantine.hpp"
+
+namespace lpsram {
+
+// Journal record types used by the campaign layer.
+inline constexpr std::uint8_t kRecordManifest = 1;   // salt + config fingerprint
+inline constexpr std::uint8_t kRecordTaskDone = 2;   // task key + driver payload
+inline constexpr std::uint8_t kRecordOpPoint = 3;    // cached operating point
+
+class Campaign {
+ public:
+  // Opens (creating if absent) and replays the journal at `path`. Throws
+  // JournalCorrupt on interior damage; a torn tail is truncated and the
+  // campaign resumes after the last intact record.
+  explicit Campaign(std::string path);
+  ~Campaign();
+
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
+
+  // Registers a sweep's configuration fingerprint under its task-key salt.
+  // Appends a manifest record the first time; on resume, throws
+  // InvalidArgument if the journal was recorded with a different
+  // fingerprint for the same salt.
+  void bind_sweep(std::uint64_t salt, std::uint64_t fingerprint);
+
+  // Journaled result payload for a task, or nullptr if the task has not
+  // completed. The last record wins if a task was somehow journaled twice.
+  const std::vector<std::uint8_t>* find_result(std::uint64_t task_key) const;
+
+  // Appends a task's result: first any operating points buffered for it via
+  // the store listener, then the TaskDone record. Thread-safe.
+  void record_result(std::uint64_t task_key,
+                     const std::vector<std::uint8_t>& payload);
+
+  // Seeds replayed operating points into `cache`. Only points belonging to
+  // a *completed* task are seeded (points whose TaskDone record was lost to
+  // a torn tail are dropped — their task re-runs from scratch, preserving
+  // determinism).
+  void seed_cache(SolveCache& cache) const;
+
+  // Buffers an operating point for journaling with its task's completion
+  // record (wired to SolveCache::set_store_listener by run_campaign).
+  void note_op_point(const SolveCacheKey& key, double r,
+                     const std::vector<double>& x);
+
+  // Rewrites the journal as a compact snapshot: manifests, then each
+  // completed task's operating points followed by its TaskDone record, in
+  // sorted task-key order. Atomic (write-temp + flush + rename).
+  void compact();
+
+  const std::string& path() const noexcept { return writer_.path(); }
+  std::size_t completed_tasks() const;
+  bool resumed_from_torn_tail() const noexcept { return torn_tail_; }
+
+ private:
+  struct OpPoint {
+    SolveCacheKey key;
+    double r = 0.0;
+    std::vector<double> x;
+  };
+
+  mutable std::mutex mutex_;
+  JournalWriter writer_;
+  bool torn_tail_ = false;
+  std::unordered_map<std::uint64_t, std::uint64_t> manifests_;  // salt -> fp
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> results_;
+  // Operating points replayed from the journal, grouped by task key.
+  std::unordered_map<std::uint64_t, std::vector<OpPoint>> replayed_ops_;
+  // Points buffered by note_op_point for tasks still in flight.
+  std::unordered_map<std::uint64_t, std::vector<OpPoint>> pending_ops_;
+};
+
+// Encodes a finished slot i into its journal payload / decodes a journaled
+// payload back into slot i. Both run on the coordinating thread except
+// encode, which runs on the worker that finished the task.
+struct CampaignTaskCodec {
+  std::function<std::vector<std::uint8_t>(std::size_t index)> encode;
+  std::function<void(std::size_t index, PayloadReader& reader)> decode;
+};
+
+// Runs an indexed sweep through `executor` with optional campaign
+// durability. With campaign == nullptr this is exactly executor.run(). With
+// a campaign: journaled tasks are decoded into their slots (index order,
+// calling thread) and skipped; pending tasks run through the executor and
+// are journaled via codec.encode as each finishes; `cache` (optional) is
+// seeded from the journal and its store listener attached for the duration
+// of the run. Returns the number of replayed (skipped) tasks.
+std::size_t run_campaign(
+    SweepExecutor& executor, Campaign* campaign, SolveCache* cache,
+    std::size_t count, const std::function<std::uint64_t(std::size_t)>& key_of,
+    const std::function<void(std::size_t index, int worker)>& body,
+    const CampaignTaskCodec& codec);
+
+// Shared slot-payload helpers so every driver serializes quarantine records
+// and telemetry counters identically.
+void encode_quarantine(PayloadWriter& out, const QuarantinedPoint& point);
+QuarantinedPoint decode_quarantine(PayloadReader& in);
+void encode_telemetry(PayloadWriter& out, const SolveTelemetry& t);
+SolveTelemetry decode_telemetry(PayloadReader& in);
+
+}  // namespace lpsram

@@ -214,18 +214,33 @@ bool SolveCache::lookup_nearest(const SolveCacheKey& key, double r,
 void SolveCache::store(const SolveCacheKey& key, double r,
                        const std::vector<double>& x) {
   const double log_r = std::log(r);
-  Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  std::vector<Entry>& entries = shard.map[key];
-  auto lb = std::lower_bound(
-      entries.begin(), entries.end(), log_r,
-      [](const Entry& e, double v) { return e.log_r < v; });
-  if (lb != entries.end() && lb->log_r == log_r) {
-    lb->x = x;
-    return;
+  {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    std::vector<Entry>& entries = shard.map[key];
+    auto lb = std::lower_bound(
+        entries.begin(), entries.end(), log_r,
+        [](const Entry& e, double v) { return e.log_r < v; });
+    if (lb != entries.end() && lb->log_r == log_r) {
+      lb->x = x;
+    } else {
+      entries.insert(lb, Entry{log_r, x});
+      stores_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  entries.insert(lb, Entry{log_r, x});
-  stores_.fetch_add(1, std::memory_order_relaxed);
+  // Notify outside the shard lock so a journaling listener never serializes
+  // unrelated shards behind file I/O.
+  StoreListener listener;
+  {
+    const std::lock_guard<std::mutex> lock(listener_mutex_);
+    listener = listener_;
+  }
+  if (listener) listener(key, r, x);
+}
+
+void SolveCache::set_store_listener(StoreListener listener) {
+  const std::lock_guard<std::mutex> lock(listener_mutex_);
+  listener_ = std::move(listener);
 }
 
 void SolveCache::clear() {

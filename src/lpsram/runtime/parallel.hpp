@@ -33,6 +33,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -51,6 +52,16 @@ std::uint64_t mix64(std::uint64_t x) noexcept;
 // Order-sensitive key fold: task_key(a, b, c) != task_key(b, a, c) etc.
 inline std::uint64_t fold_key(std::uint64_t h, std::uint64_t v) noexcept {
   return mix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+// Raw IEEE-754 bits of a double — how real-valued configuration (tolerances,
+// grid values) folds into task keys and campaign manifest fingerprints
+// without rounding ambiguity.
+inline std::uint64_t key_bits(double v) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
 }
 
 // ---------------------------------------------------------------------------
@@ -154,6 +165,16 @@ class SolveCache {
   // present.
   void store(const SolveCacheKey& key, double r, const std::vector<double>& x);
 
+  // Observer invoked after every store() (outside the shard lock). The
+  // campaign runtime uses it to journal operating points as tasks solve
+  // them; seeding (Campaign::seed_cache) happens before a listener is
+  // attached, so replayed points are never re-journaled. Must be
+  // thread-safe: stores happen concurrently from sweep workers. Pass
+  // nullptr to detach.
+  using StoreListener = std::function<void(
+      const SolveCacheKey& key, double r, const std::vector<double>& x)>;
+  void set_store_listener(StoreListener listener);
+
   void clear();
   std::size_t size() const;  // total entries across all keys
 
@@ -182,6 +203,8 @@ class SolveCache {
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> stores_{0};
+  mutable std::mutex listener_mutex_;
+  StoreListener listener_;
 };
 
 // ---------------------------------------------------------------------------

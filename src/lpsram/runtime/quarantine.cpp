@@ -1,5 +1,6 @@
 #include "lpsram/runtime/quarantine.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "lpsram/util/error.hpp"
@@ -9,18 +10,37 @@ namespace lpsram {
 std::string error_type_name(const std::exception& error) {
   if (dynamic_cast<const SolveTimeout*>(&error)) return "SolveTimeout";
   if (dynamic_cast<const RetryExhausted*>(&error)) return "RetryExhausted";
+  if (dynamic_cast<const NewtonDivergence*>(&error)) return "NewtonDivergence";
   if (dynamic_cast<const ConvergenceError*>(&error)) return "ConvergenceError";
   if (dynamic_cast<const InvalidArgument*>(&error)) return "InvalidArgument";
   if (dynamic_cast<const ParseError*>(&error)) return "ParseError";
+  if (dynamic_cast<const JournalCorrupt*>(&error)) return "JournalCorrupt";
   if (dynamic_cast<const Error*>(&error)) return "Error";
   return "std::exception";
 }
 
+QuarantinedPoint quarantined_point(std::string context,
+                                   const std::exception& error) {
+  QuarantinedPoint point;
+  point.context = std::move(context);
+  point.error_type = error_type_name(error);
+  point.reason = error.what();
+  if (const auto* e = dynamic_cast<const SolveTimeout*>(&error))
+    point.non_finite = e->info().non_finite;
+  else if (const auto* e = dynamic_cast<const RetryExhausted*>(&error))
+    point.non_finite = e->info().non_finite;
+  else if (const auto* e = dynamic_cast<const NewtonDivergence*>(&error))
+    point.non_finite = e->info().non_finite;
+  return point;
+}
+
 void SweepReport::quarantine(std::string context, const std::exception& error) {
+  quarantine(quarantined_point(std::move(context), error));
+}
+
+void SweepReport::quarantine(QuarantinedPoint point) {
   ++attempted_;
-  quarantined_.push_back(QuarantinedPoint{std::move(context),
-                                          error_type_name(error),
-                                          error.what()});
+  quarantined_.push_back(std::move(point));
 }
 
 void SweepReport::merge(const SweepReport& other) {
@@ -37,8 +57,16 @@ std::string SweepReport::summary() const {
   std::string text = buf;
   if (!quarantined_.empty()) {
     text += "; quarantined:";
-    for (const QuarantinedPoint& q : quarantined_) {
-      text += "\n  [" + q.error_type + "] " + q.context + ": " + q.reason;
+    const std::size_t shown = std::min(quarantined_.size(), kSummaryQuarantineCap);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const QuarantinedPoint& q = quarantined_[i];
+      text += "\n  [" + q.error_type + (q.non_finite ? ", non-finite" : "") +
+              "] " + q.context + ": " + q.reason;
+    }
+    if (quarantined_.size() > shown) {
+      std::snprintf(buf, sizeof(buf), "\n  ... and %zu more (see journal)",
+                    quarantined_.size() - shown);
+      text += buf;
     }
   }
   return text;

@@ -17,17 +17,29 @@ struct QuarantinedPoint {
   std::string context;     // human-readable point id, e.g. "Df16 x CS1 @ fs, 1.0V, 125C"
   std::string error_type;  // "SolveTimeout", "RetryExhausted", "ConvergenceError", ...
   std::string reason;      // the error's what()
+  // True when the failure involved a NaN/Inf residual or Newton step (see
+  // SolveFailureInfo::non_finite) — tells an injected/genuine NaN fault from
+  // an ordinary diverged-but-finite solve.
+  bool non_finite = false;
 };
 
 // Taxonomy name of an lpsram error (most-derived first), for quarantine
 // records and telemetry.
 std::string error_type_name(const std::exception& error);
 
+// Builds the quarantine record for an error, extracting the non_finite flag
+// from the typed solve-failure family. Sweep drivers use this both to fill
+// SweepReport and to journal quarantined points in campaign mode.
+QuarantinedPoint quarantined_point(std::string context,
+                                   const std::exception& error);
+
 class SweepReport {
  public:
   // Every sweep point passes through exactly one of these two.
   void add_success() { ++attempted_; ++completed_; }
   void quarantine(std::string context, const std::exception& error);
+  // Records an already-materialized quarantine (campaign journal replay).
+  void quarantine(QuarantinedPoint point);
 
   std::size_t attempted() const noexcept { return attempted_; }
   std::size_t completed() const noexcept { return completed_; }
@@ -49,8 +61,11 @@ class SweepReport {
   void merge(const SweepReport& other);
 
   // "43/45 points solved (95.6% coverage); quarantined: ..." — one line per
-  // quarantined point.
+  // quarantined point, capped at the first kSummaryQuarantineCap with an
+  // "... and N more" tail so a mostly-failed campaign stays readable.
   std::string summary() const;
+
+  static constexpr std::size_t kSummaryQuarantineCap = 10;
 
  private:
   std::size_t attempted_ = 0;

@@ -78,6 +78,9 @@ bool ResilientDcSolver::run_strategy(SolveStrategy strategy,
   DcOptions opts = dc_options_;
   if (options_.iteration_budget > 0)
     opts.max_iterations = options_.iteration_budget;
+  // Ladder-level cancel token reaches every Newton iteration of every rung
+  // (a caller-provided DcOptions::cancel takes precedence).
+  if (options_.cancel && !opts.cancel) opts.cancel = options_.cancel;
   {
     auto base_progress = dc_options_.progress;
     int* counter = &record.iterations;
@@ -183,6 +186,8 @@ bool ResilientDcSolver::run_strategy(SolveStrategy strategy,
         } catch (const SolveTimeout&) {
           throw;
         } catch (const ConvergenceError& e) {
+          if (const auto* nd = dynamic_cast<const NewtonDivergence*>(&e))
+            outcome.non_finite = outcome.non_finite || nd->info().non_finite;
           last_error = e.what();
         }
       }
@@ -205,6 +210,16 @@ SolveOutcome ResilientDcSolver::solve(
     if (strategy == SolveStrategy::WarmStart &&
         (warm_start == nullptr || warm_start->empty()))
       continue;  // nothing to warm-start from
+
+    // Cancellation check between rungs (the token is also polled inside
+    // every Newton iteration via DcOptions::cancel).
+    const CancelToken* cancel =
+        options_.cancel ? options_.cancel : dc_options_.cancel;
+    if (cancel && cancel->cancelled()) {
+      outcome.cancelled = true;
+      outcome.error = "cancelled before strategy " + strategy_name(strategy);
+      break;
+    }
 
     // Deadline check between rungs.
     if (options_.deadline_s > 0.0 &&
@@ -241,13 +256,21 @@ SolveOutcome ResilientDcSolver::solve(
       record.elapsed_s = now() - attempt_start;
       record.error = e.what();
       outcome.history.push_back(std::move(record));
-      outcome.timed_out = true;
+      // A cancel trip and a deadline trip share the SolveTimeout channel;
+      // the info flag tells them apart.
+      if (e.info().cancelled)
+        outcome.cancelled = true;
+      else
+        outcome.timed_out = true;
+      outcome.non_finite = outcome.non_finite || e.info().non_finite;
       outcome.error = e.what();
       break;
     } catch (const ConvergenceError& e) {
       record.elapsed_s = now() - attempt_start;
       record.error = e.what();
       outcome.history.push_back(std::move(record));
+      if (const auto* nd = dynamic_cast<const NewtonDivergence*>(&e))
+        outcome.non_finite = outcome.non_finite || nd->info().non_finite;
       outcome.error = e.what();  // escalate to the next rung
     }
   }
@@ -267,12 +290,21 @@ void ResilientDcSolver::throw_outcome(const SolveOutcome& outcome) const {
   info.deadline_s = options_.deadline_s;
   info.worst_residual = outcome.worst_residual;
   info.worst_node = outcome.worst_node;
+  info.non_finite = outcome.non_finite;
+  info.cancelled = outcome.cancelled;
   for (const AttemptRecord& a : outcome.history) {
     if (!info.strategies.empty()) info.strategies += ",";
     info.strategies += strategy_name(a.strategy);
   }
 
   char buf[256];
+  if (outcome.cancelled) {
+    std::snprintf(buf, sizeof(buf),
+                  "SolveTimeout: cancelled by CancelToken after %d attempts "
+                  "(%.3f s elapsed; strategies: %s)",
+                  outcome.attempts, outcome.elapsed_s, info.strategies.c_str());
+    throw SolveTimeout(buf, std::move(info));
+  }
   if (outcome.timed_out) {
     std::snprintf(buf, sizeof(buf),
                   "SolveTimeout: deadline of %.3f s exceeded after %d "

@@ -55,6 +55,13 @@ struct RetryLadderOptions {
   // chaos harness substitute fakes so deadline paths are deterministic.
   std::function<double()> clock;          // default: steady_clock
   std::function<void(double)> sleeper;    // default: this_thread::sleep_for
+
+  // Cooperative cancellation: checked between rungs AND propagated into
+  // every DcSolver/TransientSolver attempt, where the Newton loops poll it
+  // per iteration. A trip surfaces as SolveTimeout with
+  // SolveFailureInfo::cancelled set; the point is quarantined, not lost.
+  // Non-owning; must outlive the solve.
+  const CancelToken* cancel = nullptr;
 };
 
 class ResilientDcSolver {

@@ -54,8 +54,10 @@ void SolveTelemetry::record(const SolveOutcome& outcome) {
     if (outcome.status == SolveStatus::Degraded) ++degraded;
   } else {
     ++failures;
-    if (outcome.timed_out) ++timeouts;
+    if (outcome.timed_out || outcome.cancelled) ++timeouts;
+    if (outcome.cancelled) ++cancels;
   }
+  if (outcome.non_finite) ++non_finite;
   for (const AttemptRecord& attempt : outcome.history)
     ++rung_attempts[static_cast<std::size_t>(attempt.strategy)];
   last = outcome;
@@ -68,6 +70,8 @@ void SolveTelemetry::merge(const SolveTelemetry& other) {
   degraded += other.degraded;
   failures += other.failures;
   timeouts += other.timeouts;
+  cancels += other.cancels;
+  non_finite += other.non_finite;
   for (std::size_t i = 0; i < rung_attempts.size(); ++i)
     rung_attempts[i] += other.rung_attempts[i];
   cache_hits += other.cache_hits;
@@ -85,6 +89,8 @@ SolveTelemetry telemetry_delta(const SolveTelemetry& before,
   delta.degraded = after.degraded - before.degraded;
   delta.failures = after.failures - before.failures;
   delta.timeouts = after.timeouts - before.timeouts;
+  delta.cancels = after.cancels - before.cancels;
+  delta.non_finite = after.non_finite - before.non_finite;
   for (std::size_t i = 0; i < delta.rung_attempts.size(); ++i)
     delta.rung_attempts[i] = after.rung_attempts[i] - before.rung_attempts[i];
   delta.cache_hits = after.cache_hits - before.cache_hits;

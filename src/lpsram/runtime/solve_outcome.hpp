@@ -53,6 +53,8 @@ struct SolveOutcome {
   std::string worst_node;       // node carrying the worst residual
   double elapsed_s = 0.0;       // total wall-clock across all attempts [s]
   bool timed_out = false;       // deadline cut the solve off
+  bool cancelled = false;       // a CancelToken cut the solve off
+  bool non_finite = false;      // some attempt saw a NaN/Inf residual or step
   std::string error;            // failure description (empty unless Failed)
   DcResult result;              // valid when status != Failed
   std::vector<AttemptRecord> history;
@@ -74,7 +76,9 @@ struct SolveTelemetry {
   std::uint64_t fallbacks = 0;   // warm start failed but a later rung recovered
   std::uint64_t degraded = 0;    // accepted a relaxed-tolerance solution
   std::uint64_t failures = 0;    // retry ladder exhausted
-  std::uint64_t timeouts = 0;    // deadline enforced
+  std::uint64_t timeouts = 0;    // deadline or cancellation enforced
+  std::uint64_t cancels = 0;     // subset of timeouts cut off by a CancelToken
+  std::uint64_t non_finite = 0;  // solves that saw a NaN/Inf residual or step
   // Ladder attempts per strategy, indexed by SolveStrategy: every entry of
   // every outcome's history counts, converged or not.
   std::array<std::uint64_t, kSolveStrategyCount> rung_attempts{};

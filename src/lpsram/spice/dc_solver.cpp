@@ -104,7 +104,28 @@ double max_abs(const std::vector<double>& v) {
   return m;
 }
 
+// Cooperative cancellation poll, shared by the DC and transient Newton
+// kernels. Cancellation surfaces through the same SolveTimeout channel as
+// deadline expiry so every quarantine/retry path already handles it; the
+// `cancelled` flag in the info tells the two apart.
+[[noreturn]] void throw_cancelled(const char* where, int iterations,
+                                  double worst_residual) {
+  SolveFailureInfo info;
+  info.cancelled = true;
+  info.iterations = iterations;
+  info.worst_residual = worst_residual;
+  throw SolveTimeout(std::string(where) +
+                         ": solve cancelled by CancelToken mid-Newton",
+                     info);
+}
+
 }  // namespace
+
+void poll_cancel(const CancelToken* cancel, const char* where, int iterations,
+                 double worst_residual) {
+  if (cancel && cancel->cancelled())
+    throw_cancelled(where, iterations, worst_residual);
+}
 
 DcSolver::DcSolver(const Netlist& netlist, double temp_c, DcOptions options)
     : netlist_(netlist), assembler_(netlist, temp_c), options_(std::move(options)) {}
@@ -135,6 +156,8 @@ bool DcSolver::newton_sparse(std::vector<double>& x, double gmin,
       options_.shared_workspace ? *options_.shared_workspace : ws_;
 
   for (int it = 0; it < options_.max_iterations; ++it) {
+    poll_cancel(options_.cancel, "DcSolver", it,
+                stats ? stats->max_residual : 0.0);
     assembler_.assemble_sparse(x, gmin, ws);
 
     if (SolverObserver* observer = solver_observer()) {
@@ -170,7 +193,10 @@ bool DcSolver::newton_sparse(std::vector<double>& x, double gmin,
     // A non-finite residual (device model blow-up or injected fault) can
     // never converge — bail out so the caller escalates instead of burning
     // the whole iteration budget on NaN arithmetic.
-    if (!finite) return false;
+    if (!finite) {
+      if (stats) stats->non_finite = true;
+      return false;
+    }
 
     // Solve J * dx = -F, refining only in the endgame (see
     // kSparseRefineDvThreshold): the plain solve runs first, and only a
@@ -192,7 +218,10 @@ bool DcSolver::newton_sparse(std::vector<double>& x, double gmin,
     switch (apply_damped_step(options_, n_nodes, ws.dx, x, it, max_residual,
                               residual_ok)) {
       case StepOutcome::Converged: return true;
-      case StepOutcome::Abort: return false;
+      case StepOutcome::Abort:
+        // Abort means a non-finite Newton step (see apply_damped_step).
+        if (stats) stats->non_finite = true;
+        return false;
       case StepOutcome::Continue: break;
     }
   }
@@ -208,6 +237,8 @@ bool DcSolver::newton_dense(std::vector<double>& x, double gmin,
   const std::size_t n_nodes = netlist_.node_count() - 1;
 
   for (int it = 0; it < options_.max_iterations; ++it) {
+    poll_cancel(options_.cancel, "DcSolver", it,
+                stats ? stats->max_residual : 0.0);
     assembler_.assemble(x, jacobian, residual, gmin);
 
     if (SolverObserver* observer = solver_observer()) {
@@ -228,7 +259,10 @@ bool DcSolver::newton_dense(std::vector<double>& x, double gmin,
       stats->max_residual = max_residual;
     }
 
-    if (!all_finite(residual)) return false;
+    if (!all_finite(residual)) {
+      if (stats) stats->non_finite = true;
+      return false;
+    }
 
     // Solve J * dx = -F, factoring the Jacobian in place (it is rebuilt by
     // the next assemble anyway).
@@ -244,7 +278,9 @@ bool DcSolver::newton_dense(std::vector<double>& x, double gmin,
     switch (apply_damped_step(options_, n_nodes, dx, x, it, max_residual,
                               /*residual_converged=*/false)) {
       case StepOutcome::Converged: return true;
-      case StepOutcome::Abort: return false;
+      case StepOutcome::Abort:
+        if (stats) stats->non_finite = true;
+        return false;
       case StepOutcome::Continue: break;
     }
   }
@@ -259,6 +295,7 @@ ResidualReport DcSolver::residual_report(const std::vector<double>& x) const {
   std::size_t worst_row = 0;
   const std::size_t n_nodes = netlist_.node_count() - 1;
   for (std::size_t i = 0; i < n_nodes; ++i) {
+    if (!std::isfinite(residual[i])) report.non_finite = true;
     const double magnitude =
         std::isfinite(residual[i]) ? std::fabs(residual[i]) : HUGE_VAL;
     if (magnitude >= report.worst) {
@@ -288,11 +325,14 @@ DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
   // source ramp and only added the last attempt, so the ConvergenceError
   // message and DcResult::total_iterations under-counted the real work.
   int total_iterations = 0;
+  bool any_non_finite = false;  // any attempt hit a NaN/Inf residual or step
   NewtonStats stats;
   const auto attempt = [&](DcSolver const& solver, std::vector<double>& xv,
                            double g) {
+    stats.non_finite = false;
     const bool ok = solver.newton(xv, g, &stats);
     total_iterations += stats.iterations;
+    any_non_finite = any_non_finite || stats.non_finite;
     return ok;
   };
   const auto finish = [&](std::vector<double>&& xv) {
@@ -375,9 +415,16 @@ DcResult DcSolver::solve(const std::vector<double>* initial_guess) const {
                 "DcSolver: failed to find a DC operating point (plain Newton, "
                 "gmin stepping, source stepping and damped Newton all "
                 "diverged after %d iterations; worst residual %.3e A at node "
-                "'%s')",
-                total_iterations, report.worst, report.node.c_str());
-  throw ConvergenceError(buf);
+                "'%s'%s)",
+                total_iterations, report.worst, report.node.c_str(),
+                any_non_finite || report.non_finite ? "; non-finite residual"
+                                                    : "");
+  SolveFailureInfo info;
+  info.iterations = total_iterations;
+  info.worst_residual = report.worst;
+  info.worst_node = report.node;
+  info.non_finite = any_non_finite || report.non_finite;
+  throw NewtonDivergence(buf, std::move(info));
 }
 
 double DcSolver::voltage(const DcResult& result, NodeId node) const {

@@ -9,6 +9,7 @@
 
 #include "lpsram/spice/elements.hpp"
 #include "lpsram/spice/netlist.hpp"
+#include "lpsram/util/cancel.hpp"
 
 namespace lpsram {
 
@@ -68,6 +69,11 @@ struct DcOptions {
   std::function<void(const NewtonProgress&)> progress;
   // Linear-solve kernel; Auto follows the process-wide default (Sparse).
   LinearSolverKind linear_solver = LinearSolverKind::Auto;
+  // Cooperative cancellation: when set, every Newton iteration (DC and
+  // transient) polls the token and aborts the solve with SolveTimeout
+  // (SolveFailureInfo::cancelled = true) as soon as it trips. Non-owning;
+  // the token must outlive the solve.
+  const CancelToken* cancel = nullptr;
   // Optional long-lived workspace for the sparse kernel (non-owning; may be
   // null). A caller that solves the same netlist repeatedly — e.g. a
   // VoltageRegulator across a defect/PVT sweep — passes its own workspace so
@@ -107,7 +113,17 @@ struct DcResult {
 struct ResidualReport {
   double worst = 0.0;      // max |KCL residual| over node rows [A]
   std::string node;        // name of the node carrying it
+  // True when any node residual was NaN/Inf before being collapsed to
+  // HUGE_VAL for the `worst` magnitude — lets quarantine records tell an
+  // injected/genuine NaN from an ordinary huge-but-finite divergence.
+  bool non_finite = false;
 };
+
+// Polls a cancel token (null-safe) and throws SolveTimeout with
+// SolveFailureInfo::cancelled set when it has tripped. Shared by the DC and
+// transient Newton kernels so both report cancellation identically.
+void poll_cancel(const CancelToken* cancel, const char* where, int iterations,
+                 double worst_residual);
 
 class DcSolver {
  public:
@@ -135,6 +151,7 @@ class DcSolver {
   struct NewtonStats {
     int iterations = 0;      // iterations consumed by this attempt
     double max_residual = 0.0;  // residual at the last assembled point
+    bool non_finite = false;    // attempt saw a NaN/Inf residual or step
   };
 
   // One Newton solve at fixed gmin and source scale; returns converged flag.

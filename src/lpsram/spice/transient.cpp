@@ -61,6 +61,7 @@ bool TransientSolver::step_sparse(double dt, std::vector<double>& x_next) {
   const std::size_t n_nodes = netlist_.node_count() - 1;
 
   for (int it = 0; it < options_.dc.max_iterations; ++it) {
+    poll_cancel(options_.dc.cancel, "TransientSolver", it, 0.0);
     assembler_.assemble_sparse(x_next, options_.dc.gmin, ws_, &x_, dt);
     // Secondary (ABSTOL-style) acceptance, sparse kernel only — see the
     // matching note in dc_solver.cpp: on a high-impedance node dv is
@@ -105,6 +106,7 @@ bool TransientSolver::step_dense(double dt, std::vector<double>& x_next) {
   x_next = x_;
 
   for (int it = 0; it < options_.dc.max_iterations; ++it) {
+    poll_cancel(options_.dc.cancel, "TransientSolver", it, 0.0);
     assembler_.assemble(x_next, jacobian, residual, options_.dc.gmin, &x_,
                         dt);
     std::vector<double> rhs(residual.size());
@@ -156,6 +158,10 @@ Waveform TransientSolver::run(const std::vector<NodeId>& probes,
   std::vector<double> x_next;
 
   while (t < options_.t_stop) {
+    // Poll between accepted steps too: a cancel that lands while the step
+    // loop is not in Newton (e.g. during waveform recording) still cuts the
+    // simulation off at the next boundary.
+    poll_cancel(options_.dc.cancel, "TransientSolver", 0, 0.0);
     dt = std::min(dt, options_.t_stop - t);
     if (stimulus) stimulus(t + dt, netlist_);
 

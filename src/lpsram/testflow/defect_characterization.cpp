@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <exception>
 
+#include "lpsram/spice/dc_solver.hpp"
 #include "lpsram/spice/hooks.hpp"
 #include "lpsram/util/error.hpp"
 #include "lpsram/util/rootfind.hpp"
@@ -79,11 +79,47 @@ std::vector<std::vector<DefectCsResult>> DefectCharacterizer::run_cells(
     bool detectable = false;   // threshold found below r_high
     double threshold = 0.0;
     VrefLevel vref = VrefLevel::V070;
-    std::exception_ptr error;  // quarantined failure (quarantine mode only)
+    bool failed = false;       // quarantined failure (q holds the record)
+    QuarantinedPoint q;
     SolveTelemetry solves;
     double wall_s = 0.0;
   };
   std::vector<Slot> slots(tasks.size());
+
+  // Task identity: a pure function of what the task computes, shared by
+  // characterize() and table() so both produce identical cells — and stable
+  // across runs, which is what lets a campaign journal replay it.
+  const auto key_of = [&tasks](std::size_t t) {
+    const Task& task = tasks[t];
+    return fold_key(
+        fold_key(fold_key(fold_key(0x7461626c653249ULL,  // "table2I"
+                                   static_cast<std::uint64_t>(task.id)),
+                          static_cast<std::uint64_t>(task.cs->index)),
+                 task.cs->degrades_one ? 1u : 0u),
+        task.pvt_index);
+  };
+
+  // Campaign manifest: everything that shapes a task's result. Resuming a
+  // journal recorded with a different grid or tolerance must be refused,
+  // not silently mixed.
+  if (options_.campaign) {
+    std::uint64_t fp = fold_key(0x7461626c653249ULL, tasks.size());
+    for (const DefectId id : defects)
+      fp = fold_key(fp, static_cast<std::uint64_t>(id));
+    for (const CaseStudy& cs : case_studies)
+      fp = fold_key(fold_key(fp, static_cast<std::uint64_t>(cs.index)),
+                    cs.degrades_one ? 1u : 0u);
+    for (const PvtPoint& pvt : options_.pvt) {
+      fp = fold_key(fp, static_cast<std::uint64_t>(pvt.corner));
+      fp = fold_key(fp, key_bits(pvt.vdd));
+      fp = fold_key(fp, key_bits(pvt.temp_c));
+    }
+    for (const double v :
+         {options_.r_low, options_.r_high, options_.rel_tolerance,
+          options_.ds_time, worst_drv_})
+      fp = fold_key(fp, key_bits(v));
+    options_.campaign->bind_sweep(0x7461626c653249ULL, fp);
+  }
 
   SolveCache cache;
   SweepExecutorOptions exec_options;
@@ -116,25 +152,25 @@ std::vector<std::vector<DefectCsResult>> DefectCharacterizer::run_cells(
                   .emplace(cs.index, std::make_unique<RegulatorCharacterizer>(
                                          tech_, load, options_.flip))
                   .first;
+      if (options_.cancel) {
+        // Thread the campaign's cancel token into every retry-ladder solve
+        // of this characterizer (polled per Newton iteration).
+        RetryLadderOptions policy;
+        policy.cancel = options_.cancel;
+        found->second->set_solve_policy(policy);
+      }
     }
     return *found->second;
   };
 
   const auto started = std::chrono::steady_clock::now();
-  executor.run(tasks.size(), [&](std::size_t t, int worker) {
+  const auto body = [&](std::size_t t, int worker) {
     const Task& task = tasks[t];
     const CaseStudy& cs = *task.cs;
     const PvtPoint& pvt = options_.pvt[task.pvt_index];
     Slot& slot = slots[t];
 
-    // Task identity: a pure function of what the task computes, shared by
-    // characterize() and table() so both produce identical cells.
-    const std::uint64_t task_key = fold_key(
-        fold_key(fold_key(fold_key(0x7461626c653249ULL,  // "table2I"
-                                   static_cast<std::uint64_t>(task.id)),
-                          static_cast<std::uint64_t>(cs.index)),
-                 cs.degrades_one ? 1u : 0u),
-        task.pvt_index);
+    const std::uint64_t task_key = key_of(t);
     const ScopedTaskObserver task_scope(task_key);
     const auto task_started = std::chrono::steady_clock::now();
 
@@ -144,6 +180,10 @@ std::vector<std::vector<DefectCsResult>> DefectCharacterizer::run_cells(
     const SolveTelemetry before = characterizer.solve_telemetry();
 
     try {
+      // A cancel that lands between tasks skips the whole point up front
+      // (the per-iteration polls inside the Newton loops handle mid-solve).
+      poll_cancel(options_.cancel, "DefectCharacterizer", 0, 0.0);
+
       DsCondition condition;
       condition.corner = pvt.corner;
       condition.vdd = pvt.vdd;
@@ -162,16 +202,57 @@ std::vector<std::vector<DefectCsResult>> DefectCharacterizer::run_cells(
         slot.detectable = true;
         slot.threshold = r;
       }
-    } catch (const Error&) {
+    } catch (const Error& e) {
       if (!options_.quarantine) throw;  // executor: fail fast, rethrow first
-      slot.error = std::current_exception();
+      slot.failed = true;
+      slot.q = quarantined_point("Df" + std::to_string(task.id) + " x " +
+                                     cs.name() + " @ " + pvt_name(pvt),
+                                 e);
     }
 
     slot.solves = telemetry_delta(before, characterizer.solve_telemetry());
     slot.wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - task_started)
                       .count();
-  });
+  };
+
+  // Slot payload for the campaign journal: outcome + deterministic solve
+  // counters (timings are outside the resume determinism contract).
+  CampaignTaskCodec codec;
+  codec.encode = [&slots](std::size_t t) {
+    const Slot& slot = slots[t];
+    PayloadWriter out;
+    out.u8(slot.failed ? 2 : slot.detectable ? 1 : 0);
+    if (slot.failed) {
+      encode_quarantine(out, slot.q);
+    } else if (slot.detectable) {
+      out.f64(slot.threshold);
+      out.u8(static_cast<std::uint8_t>(slot.vref));
+    }
+    encode_telemetry(out, slot.solves);
+    return out.take();
+  };
+  codec.decode = [&slots](std::size_t t, PayloadReader& in) {
+    Slot& slot = slots[t];
+    switch (in.u8()) {
+      case 2:
+        slot.failed = true;
+        slot.q = decode_quarantine(in);
+        break;
+      case 1:
+        slot.detectable = true;
+        slot.threshold = in.f64();
+        slot.vref = static_cast<VrefLevel>(in.u8());
+        break;
+      default:
+        break;  // ran clean, threshold above r_high
+    }
+    slot.solves = decode_telemetry(in);
+  };
+
+  run_campaign(executor, options_.campaign,
+               options_.solve_cache ? &cache : nullptr, tasks.size(), key_of,
+               body, codec);
 
   // Index-ordered reduction: PVT-grid order within each cell, exactly the
   // order the serial loop used.
@@ -203,16 +284,10 @@ std::vector<std::vector<DefectCsResult>> DefectCharacterizer::run_cells(
     sweep.solves.merge(slot.solves);
     sweep.cpu_s += slot.wall_s;
 
-    if (slot.error) {
-      try {
-        std::rethrow_exception(slot.error);
-      } catch (const Error& e) {
-        // Partial results beat none: record the point as untrusted and keep
-        // the rest of the grid.
-        result.sweep.quarantine("Df" + std::to_string(task.id) + " x " +
-                                    task.cs->name() + " @ " + pvt_name(pvt),
-                                e);
-      }
+    if (slot.failed) {
+      // Partial results beat none: record the point as untrusted and keep
+      // the rest of the grid.
+      result.sweep.quarantine(slot.q);
       continue;
     }
     result.sweep.add_success();

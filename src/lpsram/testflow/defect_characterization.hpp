@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "lpsram/regulator/characterize.hpp"
+#include "lpsram/runtime/campaign.hpp"
 #include "lpsram/runtime/quarantine.hpp"
 #include "lpsram/testflow/case_studies.hpp"
 #include "lpsram/testflow/pvt.hpp"
@@ -42,6 +43,16 @@ struct DefectCharacterizationOptions {
   // operating-point SolveCache. Task scoping keeps parallel runs
   // deterministic; cache on/off may differ within solver tolerance.
   bool solve_cache = true;
+  // Durable campaign (non-owning, may be null): completed (defect x CS x
+  // PVT) tasks are journaled as they finish, and a resumed run replays
+  // them from the journal — skipping the solves — with final tables
+  // bit-identical to an uninterrupted run. The journal must have been
+  // recorded with the same options (manifest fingerprint check).
+  Campaign* campaign = nullptr;
+  // Cooperative cancellation for every solve of the sweep (non-owning, may
+  // be null): polled per Newton iteration; cancelled points quarantine as
+  // SolveTimeout.
+  const CancelToken* cancel = nullptr;
 };
 
 // One Table II cell: defect x case study.

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <exception>
 #include <memory>
 
+#include "lpsram/spice/dc_solver.hpp"
 #include "lpsram/spice/hooks.hpp"
 #include "lpsram/util/error.hpp"
 #include "lpsram/util/rootfind.hpp"
@@ -85,11 +85,39 @@ DetectionMatrix FlowOptimizer::build_matrix(
   struct Slot {
     double rmin = 0.0;
     bool ok = false;
-    std::exception_ptr error;
+    bool failed = false;  // quarantined (q holds the record)
+    QuarantinedPoint q;
     SolveTelemetry solves;
     double wall_s = 0.0;
   };
   std::vector<Slot> slots(tasks.size());
+
+  // Stable task identity (condition index x defect) — also the campaign
+  // journal key for the entry.
+  const auto key_of = [&](std::size_t t) {
+    return fold_key(fold_key(0x7461626c653349ULL,  // "table3I"
+                             tasks[t].ci),
+                    static_cast<std::uint64_t>(matrix.defects[tasks[t].di]));
+  };
+
+  // Campaign manifest: the condition grid, defect list and every knob that
+  // shapes an entry. A journal recorded under different options is refused.
+  if (options_.campaign) {
+    std::uint64_t fp = fold_key(0x7461626c653349ULL, tasks.size());
+    for (const TestCondition& tc : matrix.conditions) {
+      fp = fold_key(fp, key_bits(tc.vdd));
+      fp = fold_key(fp, static_cast<std::uint64_t>(tc.vref));
+      fp = fold_key(fp, key_bits(tc.ds_time));
+    }
+    for (const DefectId id : matrix.defects)
+      fp = fold_key(fp, static_cast<std::uint64_t>(id));
+    fp = fold_key(fp, static_cast<std::uint64_t>(options_.corner));
+    for (const double v : {options_.temp_c, options_.r_low, options_.r_high,
+                           options_.rel_tolerance, worst_drv_, options_.guard,
+                           drv})
+      fp = fold_key(fp, key_bits(v));
+    options_.campaign->bind_sweep(0x7461626c653349ULL, fp);
+  }
 
   SolveCache cache;
   SweepExecutorOptions exec_options;
@@ -104,28 +132,34 @@ DetectionMatrix FlowOptimizer::build_matrix(
   load.total_cells = 256 * 1024;
 
   const auto started = std::chrono::steady_clock::now();
-  executor.run(tasks.size(), [&](std::size_t t, int worker) {
+  const auto body = [&](std::size_t t, int worker) {
     const Task& task = tasks[t];
     const TestCondition& tc = matrix.conditions[task.ci];
     const DefectId id = matrix.defects[task.di];
     Slot& slot = slots[t];
 
-    const std::uint64_t task_key =
-        fold_key(fold_key(0x7461626c653349ULL,  // "table3I"
-                          task.ci),
-                 static_cast<std::uint64_t>(id));
+    const std::uint64_t task_key = key_of(t);
     const ScopedTaskObserver task_scope(task_key);
     const auto task_started = std::chrono::steady_clock::now();
 
     auto& characterizer = workers[static_cast<std::size_t>(worker)];
-    if (!characterizer)
+    if (!characterizer) {
       characterizer =
           std::make_unique<RegulatorCharacterizer>(tech_, load, options_.flip);
+      if (options_.cancel) {
+        // Cancel token reaches every Newton iteration of every probe solve.
+        RetryLadderOptions policy;
+        policy.cancel = options_.cancel;
+        characterizer->set_solve_policy(policy);
+      }
+    }
     characterizer->set_solve_cache(options_.solve_cache ? &cache : nullptr,
                                    task_key);
     const SolveTelemetry before = characterizer->solve_telemetry();
 
     try {
+      poll_cancel(options_.cancel, "FlowOptimizer", 0, 0.0);
+
       DsCondition condition;
       condition.corner = options_.corner;
       condition.vdd = tc.vdd;
@@ -138,16 +172,46 @@ DetectionMatrix FlowOptimizer::build_matrix(
           },
           options_.r_low, options_.r_high, options_.rel_tolerance);
       slot.ok = true;
-    } catch (const Error&) {
+    } catch (const Error& e) {
       if (!options_.quarantine) throw;
-      slot.error = std::current_exception();
+      slot.failed = true;
+      slot.q = quarantined_point(tc.str() + " x Df" + std::to_string(id), e);
     }
 
     slot.solves = telemetry_delta(before, characterizer->solve_telemetry());
     slot.wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - task_started)
                       .count();
-  });
+  };
+
+  // Journal payload per entry: outcome + deterministic solve counters.
+  CampaignTaskCodec codec;
+  codec.encode = [&slots](std::size_t t) {
+    const Slot& slot = slots[t];
+    PayloadWriter out;
+    out.u8(slot.ok ? 1 : 0);
+    if (slot.ok)
+      out.f64(slot.rmin);
+    else
+      encode_quarantine(out, slot.q);
+    encode_telemetry(out, slot.solves);
+    return out.take();
+  };
+  codec.decode = [&slots](std::size_t t, PayloadReader& in) {
+    Slot& slot = slots[t];
+    slot.ok = in.u8() != 0;
+    if (slot.ok) {
+      slot.rmin = in.f64();
+    } else {
+      slot.failed = true;
+      slot.q = decode_quarantine(in);
+    }
+    slot.solves = decode_telemetry(in);
+  };
+
+  run_campaign(executor, options_.campaign,
+               options_.solve_cache ? &cache : nullptr, tasks.size(), key_of,
+               body, codec);
 
   // (condition, defect)-ordered reduction, matching the serial loop.
   matrix.telemetry.tasks = tasks.size();
@@ -161,15 +225,9 @@ DetectionMatrix FlowOptimizer::build_matrix(
       matrix.rmin[task.ci][task.di] = slot.rmin;
       matrix.sweep.add_success();
     } else {
-      try {
-        std::rethrow_exception(slot.error);
-      } catch (const Error& e) {
-        // Leave the "not detectable" sentinel in place and record the entry
-        // so coverage accounting stays honest.
-        matrix.sweep.quarantine(matrix.conditions[task.ci].str() + " x Df" +
-                                    std::to_string(matrix.defects[task.di]),
-                                e);
-      }
+      // Leave the "not detectable" sentinel in place and record the entry
+      // so coverage accounting stays honest.
+      matrix.sweep.quarantine(slot.q);
     }
   }
   matrix.telemetry.wall_s =

@@ -100,6 +100,15 @@ struct FlowOptimizerOptions {
   int threads = 0;
   // Warm-start each probe's bisection from the task-scoped SolveCache.
   bool solve_cache = true;
+  // Durable campaign (non-owning, may be null): completed (condition x
+  // defect) entries are journaled as they finish; a resumed build_matrix
+  // replays them and produces a matrix bit-identical to an uninterrupted
+  // run. The journal must carry the same options (manifest fingerprint).
+  Campaign* campaign = nullptr;
+  // Cooperative cancellation for every probe solve (non-owning, may be
+  // null): polled per Newton iteration; cancelled entries quarantine as
+  // SolveTimeout.
+  const CancelToken* cancel = nullptr;
 };
 
 class FlowOptimizer {

@@ -1,0 +1,29 @@
+// Cooperative cancellation primitive shared by the solve stack. A watchdog
+// (or an operator) flips the token; Newton loops in DcSolver/TransientSolver
+// poll it once per iteration and abort the solve as a SolveTimeout, so a
+// wedged point is quarantined instead of pinning a worker thread forever.
+#pragma once
+
+#include <atomic>
+
+namespace lpsram {
+
+// Thread-safe latch: any thread may call cancel(); solvers poll cancelled().
+// Once set it stays set — a token guards one logical unit of work (a solve,
+// a task, a campaign slice) and is discarded afterwards.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace lpsram

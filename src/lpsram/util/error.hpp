@@ -30,6 +30,28 @@ struct SolveFailureInfo {
   double worst_residual = 0.0;  // max |KCL residual| at the best estimate [A]
   std::string worst_node;     // node carrying the worst residual
   std::string strategies;     // comma-separated list of strategies tried
+  // True when any Newton attempt produced a non-finite residual or step —
+  // distinguishes genuine divergence / injected NaN faults from a solve
+  // that merely stalled short of tolerance.
+  bool non_finite = false;
+  // True when the solve was cut off by a CancelToken rather than by its
+  // wall-clock deadline (both surface as SolveTimeout).
+  bool cancelled = false;
+};
+
+// Thrown by DcSolver when every Newton strategy (plain, gmin stepping,
+// source stepping, damped) fails at one operating point. Carries the
+// failure diagnostics — including the non_finite flag — so the retry
+// ladder and quarantine records can tell divergence from a stall.
+// Derives from ConvergenceError so legacy catch sites keep working.
+class NewtonDivergence : public ConvergenceError {
+ public:
+  NewtonDivergence(const std::string& what, SolveFailureInfo info)
+      : ConvergenceError(what), info_(std::move(info)) {}
+  const SolveFailureInfo& info() const noexcept { return info_; }
+
+ private:
+  SolveFailureInfo info_;
 };
 
 // Thrown when every rung of the resilient solve retry ladder has failed.
@@ -65,6 +87,17 @@ class InvalidArgument : public Error {
 class ParseError : public Error {
  public:
   explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+// Thrown when a campaign journal contains a damaged interior record (bad
+// checksum, impossible length, or a short payload). A torn *tail* — the
+// partial final record left by a crash mid-append — is NOT corruption: replay
+// silently truncates it and the campaign resumes. Anything wrong before the
+// tail means the file can no longer be trusted and must be repaired or
+// discarded by the operator.
+class JournalCorrupt : public Error {
+ public:
+  explicit JournalCorrupt(const std::string& what) : Error(what) {}
 };
 
 }  // namespace lpsram
