@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "build_type_warning.hpp"
 #include "lpsram/runtime/campaign.hpp"
 #include "lpsram/runtime/journal.hpp"
 
@@ -54,6 +55,7 @@ std::vector<std::uint8_t> op_point_payload(std::uint64_t key, double r) {
 }  // namespace
 
 int main() {
+  lpsram::bench::warn_if_debug_build();
   const std::string path =
       (std::filesystem::temp_directory_path() / "lpsram_bench.journal")
           .string();

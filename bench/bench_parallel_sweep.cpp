@@ -21,6 +21,7 @@
 #include <cstring>
 #include <vector>
 
+#include "build_type_warning.hpp"
 #include "lpsram/runtime/parallel.hpp"
 #include "lpsram/testflow/defect_characterization.hpp"
 #include "lpsram/util/units.hpp"
@@ -67,6 +68,7 @@ bool bit_identical(const RunResult& a, const RunResult& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  lpsram::bench::warn_if_debug_build();
   bool full = false;
   int threads = 0;
   for (int i = 1; i < argc; ++i) {

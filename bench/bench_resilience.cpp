@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "build_type_warning.hpp"
 #include "lpsram/runtime/chaos.hpp"
 #include "lpsram/testflow/report.hpp"
 #include "lpsram/util/units.hpp"
@@ -59,6 +60,7 @@ void print_chaos(const ChaosEngine& chaos) {
 }  // namespace
 
 int main() {
+  lpsram::bench::warn_if_debug_build();
   const Technology tech = Technology::lp40nm();
   std::printf("Resilient solve engine under numerical fault injection\n\n");
 

@@ -3,6 +3,8 @@
 // steps, SNM and DRV extraction, and March execution throughput.
 #include <benchmark/benchmark.h>
 
+#include "build_type_warning.hpp"
+#include "lpsram/cell/batch_vtc.hpp"
 #include "lpsram/cell/drv.hpp"
 #include "lpsram/cell/snm.hpp"
 #include "lpsram/march/executor.hpp"
@@ -93,15 +95,20 @@ void BM_DsEntryTransient(benchmark::State& state) {
 }
 BENCHMARK(BM_DsEntryTransient);
 
-void BM_HoldSnm(benchmark::State& state) {
+// SNM / DRV extraction on a pinned cell-analysis kernel. The no-suffix
+// variants measure the production default (batched); the Scalar/Batched
+// pair is the head-to-head comparison tools/check_bench_solver.py gates CI
+// on (batched must stay >= 3x faster than the scalar oracle).
+void hold_snm_bench(benchmark::State& state, CellKernelKind kind) {
+  const ScopedCellKernelDefault kernel(kind);
   const CoreCell cell(tech());
   for (auto _ : state) {
     benchmark::DoNotOptimize(hold_snm(cell, StoredBit::One, 0.8, 25.0));
   }
 }
-BENCHMARK(BM_HoldSnm);
 
-void BM_DrvExtraction(benchmark::State& state) {
+void drv_extraction_bench(benchmark::State& state, CellKernelKind kind) {
+  const ScopedCellKernelDefault kernel(kind);
   CellVariation v;
   v.mpcc1 = -3;
   v.mncc1 = -3;
@@ -110,7 +117,36 @@ void BM_DrvExtraction(benchmark::State& state) {
     benchmark::DoNotOptimize(drv_hold(cell, StoredBit::One, 25.0));
   }
 }
+
+void BM_HoldSnm(benchmark::State& state) {
+  hold_snm_bench(state, default_cell_kernel());
+}
+BENCHMARK(BM_HoldSnm);
+
+void BM_HoldSnmScalar(benchmark::State& state) {
+  hold_snm_bench(state, CellKernelKind::Scalar);
+}
+BENCHMARK(BM_HoldSnmScalar);
+
+void BM_HoldSnmBatched(benchmark::State& state) {
+  hold_snm_bench(state, CellKernelKind::Batched);
+}
+BENCHMARK(BM_HoldSnmBatched);
+
+void BM_DrvExtraction(benchmark::State& state) {
+  drv_extraction_bench(state, default_cell_kernel());
+}
 BENCHMARK(BM_DrvExtraction);
+
+void BM_DrvExtractionScalar(benchmark::State& state) {
+  drv_extraction_bench(state, CellKernelKind::Scalar);
+}
+BENCHMARK(BM_DrvExtractionScalar);
+
+void BM_DrvExtractionBatched(benchmark::State& state) {
+  drv_extraction_bench(state, CellKernelKind::Batched);
+}
+BENCHMARK(BM_DrvExtractionBatched);
 
 void BM_MarchMlz4Kx64(benchmark::State& state) {
   SramConfig config;
@@ -132,4 +168,17 @@ BENCHMARK(BM_MarchMlz4Kx64);
 }  // namespace
 }  // namespace lpsram
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp the *binary's* build type
+// into the JSON context (the stock `library_build_type` field describes the
+// installed benchmark library, not this repo) so tools/check_bench_solver.py
+// can refuse to gate on numbers from a debug build.
+int main(int argc, char** argv) {
+  lpsram::bench::warn_if_debug_build();
+  benchmark::AddCustomContext(
+      "lpsram_build_type", lpsram::bench::kReleaseBuild ? "release" : "debug");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

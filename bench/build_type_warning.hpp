@@ -1,0 +1,31 @@
+// Bench hygiene shared by every timing binary: a compile-time flag saying
+// whether the *benchmark binary itself* was built with NDEBUG, and a loud
+// stderr warning when it was not. This is distinct from google-benchmark's
+// own "Library was built as DEBUG" banner, which describes the installed
+// benchmark library — numbers from a debug-built harness around a release
+// repo are noisy; numbers from a debug-built repo are meaningless.
+#pragma once
+
+#include <cstdio>
+
+namespace lpsram::bench {
+
+#ifdef NDEBUG
+inline constexpr bool kReleaseBuild = true;
+#else
+inline constexpr bool kReleaseBuild = false;
+#endif
+
+// Warn (stderr, once per call) when the binary was compiled without NDEBUG:
+// assertions are on and optimization is likely off, so timings must never be
+// recorded into BENCH_solver.json or compared against recorded numbers.
+inline void warn_if_debug_build() {
+  if (!kReleaseBuild) {
+    std::fprintf(stderr,
+                 "*** WARNING: benchmark binary built without NDEBUG (debug "
+                 "build); timings are not comparable. Rebuild with "
+                 "-DCMAKE_BUILD_TYPE=Release before recording. ***\n");
+  }
+}
+
+}  // namespace lpsram::bench

@@ -1,0 +1,431 @@
+#include "lpsram/cell/batch_vtc.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "lpsram/util/rootfind.hpp"
+
+namespace lpsram {
+
+// ---------------------------------------------------------------------------
+// Kernel selection.
+
+namespace {
+
+std::atomic<CellKernelKind> g_default_cell_kernel{CellKernelKind::Batched};
+
+}  // namespace
+
+CellKernelKind default_cell_kernel() noexcept {
+  return g_default_cell_kernel.load(std::memory_order_relaxed);
+}
+
+CellKernelKind set_default_cell_kernel(CellKernelKind kind) noexcept {
+  if (kind == CellKernelKind::Auto) kind = CellKernelKind::Batched;
+  return g_default_cell_kernel.exchange(kind, std::memory_order_relaxed);
+}
+
+CellKernelKind resolved_cell_kernel() noexcept {
+  const CellKernelKind kind = default_cell_kernel();
+  return kind == CellKernelKind::Auto ? CellKernelKind::Batched : kind;
+}
+
+// ---------------------------------------------------------------------------
+// Engine.
+
+namespace {
+
+// Scalar scan constants, replicated exactly (snm.cpp smallest_fixed_point):
+// grid point i is vdd_cc * i / kScanPoints for i in 1..kScanPoints.
+constexpr int kScanPoints = 48;
+
+// Noise levels probed per SNM ladder round; the bracket shrinks by
+// (kNoiseWavefront + 1) per batched round instead of 2 per scalar probe.
+constexpr int kNoiseWavefront = 3;
+
+// SNM ladder resolution, replicated from the scalar hold_snm.
+constexpr double kSnmResolution = 1e-4;  // 0.1 mV
+
+// VTC inversion tolerances, replicated from the scalar solve_node
+// (vtc.cpp): Brent with x_tol 1e-9 / f_tol 1e-18 on a bracket slightly
+// wider than the rails.
+constexpr double kNodeXTol = 1e-9;
+constexpr double kNodeFTol = 1e-18;
+
+// Fixed-point refinement tolerances, replicated from the scalar
+// smallest_fixed_point (x_tol 1e-7, default f_tol).
+constexpr double kMapXTol = 1e-7;
+constexpr double kMapFTol = 1e-12;
+
+}  // namespace
+
+BatchHoldVtc::BatchHoldVtc(const CoreCell& cell, double temp_c,
+                           CoreCell::Bias bias)
+    : cell_(&cell), temp_c_(temp_c), bias_(bias) {
+  // Hoist the per-(device, temperature) constants once. The solved node is
+  // the drain of all three attached devices, so every residual derivative
+  // is a plain gds sum.
+  side_s_.pu = mosfet_lane_consts(cell.transistor(CellTransistor::MPcc1), temp_c);
+  side_s_.pd = mosfet_lane_consts(cell.transistor(CellTransistor::MNcc1), temp_c);
+  side_s_.pass =
+      mosfet_lane_consts(cell.transistor(CellTransistor::MNcc3), temp_c);
+  side_s_.pass_cache = nmos_source_cache(side_s_.pass, bias.wl, bias.bl);
+  side_s_.pass_vs = bias.bl;
+
+  side_sb_.pu = mosfet_lane_consts(cell.transistor(CellTransistor::MPcc2), temp_c);
+  side_sb_.pd = mosfet_lane_consts(cell.transistor(CellTransistor::MNcc2), temp_c);
+  side_sb_.pass =
+      mosfet_lane_consts(cell.transistor(CellTransistor::MNcc4), temp_c);
+  side_sb_.pass_cache = nmos_source_cache(side_sb_.pass, bias.wl, bias.blb);
+  side_sb_.pass_vs = bias.blb;
+}
+
+void BatchHoldVtc::invert(const InverterPlan& plan, const double* v_in,
+                          std::size_t n, double vdd_cc, double* out,
+                          double* slope) {
+  // Per-lane source caches for the pull-down: its gate is the lane input and
+  // its source is ground, both fixed across the solve iterations — only the
+  // drain (the solved node) moves.
+  pd_cache_.resize(n);
+  inv_lo_.resize(n);
+  inv_hi_.resize(n);
+  gm_sum_.resize(n);
+  gds_sum_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pd_cache_[i] = nmos_source_cache(plan.pd, v_in[i], 0.0);
+    // Scalar solve_node bracket: slightly wider than the rails.
+    inv_lo_[i] = -0.05;
+    inv_hi_[i] = vdd_cc + 0.05;
+  }
+
+  const auto residual = [&](const std::size_t* lanes, const double* x,
+                            double* f, double* df, std::size_t m) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t lane = lanes[i];
+      const double xv = x[i];
+      // Pull-up PMOS: gate = lane input, drain = solved node, source = rail.
+      // Full mirrored-terminal evaluation — the well reference moves with
+      // the drain, so nothing source-side is cacheable.
+      const MosEval pu = lane_eval(plan.pu, v_in[lane], xv, vdd_cc);
+      // Pull-down NMOS from the per-lane source cache: one exponential.
+      const MosEval pd = lane_eval_nmos_cached(plan.pd, pd_cache_[lane], xv, 0.0);
+      // Pass NMOS from the bias-level source cache shared by every lane.
+      const MosEval ps =
+          lane_eval_nmos_cached(plan.pass, plan.pass_cache, xv, plan.pass_vs);
+      // Same summation order as CoreCell::residual_s/_sb: pu + pd + pass.
+      f[i] = pu.id + pd.id + ps.id;
+      df[i] = pu.gds + pd.gds + ps.gds;
+      gm_sum_[lane] = pu.gm + pd.gm;
+      gds_sum_[lane] = df[i];
+    }
+  };
+
+  LaneRootOptions opts;
+  opts.x_tolerance = kNodeXTol;
+  opts.f_tolerance = kNodeFTol;
+  opts.increasing = true;  // node residual is monotone increasing in the node
+  solve_bracketed_lanes(residual, n, inv_lo_.data(), inv_hi_.data(), out, opts,
+                        &node_ws_);
+
+  if (slope) {
+    // VTC slope d out / d in from the last device evaluation: the input
+    // drives both gates, the output is the common drain, so
+    // d out / d in = -(gm_pu + gm_pd) / (gds_pu + gds_pd + gds_pass).
+    for (std::size_t i = 0; i < n; ++i)
+      slope[i] = gds_sum_[i] != 0.0 ? -gm_sum_[i] / gds_sum_[i] : 0.0;
+  }
+}
+
+void BatchHoldVtc::inverter_s(const double* v_in, std::size_t n, double vdd_cc,
+                              double* out, double* slope) {
+  invert(side_s_, v_in, n, vdd_cc, out, slope);
+}
+
+void BatchHoldVtc::inverter_sb(const double* v_in, std::size_t n,
+                               double vdd_cc, double* out, double* slope) {
+  invert(side_sb_, v_in, n, vdd_cc, out, slope);
+}
+
+void BatchHoldVtc::loop_map(StoredBit bit, double vdd_cc, const double* x,
+                            const double* noise, std::size_t m, double* out,
+                            double* slope, double* v_high) {
+  // Same composition as the scalar LoopMap (snm.cpp): raise the high-side
+  // input by the adverse noise, drive the high node, lower its value by the
+  // noise, drive the low node back.
+  map_in_.resize(m);
+  map_high_.resize(m);
+  map_slope_high_.resize(m);
+  map_slope_low_.resize(m);
+
+  for (std::size_t i = 0; i < m; ++i) map_in_[i] = x[i] + noise[i];
+  if (bit == StoredBit::One) {
+    inverter_s(map_in_.data(), m, vdd_cc, map_high_.data(),
+               slope ? map_slope_high_.data() : nullptr);
+  } else {
+    inverter_sb(map_in_.data(), m, vdd_cc, map_high_.data(),
+                slope ? map_slope_high_.data() : nullptr);
+  }
+  for (std::size_t i = 0; i < m; ++i) map_in_[i] = map_high_[i] - noise[i];
+  if (bit == StoredBit::One) {
+    inverter_sb(map_in_.data(), m, vdd_cc, out,
+                slope ? map_slope_low_.data() : nullptr);
+  } else {
+    inverter_s(map_in_.data(), m, vdd_cc, out,
+               slope ? map_slope_low_.data() : nullptr);
+  }
+  if (slope) {
+    // Chain rule through the composition: T'(x) = slope_low * slope_high.
+    for (std::size_t i = 0; i < m; ++i)
+      slope[i] = map_slope_low_[i] * map_slope_high_[i];
+  }
+  if (v_high) {
+    for (std::size_t i = 0; i < m; ++i) v_high[i] = map_high_[i];
+  }
+}
+
+void BatchHoldVtc::smallest_fixed_points(StoredBit bit, double vdd_cc,
+                                         const double* noise, std::size_t k,
+                                         double x_start, double* v_low,
+                                         double* v_high) {
+  // Phase 1 — monotone-accelerated scan for the first sign change of
+  // f(x) = T(x) - x along the scalar grid x_i = vdd * i / 48. Two facts
+  // about the monotone-increasing map T make the scan cheap without
+  // changing which grid point brackets the crossing:
+  //   (a) below the smallest fixed point x*, f > 0 (first-crossing
+  //       definition), so any probe with f <= 0 ends the scan exactly as in
+  //       the scalar code;
+  //   (b) for any probe x <= x*, T(x) <= T(x*) = x* — every evaluation is
+  //       itself a lower bound for x*, so grid points at or below T(x) are
+  //       provably on the f > 0 side and can be skipped unevaluated.
+  // Warm starts ride the same lemma: the fixed point is monotone in the
+  // noise level, so x*(d_prev) <= x*(d) makes x_start a valid first probe
+  // with f(x_start) >= 0 (equality only at the fixed point itself).
+  struct ScanLane {
+    int grid = 1;          // next unvisited scalar grid index
+    double x_prev = 0.0;   // last probe with f > 0 (bracket low)
+    double probe = 0.0;    // probe submitted this round
+    double bracket_lo = 0.0, bracket_hi = 0.0;
+    enum class Phase { Scan, Refine, Done } phase = Phase::Scan;
+  };
+  std::vector<ScanLane> lanes(k);
+  fp_lanes_.clear();
+  for (std::size_t i = 0; i < k; ++i) {
+    lanes[i].x_prev = x_start;
+    lanes[i].probe = x_start;
+    fp_lanes_.push_back(i);
+  }
+
+  fp_x_.resize(k);
+  fp_noise_.resize(k);
+  fp_t_.resize(k);
+  while (!fp_lanes_.empty()) {
+    const std::size_t m = fp_lanes_.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      fp_x_[i] = lanes[fp_lanes_[i]].probe;
+      fp_noise_[i] = noise[fp_lanes_[i]];
+    }
+    loop_map(bit, vdd_cc, fp_x_.data(), fp_noise_.data(), m, fp_t_.data(),
+             nullptr, nullptr);
+
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t lane = fp_lanes_[i];
+      ScanLane& s = lanes[lane];
+      const double t = fp_t_[i];
+      const double f = t - s.probe;
+      if (f <= 0.0) {
+        if (s.probe == x_start) {
+          // Already at/below a fixed point (scalar: the x_prev = 0 branch).
+          v_low[lane] = s.probe;
+          s.phase = ScanLane::Phase::Done;
+        } else {
+          s.bracket_lo = s.x_prev;
+          s.bracket_hi = s.probe;
+          s.phase = ScanLane::Phase::Refine;
+        }
+        continue;
+      }
+      // f > 0: t = T(probe) is a certified lower bound for x*. Skip every
+      // grid point at or below it (and below the probe itself).
+      s.x_prev = s.probe;
+      const double bound = t > s.probe ? t : s.probe;
+      while (s.grid <= kScanPoints &&
+             vdd_cc * s.grid / kScanPoints <= bound)
+        ++s.grid;
+      if (t >= vdd_cc || s.grid > kScanPoints) {
+        // x* >= vdd (or the grid is exhausted): the map saturates near vdd —
+        // the fully flipped state, exactly the scalar fall-through.
+        v_low[lane] = vdd_cc;
+        s.phase = ScanLane::Phase::Done;
+        continue;
+      }
+      s.probe = vdd_cc * s.grid / kScanPoints;
+      ++s.grid;
+      fp_lanes_[kept++] = lane;
+    }
+    fp_lanes_.resize(kept);
+  }
+
+  // Phase 2 — lockstep Newton-polished refinement of the bracketed lanes,
+  // residual f(x) = T(x) - x with the analytic map derivative T'(x) - 1.
+  fp_lanes_.clear();
+  for (std::size_t i = 0; i < k; ++i)
+    if (lanes[i].phase == ScanLane::Phase::Refine) fp_lanes_.push_back(i);
+  if (!fp_lanes_.empty()) {
+    const std::size_t r = fp_lanes_.size();
+    fp_x_.resize(r);
+    fp_t_.resize(r);
+    fp_slope_.resize(r);
+    std::vector<double> lo(r), hi(r), root(r);
+    for (std::size_t i = 0; i < r; ++i) {
+      lo[i] = lanes[fp_lanes_[i]].bracket_lo;
+      hi[i] = lanes[fp_lanes_[i]].bracket_hi;
+    }
+    const auto residual = [&](const std::size_t* active, const double* x,
+                              double* f, double* df, std::size_t m) {
+      fp_noise_.resize(m);
+      for (std::size_t i = 0; i < m; ++i)
+        fp_noise_[i] = noise[fp_lanes_[active[i]]];
+      loop_map(bit, vdd_cc, x, fp_noise_.data(), m, fp_t_.data(),
+               fp_slope_.data(), nullptr);
+      for (std::size_t i = 0; i < m; ++i) {
+        f[i] = fp_t_[i] - x[i];
+        df[i] = fp_slope_[i] - 1.0;
+      }
+    };
+    LaneRootOptions opts;
+    opts.x_tolerance = kMapXTol;
+    opts.f_tolerance = kMapFTol;
+    opts.increasing = false;  // f goes + -> - through the first crossing
+    solve_bracketed_lanes(residual, r, lo.data(), hi.data(), root.data(), opts,
+                          &map_ws_);
+    for (std::size_t i = 0; i < r; ++i) v_low[fp_lanes_[i]] = root[i];
+  }
+
+  // Phase 3 — the high node at the settled low node, one batched inversion
+  // for all k lanes (scalar: map.high_of_low(v_low)).
+  if (v_high) {
+    fp_x_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) fp_x_[i] = v_low[i] + noise[i];
+    if (bit == StoredBit::One) {
+      inverter_s(fp_x_.data(), k, vdd_cc, v_high);
+    } else {
+      inverter_sb(fp_x_.data(), k, vdd_cc, v_high);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched hot-path entry points.
+
+namespace {
+
+// Batched retains for k noise lanes sharing one engine and one warm start.
+void retains_lanes(BatchHoldVtc& engine, StoredBit bit, double vdd_cc,
+                   const double* noise, std::size_t k, double x_start,
+                   bool* held, double* v_low_out) {
+  std::vector<double> v_low(k), v_high(k);
+  engine.smallest_fixed_points(bit, vdd_cc, noise, k, x_start, v_low.data(),
+                               v_high.data());
+  for (std::size_t i = 0; i < k; ++i) {
+    held[i] = (v_high[i] - v_low[i]) > kHoldMarginFraction * vdd_cc;
+    if (v_low_out) v_low_out[i] = v_low[i];
+  }
+}
+
+}  // namespace
+
+HoldState hold_equilibrium_batched(const CoreCell& cell, StoredBit bit,
+                                   double vdd_cc, double temp_c, double noise) {
+  BatchHoldVtc engine(cell, temp_c);
+  double v_low = 0.0, v_high = 0.0;
+  engine.smallest_fixed_points(bit, vdd_cc, &noise, 1, 0.0, &v_low, &v_high);
+
+  HoldState state;
+  state.stable = (v_high - v_low) > kHoldMarginFraction * vdd_cc;
+  if (bit == StoredBit::One) {
+    state.v_s = v_high;
+    state.v_sb = v_low;
+  } else {
+    state.v_s = v_low;
+    state.v_sb = v_high;
+  }
+  return state;
+}
+
+bool holds_state_batched(const CoreCell& cell, StoredBit bit, double vdd_cc,
+                         double temp_c) {
+  BatchHoldVtc engine(cell, temp_c);
+  const double zero = 0.0;
+  bool held = false;
+  retains_lanes(engine, bit, vdd_cc, &zero, 1, 0.0, &held, nullptr);
+  return held;
+}
+
+double hold_snm_batched(const CoreCell& cell, StoredBit bit, double vdd_cc,
+                        double temp_c) {
+  BatchHoldVtc engine(cell, temp_c);
+
+  // d = 0: does the cell hold at all? Keep its equilibrium as the warm
+  // start for every later probe (x*(d) is monotone increasing in d).
+  double d0 = 0.0;
+  bool held = false;
+  double x_warm = 0.0;
+  retains_lanes(engine, bit, vdd_cc, &d0, 1, 0.0, &held, &x_warm);
+  if (!held) return 0.0;
+
+  double d_hi = vdd_cc;
+  retains_lanes(engine, bit, vdd_cc, &d_hi, 1, x_warm, &held, nullptr);
+  if (held) return vdd_cc;
+
+  // Wavefront ladder: each round probes kNoiseWavefront evenly spaced noise
+  // levels inside (lo, hi) in one batch, shrinking the bracket by
+  // (kNoiseWavefront + 1) per round. All probes exceed lo, so they share
+  // lo's equilibrium as the warm start; the largest retaining probe's
+  // equilibrium becomes the next round's warm start.
+  double lo = 0.0, hi = vdd_cc;
+  double probes[kNoiseWavefront];
+  bool results[kNoiseWavefront];
+  double x_low[kNoiseWavefront];
+  while (hi - lo > kSnmResolution) {
+    for (int j = 0; j < kNoiseWavefront; ++j)
+      probes[j] = lo + (hi - lo) * (j + 1) / (kNoiseWavefront + 1);
+    retains_lanes(engine, bit, vdd_cc, probes, kNoiseWavefront, x_warm,
+                  results, x_low);
+    // retains is monotone decreasing in the noise; walk up to the first
+    // failing probe.
+    double new_lo = lo, new_hi = hi;
+    for (int j = 0; j < kNoiseWavefront; ++j) {
+      if (results[j]) {
+        new_lo = probes[j];
+        x_warm = x_low[j];
+      } else {
+        new_hi = probes[j];
+        break;
+      }
+    }
+    lo = new_lo;
+    hi = new_hi;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double drv_hold_batched(const CoreCell& cell, StoredBit bit, double temp_c,
+                        const DrvOptions& options) {
+  // One engine shared across every vdd probe of the search; the probe
+  // schedule is the scalar monotone_threshold_log itself, so the bisection
+  // brackets — and therefore the returned DRV — match the scalar kernel
+  // exactly as long as every retains decision agrees (probes inside the
+  // fold's solver-noise band may flip; see the header note).
+  BatchHoldVtc engine(cell, temp_c);
+  return monotone_threshold_log(
+      [&](double vdd_cc) {
+        const double zero = 0.0;
+        bool held = false;
+        retains_lanes(engine, bit, vdd_cc, &zero, 1, 0.0, &held, nullptr);
+        return held;
+      },
+      options.vdd_min, options.vdd_max, options.rel_tolerance);
+}
+
+}  // namespace lpsram

@@ -1,5 +1,6 @@
 #include "lpsram/cell/drv.hpp"
 
+#include "lpsram/cell/batch_vtc.hpp"
 #include "lpsram/cell/snm.hpp"
 #include "lpsram/util/rootfind.hpp"
 
@@ -7,6 +8,11 @@ namespace lpsram {
 
 double drv_hold(const CoreCell& cell, StoredBit bit, double temp_c,
                 const DrvOptions& options) {
+  // Batched kernel: one lane engine shared across every vdd probe, same
+  // probe schedule — thresholds match the scalar kernel except when a probe
+  // lands in the fold's solver-noise band (see drv_hold_batched).
+  if (resolved_cell_kernel() == CellKernelKind::Batched)
+    return drv_hold_batched(cell, bit, temp_c, options);
   const double threshold = monotone_threshold_log(
       [&](double vdd_cc) { return holds_state(cell, bit, vdd_cc, temp_c); },
       options.vdd_min, options.vdd_max, options.rel_tolerance);

@@ -2,16 +2,12 @@
 
 #include <cmath>
 
+#include "lpsram/cell/batch_vtc.hpp"
 #include "lpsram/cell/vtc.hpp"
 #include "lpsram/util/rootfind.hpp"
 
 namespace lpsram {
 namespace {
-
-// Fraction of the supply the high node must clear the low node by to count
-// as "held". The bistable/monostable transition is sharp, so the result is
-// insensitive to this margin; it only rejects the metastable point.
-constexpr double kHoldMarginFraction = 0.05;
 
 // Loop map for the stored state: given the low node's voltage x, drive the
 // high node through its inverter (input raised by the noise d), then drive
@@ -79,6 +75,8 @@ bool retains(const CoreCell& cell, StoredBit bit, double vdd_cc, double temp_c,
 
 HoldState hold_equilibrium(const CoreCell& cell, StoredBit bit, double vdd_cc,
                            double temp_c, double noise) {
+  if (resolved_cell_kernel() == CellKernelKind::Batched)
+    return hold_equilibrium_batched(cell, bit, vdd_cc, temp_c, noise);
   const HoldVtc vtc(cell);
   const LoopMap map{vtc, bit, vdd_cc, temp_c, noise};
   const double v_low = smallest_fixed_point(map, vdd_cc);
@@ -98,11 +96,15 @@ HoldState hold_equilibrium(const CoreCell& cell, StoredBit bit, double vdd_cc,
 
 bool holds_state(const CoreCell& cell, StoredBit bit, double vdd_cc,
                  double temp_c) {
+  if (resolved_cell_kernel() == CellKernelKind::Batched)
+    return holds_state_batched(cell, bit, vdd_cc, temp_c);
   return retains(cell, bit, vdd_cc, temp_c, /*noise=*/0.0);
 }
 
 double hold_snm(const CoreCell& cell, StoredBit bit, double vdd_cc,
                 double temp_c) {
+  if (resolved_cell_kernel() == CellKernelKind::Batched)
+    return hold_snm_batched(cell, bit, vdd_cc, temp_c);
   if (!retains(cell, bit, vdd_cc, temp_c, 0.0)) return 0.0;
   // SNM is the largest adverse noise the cell survives; bisect on d.
   double lo = 0.0;          // retains

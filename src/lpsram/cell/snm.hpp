@@ -12,6 +12,13 @@
 
 namespace lpsram {
 
+// Fraction of the supply the high node must clear the low node by to count
+// as "held". The bistable/monostable transition is sharp, so the result is
+// insensitive to this margin; it only rejects the metastable point. Shared
+// with the batched kernel (cell/batch_vtc.hpp) so both kernels apply the
+// same retention decision.
+inline constexpr double kHoldMarginFraction = 0.05;
+
 // Equilibrium node voltages of the cell in hold mode.
 struct HoldState {
   double v_s = 0.0;

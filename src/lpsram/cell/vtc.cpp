@@ -1,5 +1,6 @@
 #include "lpsram/cell/vtc.hpp"
 
+#include "lpsram/cell/batch_vtc.hpp"
 #include "lpsram/util/rootfind.hpp"
 
 namespace lpsram {
@@ -16,6 +17,37 @@ double solve_node(const std::function<double(double)>& residual,
   const double lo = -0.05;
   const double hi = vdd_cc + 0.05;
   return brent(residual, lo, hi, opts).x;
+}
+
+// Shared implementation of curve_s/curve_sb: under the batched kernel all
+// sample points solve in one lockstep call; under the scalar oracle each
+// point is an independent Brent, exactly as before.
+std::vector<std::pair<double, double>> sample_curve(
+    const CoreCell& cell, bool side_s, double vdd_cc, double temp_c,
+    int points) {
+  std::vector<std::pair<double, double>> curve;
+  curve.reserve(static_cast<std::size_t>(points));
+  if (resolved_cell_kernel() == CellKernelKind::Batched) {
+    const std::size_t n = static_cast<std::size_t>(points);
+    std::vector<double> in(n), out(n);
+    for (int i = 0; i < points; ++i)
+      in[static_cast<std::size_t>(i)] = vdd_cc * i / (points - 1);
+    BatchHoldVtc engine(cell, temp_c);
+    if (side_s) {
+      engine.inverter_s(in.data(), n, vdd_cc, out.data());
+    } else {
+      engine.inverter_sb(in.data(), n, vdd_cc, out.data());
+    }
+    for (std::size_t i = 0; i < n; ++i) curve.emplace_back(in[i], out[i]);
+    return curve;
+  }
+  const HoldVtc vtc(cell);
+  for (int i = 0; i < points; ++i) {
+    const double x = vdd_cc * i / (points - 1);
+    curve.emplace_back(x, side_s ? vtc.inverter_s(x, vdd_cc, temp_c)
+                                 : vtc.inverter_sb(x, vdd_cc, temp_c));
+  }
+  return curve;
 }
 
 }  // namespace
@@ -39,25 +71,13 @@ double HoldVtc::inverter_sb(double v_s, double vdd_cc, double temp_c) const {
 std::vector<std::pair<double, double>> HoldVtc::curve_s(double vdd_cc,
                                                         double temp_c,
                                                         int points) const {
-  std::vector<std::pair<double, double>> curve;
-  curve.reserve(static_cast<std::size_t>(points));
-  for (int i = 0; i < points; ++i) {
-    const double x = vdd_cc * i / (points - 1);
-    curve.emplace_back(x, inverter_s(x, vdd_cc, temp_c));
-  }
-  return curve;
+  return sample_curve(*cell_, /*side_s=*/true, vdd_cc, temp_c, points);
 }
 
 std::vector<std::pair<double, double>> HoldVtc::curve_sb(double vdd_cc,
                                                          double temp_c,
                                                          int points) const {
-  std::vector<std::pair<double, double>> curve;
-  curve.reserve(static_cast<std::size_t>(points));
-  for (int i = 0; i < points; ++i) {
-    const double x = vdd_cc * i / (points - 1);
-    curve.emplace_back(x, inverter_sb(x, vdd_cc, temp_c));
-  }
-  return curve;
+  return sample_curve(*cell_, /*side_s=*/false, vdd_cc, temp_c, points);
 }
 
 }  // namespace lpsram

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "lpsram/cell/batch_vtc.hpp"
 #include "lpsram/spice/dc_solver.hpp"
 #include "lpsram/spice/hooks.hpp"
 #include "lpsram/testflow/case_studies.hpp"
@@ -72,6 +73,11 @@ std::vector<Fig4Point> RetentionAnalyzer::fig4_sweep(
     for (const Corner corner : corner_grid)
       fp = fold_key(fp, static_cast<std::uint64_t>(corner));
     for (const double temp : temp_grid) fp = fold_key(fp, key_bits(temp));
+    // Cell-analysis kernel behind the journaled DRVs: the batched engine
+    // agrees with the scalar oracle except within solver noise of the
+    // retention fold, so a journal recorded under one kernel refuses to
+    // resume under the other instead of silently blending kernels.
+    fp = fold_key(fp, static_cast<std::uint64_t>(resolved_cell_kernel()));
     campaign->bind_sweep(0x66696734ULL, fp);
   }
 

@@ -2,35 +2,18 @@
 
 #include <cmath>
 
+#include "lpsram/device/mosfet_math.hpp"
 #include "lpsram/util/units.hpp"
 
 namespace lpsram {
-namespace {
 
-// Numerically stable softplus ln(1 + e^u) together with its derivative, the
-// logistic sigmoid — both from a single exponential, since every Newton
-// stamp needs the pair and exp dominates the evaluation cost.
-struct SoftplusEval {
-  double f;  // softplus(u)
-  double d;  // sigmoid(u) = softplus'(u)
-};
-
-SoftplusEval softplus_eval(double u) noexcept {
-  if (u > 35.0) return {u, 1.0};
-  if (u < -35.0) {
-    const double e = std::exp(u);
-    return {e, e};
-  }
-  const double e = std::exp(u);
-  return {std::log1p(e), e / (1.0 + e)};
-}
-
-// Smooth |v| used so channel-length modulation keeps C1 continuity at Vds=0.
-constexpr double kAbsEps = 1e-3;
-double smooth_abs(double v) noexcept { return std::sqrt(v * v + kAbsEps * kAbsEps); }
-double smooth_abs_d(double v) noexcept { return v / smooth_abs(v); }
-
-}  // namespace
+// softplus_eval / smooth_abs live in device/mosfet_math.hpp, shared verbatim
+// with the lane-parallel evaluation (mosfet_lanes.cpp, cell/batch_vtc.cpp)
+// so the batched kernel stays bit-identical to this scalar oracle.
+using mosfet_math::SoftplusEval;
+using mosfet_math::smooth_abs;
+using mosfet_math::smooth_abs_d;
+using mosfet_math::softplus_eval;
 
 Mosfet::Mosfet(MosfetParams params) : params_(std::move(params)) {}
 

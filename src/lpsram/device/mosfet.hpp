@@ -21,6 +21,7 @@
 //    that series defects on transistor gates have negligible static effect.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace lpsram {
@@ -69,6 +70,17 @@ class Mosfet {
 
   // Drain current with analytic derivatives for Newton stamping.
   MosEval eval(double vg, double vd, double vs, double temp_c) const noexcept;
+
+  // N-lane structure-of-arrays evaluation (device/mosfet_lanes.cpp): one
+  // eval() per lane over contiguous terminal-voltage arrays, with the
+  // temperature-dependent constants (Vth, beta, thermal voltage) hoisted out
+  // of the lane loop and the PMOS terminal mirroring applied per lane inside
+  // it. Per-lane results are bit-identical to eval() — the batched cell
+  // kernel relies on that to keep the scalar path a true oracle. Output
+  // arrays may be null to skip a component (id is required).
+  void eval_lanes(const double* vg, const double* vd, const double* vs,
+                  std::size_t n, double temp_c, double* id, double* gm,
+                  double* gds, double* gms) const noexcept;
 
   // Effective threshold voltage at the given temperature (magnitude,
   // including variation/corner shift) [V].

@@ -1,0 +1,36 @@
+#include "lpsram/device/mosfet_lanes.hpp"
+
+#include "lpsram/util/units.hpp"
+
+namespace lpsram {
+
+MosfetLaneConsts mosfet_lane_consts(const Mosfet& fet, double temp_c) noexcept {
+  const double vt = thermal_voltage(temp_c);
+  MosfetLaneConsts c;
+  c.pmos = fet.params().type == MosType::Pmos;
+  c.vth = fet.vth_effective(temp_c);
+  c.n = fet.params().n_slope;
+  // Stored exactly as eval_core spells them so every downstream division and
+  // multiplication rounds identically to the scalar path.
+  c.two_vt = 2.0 * vt;
+  c.inv2vt = 1.0 / (2.0 * vt);
+  c.inv2vt_over_n = c.inv2vt / c.n;
+  c.i0 = 2.0 * c.n * fet.beta(temp_c) * vt * vt;
+  c.lambda = fet.params().lambda;
+  return c;
+}
+
+void Mosfet::eval_lanes(const double* vg, const double* vd, const double* vs,
+                        std::size_t n, double temp_c, double* id, double* gm,
+                        double* gds, double* gms) const noexcept {
+  const MosfetLaneConsts c = mosfet_lane_consts(*this, temp_c);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MosEval e = lane_eval(c, vg[i], vd[i], vs[i]);
+    if (id) id[i] = e.id;
+    if (gm) gm[i] = e.gm;
+    if (gds) gds[i] = e.gds;
+    if (gms) gms[i] = e.gms;
+  }
+}
+
+}  // namespace lpsram

@@ -1,0 +1,39 @@
+// Scalar numerics shared by Mosfet::eval (mosfet.cpp) and the lane-parallel
+// evaluation paths (mosfet_lanes.cpp, cell/batch_vtc.cpp).
+//
+// The batched cell kernel promises *bit-identical* per-lane arithmetic with
+// the scalar oracle; keeping softplus/sigmoid and the smooth-|v| pair in one
+// inline header is what makes that promise auditable — both kernels compile
+// the same expression tree instead of hand-copied near-duplicates.
+#pragma once
+
+#include <cmath>
+
+namespace lpsram::mosfet_math {
+
+// Numerically stable softplus ln(1 + e^u) together with its derivative, the
+// logistic sigmoid — both from a single exponential, since every Newton
+// stamp needs the pair and exp dominates the evaluation cost.
+struct SoftplusEval {
+  double f;  // softplus(u)
+  double d;  // sigmoid(u) = softplus'(u)
+};
+
+inline SoftplusEval softplus_eval(double u) noexcept {
+  if (u > 35.0) return {u, 1.0};
+  if (u < -35.0) {
+    const double e = std::exp(u);
+    return {e, e};
+  }
+  const double e = std::exp(u);
+  return {std::log1p(e), e / (1.0 + e)};
+}
+
+// Smooth |v| used so channel-length modulation keeps C1 continuity at Vds=0.
+inline constexpr double kAbsEps = 1e-3;
+inline double smooth_abs(double v) noexcept {
+  return std::sqrt(v * v + kAbsEps * kAbsEps);
+}
+inline double smooth_abs_d(double v) noexcept { return v / smooth_abs(v); }
+
+}  // namespace lpsram::mosfet_math

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "lpsram/cell/batch_vtc.hpp"
 #include "lpsram/spice/dc_solver.hpp"
 #include "lpsram/spice/hooks.hpp"
 #include "lpsram/util/error.hpp"
@@ -37,8 +38,8 @@ DefectCharacterizer::DefectCharacterizer(const Technology& tech,
 
 double DefectCharacterizer::cs_drv(const CaseStudy& cs, Corner corner,
                                    double temp_c) const {
-  const auto key = std::make_tuple(cs.index, static_cast<int>(corner),
-                                   static_cast<int>(temp_c * 4));
+  const auto key =
+      std::make_tuple(cs.index, static_cast<int>(corner), key_bits(temp_c));
   // Computed under the lock: the DRV search is deterministic and observer-
   // free, and holding the lock avoids duplicate work when two tasks race to
   // the same (cs, corner, temp) entry.
@@ -118,6 +119,12 @@ std::vector<std::vector<DefectCsResult>> DefectCharacterizer::run_cells(
          {options_.r_low, options_.r_high, options_.rel_tolerance,
           options_.ds_time, worst_drv_})
       fp = fold_key(fp, key_bits(v));
+    // The cell-analysis kernel feeding the cached DRVs: batched DRV
+    // extraction agrees with the scalar oracle except within solver noise
+    // of the retention fold, so mixing kernels across a resume is refused
+    // outright rather than silently blending near-identical tables.
+    fp = fold_key(fp,
+                  static_cast<std::uint64_t>(resolved_cell_kernel()));
     options_.campaign->bind_sweep(0x7461626c653249ULL, fp);
   }
 

@@ -119,10 +119,13 @@ class DefectCharacterizer {
   Technology tech_;
   DefectCharacterizationOptions options_;
   double worst_drv_ = 0.0;
-  // Per-CS DRV memo keyed by (cs index, corner, temp); guarded by
-  // drv_mutex_ because executor tasks populate it concurrently.
+  // Per-CS DRV memo keyed by (cs index, corner, raw temp bits); guarded by
+  // drv_mutex_ because executor tasks populate it concurrently. The
+  // temperature keys on key_bits() like every campaign fingerprint — an
+  // integer quantization (the old static_cast<int>(temp_c * 4)) truncates
+  // toward zero and collides nearby temperatures (e.g. -0.1 C with +0.1 C).
   mutable std::mutex drv_mutex_;
-  mutable std::map<std::tuple<int, int, int>, double> drv_cache_;
+  mutable std::map<std::tuple<int, int, std::uint64_t>, double> drv_cache_;
 };
 
 }  // namespace lpsram

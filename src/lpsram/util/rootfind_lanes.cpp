@@ -1,0 +1,115 @@
+#include "lpsram/util/rootfind_lanes.hpp"
+
+#include <cmath>
+
+namespace lpsram {
+namespace {
+
+// Same convergence scale Brent uses: machine-precision floor relative to the
+// iterate plus half the requested absolute tolerance.
+inline double bracket_tol(double x, double x_tolerance) noexcept {
+  return 2.0 * 1e-16 * std::fabs(x) + 0.5 * x_tolerance;
+}
+
+// After this many rounds a lane stops trusting Newton and bisects, which
+// bounds worst-case convergence by pure bisection on the remaining bracket.
+constexpr int kForceBisectAfter = 40;
+
+}  // namespace
+
+LaneRootStats solve_bracketed_lanes(const LaneResidualFn& fn, std::size_t n,
+                                    const double* lo, const double* hi,
+                                    double* root, const LaneRootOptions& opts,
+                                    LaneRootWorkspace* workspace) {
+  LaneRootWorkspace local;
+  LaneRootWorkspace& ws = workspace ? *workspace : local;
+
+  // Per-lane persistent state (indexed by lane) and compacted per-round
+  // buffers (indexed by active position) are distinct arrays: x/f/df hold
+  // the lane's last evaluation, xc/fc/dfc carry one batched round.
+  ws.active.resize(n);
+  ws.a.resize(n);
+  ws.b.resize(n);
+  ws.x.resize(n);
+  ws.f.resize(n);
+  ws.df.resize(n);
+  ws.has_eval.assign(n, 0);
+  ws.xc.resize(n);
+  ws.fc.resize(n);
+  ws.dfc.resize(n);
+
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.a[i] = lo[i];
+    ws.b[i] = hi[i];
+    root[i] = 0.5 * (lo[i] + hi[i]);
+    // Degenerate bracket: already within tolerance, nothing to solve.
+    if (ws.b[i] - ws.a[i] <= 2.0 * bracket_tol(root[i], opts.x_tolerance))
+      continue;
+    ws.active[live++] = i;
+  }
+  ws.active.resize(live);
+
+  LaneRootStats stats;
+  while (!ws.active.empty() && stats.rounds < opts.max_rounds) {
+    const std::size_t m = ws.active.size();
+
+    // Propose one probe per active lane: safeguarded Newton from the lane's
+    // last evaluation when it lands strictly inside the bracket, bisection
+    // otherwise.
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t lane = ws.active[i];
+      double xn = 0.5 * (ws.a[lane] + ws.b[lane]);
+      if (ws.has_eval[lane] && stats.rounds < kForceBisectAfter &&
+          ws.df[lane] != 0.0) {
+        const double candidate = ws.x[lane] - ws.f[lane] / ws.df[lane];
+        if (std::isfinite(candidate) && candidate > ws.a[lane] &&
+            candidate < ws.b[lane])
+          xn = candidate;
+      }
+      ws.xc[i] = xn;
+    }
+
+    // One batched residual round over the compacted active set.
+    fn(ws.active.data(), ws.xc.data(), ws.fc.data(), ws.dfc.data(), m);
+    stats.evaluations += m;
+    ++stats.rounds;
+
+    // Update brackets and retire converged lanes by compacting the active
+    // list in place (order preserved — determinism).
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t lane = ws.active[i];
+      const double x = ws.xc[i];
+      const double fx = ws.fc[i];
+
+      if (fx == 0.0 || std::fabs(fx) <= opts.f_tolerance) {
+        root[lane] = x;
+        continue;
+      }
+      const bool above_root = opts.increasing ? (fx > 0.0) : (fx < 0.0);
+      if (above_root) {
+        ws.b[lane] = x;
+      } else {
+        ws.a[lane] = x;
+      }
+      if (ws.b[lane] - ws.a[lane] <= 2.0 * bracket_tol(x, opts.x_tolerance)) {
+        root[lane] = x;
+        continue;
+      }
+      ws.x[lane] = x;
+      ws.f[lane] = fx;
+      ws.df[lane] = ws.dfc[i];
+      ws.has_eval[lane] = 1;
+      ws.active[kept++] = lane;
+    }
+    ws.active.resize(kept);
+  }
+
+  // Rounds exhausted: last iterate is the best answer (forced bisection
+  // keeps it within the bisection bound).
+  for (const std::size_t lane : ws.active) root[lane] = ws.x[lane];
+  return stats;
+}
+
+}  // namespace lpsram

@@ -1,0 +1,72 @@
+// Lockstep multi-root solver: N independent bracketed scalar roots advanced
+// together, one batched residual evaluation per round, with converged lanes
+// retiring from the active set.
+//
+// The cell-analysis hot path (cell/batch_vtc) solves many structurally
+// identical node inversions whose residuals share expensive subterms; the
+// scalar path pays one Brent per root with a std::function call per probe.
+// Here the callback is invoked once per *round* over a compacted active-lane
+// set, so the per-eval dispatch cost is amortized across lanes and the
+// callee can share per-batch constants.
+//
+// Per lane the iteration is safeguarded Newton (rtsafe): a Newton step from
+// the last evaluation is taken when it lands strictly inside the current
+// bracket, otherwise the lane bisects; late rounds force bisection so worst-
+// case convergence is the bisection bound. Lanes retire when the residual
+// magnitude drops below f_tolerance or the bracket collapses below the
+// Brent-style tolerance 2*eps*|x| + 0.5*x_tolerance.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace lpsram {
+
+struct LaneRootOptions {
+  double x_tolerance = 1e-9;   // absolute tolerance on the argument
+  double f_tolerance = 1e-12;  // absolute tolerance on the residual
+  int max_rounds = 120;
+  // Residual orientation on the bracket: true means f(lo) < 0 < f(hi)
+  // (monotone-increasing node residuals), false means f(lo) > 0 > f(hi)
+  // (the fixed-point map residual f(x) = T(x) - x through its first
+  // crossing). Only the sign convention differs; no monotonicity inside the
+  // bracket is assumed.
+  bool increasing = true;
+};
+
+struct LaneRootStats {
+  int rounds = 0;               // batched evaluation rounds
+  std::size_t evaluations = 0;  // total per-lane residual evaluations
+};
+
+// Batched residual: evaluate f (and df/dx into `df`) at x[i] for the m
+// compacted active lanes lanes[0..m), writing position i of f/df for lane
+// lanes[i]. `df` entries may be left 0 where no derivative is available —
+// such lanes simply bisect.
+using LaneResidualFn =
+    std::function<void(const std::size_t* lanes, const double* x, double* f,
+                       double* df, std::size_t m)>;
+
+// Reusable scratch for solve_bracketed_lanes; a caller solving in a loop
+// (every VTC inversion of a sweep) passes the same workspace to keep the
+// hot path allocation-free after the first solve.
+struct LaneRootWorkspace {
+  std::vector<std::size_t> active;
+  std::vector<double> a, b, x, f, df;    // per-lane persistent state
+  std::vector<double> xc, fc, dfc;       // compacted per-round buffers
+  std::vector<char> has_eval;
+};
+
+// Solves the n bracketed roots f_i(x) = 0, x in (lo[i], hi[i]), writing
+// root[i]. The brackets are trusted (endpoints are not evaluated): callers
+// guarantee the sign change, e.g. from residual monotonicity. Lanes that
+// exhaust max_rounds keep their last iterate — with the forced-bisection
+// safeguard that is within the bisection bound of the root.
+LaneRootStats solve_bracketed_lanes(const LaneResidualFn& fn, std::size_t n,
+                                    const double* lo, const double* hi,
+                                    double* root,
+                                    const LaneRootOptions& opts = {},
+                                    LaneRootWorkspace* workspace = nullptr);
+
+}  // namespace lpsram

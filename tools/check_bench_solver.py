@@ -6,16 +6,29 @@ Reads the google-benchmark JSON emitted by
     bench_solver_perf --benchmark_out=BENCH_solver.json \
                       --benchmark_out_format=json
 
-and fails (exit 1) if the structure-aware sparse kernel is not faster than
-the dense oracle on the regulator cold-solve benchmark — the regression
-this repo's solve-kernel work must never reintroduce. Warm-solve numbers
-are reported for context but not gated: they are dominated by Newton
-iteration count, not factorization cost.
+and fails (exit 1) when either perf invariant regresses:
+
+  * the structure-aware sparse kernel must beat the dense oracle on the
+    regulator cold solve (warm numbers are reported but not gated: they
+    are dominated by Newton iteration count, not factorization cost);
+  * the batched lane-parallel cell-analysis kernel must stay at least
+    MIN_BATCHED_SPEEDUP x faster than the scalar oracle on both the
+    hold-SNM ladder and DRV extraction.
+
+Build hygiene: the report must carry the custom `lpsram_build_type`
+context (stamped by bench_solver_perf's main from NDEBUG) and it must say
+"release" — numbers from a debug build are refused, not gated. The stock
+`library_build_type` field describes the *installed benchmark library*
+and only warrants a warning.
 
 Usage: check_bench_solver.py [BENCH_solver.json]
 """
 import json
 import sys
+
+# Floor on scalar/batched for BM_HoldSnm and BM_DrvExtraction. Measured
+# headroom is ~4.5x (SNM) and ~10x (DRV); 3.0 is the acceptance line.
+MIN_BATCHED_SPEEDUP = 3.0
 
 
 def real_time_ns(benchmarks, name):
@@ -25,11 +38,32 @@ def real_time_ns(benchmarks, name):
     raise SystemExit(f"error: benchmark '{name}' missing from the report")
 
 
+def check_build_type(context):
+    build = context.get("lpsram_build_type")
+    if build is None:
+        print("FAIL: report lacks the 'lpsram_build_type' context — it was "
+              "recorded by a bench binary predating the build-type stamp; "
+              "re-record from a current Release build", file=sys.stderr)
+        return False
+    if build != "release":
+        print(f"FAIL: bench binary was built '{build}', not 'release' — "
+              "refusing to gate on debug-build timings", file=sys.stderr)
+        return False
+    if context.get("library_build_type") == "debug":
+        print("warning: the google-benchmark *library* is a debug build "
+              "(distro default); harness overhead is slightly inflated but "
+              "ratios remain meaningful", file=sys.stderr)
+    return True
+
+
 def main(argv):
     path = argv[1] if len(argv) > 1 else "BENCH_solver.json"
     with open(path) as f:
         report = json.load(f)
     benchmarks = report.get("benchmarks", [])
+
+    if not check_build_type(report.get("context", {})):
+        return 1
 
     cold_sparse = real_time_ns(benchmarks, "BM_RegulatorDcColdSparse")
     cold_dense = real_time_ns(benchmarks, "BM_RegulatorDcColdDense")
@@ -41,12 +75,33 @@ def main(argv):
     print(f"warm: sparse {warm_sparse:12.0f} ns   dense {warm_dense:12.0f} ns"
           f"   speedup {warm_dense / warm_sparse:5.2f}x")
 
+    failed = False
     if cold_sparse >= cold_dense:
         print("FAIL: sparse kernel is not faster than dense on the regulator "
               "cold solve", file=sys.stderr)
-        return 1
-    print("OK: sparse kernel beats dense on the regulator cold solve")
-    return 0
+        failed = True
+    else:
+        print("OK: sparse kernel beats dense on the regulator cold solve")
+
+    for label, scalar_name, batched_name in (
+        ("hold-SNM", "BM_HoldSnmScalar", "BM_HoldSnmBatched"),
+        ("DRV extraction", "BM_DrvExtractionScalar", "BM_DrvExtractionBatched"),
+    ):
+        scalar = real_time_ns(benchmarks, scalar_name)
+        batched = real_time_ns(benchmarks, batched_name)
+        speedup = scalar / batched
+        print(f"{label}: scalar {scalar:12.0f} ns   batched "
+              f"{batched:12.0f} ns   speedup {speedup:5.2f}x")
+        if speedup < MIN_BATCHED_SPEEDUP:
+            print(f"FAIL: batched cell kernel is only {speedup:.2f}x the "
+                  f"scalar oracle on {label} (floor "
+                  f"{MIN_BATCHED_SPEEDUP:.1f}x)", file=sys.stderr)
+            failed = True
+        else:
+            print(f"OK: batched cell kernel holds >= "
+                  f"{MIN_BATCHED_SPEEDUP:.1f}x on {label}")
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
