@@ -1,0 +1,189 @@
+// campaign_fabricd — the multi-process campaign fabric as a long-running
+// service: a bounded admission queue in front of a forked worker fleet.
+//
+//   * Jobs arrive at the admission queue; when it is full they are REFUSED
+//     (load shedding) instead of buffered, so the daemon's footprint stays
+//     bounded no matter the offered load.
+//   * Each accepted job runs through run_fabric: leases, heartbeats,
+//     straggler re-issue, shard journals, merge. Kill a worker mid-job
+//     (tools/fabric_inspect.py killall <dir>, or kill -9 by hand) and watch
+//     the sweep finish on the survivors.
+//   * SIGTERM / Ctrl-C drains gracefully: the queue closes, the job in
+//     flight finishes its leases and merges, queued jobs stay admitted, and
+//     the daemon exits resumable — restarting it with the same directory
+//     picks every journal back up.
+//
+// Usage:
+//   campaign_fabricd [--dir D] [--workers N] [--queue N] [--jobs N]
+//                    [--tasks N] [--selftest]
+//
+// Jobs are synthetic deterministic sweeps (this is a runtime demo, not a
+// solver demo): task payloads are pure functions of (seed, index), so merged
+// journals are bit-identical no matter how the fleet schedules them.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lpsram/runtime/fabric/admission.hpp"
+#include "lpsram/runtime/fabric/fabric.hpp"
+#include "lpsram/runtime/journal.hpp"
+#include "lpsram/runtime/parallel.hpp"
+#include "lpsram/util/signal_cancel.hpp"
+
+using namespace lpsram;
+using namespace lpsram::fabric;
+
+namespace {
+
+// The synthetic sweep: a short deterministic iteration per task so workers
+// spend real (but bounded) time and payloads are reproducible everywhere.
+std::vector<std::uint8_t> synth_payload(std::uint64_t seed,
+                                        std::uint64_t index) {
+  double acc = 0.0;
+  std::uint64_t h = fold_key(seed, index);
+  for (int i = 0; i < 2048; ++i) {
+    h = mix64(h);
+    acc += static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+  PayloadWriter w;
+  w.u64(index);
+  w.f64(acc);
+  return w.take();
+}
+
+int run_job(const std::string& root, const FabricJob& job, int workers,
+            const CancelToken* drain) {
+  FabricOptions options;
+  options.dir = root + "/" + job.name;
+  options.workers = workers;
+  options.worker_threads = 1;
+  options.lease_span = 4;
+  options.lease_timeout_s = 10.0;
+  options.heartbeat_interval_s = 0.25;
+  options.salt = mix64(job.seed);
+  options.fingerprint = fold_key(fold_key(0x0fabd, job.seed), job.tasks);
+  options.drain = drain;
+
+  const std::uint64_t seed = job.seed;
+  FabricReport report;
+  try {
+    report = run_fabric(
+        options, job.tasks,
+        [seed](std::uint64_t index) { return fold_key(seed, index); },
+        [seed](std::uint64_t index, int) { return synth_payload(seed, index); });
+  } catch (const Error& err) {
+    // Job-scoped failure (all workers killed, a corrupt shard, ...): the
+    // daemon stays up and the directory stays resumable — rerunning the
+    // same job name against the same --dir picks the shards back up.
+    std::printf("[fabricd] job %-12s FAILED: %s\n", job.name.c_str(),
+                err.what());
+    return 1;
+  }
+
+  std::printf(
+      "[fabricd] job %-12s %s: %llu/%llu tasks (%llu recovered, %llu run, "
+      "%llu dup) | %llu leases, %llu expired, %llu workers died%s\n",
+      job.name.c_str(), report.complete ? "complete" : "drained",
+      static_cast<unsigned long long>(report.tasks_recovered +
+                                      report.tasks_executed),
+      static_cast<unsigned long long>(report.tasks_total),
+      static_cast<unsigned long long>(report.tasks_recovered),
+      static_cast<unsigned long long>(report.tasks_executed),
+      static_cast<unsigned long long>(report.duplicates),
+      static_cast<unsigned long long>(report.leases_issued),
+      static_cast<unsigned long long>(report.leases_expired),
+      static_cast<unsigned long long>(report.workers_died),
+      report.complete ? (" -> " + options.merged_path()).c_str() : "");
+  return report.complete ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "fabricd-journals";
+  int workers = 2;
+  std::size_t queue_capacity = 2;
+  std::uint64_t jobs = 3;
+  std::uint64_t tasks = 24;
+  bool selftest = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto want = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return true;
+    };
+    if (want("--dir")) dir = argv[++i];
+    else if (want("--workers")) workers = std::atoi(argv[++i]);
+    else if (want("--queue")) queue_capacity = std::strtoull(argv[++i], nullptr, 10);
+    else if (want("--jobs")) jobs = std::strtoull(argv[++i], nullptr, 10);
+    else if (want("--tasks")) tasks = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--selftest") == 0) selftest = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--dir D] [--workers N] [--queue N] [--jobs N] "
+                   "[--tasks N] [--selftest]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (selftest) {
+    // Deterministic shedding demo: more jobs than queue slots, submitted
+    // before the consumer starts, so exactly jobs - queue are refused.
+    workers = 2;
+    queue_capacity = 2;
+    jobs = 4;
+    tasks = 24;
+  }
+
+  CancelToken drain;
+  install_cancel_on_signal(drain);
+
+  AdmissionQueue queue(queue_capacity);
+  std::uint64_t shed = 0;
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    FabricJob job;
+    job.name = "job-" + std::to_string(j);
+    job.tasks = tasks;
+    job.seed = 0x5eed0000 + j;
+    const Admission verdict = queue.try_submit(job);
+    if (verdict == Admission::Shed) {
+      ++shed;
+      std::printf("[fabricd] %s SHED (queue full, depth %zu/%zu)\n",
+                  job.name.c_str(), queue.depth(), queue_capacity);
+    } else {
+      std::printf("[fabricd] %s accepted (depth %zu/%zu)\n", job.name.c_str(),
+                  queue.depth(), queue_capacity);
+    }
+  }
+  queue.close();  // demo producer is done; drain what was admitted
+
+  int failures = 0;
+  std::uint64_t served = 0;
+  FabricJob job;
+  while (!drain.cancelled() && queue.pop_for(&job, 0.25)) {
+    failures += run_job(dir, job, workers, &drain);
+    ++served;
+  }
+  if (drain.cancelled())
+    std::printf("[fabricd] drain requested — %zu job(s) left admitted; "
+                "restart with --dir %s to resume them\n",
+                queue.depth(), dir.c_str());
+
+  std::printf("[fabricd] served %llu job(s), shed %llu, failures %d\n",
+              static_cast<unsigned long long>(served),
+              static_cast<unsigned long long>(shed), failures);
+
+  if (selftest) {
+    const bool ok = failures == 0 && served == queue_capacity &&
+                    shed == jobs - queue_capacity && !drain.cancelled();
+    std::printf("[fabricd] selftest %s\n", ok ? "ok" : "FAILED");
+    return ok ? 0 : 1;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 
 #include "lpsram/regulator/characterize.hpp"
 #include "lpsram/runtime/campaign.hpp"
+#include "lpsram/util/signal_cancel.hpp"
 
 using namespace lpsram;
 
@@ -26,17 +27,28 @@ int run_durable(const Technology& tech, const char* journal) {
               journal, already,
               campaign.resumed_from_torn_tail() ? " (torn tail truncated)"
                                                 : "");
+  // Ctrl-C / SIGTERM drains instead of killing: in-flight probes wind down,
+  // everything journaled so far survives, and this same command resumes.
+  CancelToken stop;
+  install_cancel_on_signal(stop);
   for (const Corner corner : {Corner::Typical, Corner::FastNSlowP,
                               Corner::SlowNFastP}) {
     SweepReport report;
     SweepTelemetry telemetry;
     const RegulationMetrics m =
         measure_regulation(tech, corner, VrefLevel::V070, &report, &telemetry,
-                           /*threads=*/0, &campaign);
+                           /*threads=*/0, &campaign, &stop);
+    if (stop.cancelled()) break;
     std::printf("%-4s line error %7.4f V | load reg %9.3e V/A | temp drift "
                 "%7.4f V   [%s]\n",
                 corner_name(corner).c_str(), m.line_error, m.load_regulation,
                 m.temp_drift, report.summary().c_str());
+  }
+  if (stop.cancelled()) {
+    std::printf("interrupted — journal retains %zu completed task(s); rerun "
+                "this command to resume.\n",
+                campaign.completed_tasks());
+    return 130;
   }
   // Keep the journal compact for the next resume.
   campaign.compact();

@@ -1,16 +1,67 @@
 // Retention analysis walkthrough (paper Section III): butterfly curves,
 // SNM vs supply, DRV per variation pattern, and the DS-time/temperature
 // trade-off of the flip model. Emits gnuplot-ready CSV blocks to stdout.
+//
+// With `--resume <journal>` the binary instead runs the Fig. 4 DRV sweep as
+// a durable campaign: Ctrl-C / SIGTERM drains gracefully, and rerunning the
+// same command replays finished points and solves only the rest, with
+// results bit-identical to an uninterrupted run.
 #include <cstdio>
+#include <cstring>
 
 #include "lpsram/cell/flip_time.hpp"
 #include "lpsram/cell/vtc.hpp"
 #include "lpsram/core/retention_analyzer.hpp"
+#include "lpsram/testflow/report.hpp"
+#include "lpsram/util/signal_cancel.hpp"
 
 using namespace lpsram;
 
-int main() {
+namespace {
+
+int run_durable(const Technology& tech, const char* journal) {
+  const RetentionAnalyzer analyzer(tech);
+  Campaign campaign{std::string(journal)};
+  std::printf("campaign journal %s: %zu task(s) already journaled%s\n",
+              journal, campaign.completed_tasks(),
+              campaign.resumed_from_torn_tail() ? " (torn tail truncated)"
+                                                : "");
+  CancelToken stop;
+  install_cancel_on_signal(stop);
+
+  const double sigmas[] = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  SweepReport report;
+  SweepTelemetry telemetry;
+  const std::vector<Fig4Point> points =
+      analyzer.fig4_sweep(sigmas, {}, {}, &report, &telemetry,
+                          /*threads=*/0, &campaign, &stop);
+  if (stop.cancelled()) {
+    std::printf("interrupted — journal retains %zu completed task(s); rerun "
+                "this command to resume.\n",
+                campaign.completed_tasks());
+    return 130;
+  }
+  std::fputs(fig4_report(points).c_str(), stdout);
+  std::printf("[%s]\n", report.summary().c_str());
+  campaign.compact();
+  std::printf("journal now holds %zu completed task(s); rerun this command "
+              "to resume/replay.\n",
+              campaign.completed_tasks());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const Technology tech = Technology::lp40nm();
+
+  if (argc == 3 && std::strcmp(argv[1], "--resume") == 0)
+    return run_durable(tech, argv[2]);
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--resume <journal-file>]\n", argv[0]);
+    return 2;
+  }
+
   const RetentionAnalyzer analyzer(tech);
 
   // Butterfly raw data at two supplies: healthy margins at 1.1 V, collapsing

@@ -1,20 +1,49 @@
 // Test-flow optimization walkthrough (paper Section V / Table III):
 // generate the optimized March m-LZ flow from the electrical
 // characterization and apply it to healthy and defective devices.
+//
+// With `--resume <journal>` the defect-characterization matrix behind the
+// flow runs as a durable campaign: Ctrl-C / SIGTERM drains gracefully and a
+// rerun of the same command resumes from the journal.
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "lpsram/core/test_flow_generator.hpp"
 #include "lpsram/testflow/report.hpp"
+#include "lpsram/util/signal_cancel.hpp"
 
 using namespace lpsram;
 
-int main() {
+int main(int argc, char** argv) {
   const Technology tech = Technology::lp40nm();
+
+  std::unique_ptr<Campaign> campaign;
+  CancelToken stop;
+  if (argc == 3 && std::strcmp(argv[1], "--resume") == 0) {
+    campaign = std::make_unique<Campaign>(std::string(argv[2]));
+    std::printf("campaign journal %s: %zu task(s) already journaled%s\n",
+                argv[2], campaign->completed_tasks(),
+                campaign->resumed_from_torn_tail() ? " (torn tail truncated)"
+                                                   : "");
+    install_cancel_on_signal(stop);
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--resume <journal-file>]\n", argv[0]);
+    return 2;
+  }
 
   // Generate the flow for the DRF-causing defect set.
   FlowOptimizer::Options options;  // fs corner, 125 C, 1 ms DS — paper setup
+  options.campaign = campaign.get();
+  options.cancel = campaign ? &stop : nullptr;
   const TestFlowGenerator generator(tech, options);
   const GeneratedTestFlow flow = generator.generate();
+  if (stop.cancelled()) {
+    std::printf("interrupted — journal retains %zu completed task(s); rerun "
+                "this command to resume.\n",
+                campaign->completed_tasks());
+    return 130;
+  }
 
   std::printf("generated flow for %s (worst-case DRV %.0f mV):\n\n",
               flow.test.name.c_str(), flow.worst_drv * 1e3);

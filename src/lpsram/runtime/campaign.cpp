@@ -1,6 +1,7 @@
 #include "lpsram/runtime/campaign.hpp"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "lpsram/util/error.hpp"
 
@@ -179,6 +180,156 @@ void Campaign::compact() {
 std::size_t Campaign::completed_tasks() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return results_.size();
+}
+
+std::vector<std::uint64_t> Campaign::task_keys() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(results_.size());
+  for (const auto& [key, payload] : results_) keys.push_back(key);
+  return keys;
+}
+
+// --- Shard snapshots and journal merge --------------------------------------
+
+ShardSnapshot read_campaign_snapshot(const std::string& path) {
+  const JournalReplay replay = replay_journal(path);
+  ShardSnapshot snapshot;
+  snapshot.torn_tail = replay.torn_tail;
+
+  // Mirror of the Campaign constructor's replay, minus the writer: op points
+  // buffer until their task's TaskDone commit record arrives; points whose
+  // commit was lost to a torn tail are dropped with the task.
+  std::unordered_map<std::uint64_t, std::vector<ShardOpPoint>> pending_ops;
+  for (const JournalRecord& record : replay.records) {
+    PayloadReader in(record.payload);
+    switch (record.type) {
+      case kRecordManifest: {
+        const std::uint64_t salt = in.u64();
+        snapshot.manifests[salt] = in.u64();
+        break;
+      }
+      case kRecordTaskDone: {
+        const std::uint64_t key = in.u64();
+        ShardTask& task = snapshot.tasks[key];
+        task.payload.assign(record.payload.begin() + 8, record.payload.end());
+        const auto ops = pending_ops.find(key);
+        if (ops != pending_ops.end()) {
+          task.ops = std::move(ops->second);
+          pending_ops.erase(ops);
+        }
+        break;
+      }
+      case kRecordOpPoint: {
+        ShardOpPoint op;
+        op.key.circuit = in.u64();
+        op.key.task = in.u64();
+        op.key.defect = static_cast<std::int32_t>(in.u32());
+        op.r = in.f64();
+        op.x = in.vec_f64();
+        pending_ops[op.key.task].push_back(std::move(op));
+        break;
+      }
+      default:
+        break;  // forward compatibility, as in Campaign::Campaign
+    }
+  }
+  return snapshot;
+}
+
+std::size_t merge_shard_journals(
+    const std::string& out_path, const std::vector<std::string>& shard_paths,
+    const std::vector<std::uint64_t>& keys_in_index_order,
+    std::uint64_t* duplicates) {
+  std::unordered_map<std::uint64_t, std::uint64_t> manifests;
+  std::unordered_map<std::uint64_t, const ShardTask*> winners;
+  std::uint64_t extra_commits = 0;
+
+  std::vector<ShardSnapshot> snapshots;
+  snapshots.reserve(shard_paths.size());
+  for (const std::string& shard : shard_paths)
+    snapshots.push_back(read_campaign_snapshot(shard));
+
+  for (std::size_t s = 0; s < snapshots.size(); ++s) {
+    for (const auto& [salt, fp] : snapshots[s].manifests) {
+      const auto it = manifests.find(salt);
+      if (it == manifests.end()) {
+        manifests[salt] = fp;
+      } else if (it->second != fp) {
+        throw InvalidArgument("merge: shard '" + shard_paths[s] +
+                              "' carries a different manifest fingerprint — "
+                              "shards from different sweep configurations "
+                              "cannot be merged");
+      }
+    }
+    for (const auto& [key, task] : snapshots[s].tasks) {
+      const auto it = winners.find(key);
+      if (it == winners.end()) {
+        winners[key] = &task;
+        continue;
+      }
+      // Straggler re-issue: a later shard recomputed the task. Determinism
+      // demands the payload match bit for bit; first shard wins.
+      ++extra_commits;
+      if (it->second->payload != task.payload)
+        throw JournalCorrupt(
+            "merge: task key " + std::to_string(key) + " in shard '" +
+            shard_paths[s] +
+            "' disagrees with an earlier shard's payload — duplicate commits "
+            "must be bit-identical");
+    }
+  }
+
+  std::vector<JournalRecord> records;
+  {
+    std::vector<std::uint64_t> salts;
+    for (const auto& [salt, fp] : manifests) salts.push_back(salt);
+    std::sort(salts.begin(), salts.end());
+    for (const std::uint64_t salt : salts)
+      records.push_back(
+          JournalRecord{kRecordManifest, encode_manifest(salt, manifests.at(salt))});
+  }
+  for (const std::uint64_t key : keys_in_index_order) {
+    const auto it = winners.find(key);
+    if (it == winners.end())
+      throw InvalidArgument("merge: task key " + std::to_string(key) +
+                            " is in no shard journal — the campaign is not "
+                            "complete, merge refused");
+    for (const ShardOpPoint& op : it->second->ops) {
+      PayloadWriter out;
+      out.u64(op.key.circuit);
+      out.u64(op.key.task);
+      out.u32(static_cast<std::uint32_t>(op.key.defect));
+      out.f64(op.r);
+      out.vec_f64(op.x);
+      records.push_back(JournalRecord{kRecordOpPoint, out.take()});
+    }
+    PayloadWriter done;
+    done.u64(key);
+    std::vector<std::uint8_t> bytes = done.take();
+    bytes.insert(bytes.end(), it->second->payload.begin(),
+                 it->second->payload.end());
+    records.push_back(JournalRecord{kRecordTaskDone, std::move(bytes)});
+  }
+
+  // Atomic publication: the merged journal appears all at once or not at
+  // all, and the rename is made durable by the directory fsync.
+  const std::string staging = out_path + ".merging";
+  {
+    JournalWriter writer;
+    writer.open(staging, 0);
+    for (const JournalRecord& record : records)
+      writer.append(record.type, record.payload);
+  }
+  std::error_code ec;
+  std::filesystem::rename(staging, out_path, ec);
+  if (ec)
+    throw JournalCorrupt("merge: rename of '" + staging + "' failed: " +
+                         ec.message());
+  fsync_parent_dir(out_path);
+
+  if (duplicates) *duplicates = extra_commits;
+  return keys_in_index_order.size();
 }
 
 // --- run_campaign ----------------------------------------------------------

@@ -86,6 +86,9 @@ class Campaign {
 
   const std::string& path() const noexcept { return writer_.path(); }
   std::size_t completed_tasks() const;
+  // Keys of every completed task, unordered. The fabric worker uses this to
+  // skip tasks its shard journal already holds when a lease is re-granted.
+  std::vector<std::uint64_t> task_keys() const;
   bool resumed_from_torn_tail() const noexcept { return torn_tail_; }
 
  private:
@@ -126,6 +129,54 @@ std::size_t run_campaign(
     std::size_t count, const std::function<std::uint64_t(std::size_t)>& key_of,
     const std::function<void(std::size_t index, int worker)>& body,
     const CampaignTaskCodec& codec);
+
+// ---------------------------------------------------------------------------
+// Shard snapshots and journal merge (the fabric's durability substrate).
+
+// One operating point replayed from a shard journal, verbatim.
+struct ShardOpPoint {
+  SolveCacheKey key;
+  double r = 0.0;
+  std::vector<double> x;
+};
+
+// One completed task recovered from a shard journal: the journaled result
+// payload plus the operating points committed with it.
+struct ShardTask {
+  std::vector<std::uint8_t> payload;
+  std::vector<ShardOpPoint> ops;
+};
+
+// Read-only replay of a campaign/shard journal: no writer is opened, no torn
+// tail is truncated on disk — safe to call on files another process may still
+// be appending to (records past the snapshot are simply not seen yet).
+struct ShardSnapshot {
+  std::unordered_map<std::uint64_t, std::uint64_t> manifests;  // salt -> fp
+  std::unordered_map<std::uint64_t, ShardTask> tasks;          // by task key
+  bool torn_tail = false;
+};
+ShardSnapshot read_campaign_snapshot(const std::string& path);
+
+// Merges worker shard journals into one campaign journal at `out_path`,
+// records ordered by `keys_in_index_order` (the sweep's task-index order, so
+// replaying the merged journal through run_campaign yields tables
+// bit-identical to an uninterrupted single-process run). Rules:
+//   * every key must be present in at least one shard — a gap throws
+//     InvalidArgument (the coordinator only merges once all leases closed);
+//   * a key present in several shards (straggler re-issue) must carry
+//     byte-identical payloads in all of them — a mismatch throws
+//     JournalCorrupt (it would mean task execution was nondeterministic);
+//     the first shard in `shard_paths` order wins, and `*duplicates` (when
+//     given) counts the extra commits;
+//   * shard manifests must agree per salt across shards and are carried
+//     into the merged journal.
+// The merge is atomic: write-temp + rename + directory fsync, so a crash
+// mid-merge never leaves a partial merged journal behind. Returns the number
+// of tasks merged.
+std::size_t merge_shard_journals(
+    const std::string& out_path, const std::vector<std::string>& shard_paths,
+    const std::vector<std::uint64_t>& keys_in_index_order,
+    std::uint64_t* duplicates = nullptr);
 
 // Shared slot-payload helpers so every driver serializes quarantine records
 // and telemetry counters identically.

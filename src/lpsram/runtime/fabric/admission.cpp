@@ -1,0 +1,60 @@
+#include "lpsram/runtime/fabric/admission.hpp"
+
+#include <chrono>
+
+namespace lpsram::fabric {
+
+Admission AdmissionQueue::try_submit(FabricJob job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) return Admission::Closed;
+  if (queue_.size() >= capacity_) {
+    ++shed_;
+    return Admission::Shed;
+  }
+  queue_.push_back(std::move(job));
+  ++accepted_;
+  lock.unlock();
+  cv_.notify_one();
+  return Admission::Accepted;
+}
+
+bool AdmissionQueue::pop_for(FabricJob* job, double timeout_s) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool got = cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_s),
+      [&] { return !queue_.empty() || closed_; });
+  if (!got || queue_.empty()) return false;
+  *job = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t AdmissionQueue::accepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+std::uint64_t AdmissionQueue::shed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+}  // namespace lpsram::fabric

@@ -1,0 +1,59 @@
+// Bounded admission queue for the campaign daemon (examples/campaign_fabricd).
+//
+// The daemon accepts sweep jobs from a producer (CLI, scripted load) and
+// feeds them to the fabric one at a time. The queue is the back-pressure
+// boundary: when full, try_submit refuses with Shed instead of buffering
+// unboundedly — load-shedding at admission keeps the daemon's memory and
+// latency bounded no matter how fast jobs arrive. close() starts a graceful
+// drain: queued jobs still pop, new submissions get Closed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace lpsram::fabric {
+
+// One queued unit of daemon work: a named sweep of `tasks` indices whose
+// payloads are derived from `seed` (the demo daemon runs synthetic sweeps;
+// a real deployment would carry driver configuration here).
+struct FabricJob {
+  std::string name;
+  std::uint64_t tasks = 0;
+  std::uint64_t seed = 0;
+};
+
+enum class Admission { Accepted, Shed, Closed };
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  // Non-blocking: enqueue or refuse. Shed when full, Closed after close().
+  Admission try_submit(FabricJob job);
+
+  // Blocks up to `timeout_s` for a job. False on timeout, and false
+  // immediately once the queue is closed *and* empty (the drain is done).
+  bool pop_for(FabricJob* job, double timeout_s);
+
+  // Begins the drain: no new admissions, queued jobs still served.
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  std::uint64_t accepted() const;
+  std::uint64_t shed() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<FabricJob> queue_;
+  bool closed_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace lpsram::fabric

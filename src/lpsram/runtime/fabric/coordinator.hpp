@@ -1,0 +1,142 @@
+// Fabric coordinator: single-threaded lease dispatcher over a fleet of
+// worker channels.
+//
+// The coordinator owns two pieces of durable state:
+//   * the workers' shard journals (indirectly) — authoritative for every
+//     committed task payload, because workers fsync before acknowledging;
+//   * its own lease log (a journal file of kFabLog* records) — written at
+//     every lease-state transition, so a restarted coordinator replays the
+//     log, rescans the shards, and re-issues exactly the gaps. The lease log
+//     adds manifest verification, backoff continuity and statistics; task
+//     payloads never live only in it.
+//
+// Liveness model: a worker proves liveness by sending anything (heartbeat,
+// TaskDone, LeaseDone) — each refreshes its lease's deadline. Silence past
+// the deadline expires the lease back into the pending queue behind an
+// exponential backoff; channel EOF (exit/SIGKILL/OOM) releases it
+// immediately. Both paths may produce duplicate commits when the original
+// worker was merely slow — the coordinator reconciles first-commit-wins and
+// verifies later commits byte-identical (a mismatch means task execution was
+// nondeterministic, which the merge contract cannot survive, so it throws).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lpsram/runtime/fabric/lease.hpp"
+#include "lpsram/runtime/fabric/wire.hpp"
+#include "lpsram/util/cancel.hpp"
+#include "lpsram/util/error.hpp"
+
+namespace lpsram::fabric {
+
+// Lease-log record types (journal framing, decoded by tools/fabric_inspect.py).
+inline constexpr std::uint8_t kFabLogManifest = 1;        // [u64 salt][u64 fp][u64 tasks][u64 span]
+inline constexpr std::uint8_t kFabLogLeaseIssued = 2;     // [u64 lease][u32 worker][u64 grants]
+inline constexpr std::uint8_t kFabLogLeaseExpired = 3;    // [u64 lease]
+inline constexpr std::uint8_t kFabLogLeaseCompleted = 4;  // [u64 lease]
+inline constexpr std::uint8_t kFabLogTaskCommitted = 5;   // [u64 index][u64 key]
+inline constexpr std::uint8_t kFabLogWorkerDead = 6;      // [u32 worker]
+inline constexpr std::uint8_t kFabLogMerged = 7;          // [u64 tasks][u64 duplicates]
+
+// Every worker died (or none were supplied) while tasks remain. The shard
+// journals still hold everything committed so far — rerunning the fabric
+// resumes from them; nothing is lost.
+class FabricWorkersLost : public Error {
+ public:
+  explicit FabricWorkersLost(const std::string& what) : Error(what) {}
+};
+
+struct CoordinatorOptions {
+  std::string lease_log;  // path of the coordinator's own journal
+  std::uint64_t salt = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t task_count = 0;
+  LeaseTableOptions leases;
+  // Optional graceful drain: once cancelled, no new leases are issued,
+  // in-flight leases finish, workers get kMsgShutdown, run() returns with
+  // complete == false (unless the last lease happened to finish the sweep).
+  const CancelToken* drain = nullptr;
+};
+
+// One connected worker from the coordinator's point of view. `pid` is
+// informational (0 for in-process test workers); death is detected by
+// channel EOF, reaping is the forker's job.
+struct WorkerEndpoint {
+  int worker_id = 0;
+  long pid = 0;
+  MessageChannel channel;
+};
+
+struct FabricReport {
+  std::uint64_t tasks_total = 0;
+  std::uint64_t tasks_recovered = 0;  // committed before this run (shard scan)
+  std::uint64_t tasks_executed = 0;   // first commits received this run
+  std::uint64_t duplicates = 0;       // reconciled re-commits (verified equal)
+  std::uint64_t leases_issued = 0;
+  std::uint64_t leases_expired = 0;
+  std::uint64_t workers_died = 0;
+  bool drained = false;
+  bool complete = false;  // every task committed
+};
+
+class Coordinator {
+ public:
+  // `recovered` maps task index -> committed payload found in the shard
+  // journals before this run (see read_campaign_snapshot); those indices are
+  // marked done up front and only gaps are leased. Opens/replays the lease
+  // log: a prior log whose manifest disagrees with `options` is refused
+  // (InvalidArgument) instead of silently mixing sweeps.
+  Coordinator(CoordinatorOptions options, std::vector<WorkerEndpoint> workers,
+              std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+                  recovered);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // Runs the event loop to completion (all tasks committed), drain, or
+  // FabricWorkersLost. Committed payloads are retained in memory for
+  // duplicate verification and exposed afterwards via payloads().
+  FabricReport run();
+
+  // index -> committed payload, for every task committed so far (recovered
+  // + this run). After a complete run this covers [0, task_count).
+  const std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>&
+  payloads() const noexcept {
+    return payloads_;
+  }
+
+  // Appends the kFabLogMerged marker after run_fabric has published the
+  // merged journal (the log stays open for exactly this final record).
+  void log_merged(std::uint64_t tasks, std::uint64_t duplicates);
+
+ private:
+  struct WorkerState {
+    int worker_id = 0;
+    long pid = 0;
+    MessageChannel channel;
+    std::int64_t lease = -1;  // currently granted lease, -1 when idle
+    bool alive = true;
+  };
+
+  void log(std::uint8_t type, const std::vector<std::uint8_t>& payload);
+  void replay_lease_log();
+  void mark_worker_dead(WorkerState& w);
+  void handle_message(WorkerState& w, const WireMessage& msg, double now);
+  void try_grant(WorkerState& w, double now);
+  void broadcast_shutdown();
+  std::size_t live_workers() const;
+
+  CoordinatorOptions options_;
+  LeaseTable table_;
+  JournalWriter log_;
+  std::vector<WorkerState> workers_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> payloads_;
+  std::vector<bool> lease_completion_logged_;
+  FabricReport report_;
+};
+
+}  // namespace lpsram::fabric

@@ -1,0 +1,260 @@
+#include "lpsram/runtime/fabric/fabric.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <unordered_map>
+
+#include "lpsram/runtime/campaign.hpp"
+#include "lpsram/runtime/parallel.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define LPSRAM_HAVE_FABRIC 1
+#endif
+
+namespace lpsram::fabric {
+
+namespace fs = std::filesystem;
+
+std::string shard_journal_path(const std::string& dir, int worker_id) {
+  return dir + "/shard-" + std::to_string(worker_id) + ".journal";
+}
+std::string coordinator_log_path(const std::string& dir) {
+  return dir + "/coordinator.journal";
+}
+std::string worker_pid_path(const std::string& dir, int worker_id) {
+  return dir + "/worker-" + std::to_string(worker_id) + ".pid";
+}
+std::string merged_journal_path(const std::string& dir) {
+  return dir + "/merged.journal";
+}
+
+#ifdef LPSRAM_HAVE_FABRIC
+
+namespace {
+
+// Reaps `pid`, escalating to SIGKILL if it has not exited within
+// `patience_s` (a worker can legitimately lag by one wedge/solve before it
+// notices the closed channel).
+void reap(long pid, double patience_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(patience_s);
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(static_cast<pid_t>(pid), &status, WNOHANG);
+    if (r != 0) return;  // reaped, or ECHILD (someone else got it)
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::kill(static_cast<pid_t>(pid), SIGKILL);
+      ::waitpid(static_cast<pid_t>(pid), &status, 0);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+struct Fleet {
+  std::vector<long> pids;
+  std::string dir;
+  bool killed = false;
+
+  // Exception path: the run is being abandoned, take the workers with it.
+  void kill_all() noexcept {
+    if (killed) return;
+    killed = true;
+    for (const long pid : pids) ::kill(static_cast<pid_t>(pid), SIGKILL);
+    for (const long pid : pids) {
+      int status = 0;
+      ::waitpid(static_cast<pid_t>(pid), &status, 0);
+    }
+    cleanup_pidfiles();
+  }
+
+  void cleanup_pidfiles() noexcept {
+    std::error_code ec;
+    for (std::size_t i = 0; i < pids.size(); ++i)
+      fs::remove(worker_pid_path(dir, static_cast<int>(i)), ec);
+  }
+
+  ~Fleet() { kill_all(); }
+};
+
+}  // namespace
+
+FabricReport run_fabric(const FabricOptions& options, std::uint64_t count,
+                        const FabricKeyFn& key_of,
+                        const FabricTaskFn& task_fn) {
+  if (options.workers <= 0)
+    throw InvalidArgument("fabric: need at least one worker");
+  if (options.dir.empty())
+    throw InvalidArgument("fabric: journal directory required");
+  fs::create_directories(options.dir);
+
+  // Recover whatever earlier incarnations already committed: scan every
+  // shard journal and map committed task keys back to sweep indices. This is
+  // what makes both halves of the crash envelope survivable — the shard
+  // files, not any process, are the source of truth.
+  std::unordered_map<std::uint64_t, std::uint64_t> index_of_key;
+  std::vector<std::uint64_t> keys_in_index_order;
+  keys_in_index_order.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t key = key_of(i);
+    keys_in_index_order.push_back(key);
+    index_of_key[key] = i;
+  }
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> recovered;
+  std::vector<std::string> shard_paths;
+  for (int w = 0; w < options.workers; ++w) {
+    const std::string path = shard_journal_path(options.dir, w);
+    shard_paths.push_back(path);
+    if (!fs::exists(path)) continue;
+    const ShardSnapshot snapshot = read_campaign_snapshot(path);
+    const auto it = snapshot.manifests.find(options.salt);
+    if (it != snapshot.manifests.end() && it->second != options.fingerprint)
+      throw InvalidArgument(
+          "fabric: shard journal " + path +
+          " was recorded for a different sweep configuration");
+    for (const auto& [key, task] : snapshot.tasks) {
+      const auto idx = index_of_key.find(key);
+      if (idx == index_of_key.end())
+        throw InvalidArgument("fabric: shard journal " + path +
+                              " holds a task key outside this sweep");
+      recovered.emplace(idx->second, task.payload);
+    }
+  }
+
+  const int threads = options.worker_threads > 0
+                          ? options.worker_threads
+                          : SweepExecutor::threads_per_process(options.workers);
+
+  // All socketpairs before any fork, so each child can close every end that
+  // is not its own — otherwise a sibling's inherited fd copy would keep a
+  // dead peer's channel from ever reaching EOF.
+  std::vector<std::pair<MessageChannel, MessageChannel>> channels;
+  channels.reserve(static_cast<std::size_t>(options.workers));
+  for (int w = 0; w < options.workers; ++w)
+    channels.push_back(MessageChannel::make_pair());
+
+  Fleet fleet;
+  fleet.dir = options.dir;
+  for (int w = 0; w < options.workers; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0)
+      throw Error(std::string("fabric: fork failed: ") + std::strerror(errno));
+    if (pid == 0) {
+      // Child: crash-injection state is process-global and inherited — a
+      // coordinator-side ScopedJournalCrash must not fire on shard appends.
+      disarm_journal_crash();
+      for (int o = 0; o < options.workers; ++o) {
+        channels[static_cast<std::size_t>(o)].first.close();
+        if (o != w) channels[static_cast<std::size_t>(o)].second.close();
+      }
+      WorkerOptions wopt;
+      wopt.worker_id = w;
+      wopt.shard_journal = shard_journal_path(options.dir, w);
+      wopt.heartbeat_interval_s = options.heartbeat_interval_s;
+      wopt.salt = options.salt;
+      wopt.fingerprint = options.fingerprint;
+      wopt.threads = threads;
+      if (static_cast<std::size_t>(w) < options.chaos.size())
+        wopt.chaos = options.chaos[static_cast<std::size_t>(w)];
+      try {
+        run_fabric_worker(channels[static_cast<std::size_t>(w)].second, wopt,
+                          key_of, task_fn);
+      } catch (const JournalCrash&) {
+        std::_Exit(10);  // injected shard-journal death
+      } catch (...) {
+        std::_Exit(11);
+      }
+      std::_Exit(0);
+    }
+    fleet.pids.push_back(pid);
+    channels[static_cast<std::size_t>(w)].second.close();
+    std::ofstream pidfile(worker_pid_path(options.dir, w), std::ios::trunc);
+    pidfile << pid << "\n";
+  }
+
+  CoordinatorOptions copt;
+  copt.lease_log = coordinator_log_path(options.dir);
+  copt.salt = options.salt;
+  copt.fingerprint = options.fingerprint;
+  copt.task_count = count;
+  copt.leases.span = options.lease_span;
+  copt.leases.lease_timeout_s = options.lease_timeout_s;
+  copt.leases.backoff_initial_s = options.backoff_initial_s;
+  copt.leases.backoff_max_s = options.backoff_max_s;
+  copt.drain = options.drain;
+
+  std::vector<WorkerEndpoint> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(options.workers));
+  for (int w = 0; w < options.workers; ++w) {
+    WorkerEndpoint ep;
+    ep.worker_id = w;
+    ep.pid = fleet.pids[static_cast<std::size_t>(w)];
+    ep.channel = std::move(channels[static_cast<std::size_t>(w)].first);
+    endpoints.push_back(std::move(ep));
+  }
+
+  Coordinator coordinator(copt, std::move(endpoints), std::move(recovered));
+  FabricReport report = coordinator.run();
+  report.tasks_total = count;
+
+  // Orderly teardown: the coordinator already broadcast kMsgShutdown; give
+  // each worker a moment to exit on its own before escalating.
+  for (const long pid : fleet.pids) reap(pid, /*patience_s=*/10.0);
+  fleet.killed = true;  // all reaped; the guard has nothing left to do
+  fleet.cleanup_pidfiles();
+
+  if (report.complete) {
+    std::vector<std::string> existing;
+    for (const std::string& path : shard_paths)
+      if (fs::exists(path)) existing.push_back(path);
+    std::uint64_t merge_duplicates = 0;
+    const std::size_t merged = merge_shard_journals(
+        options.merged_path(), existing, keys_in_index_order,
+        &merge_duplicates);
+    // Wire-level and merge-level counts see the same re-commits from two
+    // vantage points; report whichever saw more.
+    report.duplicates = std::max(report.duplicates, merge_duplicates);
+    coordinator.log_merged(merged, merge_duplicates);
+  }
+  return report;
+}
+
+int kill_all_workers(const std::string& dir) {
+  int killed = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("worker-", 0) != 0 ||
+        entry.path().extension() != ".pid")
+      continue;
+    std::ifstream in(entry.path());
+    long pid = 0;
+    if ((in >> pid) && pid > 1 && ::kill(static_cast<pid_t>(pid), SIGKILL) == 0)
+      ++killed;
+    fs::remove(entry.path(), ec);
+  }
+  return killed;
+}
+
+#else  // !LPSRAM_HAVE_FABRIC
+
+FabricReport run_fabric(const FabricOptions&, std::uint64_t,
+                        const FabricKeyFn&, const FabricTaskFn&) {
+  throw Error("fabric: multi-process execution requires a POSIX platform");
+}
+
+int kill_all_workers(const std::string&) { return 0; }
+
+#endif  // LPSRAM_HAVE_FABRIC
+
+}  // namespace lpsram::fabric

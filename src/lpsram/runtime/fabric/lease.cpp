@@ -1,0 +1,123 @@
+#include "lpsram/runtime/fabric/lease.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "lpsram/util/error.hpp"
+
+namespace lpsram::fabric {
+
+LeaseTable::LeaseTable(std::uint64_t task_count, LeaseTableOptions options)
+    : task_count_(task_count), options_(options) {
+  if (options_.span == 0)
+    throw InvalidArgument("fabric: lease span must be positive");
+  if (options_.lease_timeout_s <= 0.0)
+    throw InvalidArgument("fabric: lease timeout must be positive");
+  const std::uint64_t n = (task_count_ + options_.span - 1) / options_.span;
+  leases_.reserve(n);
+  for (std::uint64_t id = 0; id < n; ++id) {
+    Lease lease;
+    lease.id = id;
+    lease.begin = id * options_.span;
+    lease.end = std::min(task_count_, lease.begin + options_.span);
+    leases_.push_back(lease);
+  }
+  done_.assign(task_count_, false);
+}
+
+std::int64_t LeaseTable::grant(int worker, double now) {
+  for (Lease& lease : leases_) {
+    if (lease.state != LeaseState::Pending) continue;
+    if (lease.available_at > now) continue;
+    lease.state = LeaseState::Leased;
+    lease.worker = worker;
+    ++lease.grants;
+    lease.deadline = now + options_.lease_timeout_s;
+    return static_cast<std::int64_t>(lease.id);
+  }
+  return -1;
+}
+
+std::int64_t LeaseTable::note_task_done(std::uint64_t index) {
+  if (index >= task_count_)
+    throw InvalidArgument("fabric: task index out of range");
+  if (done_[index]) return -1;  // duplicate commit; coverage unchanged
+  done_[index] = true;
+  ++tasks_done_;
+  Lease& lease = leases_[index / options_.span];
+  for (std::uint64_t i = lease.begin; i < lease.end; ++i)
+    if (!done_[i]) return -1;
+  lease.state = LeaseState::Completed;
+  return static_cast<std::int64_t>(lease.id);
+}
+
+void LeaseTable::refresh(std::uint64_t id, double now) {
+  Lease& lease = leases_.at(id);
+  if (lease.state != LeaseState::Leased) return;  // late heartbeat; ignore
+  lease.deadline = now + options_.lease_timeout_s;
+}
+
+std::vector<std::uint64_t> LeaseTable::expire(double now) {
+  std::vector<std::uint64_t> expired;
+  for (Lease& lease : leases_) {
+    if (lease.state != LeaseState::Leased) continue;
+    if (lease.deadline > now) continue;
+    lease.state = LeaseState::Pending;
+    lease.available_at = now + backoff_for(lease.grants);
+    expired.push_back(lease.id);
+  }
+  return expired;
+}
+
+std::vector<std::uint64_t> LeaseTable::release_worker(int worker) {
+  std::vector<std::uint64_t> released;
+  for (Lease& lease : leases_) {
+    if (lease.state != LeaseState::Leased || lease.worker != worker) continue;
+    lease.state = LeaseState::Pending;
+    lease.available_at = 0.0;  // death is definitive: no backoff
+    released.push_back(lease.id);
+  }
+  return released;
+}
+
+std::vector<std::uint64_t> LeaseTable::pending_indices(std::uint64_t id) const {
+  const Lease& lease = leases_.at(id);
+  std::vector<std::uint64_t> indices;
+  for (std::uint64_t i = lease.begin; i < lease.end; ++i)
+    if (!done_[i]) indices.push_back(i);
+  return indices;
+}
+
+bool LeaseTable::any_leased() const noexcept {
+  return std::any_of(leases_.begin(), leases_.end(), [](const Lease& l) {
+    return l.state == LeaseState::Leased;
+  });
+}
+
+bool LeaseTable::any_pending() const noexcept {
+  return std::any_of(leases_.begin(), leases_.end(), [](const Lease& l) {
+    return l.state == LeaseState::Pending;
+  });
+}
+
+double LeaseTable::next_event() const noexcept {
+  double soonest = std::numeric_limits<double>::infinity();
+  for (const Lease& lease : leases_) {
+    if (lease.state == LeaseState::Leased)
+      soonest = std::min(soonest, lease.deadline);
+    else if (lease.state == LeaseState::Pending && lease.available_at > 0.0)
+      soonest = std::min(soonest, lease.available_at);
+  }
+  return soonest;
+}
+
+double LeaseTable::backoff_for(std::uint64_t grants) const noexcept {
+  // grants counts issues so far; the first expiry (grants == 1) waits the
+  // initial backoff, doubling per further expiry up to the cap.
+  double delay = options_.backoff_initial_s;
+  for (std::uint64_t i = 1; i < grants && delay < options_.backoff_max_s; ++i)
+    delay *= 2.0;
+  return std::min(delay, options_.backoff_max_s);
+}
+
+}  // namespace lpsram::fabric

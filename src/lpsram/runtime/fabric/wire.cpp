@@ -1,0 +1,139 @@
+#include "lpsram/runtime/fabric/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "lpsram/util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define LPSRAM_HAVE_FABRIC 1
+#endif
+
+namespace lpsram::fabric {
+
+#ifdef LPSRAM_HAVE_FABRIC
+
+MessageChannel& MessageChannel::operator=(MessageChannel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    parser_ = std::move(other.parser_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::pair<MessageChannel, MessageChannel> MessageChannel::make_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    throw Error(std::string("fabric: socketpair failed: ") +
+                std::strerror(errno));
+  return {MessageChannel(fds[0]), MessageChannel(fds[1])};
+}
+
+void MessageChannel::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool MessageChannel::send(std::uint8_t type,
+                          const std::vector<std::uint8_t>& payload) {
+  if (fd_ < 0) return false;
+  const std::vector<std::uint8_t> frame =
+      encode_record_frame(type, payload.data(), payload.size());
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw Error(std::string("fabric: channel send failed: ") +
+                  std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool MessageChannel::next(WireMessage* out) {
+  JournalRecord record;
+  if (!parser_.next(&record)) return false;
+  out->type = record.type;
+  out->payload = std::move(record.payload);
+  return true;
+}
+
+bool MessageChannel::pump() {
+  std::uint8_t chunk[4096];
+  for (;;) {
+    pollfd p{fd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, 0);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("fabric: channel poll failed: ") +
+                  std::strerror(errno));
+    }
+    if (ready == 0) return true;  // drained everything currently available
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("fabric: channel read failed: ") +
+                  std::strerror(errno));
+    }
+    if (n == 0) return false;  // EOF: peer closed (exit, SIGKILL, OOM, ...)
+    parser_.feed(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+RecvStatus MessageChannel::recv(WireMessage* out, int timeout_ms) {
+  for (;;) {
+    if (next(out)) return RecvStatus::Ok;
+    if (fd_ < 0) return RecvStatus::Eof;
+    pollfd p{fd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("fabric: channel poll failed: ") +
+                  std::strerror(errno));
+    }
+    if (ready == 0) return RecvStatus::Timeout;
+    std::uint8_t chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("fabric: channel read failed: ") +
+                  std::strerror(errno));
+    }
+    if (n == 0) return next(out) ? RecvStatus::Ok : RecvStatus::Eof;
+    parser_.feed(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+#else  // !LPSRAM_HAVE_FABRIC
+
+MessageChannel& MessageChannel::operator=(MessageChannel&&) noexcept = default;
+std::pair<MessageChannel, MessageChannel> MessageChannel::make_pair() {
+  throw Error("fabric: message channels require a POSIX platform");
+}
+void MessageChannel::close() noexcept {}
+bool MessageChannel::send(std::uint8_t, const std::vector<std::uint8_t>&) {
+  throw Error("fabric: message channels require a POSIX platform");
+}
+bool MessageChannel::next(WireMessage*) { return false; }
+bool MessageChannel::pump() { return false; }
+RecvStatus MessageChannel::recv(WireMessage*, int) { return RecvStatus::Eof; }
+
+#endif  // LPSRAM_HAVE_FABRIC
+
+}  // namespace lpsram::fabric

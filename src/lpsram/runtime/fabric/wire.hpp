@@ -1,0 +1,86 @@
+// Typed message channel between the fabric coordinator and its worker
+// processes, carried over a POSIX stream socketpair. Every message is framed
+// exactly like a journal record — [u32 length][u32 crc32][u8 type + payload]
+// — so the wire shares the journal's codec (encode_record_frame /
+// FrameParser) and tools/fabric_inspect.py can decode captures with the same
+// logic it uses on journal files.
+//
+// Liveness semantics the coordinator relies on:
+//   * recv() returning Eof means the peer's end is closed — for a worker
+//     that is SIGKILL, OOM, or a clean exit; for the coordinator it means
+//     the parent died and the worker should stop.
+//   * send() returns false (instead of raising SIGPIPE) when the peer is
+//     gone, so the coordinator can mark a worker dead mid-broadcast.
+//   * A checksum or length violation on the stream throws JournalCorrupt:
+//     unlike a journal file there is no "torn tail" on a reliable byte
+//     stream — damage means a framing bug or a trashed peer.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "lpsram/runtime/journal.hpp"
+
+namespace lpsram::fabric {
+
+// Message types. Worker -> coordinator: Hello, Heartbeat, TaskDone,
+// LeaseDone. Coordinator -> worker: Grant, Shutdown.
+inline constexpr std::uint8_t kMsgHello = 1;      // [u32 worker]
+inline constexpr std::uint8_t kMsgHeartbeat = 2;  // [u32 worker][u64 lease][u64 done]
+inline constexpr std::uint8_t kMsgTaskDone = 3;   // [u64 lease][u64 index][u64 key][bytes]
+inline constexpr std::uint8_t kMsgLeaseDone = 4;  // [u64 lease]
+inline constexpr std::uint8_t kMsgGrant = 5;      // [u64 lease][u32 n][u64 index x n]
+inline constexpr std::uint8_t kMsgShutdown = 6;   // []
+
+struct WireMessage {
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+enum class RecvStatus { Ok, Eof, Timeout };
+
+// One end of a bidirectional channel. Move-only; owns its fd.
+class MessageChannel {
+ public:
+  MessageChannel() = default;
+  explicit MessageChannel(int fd) : fd_(fd) {}
+  ~MessageChannel() { close(); }
+  MessageChannel(MessageChannel&& other) noexcept { *this = std::move(other); }
+  MessageChannel& operator=(MessageChannel&& other) noexcept;
+  MessageChannel(const MessageChannel&) = delete;
+  MessageChannel& operator=(const MessageChannel&) = delete;
+
+  // A connected pair: first is conventionally the coordinator end, second
+  // the worker end. After fork() each process closes the end it does not
+  // own.
+  static std::pair<MessageChannel, MessageChannel> make_pair();
+
+  // Frames, checksums and writes one message. Returns false when the peer
+  // end is closed (EPIPE/ECONNRESET); throws lpsram::Error on other I/O
+  // failures.
+  bool send(std::uint8_t type, const std::vector<std::uint8_t>& payload);
+
+  // Blocking receive with timeout. Ok fills *out; Timeout means no complete
+  // message within `timeout_ms` (negative = wait forever); Eof means the
+  // peer is gone and no further messages will arrive (already-buffered
+  // complete messages are drained first).
+  RecvStatus recv(WireMessage* out, int timeout_ms);
+
+  // Non-blocking: reads whatever bytes are available into the parser.
+  // Returns false on EOF. The coordinator's poll loop calls this when the
+  // fd is readable, then drains messages with next().
+  bool pump();
+  // Pops one buffered message; false when none is complete.
+  bool next(WireMessage* out);
+
+  int fd() const noexcept { return fd_; }
+  bool is_open() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  FrameParser parser_;
+};
+
+}  // namespace lpsram::fabric

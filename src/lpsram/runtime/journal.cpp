@@ -9,6 +9,7 @@
 #include "lpsram/util/error.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define LPSRAM_HAVE_FSYNC 1
 #endif
@@ -51,8 +52,30 @@ void write_le32(std::uint8_t* p, std::uint32_t v) {
 // and throws; once `dead` is set every append throws.
 std::atomic<std::uint64_t> g_crash_countdown{0};
 std::atomic<bool> g_crash_dead{false};
+// Compaction kill point (see ScopedCompactionCrash). 0 = disarmed.
+std::atomic<int> g_compaction_crash{0};
+
+void maybe_compaction_crash(CompactionCrashPoint point) {
+  if (g_compaction_crash.load(std::memory_order_relaxed) ==
+      static_cast<int>(point))
+    throw JournalCrash("journal: compaction crash injected at stage " +
+                       std::to_string(static_cast<int>(point)));
+}
 
 }  // namespace
+
+void fsync_parent_dir(const std::string& path) noexcept {
+#ifdef LPSRAM_HAVE_FSYNC
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best effort: an unreadable dir just skips the sync
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
 
 std::uint32_t crc32_ieee(const std::uint8_t* data, std::size_t size) noexcept {
   const std::uint32_t* table = crc32_table();
@@ -140,6 +163,48 @@ std::vector<double> PayloadReader::vec_f64() {
   return v;
 }
 
+// --- Frame codec (shared by the on-disk journal and the fabric wire) -------
+
+std::vector<std::uint8_t> encode_record_frame(std::uint8_t type,
+                                              const std::uint8_t* payload,
+                                              std::size_t size) {
+  std::vector<std::uint8_t> frame(8 + 1 + size);
+  const std::uint32_t length = static_cast<std::uint32_t>(1 + size);
+  frame[8] = type;
+  if (size != 0) std::memcpy(frame.data() + 9, payload, size);
+  write_le32(frame.data(), length);
+  write_le32(frame.data() + 4, crc32_ieee(frame.data() + 8, length));
+  return frame;
+}
+
+void FrameParser::feed(const std::uint8_t* data, std::size_t size) {
+  // Reclaim the consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+bool FrameParser::next(JournalRecord* out) {
+  const std::size_t have = buf_.size() - pos_;
+  if (have < 8) return false;
+  const std::uint8_t* frame = buf_.data() + pos_;
+  const std::uint32_t length = read_le32(frame);
+  const std::uint32_t crc = read_le32(frame + 4);
+  if (length == 0 || length > kJournalMaxRecordBytes)
+    throw JournalCorrupt("frame stream: impossible record length " +
+                         std::to_string(length));
+  if (have - 8 < length) return false;
+  const std::uint8_t* body = frame + 8;
+  if (crc32_ieee(body, length) != crc)
+    throw JournalCorrupt("frame stream: checksum mismatch");
+  out->type = body[0];
+  out->payload.assign(body + 1, body + length);
+  pos_ += 8 + length;
+  return true;
+}
+
 // --- Replay ----------------------------------------------------------------
 
 JournalReplay replay_journal(const std::string& path) {
@@ -212,6 +277,10 @@ void JournalWriter::open(const std::string& path, std::uint64_t valid_bytes) {
 
   namespace fs = std::filesystem;
   std::error_code ec;
+  // A stale compaction temp can only be the leftover of a crash between
+  // write-temp and rename: the rename never happened, so it belongs to no
+  // generation and is dead weight. Remove it before touching the journal.
+  fs::remove(path + ".tmp", ec);
   const bool exists = fs::exists(path, ec);
   if (exists && valid_bytes > sizeof(kJournalMagic)) {
     // Resume: drop the torn tail (if any), append after the last intact
@@ -233,19 +302,18 @@ void JournalWriter::open(const std::string& path, std::uint64_t valid_bytes) {
       sizeof(kJournalMagic))
     throw JournalCorrupt("journal '" + path + "': magic write failed");
   flush_hard();
+  // Make the file's directory entry durable too: without this a crash right
+  // after creation can lose the whole journal even though its first appends
+  // were fsync'd.
+  fsync_parent_dir(path);
 }
 
 void JournalWriter::append(std::uint8_t type,
                            const std::vector<std::uint8_t>& payload) {
   if (!file_) throw JournalCorrupt("journal: append on closed writer");
 
-  std::vector<std::uint8_t> frame(8 + 1 + payload.size());
-  const std::uint32_t length = static_cast<std::uint32_t>(1 + payload.size());
-  frame[8] = type;
-  if (!payload.empty())
-    std::memcpy(frame.data() + 9, payload.data(), payload.size());
-  write_le32(frame.data(), length);
-  write_le32(frame.data() + 4, crc32_ieee(frame.data() + 8, length));
+  const std::vector<std::uint8_t> frame =
+      encode_record_frame(type, payload.data(), payload.size());
 
   // Crash injection (kill-replay harness): the armed append writes a torn
   // half-record — exercising the torn-tail replay path end to end — then
@@ -279,12 +347,20 @@ void JournalWriter::compact(const std::vector<JournalRecord>& records) {
       snapshot.append(record.type, record.payload);
     snapshot.close();
   }
+  maybe_compaction_crash(CompactionCrashPoint::AfterTempWrite);
   close();
   std::error_code ec;
   std::filesystem::rename(tmp, path_, ec);
   if (ec)
     throw JournalCorrupt("journal '" + path_ + "': compaction rename failed: " +
                          ec.message());
+  maybe_compaction_crash(CompactionCrashPoint::AfterRename);
+  // The renamed directory entry must reach disk before anyone relies on the
+  // compacted generation: without this fsync a crash after the rename could
+  // roll the directory back and lose the journal entirely (the temp is gone,
+  // the old inode unlinked).
+  fsync_parent_dir(path_);
+  maybe_compaction_crash(CompactionCrashPoint::AfterDirFsync);
   file_ = std::fopen(path_.c_str(), "ab");
   if (!file_)
     throw JournalCorrupt("journal '" + path_ + "': reopen after compact failed");
@@ -308,6 +384,20 @@ ScopedJournalCrash::ScopedJournalCrash(std::uint64_t nth_append) {
 ScopedJournalCrash::~ScopedJournalCrash() {
   g_crash_countdown.store(0, std::memory_order_relaxed);
   g_crash_dead.store(false, std::memory_order_relaxed);
+}
+
+void disarm_journal_crash() noexcept {
+  g_crash_countdown.store(0, std::memory_order_relaxed);
+  g_crash_dead.store(false, std::memory_order_relaxed);
+  g_compaction_crash.store(0, std::memory_order_relaxed);
+}
+
+ScopedCompactionCrash::ScopedCompactionCrash(CompactionCrashPoint point) {
+  g_compaction_crash.store(static_cast<int>(point), std::memory_order_relaxed);
+}
+
+ScopedCompactionCrash::~ScopedCompactionCrash() {
+  g_compaction_crash.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace lpsram

@@ -17,9 +17,16 @@
 //   * Any damage BEFORE the tail — a bad checksum, an impossible length, a
 //     short payload — throws JournalCorrupt. Completed records are never
 //     silently dropped.
-//   * Compaction rewrites the log via write-temp + flush + rename, so a
-//     crash mid-compaction leaves either the old file or the new one,
-//     never a hybrid.
+//   * Compaction rewrites the log via write-temp + flush + rename + parent
+//     directory fsync, so a crash mid-compaction leaves either the old file
+//     or the new one, never a hybrid and never neither: the directory fsync
+//     makes the rename itself durable, and a stale `.tmp` left by a crash
+//     between write-temp and rename is cleaned up on the next open().
+//
+// The record framing ([u32 length][u32 crc32][u8 type + payload]) is shared
+// with the fabric message channel (runtime/fabric/wire.hpp): a message on the
+// wire is framed byte-for-byte like a record on disk, so one codec — and one
+// inspection tool — covers both.
 #pragma once
 
 #include <cstddef>
@@ -63,6 +70,34 @@ struct JournalReplay {
 // Reads and validates a journal. A missing file replays as empty (a fresh
 // campaign). Throws JournalCorrupt on interior damage per the contract above.
 JournalReplay replay_journal(const std::string& path);
+
+// Best-effort fsync of the directory containing `path`, making a just-created
+// or just-renamed directory entry durable. No-op where fsync is unavailable.
+void fsync_parent_dir(const std::string& path) noexcept;
+
+// Frames one record exactly as it is laid out on disk and on the fabric
+// wire: [u32 length][u32 crc32][u8 type + payload].
+std::vector<std::uint8_t> encode_record_frame(std::uint8_t type,
+                                              const std::uint8_t* payload,
+                                              std::size_t size);
+
+// Incremental decoder for the same framing over a byte stream (the fabric
+// message channel reads sockets in arbitrary-sized chunks). feed() appends
+// raw bytes; next() pops one complete record at a time. A bad length or
+// checksum throws JournalCorrupt — on a reliable stream that means a framing
+// bug or a trashed peer, not a torn write, so there is no silent truncation.
+class FrameParser {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+  // Decodes the next complete frame into *out; false when the buffered bytes
+  // do not yet hold a full frame.
+  bool next(JournalRecord* out);
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix, reclaimed lazily
+};
 
 // Little-endian payload serializer. Append-only; the buffer becomes the
 // record payload (after the type byte) handed to JournalWriter::append.
@@ -165,6 +200,35 @@ class ScopedJournalCrash {
   ~ScopedJournalCrash();
   ScopedJournalCrash(const ScopedJournalCrash&) = delete;
   ScopedJournalCrash& operator=(const ScopedJournalCrash&) = delete;
+};
+
+// Clears any armed append/compaction crash. Forked fabric workers call this
+// first thing in the child: the injection state is process-global and a
+// coordinator-side ScopedJournalCrash must not leak into the children's
+// shard journals across fork().
+void disarm_journal_crash() noexcept;
+
+// Compaction-specific kill points, between the three durability boundaries
+// the rewrite crosses. At each point the on-disk state differs:
+//   AfterTempWrite — `.tmp` holds the flushed snapshot, `path` still holds
+//     the old generation (recovery replays the old file; open() removes the
+//     stale `.tmp`).
+//   AfterRename — `path` holds the new generation but the directory entry is
+//     not yet fsync'd (recovery replays the new file — or, on a journaling
+//     filesystem that lost the rename, the old one; never neither).
+//   AfterDirFsync — fully durable, the writer just never reopened.
+enum class CompactionCrashPoint : int {
+  AfterTempWrite = 1,
+  AfterRename = 2,
+  AfterDirFsync = 3,
+};
+
+class ScopedCompactionCrash {
+ public:
+  explicit ScopedCompactionCrash(CompactionCrashPoint point);
+  ~ScopedCompactionCrash();
+  ScopedCompactionCrash(const ScopedCompactionCrash&) = delete;
+  ScopedCompactionCrash& operator=(const ScopedCompactionCrash&) = delete;
 };
 
 }  // namespace lpsram

@@ -40,6 +40,13 @@ int SweepExecutor::default_threads() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+int SweepExecutor::threads_per_process(int processes) {
+  if (processes <= 0)
+    throw InvalidArgument("SweepExecutor: process count must be >= 1");
+  const int total = default_threads();
+  return total / processes > 0 ? total / processes : 1;
+}
+
 // Shared state of one run() invocation. Workers claim chunks off `cursor`;
 // exceptions land in per-index slots so run() can rethrow the lowest-index
 // one after the pool drains. `active` counts slots currently draining the

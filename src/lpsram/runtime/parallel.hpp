@@ -105,6 +105,12 @@ class SweepExecutor {
   // The automatic thread count used when options.threads == 0.
   static int default_threads();
 
+  // Per-process executor budget for a fleet of `processes` cooperating
+  // worker processes (the campaign fabric forks one executor per worker):
+  // splits default_threads() evenly so the fleet as a whole does not
+  // oversubscribe the host. Always >= 1.
+  static int threads_per_process(int processes);
+
  private:
   struct Batch;  // one run() invocation's shared state
 

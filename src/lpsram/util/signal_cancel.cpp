@@ -1,0 +1,46 @@
+#include "lpsram/util/signal_cancel.hpp"
+
+#include <atomic>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#define LPSRAM_HAVE_SIGACTION 1
+#endif
+
+namespace lpsram {
+
+#ifdef LPSRAM_HAVE_SIGACTION
+
+namespace {
+
+// Signal handlers may only touch lock-free state; CancelToken::cancel() is a
+// relaxed atomic store, which qualifies.
+std::atomic<CancelToken*> g_signal_token{nullptr};
+
+void on_cancel_signal(int) {
+  CancelToken* token = g_signal_token.load(std::memory_order_relaxed);
+  if (token != nullptr) token->cancel();
+}
+
+}  // namespace
+
+bool install_cancel_on_signal(CancelToken& token) {
+  g_signal_token.store(&token, std::memory_order_relaxed);
+  struct sigaction action {};
+  action.sa_handler = on_cancel_signal;
+  sigemptyset(&action.sa_mask);
+  // First signal drains gracefully; the handler then resets to default so a
+  // second signal terminates immediately.
+  action.sa_flags = SA_RESETHAND;
+  const bool ok_int = ::sigaction(SIGINT, &action, nullptr) == 0;
+  const bool ok_term = ::sigaction(SIGTERM, &action, nullptr) == 0;
+  return ok_int && ok_term;
+}
+
+#else
+
+bool install_cancel_on_signal(CancelToken&) { return false; }
+
+#endif
+
+}  // namespace lpsram

@@ -1,0 +1,19 @@
+// Wires SIGINT/SIGTERM to a CancelToken so long-running campaign binaries
+// (examples, the fabric daemon) turn Ctrl-C into a graceful drain: the token
+// flips, in-flight tasks finish and journal, and the process exits with its
+// journals intact and resumable. SA_RESETHAND restores the default
+// disposition after the first signal — a second Ctrl-C kills outright, the
+// escape hatch when a drain itself wedges.
+#pragma once
+
+#include "lpsram/util/cancel.hpp"
+
+namespace lpsram {
+
+// Installs handlers for SIGINT and SIGTERM that cancel `token`. The token
+// must outlive the handlers (in practice: a main()-scope token installed
+// once). Only one token can be armed per process; installing again rebinds.
+// No-op (returns false) on platforms without sigaction.
+bool install_cancel_on_signal(CancelToken& token);
+
+}  // namespace lpsram

@@ -391,6 +391,56 @@ TEST(JournalCrashInjection, DisarmsOnScopeExit) {
   EXPECT_NO_THROW(writer.append(1, {}));
 }
 
+// Compaction crosses three durability boundaries (temp written, renamed,
+// directory fsync'd). A kill at any of them must leave a journal that
+// replays to exactly the OLD generation or exactly the NEW one — never a
+// mix, never neither — and that reopens cleanly for append.
+TEST(JournalCompactionCrash, OldOrNewGenerationNeverNeither) {
+  const std::vector<JournalRecord> records = sample_records();
+  const std::vector<JournalRecord> snapshot(records.end() - 2, records.end());
+  for (const CompactionCrashPoint point :
+       {CompactionCrashPoint::AfterTempWrite, CompactionCrashPoint::AfterRename,
+        CompactionCrashPoint::AfterDirFsync}) {
+    const TempJournal tmp("lpsram_compact_crash_" +
+                          std::to_string(static_cast<int>(point)) +
+                          ".journal");
+    {
+      JournalWriter writer;
+      writer.open(tmp.path(), 0);
+      append_all(writer, records);
+      const ScopedCompactionCrash crash(point);
+      EXPECT_THROW(writer.compact(snapshot), JournalCrash);
+    }  // the writer's process "dies" here
+
+    const JournalReplay replay = replay_journal(tmp.path());
+    EXPECT_FALSE(replay.torn_tail);
+    const bool is_old = same_records(replay.records, records);
+    const bool is_new = same_records(replay.records, snapshot);
+    EXPECT_TRUE(is_old || is_new)
+        << "stage " << static_cast<int>(point)
+        << " left a journal that is neither generation";
+    if (point == CompactionCrashPoint::AfterTempWrite) {
+      // The rename never happened: old generation on disk, snapshot
+      // stranded in the temp file.
+      EXPECT_TRUE(is_old);
+      EXPECT_TRUE(fs::exists(tmp.path() + ".tmp"));
+    } else {
+      EXPECT_TRUE(is_new);
+    }
+
+    // Recovery path: reopen for append — any stale temp is swept away and
+    // the surviving generation keeps accepting records.
+    JournalWriter writer;
+    writer.open(tmp.path(), replay.valid_bytes);
+    writer.append(9, {42});
+    writer.close();
+    EXPECT_FALSE(fs::exists(tmp.path() + ".tmp"));
+    const JournalReplay after = replay_journal(tmp.path());
+    ASSERT_EQ(after.records.size(), replay.records.size() + 1);
+    EXPECT_EQ(after.records.back().type, 9);
+  }
+}
+
 // JournalCrash deliberately bypasses the Error taxonomy: quarantine loops
 // catch Error, and an injected kill must abort the sweep like a real one.
 TEST(JournalCrashInjection, CrashIsNotAQuarantinableError) {

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Inspect a campaign-fabric directory: lease log, shard journals, merge state.
+
+A fabric directory (see src/lpsram/runtime/fabric/fabric.hpp) holds:
+
+    coordinator.journal   lease log: kFabLog* records, journal framing
+    shard-N.journal       per-worker campaign journals (task payloads)
+    merged.journal        the post-merge campaign journal (when complete)
+    worker-N.pid          pidfiles of live (or killed-without-cleanup) workers
+
+Everything uses the same record framing as campaign journals —
+[u32 length][u32 crc32][u8 type + payload] after the "LPSJRNL1" magic — so
+this tool shares journal_inspect.py's replay logic and validation contract
+(torn tails are legal crash residue, interior damage is corruption).
+
+Usage:
+    fabric_inspect.py status DIR     one-line rollup: leases, tasks, workers
+    fabric_inspect.py dump DIR       decode every record of every journal
+    fabric_inspect.py killall DIR    SIGKILL every pidfile'd worker (the
+                                     operator's big red button; mirrors
+                                     lpsram::fabric::kill_all_workers)
+
+Exit status: 0 on success (status/dump: every journal valid; killall: always),
+1 when any journal is corrupt or unreadable, 2 on usage error.
+
+CI uploads fabric-journals/ when the fabric suite fails; `status` on the
+failing directory shows which side of the coordinator/worker contract broke.
+"""
+
+import os
+import signal
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from journal_inspect import Corrupt, Payload, replay  # noqa: E402
+
+# Lease-log record types (src/lpsram/runtime/fabric/coordinator.hpp).
+FABLOG_NAMES = {
+    1: "manifest",
+    2: "lease_issued",
+    3: "lease_expired",
+    4: "lease_completed",
+    5: "task_committed",
+    6: "worker_dead",
+    7: "merged",
+}
+
+
+def describe_fablog(rtype, payload):
+    """One-line human decoding of a lease-log record."""
+    try:
+        p = Payload(payload)
+        if rtype == 1:
+            return "salt=%016x fp=%016x tasks=%d span=%d" % (
+                p.u64(), p.u64(), p.u64(), p.u64())
+        if rtype == 2:
+            return "lease=%d worker=%d grant#%d" % (p.u64(), p.u32(), p.u64())
+        if rtype in (3, 4):
+            return "lease=%d" % p.u64()
+        if rtype == 5:
+            return "index=%d key=%016x" % (p.u64(), p.u64())
+        if rtype == 6:
+            return "worker=%d" % p.u32()
+        if rtype == 7:
+            return "tasks=%d duplicates=%d" % (p.u64(), p.u64())
+    except Corrupt as err:
+        return "UNDECODABLE (%s)" % err
+    return "%d payload bytes" % len(payload)
+
+
+def read_journal(path):
+    """Returns (records, torn) or raises Corrupt/OSError."""
+    with open(path, "rb") as f:
+        data = f.read()
+    records, _, torn = replay(data)
+    return records, torn
+
+
+def shard_paths(directory):
+    out = []
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("shard-") and name.endswith(".journal"):
+            out.append(os.path.join(directory, name))
+    return out
+
+
+def pid_files(directory):
+    out = []
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("worker-") and name.endswith(".pid"):
+            out.append(os.path.join(directory, name))
+    return out
+
+
+def lease_log_rollup(records):
+    """Aggregates a lease-log replay into the coordinator's view."""
+    state = {
+        "manifest": None,
+        "issued": 0,
+        "expired": 0,
+        "completed": set(),
+        "committed": set(),
+        "dead_workers": set(),
+        "merged": None,
+    }
+    for _, rtype, payload in records:
+        p = Payload(payload)
+        if rtype == 1:
+            state["manifest"] = (p.u64(), p.u64(), p.u64(), p.u64())
+        elif rtype == 2:
+            state["issued"] += 1
+        elif rtype == 3:
+            state["expired"] += 1
+        elif rtype == 4:
+            state["completed"].add(p.u64())
+        elif rtype == 5:
+            state["committed"].add(p.u64())
+        elif rtype == 6:
+            state["dead_workers"].add(p.u32())
+        elif rtype == 7:
+            state["merged"] = (p.u64(), p.u64())
+    return state
+
+
+def cmd_status(directory):
+    ok = True
+    log_path = os.path.join(directory, "coordinator.journal")
+    if os.path.exists(log_path):
+        try:
+            records, torn = read_journal(log_path)
+            s = lease_log_rollup(records)
+            if s["manifest"]:
+                salt, fp, tasks, span = s["manifest"]
+                print("lease log: sweep salt=%016x fp=%016x, %d tasks in "
+                      "spans of %d%s" % (salt, fp, tasks, span,
+                                         " (torn tail)" if torn else ""))
+            print("  %d grants, %d expiries, %d leases completed, %d tasks "
+                  "committed, %d worker deaths" %
+                  (s["issued"], s["expired"], len(s["completed"]),
+                   len(s["committed"]), len(s["dead_workers"])))
+            if s["merged"]:
+                print("  merged: %d tasks, %d duplicates reconciled"
+                      % s["merged"])
+        except (Corrupt, OSError) as err:
+            print("lease log: CORRUPT/unreadable: %s" % err)
+            ok = False
+    else:
+        print("lease log: absent (no coordinator has run here)")
+
+    for path in shard_paths(directory):
+        try:
+            records, torn = read_journal(path)
+            tasks = sum(1 for _, t, _ in records if t == 2)
+            print("%s: %d committed task(s)%s" %
+                  (os.path.basename(path), tasks,
+                   " (torn tail — crash residue, truncated on resume)"
+                   if torn else ""))
+        except (Corrupt, OSError) as err:
+            print("%s: CORRUPT/unreadable: %s" % (os.path.basename(path), err))
+            ok = False
+
+    merged = os.path.join(directory, "merged.journal")
+    if os.path.exists(merged):
+        try:
+            records, torn = read_journal(merged)
+            tasks = sum(1 for _, t, _ in records if t == 2)
+            print("merged.journal: %d task(s)%s" %
+                  (tasks, " (torn tail)" if torn else ""))
+        except (Corrupt, OSError) as err:
+            print("merged.journal: CORRUPT/unreadable: %s" % err)
+            ok = False
+    else:
+        print("merged.journal: absent (sweep incomplete or drained)")
+
+    pids = pid_files(directory)
+    if pids:
+        print("pidfiles: %s" % ", ".join(os.path.basename(p) for p in pids))
+    return ok
+
+
+def cmd_dump(directory):
+    ok = True
+    log_path = os.path.join(directory, "coordinator.journal")
+    if os.path.exists(log_path):
+        print("== coordinator.journal")
+        try:
+            records, torn = read_journal(log_path)
+            for offset, rtype, payload in records:
+                name = FABLOG_NAMES.get(rtype, "type%d" % rtype)
+                print("  @%-8d %-15s %s"
+                      % (offset, name, describe_fablog(rtype, payload)))
+            if torn:
+                print("  (torn tail)")
+        except (Corrupt, OSError) as err:
+            print("  CORRUPT/unreadable: %s" % err)
+            ok = False
+
+    # Shards and the merged journal are plain campaign journals; reuse the
+    # campaign inspector wholesale.
+    from journal_inspect import inspect
+    for path in shard_paths(directory):
+        ok = inspect(path, dump=True) and ok
+    merged = os.path.join(directory, "merged.journal")
+    if os.path.exists(merged):
+        ok = inspect(merged, dump=True) and ok
+    return ok
+
+
+def cmd_killall(directory):
+    killed = 0
+    for path in pid_files(directory):
+        try:
+            with open(path) as f:
+                pid = int(f.read().strip())
+        except (OSError, ValueError) as err:
+            print("%s: unreadable pidfile (%s)" % (path, err))
+            continue
+        if pid > 1:
+            try:
+                os.kill(pid, signal.SIGKILL)
+                print("killed %d (%s)" % (pid, os.path.basename(path)))
+                killed += 1
+            except OSError as err:
+                print("pid %d: %s (already gone?)" % (pid, err))
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+    print("%d worker(s) signalled" % killed)
+    return True
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in ("status", "dump", "killall"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    command, directory = argv[1], argv[2]
+    if not os.path.isdir(directory):
+        print("%s: not a directory" % directory, file=sys.stderr)
+        return 2
+    handler = {"status": cmd_status, "dump": cmd_dump,
+               "killall": cmd_killall}[command]
+    return 0 if handler(directory) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
