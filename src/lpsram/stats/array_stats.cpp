@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <random>
 
+#include "lpsram/stats/yield/counter_rng.hpp"
 #include "lpsram/util/error.hpp"
 
 namespace lpsram {
@@ -35,36 +35,12 @@ double ArrayDrvDistribution::yield_at(double vreg) const {
          static_cast<double>(samples.size());
 }
 
-ArrayDrvDistribution simulate_array_drv(const DrvSurrogate& surrogate,
-                                        const ArrayDrvOptions& options) {
-  if (options.trials < 1)
-    throw InvalidArgument("simulate_array_drv: trials must be >= 1");
-
-  std::mt19937_64 rng(options.seed);
-  std::normal_distribution<double> normal(0.0, 1.0);
+ArrayDrvDistribution fit_array_drv_distribution(std::vector<double> maxima) {
+  if (maxima.empty())
+    throw InvalidArgument("fit_array_drv_distribution: no samples");
 
   ArrayDrvDistribution dist;
-  dist.samples.reserve(static_cast<std::size_t>(options.trials));
-
-  for (int trial = 0; trial < options.trials; ++trial) {
-    // The array maximum only depends on the extreme score in each mirror
-    // polarity: track max and min of the linear score and evaluate the
-    // monotone map once per polarity. (score(mirror(v)) for the sampled
-    // i.i.d. population is distributed like -score(v) under the fitted
-    // antisymmetric weights, but we evaluate it exactly per cell.)
-    double worst_drv = 0.0;
-    CellVariation v;
-    for (std::size_t cell = 0; cell < options.cells; ++cell) {
-      v.mpcc1 = normal(rng);
-      v.mncc1 = normal(rng);
-      v.mpcc2 = normal(rng);
-      v.mncc2 = normal(rng);
-      v.mncc3 = normal(rng);
-      v.mncc4 = normal(rng);
-      worst_drv = std::max(worst_drv, surrogate.predict_drv(v));
-    }
-    dist.samples.push_back(worst_drv);
-  }
+  dist.samples = std::move(maxima);
   std::sort(dist.samples.begin(), dist.samples.end());
 
   double sum = 0.0;
@@ -78,6 +54,26 @@ ArrayDrvDistribution simulate_array_drv(const DrvSurrogate& surrogate,
   dist.gumbel_beta = dist.stddev * std::sqrt(6.0) / M_PI;
   dist.gumbel_mu = dist.mean - kEulerGamma * dist.gumbel_beta;
   return dist;
+}
+
+ArrayDrvDistribution simulate_array_drv(const DrvSurrogate& surrogate,
+                                        const ArrayDrvOptions& options) {
+  if (options.trials < 1)
+    throw InvalidArgument("simulate_array_drv: trials must be >= 1");
+
+  std::vector<double> maxima;
+  maxima.reserve(static_cast<std::size_t>(options.trials));
+
+  for (int trial = 0; trial < options.trials; ++trial) {
+    double worst_drv = 0.0;
+    for (std::size_t cell = 0; cell < options.cells; ++cell) {
+      const CellVariation v = sample_cell_variation(
+          options.seed, static_cast<std::uint64_t>(trial), cell);
+      worst_drv = std::max(worst_drv, surrogate.predict_drv(v));
+    }
+    maxima.push_back(worst_drv);
+  }
+  return fit_array_drv_distribution(std::move(maxima));
 }
 
 }  // namespace lpsram

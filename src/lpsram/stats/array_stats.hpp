@@ -22,6 +22,13 @@ struct ArrayDrvOptions {
   std::uint64_t seed = 0xA44Au;
 };
 
+// NOTE: as of the yield engine, variation fields are drawn from the
+// counter-based RNG (stats/yield/counter_rng.hpp) keyed by
+// (seed, trial, cell, transistor) — the sample for a coordinate no longer
+// depends on how many draws preceded it, so simulate_array_drv and the yield
+// engine see the same field for the same (seed, trial, cell) and results are
+// reproducible under any evaluation order.
+
 struct ArrayDrvDistribution {
   std::vector<double> samples;  // per-trial array DRV_DS [V], sorted
 
@@ -40,6 +47,11 @@ struct ArrayDrvDistribution {
   // yield at that regulated voltage.
   double yield_at(double vreg) const;
 };
+
+// Sorts per-trial array maxima and fits the moments + Gumbel parameters —
+// the one place the ArrayDrvDistribution summary statistics are computed
+// (shared by simulate_array_drv and the yield engine's reduce()).
+ArrayDrvDistribution fit_array_drv_distribution(std::vector<double> maxima);
 
 // Simulates `trials` arrays of `cells` cells each with i.i.d. N(0,1) sigma
 // variation per transistor, taking the per-array max of the surrogate DRV.

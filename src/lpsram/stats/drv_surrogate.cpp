@@ -4,6 +4,7 @@
 #include <cmath>
 #include <random>
 
+#include "lpsram/runtime/parallel.hpp"
 #include "lpsram/util/error.hpp"
 #include "lpsram/util/matrix.hpp"
 
@@ -129,6 +130,23 @@ DrvSurrogate DrvSurrogate::train(const Technology& tech,
   s.rms_error_ = holdout ? std::sqrt(sq / static_cast<double>(holdout)) : 0.0;
   s.max_error_ = worst;
   return s;
+}
+
+std::uint64_t DrvSurrogate::fingerprint() const noexcept {
+  std::uint64_t fp = fold_key(0x53555247ULL,  // "SURG"
+                              static_cast<std::uint64_t>(options_.training_samples));
+  fp = fold_key(fp, key_bits(options_.sample_sigma));
+  fp = fold_key(fp, key_bits(options_.holdout_fraction));
+  fp = fold_key(fp, options_.seed);
+  fp = fold_key(fp, static_cast<std::uint64_t>(options_.corner));
+  fp = fold_key(fp, key_bits(options_.temp_c));
+  for (const double w : weights_) fp = fold_key(fp, key_bits(w));
+  fp = fold_key(fp, knot_scores_.size());
+  for (const double k : knot_scores_) fp = fold_key(fp, key_bits(k));
+  for (const double k : knot_drvs_) fp = fold_key(fp, key_bits(k));
+  fp = fold_key(fp, key_bits(rms_error_));
+  fp = fold_key(fp, key_bits(max_error_));
+  return fp;
 }
 
 double DrvSurrogate::score(const CellVariation& variation) const noexcept {

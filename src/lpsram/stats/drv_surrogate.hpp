@@ -58,6 +58,12 @@ class DrvSurrogate {
 
   const DrvSurrogateOptions& options() const noexcept { return options_; }
 
+  // Stable fingerprint of the trained model (options, fitted weights, knot
+  // tables, holdout errors — raw IEEE-754 bits throughout). The yield engine
+  // folds this into its campaign manifest so a resumed or fleet-sharded run
+  // refuses to mix estimates produced by differently trained surrogates.
+  std::uint64_t fingerprint() const noexcept;
+
  private:
   DrvSurrogate() = default;
   double map(double score) const;  // monotone score -> DRV

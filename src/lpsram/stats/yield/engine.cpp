@@ -1,0 +1,378 @@
+#include "lpsram/stats/yield/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "lpsram/cell/batch_vtc.hpp"
+#include "lpsram/cell/drv.hpp"
+#include "lpsram/spice/dc_solver.hpp"
+#include "lpsram/spice/hooks.hpp"
+#include "lpsram/stats/yield/counter_rng.hpp"
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+namespace {
+
+// Importance-sampling draws live in their own counter stream so they never
+// collide with the nominal (trial, cell) field ("IS").
+constexpr std::uint64_t kIsStreamTag = 0x4953ULL;
+// Lane 6 picks the mixture component (lanes 0..5 are the six transistors).
+constexpr std::uint64_t kComponentLane = 6;
+
+}  // namespace
+
+std::string yield_mode_name(YieldMode mode) {
+  switch (mode) {
+    case YieldMode::BruteForceExact: return "brute-force-exact";
+    case YieldMode::Blockade: return "blockade";
+    case YieldMode::ImportanceSampled: return "importance-sampled";
+  }
+  return "unknown";
+}
+
+YieldPlan::YieldPlan(const Technology& tech, const DrvSurrogate& surrogate,
+                     YieldEngineOptions options)
+    : tech_(&tech), surrogate_(&surrogate), options_(std::move(options)) {
+  if (options_.rows < 1 || options_.cols < 1)
+    throw InvalidArgument("YieldPlan: array must have >= 1 row and column");
+  if (options_.trials < 1)
+    throw InvalidArgument("YieldPlan: trials must be >= 1");
+  if (options_.block_cells < 1)
+    throw InvalidArgument("YieldPlan: block_cells must be >= 1");
+  if (options_.vreg_grid.empty())
+    throw InvalidArgument("YieldPlan: vreg_grid must not be empty");
+  if (!std::is_sorted(options_.vreg_grid.begin(), options_.vreg_grid.end()))
+    throw InvalidArgument("YieldPlan: vreg_grid must be ascending");
+  for (const double v : options_.vreg_grid)
+    if (!(v > 0.0) || !std::isfinite(v))
+      throw InvalidArgument("YieldPlan: vreg grid points must be positive");
+  if (!(options_.blockade_margin >= 0.0))
+    throw InvalidArgument("YieldPlan: blockade_margin must be >= 0");
+
+  gate_ = options_.vreg_grid.front() - options_.blockade_margin;
+
+  if (options_.mode == YieldMode::ImportanceSampled) {
+    if (options_.is_samples < 1)
+      throw InvalidArgument("YieldPlan: is_samples must be >= 1");
+    if (!(options_.is_shift >= 0.0))
+      throw InvalidArgument("YieldPlan: is_shift must be >= 0");
+    if (!(options_.is_defensive >= 0.0 && options_.is_defensive < 1.0))
+      throw InvalidArgument("YieldPlan: is_defensive must be in [0, 1)");
+    blocks_per_trial_ =
+        (options_.is_samples + options_.block_cells - 1) / options_.block_cells;
+    task_count_ = blocks_per_trial_;
+
+    // Mean shift along the fitted worst-case direction (unit Euclidean norm
+    // of the surrogate weights), mirrored for the opposite polarity.
+    const auto& w = surrogate.weights();
+    double norm_sq = 0.0;
+    for (const double wi : w) norm_sq += wi * wi;
+    if (!(norm_sq > 0.0))
+      throw InvalidArgument("YieldPlan: surrogate weights are all zero");
+    const double scale = options_.is_shift / std::sqrt(norm_sq);
+    CellVariation mu;
+    for (std::size_t i = 0; i < kAllCellTransistors.size(); ++i)
+      mu.set(kAllCellTransistors[i], w[i] * scale);
+    const CellVariation mu_m = mu.mirrored();
+    for (std::size_t i = 0; i < kAllCellTransistors.size(); ++i) {
+      shift_[i] = mu.get(kAllCellTransistors[i]);
+      shift_mirror_[i] = mu_m.get(kAllCellTransistors[i]);
+    }
+    shift_sq_half_ = 0.5 * options_.is_shift * options_.is_shift;
+    is_seed_ = fold_key(options_.seed, kIsStreamTag);
+  } else {
+    blocks_per_trial_ =
+        (options_.cells_per_trial() + options_.block_cells - 1) /
+        options_.block_cells;
+    task_count_ =
+        blocks_per_trial_ * static_cast<std::size_t>(options_.trials);
+  }
+}
+
+std::uint64_t YieldPlan::key_of(std::size_t index) const noexcept {
+  return fold_key(fold_key(kSalt, static_cast<std::uint64_t>(options_.mode)),
+                  index);
+}
+
+std::uint64_t YieldPlan::fingerprint() const {
+  std::uint64_t fp = fold_key(kSalt, task_count_);
+  fp = fold_key(fp, options_.rows);
+  fp = fold_key(fp, options_.cols);
+  fp = fold_key(fp, static_cast<std::uint64_t>(options_.trials));
+  fp = fold_key(fp, options_.seed);
+  fp = fold_key(fp, static_cast<std::uint64_t>(options_.mode));
+  fp = fold_key(fp, key_bits(options_.is_shift));
+  fp = fold_key(fp, options_.is_samples);
+  fp = fold_key(fp, key_bits(options_.is_defensive));
+  fp = fold_key(fp, key_bits(options_.blockade_margin));
+  fp = fold_key(fp, options_.block_cells);
+  fp = fold_key(fp, static_cast<std::uint64_t>(options_.corner));
+  fp = fold_key(fp, key_bits(options_.temp_c));
+  fp = fold_key(fp, options_.vreg_grid.size());
+  for (const double v : options_.vreg_grid) fp = fold_key(fp, key_bits(v));
+  // The trained surrogate defines both the blockade gate and the importance
+  // direction; the cell kernel defines the exact solves behind the journaled
+  // counts. Either changing silently would blend incompatible estimates.
+  fp = fold_key(fp, surrogate_->fingerprint());
+  fp = fold_key(fp, static_cast<std::uint64_t>(resolved_cell_kernel()));
+  return fp;
+}
+
+double YieldPlan::importance_weight(const CellVariation& v) const {
+  // w = phi(v) / q(v) with the defensive mixture proposal
+  //   q = alpha * phi + (1-alpha)/2 * (N(mu, I) + N(mirror(mu), I)),
+  // so w = 1 / (alpha + (1-alpha)/2 * (e^a1 + e^a2)) where
+  //   a_i = log(N(mu_i, I) / phi)(v) = mu_i . v - |mu|^2/2,
+  // computed with the max trick so weights stay finite at large shifts.
+  // With alpha > 0 every weight is bounded by 1/alpha.
+  double a1 = -shift_sq_half_;
+  double a2 = -shift_sq_half_;
+  for (std::size_t i = 0; i < kAllCellTransistors.size(); ++i) {
+    const double vi = v.get(kAllCellTransistors[i]);
+    a1 += shift_[i] * vi;
+    a2 += shift_mirror_[i] * vi;
+  }
+  const double alpha = options_.is_defensive;
+  const double m = std::max(a1, a2);
+  const double s = 0.5 * (std::exp(a1 - m) + std::exp(a2 - m));
+  if (alpha > 0.0) {
+    // exp(m) may overflow to +inf for a point far along the shift; the
+    // weight then correctly collapses to 0.
+    return 1.0 / (alpha + (1.0 - alpha) * std::exp(m) * s);
+  }
+  return std::exp(-(m + std::log(s)));
+}
+
+BlockAccum YieldPlan::run_block(std::size_t index,
+                                const CancelToken* cancel) const {
+  if (index >= task_count_)
+    throw InvalidArgument("YieldPlan::run_block: index out of range");
+  // Scope any session chaos observer to this task, matching the executor
+  // contract that concurrent tasks never share an observer instance.
+  const ScopedTaskObserver task_scope(key_of(index));
+
+  const bool importance = options_.mode == YieldMode::ImportanceSampled;
+  const std::vector<double>& grid = options_.vreg_grid;
+
+  std::uint64_t trial = 0;
+  std::size_t begin = 0, end = 0;
+  if (importance) {
+    begin = index * options_.block_cells;
+    end = std::min(begin + options_.block_cells, options_.is_samples);
+  } else {
+    trial = index / blocks_per_trial_;
+    begin = (index % blocks_per_trial_) * options_.block_cells;
+    end = std::min(begin + options_.block_cells, options_.cells_per_trial());
+  }
+
+  BlockAccum acc;
+  acc.points.resize(grid.size());
+
+  for (std::size_t s = begin; s < end; ++s) {
+    poll_cancel(cancel, "yield block", 0, 0.0);
+
+    CellVariation v;
+    double w = 1.0;
+    if (importance) {
+      // Component pick: [0, alpha) nominal, then the two shifted halves.
+      const double pick = counter_uniform(is_seed_, 0, s, kComponentLane);
+      const double alpha = options_.is_defensive;
+      const std::array<double, 6>* mean = nullptr;
+      if (pick >= alpha)
+        mean = pick < alpha + 0.5 * (1.0 - alpha) ? &shift_ : &shift_mirror_;
+      for (std::size_t lane = 0; lane < kAllCellTransistors.size(); ++lane) {
+        const double z = counter_normal(is_seed_, 0, s, lane);
+        v.set(kAllCellTransistors[lane], z + (mean ? (*mean)[lane] : 0.0));
+      }
+      w = importance_weight(v);
+    } else {
+      v = sample_cell_variation(options_.seed, trial, s);
+    }
+
+    // Cheap pre-filter: the surrogate classifies every cell; only candidates
+    // near or past the gate spend an exact lane-kernel solve. Below the gate
+    // the surrogate DRV sits at least blockade_margin under every grid
+    // point, so the surrogate value classifies identically to the exact one
+    // (up to surrogate error — which is what the margin absorbs, and what
+    // the equivalence suite bounds).
+    const double surrogate_drv = surrogate_->predict_drv(v);
+    const bool candidate = surrogate_drv >= gate_;
+    double drv = surrogate_drv;
+    if (options_.mode == YieldMode::BruteForceExact || candidate) {
+      const CoreCell cell(*tech_, v, options_.corner);
+      drv = drv_ds(cell, options_.temp_c).drv();
+      ++acc.exact_solves;
+    }
+    if (candidate) ++acc.candidates;
+
+    for (std::size_t k = 0; k < grid.size(); ++k)
+      acc.points[k].add(w, drv > grid[k]);
+    acc.sum_w += w;
+    acc.sum_w2 += w * w;
+    acc.max_drv = std::max(acc.max_drv, drv);
+    ++acc.samples;
+  }
+  return acc;
+}
+
+std::vector<std::uint8_t> YieldPlan::encode_block(const BlockAccum& block) const {
+  PayloadWriter out;
+  out.u64(block.samples);
+  out.u64(block.candidates);
+  out.u64(block.exact_solves);
+  out.f64(block.sum_w);
+  out.f64(block.sum_w2);
+  out.f64(block.max_drv);
+  out.u32(static_cast<std::uint32_t>(block.points.size()));
+  for (const TailPointAccum& pt : block.points) {
+    out.u64(pt.fail_raw);
+    out.f64(pt.sum_wf);
+    out.f64(pt.sum_wf2);
+  }
+  return out.take();
+}
+
+BlockAccum YieldPlan::decode_block(PayloadReader& in) const {
+  BlockAccum block;
+  block.samples = in.u64();
+  block.candidates = in.u64();
+  block.exact_solves = in.u64();
+  block.sum_w = in.f64();
+  block.sum_w2 = in.f64();
+  block.max_drv = in.f64();
+  const std::uint32_t count = in.u32();
+  if (count != options_.vreg_grid.size())
+    throw InvalidArgument(
+        "YieldPlan: journaled block has a different vreg grid");
+  block.points.resize(count);
+  for (TailPointAccum& pt : block.points) {
+    pt.fail_raw = in.u64();
+    pt.sum_wf = in.f64();
+    pt.sum_wf2 = in.f64();
+  }
+  return block;
+}
+
+YieldResult YieldPlan::reduce(const std::vector<BlockAccum>& blocks) const {
+  if (blocks.size() != task_count_)
+    throw InvalidArgument("YieldPlan::reduce: wrong block count");
+
+  BlockAccum total;
+  total.points.resize(options_.vreg_grid.size());
+  for (const BlockAccum& block : blocks) total.merge(block);
+
+  YieldResult result;
+  result.samples = total.samples;
+  result.candidates = total.candidates;
+  result.exact_solves = total.exact_solves;
+
+  const double cells =
+      static_cast<double>(options_.cells_per_trial());
+  result.points.reserve(options_.vreg_grid.size());
+  for (std::size_t k = 0; k < options_.vreg_grid.size(); ++k) {
+    YieldPoint point;
+    point.vreg = options_.vreg_grid[k];
+    point.tail = estimate_tail(total, k);
+    point.failures = total.points[k].fail_raw;
+    const double p = std::clamp(point.tail.p, 0.0, 1.0);
+    point.sigma = (p > 0.0 && p < 1.0) ? sigma_of_tail(p) : 0.0;
+    point.array_yield = std::pow(1.0 - p, cells);
+    result.points.push_back(point);
+  }
+
+  if (options_.mode != YieldMode::ImportanceSampled) {
+    // Per-trial array DRV_DS maxima: blocks never span trials, so the trial
+    // maximum is the max over its contiguous block range.
+    std::vector<double> maxima;
+    maxima.reserve(static_cast<std::size_t>(options_.trials));
+    for (int t = 0; t < options_.trials; ++t) {
+      double worst = 0.0;
+      for (std::size_t b = 0; b < blocks_per_trial_; ++b)
+        worst = std::max(
+            worst,
+            blocks[static_cast<std::size_t>(t) * blocks_per_trial_ + b].max_drv);
+      maxima.push_back(worst);
+    }
+    result.array_dist = fit_array_drv_distribution(std::move(maxima));
+  }
+  return result;
+}
+
+YieldResult run_yield(const YieldPlan& plan, Campaign* campaign,
+                      const CancelToken* cancel) {
+  if (campaign) campaign->bind_sweep(YieldPlan::kSalt, plan.fingerprint());
+
+  struct Slot {
+    BlockAccum acc;
+    double wall_s = 0.0;
+  };
+  std::vector<Slot> slots(plan.task_count());
+
+  SweepExecutorOptions exec_options;
+  exec_options.threads = plan.options().threads;
+  SweepExecutor executor(exec_options);
+
+  const auto key_of = [&plan](std::size_t i) { return plan.key_of(i); };
+  const auto body = [&](std::size_t i, int) {
+    const auto started = std::chrono::steady_clock::now();
+    slots[i].acc = plan.run_block(i, cancel);
+    slots[i].wall_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+  };
+
+  CampaignTaskCodec codec;
+  codec.encode = [&](std::size_t i) { return plan.encode_block(slots[i].acc); };
+  codec.decode = [&](std::size_t i, PayloadReader& in) {
+    slots[i].acc = plan.decode_block(in);
+  };
+
+  const auto sweep_started = std::chrono::steady_clock::now();
+  run_campaign(executor, campaign, /*cache=*/nullptr, plan.task_count(),
+               key_of, body, codec);
+
+  std::vector<BlockAccum> blocks;
+  blocks.reserve(slots.size());
+  SweepTelemetry telemetry;
+  telemetry.tasks = slots.size();
+  telemetry.threads = executor.threads();
+  for (Slot& slot : slots) {
+    telemetry.cpu_s += slot.wall_s;
+    blocks.push_back(std::move(slot.acc));
+  }
+  telemetry.wall_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - sweep_started)
+                         .count();
+
+  YieldResult result = plan.reduce(blocks);
+  result.telemetry = telemetry;
+  return result;
+}
+
+YieldResult reduce_yield_journal(const YieldPlan& plan,
+                                 const std::string& journal_path) {
+  const ShardSnapshot snapshot = read_campaign_snapshot(journal_path);
+  const auto manifest = snapshot.manifests.find(YieldPlan::kSalt);
+  if (manifest == snapshot.manifests.end() ||
+      manifest->second != plan.fingerprint())
+    throw InvalidArgument(
+        "reduce_yield_journal: journal was recorded for a different yield "
+        "configuration");
+
+  std::vector<BlockAccum> blocks;
+  blocks.reserve(plan.task_count());
+  for (std::size_t i = 0; i < plan.task_count(); ++i) {
+    const auto task = snapshot.tasks.find(plan.key_of(i));
+    if (task == snapshot.tasks.end())
+      throw InvalidArgument("reduce_yield_journal: journal is missing task " +
+                            std::to_string(i));
+    PayloadReader in(task->second.payload);
+    blocks.push_back(plan.decode_block(in));
+  }
+  YieldResult result = plan.reduce(blocks);
+  result.telemetry.tasks = plan.task_count();
+  return result;
+}
+
+}  // namespace lpsram

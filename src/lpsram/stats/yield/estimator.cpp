@@ -1,0 +1,68 @@
+#include "lpsram/stats/yield/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lpsram/stats/yield/counter_rng.hpp"
+#include "lpsram/util/error.hpp"
+
+namespace lpsram {
+
+void BlockAccum::merge(const BlockAccum& other) {
+  if (points.empty()) points.resize(other.points.size());
+  if (points.size() != other.points.size())
+    throw InvalidArgument("BlockAccum::merge: mismatched vreg grids");
+  samples += other.samples;
+  candidates += other.candidates;
+  exact_solves += other.exact_solves;
+  sum_w += other.sum_w;
+  sum_w2 += other.sum_w2;
+  max_drv = std::max(max_drv, other.max_drv);
+  for (std::size_t k = 0; k < points.size(); ++k) points[k].merge(other.points[k]);
+}
+
+TailEstimate estimate_tail(const BlockAccum& total, std::size_t k) {
+  if (k >= total.points.size())
+    throw InvalidArgument("estimate_tail: grid index out of range");
+  if (total.samples == 0 || total.sum_w <= 0.0)
+    throw InvalidArgument("estimate_tail: empty accumulator");
+
+  const TailPointAccum& pt = total.points[k];
+  TailEstimate est;
+  est.ess = total.sum_w * total.sum_w / total.sum_w2;
+  est.p = pt.sum_wf / total.sum_w;
+
+  if (pt.fail_raw == 0) {
+    // Rule of three on the effective sample size: with zero observed
+    // failures, p <= 3/ESS at ~95% confidence.
+    est.p = 0.0;
+    est.ci95 = 3.0 / est.ess;
+    est.rel_ci = 0.0;
+    return est;
+  }
+
+  // Delta-method variance of the self-normalized ratio estimator; the
+  // indicator structure reduces sum w^2 (f - p)^2 to two stored sums.
+  const double sq_dev =
+      (1.0 - 2.0 * est.p) * pt.sum_wf2 + est.p * est.p * total.sum_w2;
+  const double var = std::max(0.0, sq_dev) / (total.sum_w * total.sum_w);
+  est.ci95 = 1.96 * std::sqrt(var);
+  est.rel_ci = est.p > 0.0 ? est.ci95 / est.p : 0.0;
+  return est;
+}
+
+double brute_force_solves_needed(double p, double rel_ci, double z) {
+  if (!(p > 0.0 && p < 1.0))
+    throw InvalidArgument("brute_force_solves_needed: p must be in (0,1)");
+  if (!(rel_ci > 0.0))
+    throw InvalidArgument("brute_force_solves_needed: rel_ci must be > 0");
+  return z * z * (1.0 - p) / (p * rel_ci * rel_ci);
+}
+
+double sigma_of_tail(double p) {
+  if (!(p > 0.0 && p < 1.0))
+    throw InvalidArgument("sigma_of_tail: p must be in (0,1)");
+  return -normal_quantile(p);
+}
+
+}  // namespace lpsram

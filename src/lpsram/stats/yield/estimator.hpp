@@ -1,0 +1,85 @@
+// Tail-probability estimator accounting for the yield engine.
+//
+// Every sampling mode of the engine — brute force, surrogate blockade,
+// mean-shifted importance sampling — reduces to the same sufficient
+// statistics per (vreg) grid point, so one estimator covers all three:
+//
+//   p_hat = (sum w_i f_i) / (sum w_i)        self-normalized ratio estimate
+//   Var   ~ [sum w_i^2 (f_i - p_hat)^2] / (sum w_i)^2     (delta method)
+//   ESS   = (sum w_i)^2 / sum w_i^2          effective sample size
+//
+// where f_i in {0,1} flags DRV_DS > vreg and w_i is the likelihood ratio
+// (identically 1 for brute force / blockade, where the formulas collapse to
+// the exact binomial p_hat = k/N, Var = p(1-p)/N, ESS = N). Because f is an
+// indicator, the variance term needs only three accumulators per grid point
+// (raw failure count, sum of w*f, sum of w^2*f) plus two per block (sum of
+// w, sum of w^2):
+//
+//   sum w^2 (f - p)^2 = (1 - 2p) * sum_wf2 + p^2 * sum_w2.
+//
+// All accumulators are summed in a fixed order (cell order within a block,
+// block-index order across blocks), so estimates are bit-identical for any
+// thread count and across campaign resumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lpsram {
+
+// Per-(vreg grid point) sufficient statistics of one sample block.
+struct TailPointAccum {
+  std::uint64_t fail_raw = 0;  // unweighted count of DRV_DS > vreg
+  double sum_wf = 0.0;         // sum of w * f
+  double sum_wf2 = 0.0;        // sum of w^2 * f
+
+  void add(double w, bool fail) noexcept {
+    if (fail) {
+      ++fail_raw;
+      sum_wf += w;
+      sum_wf2 += w * w;
+    }
+  }
+  void merge(const TailPointAccum& other) noexcept {
+    fail_raw += other.fail_raw;
+    sum_wf += other.sum_wf;
+    sum_wf2 += other.sum_wf2;
+  }
+};
+
+// Sufficient statistics of one sample block across the whole vreg grid.
+struct BlockAccum {
+  std::uint64_t samples = 0;       // cells sampled in this block
+  std::uint64_t candidates = 0;    // cells the surrogate gate flagged
+  std::uint64_t exact_solves = 0;  // exact drv_ds evaluations spent
+  double sum_w = 0.0;              // sum of importance weights
+  double sum_w2 = 0.0;             // sum of squared weights
+  double max_drv = 0.0;            // largest DRV_DS seen in the block [V]
+  std::vector<TailPointAccum> points;  // one per vreg grid point
+
+  void merge(const BlockAccum& other);
+};
+
+// One grid point's estimate, with its variance accounting.
+struct TailEstimate {
+  double p = 0.0;        // estimated per-cell P(DRV_DS > vreg)
+  double ci95 = 0.0;     // 95% CI half-width on p
+  double rel_ci = 0.0;   // ci95 / p (0 when p == 0)
+  double ess = 0.0;      // effective sample size of the estimator
+};
+
+// Self-normalized estimate for grid point `k` of the merged accumulator.
+// With zero observed failures the CI falls back to the rule of three on the
+// effective sample size (p_hat = 0 would otherwise report zero variance).
+TailEstimate estimate_tail(const BlockAccum& total, std::size_t k);
+
+// Number of *exact* DRV solves a naive brute-force Monte Carlo (w == 1,
+// every sampled cell solved exactly) would need to pin a probability `p`
+// down to the same relative 95% CI: N = z^2 (1-p) / (p rel^2).
+double brute_force_solves_needed(double p, double rel_ci, double z = 1.96);
+
+// Equivalent one-sided sigma of a tail probability: Phi^-1(1 - p), the
+// "sigma" axis of a sigma-to-yield curve. Requires p in (0, 1).
+double sigma_of_tail(double p);
+
+}  // namespace lpsram

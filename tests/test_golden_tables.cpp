@@ -12,11 +12,18 @@
 //    deterministic bracket the search lands in);
 //  * Table III structure (iteration count, conditions, coverage sets) is
 //    exact; the time reduction is arithmetic and pinned to 1e-12.
+//  * EXT sigma-to-yield curve: failure counts +/- 2 (a last-ulp libm
+//    difference can flip a threshold-straddling sample), sigma +/- 0.05.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "lpsram/march/library.hpp"
+#include "lpsram/stats/array_stats.hpp"
+#include "lpsram/stats/yield/engine.hpp"
 #include "lpsram/testflow/case_studies.hpp"
 #include "lpsram/testflow/defect_characterization.hpp"
 #include "lpsram/testflow/flow_optimizer.hpp"
@@ -183,6 +190,83 @@ TEST(GoldenTableIII, ThreeIterationFlowAt75PercentReduction) {
 
   EXPECT_NEAR(flow.time_reduction(march::march_m_lz(), 4096, 10e-9), 0.75,
               1e-12);
+}
+
+// ---------- EXT: sigma-to-yield golden table --------------------------------
+//
+// Pins the statistical yield engine's per-cell tail probabilities
+// P(DRV_DS > Vreg) at a fixed (seed, array size, Vreg) grid — the
+// sigma-to-yield curve the engine exists to produce. The counter-based RNG
+// makes the sampled variation field a pure function of the seed, so the
+// failure counts are pinned near-exactly (+/-2 counts absorbs a last-ulp
+// libm difference flipping a threshold-straddling sample across platforms).
+
+TEST(GoldenYield, SigmaToYieldCurveAtReferenceSeed) {
+  const DrvSurrogate surrogate = DrvSurrogate::train(tech());
+  YieldEngineOptions options;  // reference seed 0x59454C44 ("YELD")
+  options.rows = 256;
+  options.cols = 64;
+  options.trials = 4;
+  options.mode = YieldMode::Blockade;
+  options.vreg_grid = {0.30, 0.32, 0.34};
+  options.threads = 1;
+  const YieldPlan plan(tech(), surrogate, options);
+  const YieldResult result = run_yield(plan);
+
+  EXPECT_EQ(result.samples, 65536u);
+  // Surrogate-gate hits (gate at 0.24 V): pinned to +/-50 of the captured
+  // 4690 — a libm ulp can move a handful of borderline cells across the
+  // gate without moving any *failure* (the margin exists for exactly that).
+  EXPECT_NEAR(static_cast<double>(result.candidates), 4690.0, 50.0);
+  EXPECT_EQ(result.exact_solves, result.candidates);
+
+  struct GoldenPoint {
+    double vreg;
+    std::uint64_t failures;
+    double sigma;
+  };
+  const GoldenPoint golden[] = {
+      {0.30, 135, 2.87},
+      {0.32, 35, 3.27},
+      {0.34, 9, 3.64},
+  };
+  ASSERT_EQ(result.points.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    SCOPED_TRACE("vreg " + std::to_string(golden[k].vreg));
+    EXPECT_NEAR(static_cast<double>(result.points[k].failures),
+                static_cast<double>(golden[k].failures), 2.0);
+    EXPECT_NEAR(result.points[k].tail.p,
+                static_cast<double>(golden[k].failures) / 65536.0,
+                3.0 / 65536.0);
+    EXPECT_NEAR(result.points[k].sigma, golden[k].sigma, 0.05);
+    // Unweighted sampling: the estimator must report the full sample count
+    // as its effective sample size.
+    EXPECT_DOUBLE_EQ(result.points[k].tail.ess, 65536.0);
+  }
+
+  // Per-trial array DRV_DS maxima of the same field (exact values for the
+  // gate-passing extremes): mean pinned to +/-2 mV like the Table I DRVs.
+  EXPECT_NEAR(result.array_dist.mean, 0.3564, kDrvTolerance);
+}
+
+TEST(GoldenYield, GumbelModelTracksEmpiricalTail) {
+  const DrvSurrogate surrogate = DrvSurrogate::train(tech());
+  ArrayDrvOptions options;  // reference seed 0xA44A
+  options.cells = 16384;
+  options.trials = 60;
+  const ArrayDrvDistribution d = simulate_array_drv(surrogate, options);
+
+  // Method-of-moments Gumbel parameters of the reference field.
+  EXPECT_NEAR(d.mean, 0.356396, 1e-3);
+  EXPECT_NEAR(d.stddev, 0.022219, 1e-3);
+  EXPECT_NEAR(d.gumbel_mu, 0.346396, 1e-3);
+  EXPECT_NEAR(d.gumbel_beta, 0.017324, 1e-3);
+
+  // The fitted model must track the empirical tail: its median sits within
+  // half a sigma of the sample median, and the empirical mass below its
+  // 90% quantile brackets 0.9 at this trial count (54/60 observed).
+  EXPECT_NEAR(d.gumbel_quantile(0.5), d.percentile(0.5), 0.5 * d.stddev);
+  EXPECT_NEAR(d.yield_at(d.gumbel_quantile(0.9)), 0.9, 0.1);
 }
 
 }  // namespace

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "lpsram/stats/array_stats.hpp"
+#include "lpsram/stats/yield/counter_rng.hpp"
 #include "lpsram/util/error.hpp"
 
 namespace lpsram {
@@ -154,9 +158,80 @@ TEST(ArrayStats, InputValidation) {
   EXPECT_THROW(simulate_array_drv(surrogate(), bad), InvalidArgument);
   ArrayDrvDistribution empty;
   EXPECT_THROW(empty.percentile(0.5), Error);
+  EXPECT_THROW(empty.yield_at(0.3), Error);
+  EXPECT_THROW(fit_array_drv_distribution({}), InvalidArgument);
   ArrayDrvDistribution one;
   one.samples = {0.3};
   EXPECT_THROW(one.gumbel_quantile(0.0), InvalidArgument);
+  EXPECT_THROW(one.gumbel_quantile(1.0), InvalidArgument);
+}
+
+// ---------- distribution edge cases -----------------------------------------
+
+TEST(ArrayStats, PercentileEndpointsAndInterpolation) {
+  const ArrayDrvDistribution d =
+      fit_array_drv_distribution({0.4, 0.2, 0.3, 0.1});  // unsorted on entry
+  // fit sorts the samples before computing anything.
+  ASSERT_EQ(d.samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(d.samples.front(), 0.1);
+  EXPECT_DOUBLE_EQ(d.samples.back(), 0.4);
+  // p clamps to the extreme order statistics at (and beyond) the endpoints.
+  EXPECT_DOUBLE_EQ(d.percentile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(d.percentile(-0.5), 0.1);
+  EXPECT_DOUBLE_EQ(d.percentile(1.0), 0.4);
+  EXPECT_DOUBLE_EQ(d.percentile(2.0), 0.4);
+  // Linear interpolation between order statistics: the median of four
+  // equally spaced samples is their midpoint.
+  EXPECT_NEAR(d.percentile(0.5), 0.25, 1e-12);
+  // Monotone in p across the whole range.
+  double prev = d.percentile(0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double cur = d.percentile(p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ArrayStats, YieldAtBelowBetweenAndAboveSamples) {
+  const ArrayDrvDistribution d = fit_array_drv_distribution({0.2, 0.3, 0.4});
+  EXPECT_DOUBLE_EQ(d.yield_at(0.1), 0.0);   // below every sample
+  // yield_at counts samples <= vreg (upper_bound): exact hits are retained.
+  EXPECT_DOUBLE_EQ(d.yield_at(0.2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(d.yield_at(0.35), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(d.yield_at(0.4), 1.0);   // at the max: all retained
+  EXPECT_DOUBLE_EQ(d.yield_at(9.0), 1.0);
+}
+
+TEST(ArrayStats, SingleSampleDistributionIsDegenerate) {
+  const ArrayDrvDistribution d = fit_array_drv_distribution({0.35});
+  EXPECT_DOUBLE_EQ(d.mean, 0.35);
+  EXPECT_DOUBLE_EQ(d.stddev, 0.0);  // n-1 denominator: defined as zero
+  EXPECT_DOUBLE_EQ(d.gumbel_beta, 0.0);
+  EXPECT_DOUBLE_EQ(d.gumbel_mu, 0.35);
+  EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.35);
+  // Degenerate Gumbel collapses to the point mass.
+  EXPECT_DOUBLE_EQ(d.gumbel_quantile(0.5), 0.35);
+}
+
+TEST(ArrayStats, GumbelFitRecoversSyntheticGumbelParameters) {
+  // Draw from an exact Gumbel(mu, beta) via inverse transform with the
+  // counter RNG, then check the method-of-moments fit recovers the
+  // parameters and the model quantiles track the empirical ones.
+  const double mu = 0.35, beta = 0.015;
+  std::vector<double> draws;
+  draws.reserve(4000);
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    const double u = counter_uniform(0x47554D42ULL, i, 0, 0);  // "GUMB"
+    draws.push_back(mu - beta * std::log(-std::log(u)));
+  }
+  const ArrayDrvDistribution d = fit_array_drv_distribution(std::move(draws));
+  EXPECT_NEAR(d.gumbel_mu, mu, 0.002);
+  EXPECT_NEAR(d.gumbel_beta, beta, 0.002);
+  for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(d.gumbel_quantile(p), d.percentile(p), 0.003);
+  }
+  // Round trip: the empirical mass below the model quantile is ~p.
+  EXPECT_NEAR(d.yield_at(d.gumbel_quantile(0.5)), 0.5, 0.03);
 }
 
 }  // namespace

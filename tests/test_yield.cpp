@@ -1,0 +1,510 @@
+// Yield-engine suite: counter-RNG properties, surrogate-vs-exact and
+// lane-vs-scalar equivalence on sampled variation fields, estimator algebra,
+// statistical acceptance of the fast estimators against brute-force ground
+// truth, and the determinism contracts — bit-identical results across
+// thread counts, kill-at-every-record-boundary campaign resume, and a
+// fabric-sharded fleet reduced from its merged journal.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "lpsram/cell/batch_vtc.hpp"
+#include "lpsram/cell/drv.hpp"
+#include "lpsram/runtime/fabric/fabric.hpp"
+#include "lpsram/stats/yield/counter_rng.hpp"
+#include "lpsram/stats/yield/engine.hpp"
+#include "lpsram/util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LPSRAM_YIELD_POSIX 1
+#endif
+
+namespace lpsram {
+namespace {
+
+namespace fs = std::filesystem;
+
+const Technology& tech() {
+  static const Technology t = Technology::lp40nm();
+  return t;
+}
+
+const DrvSurrogate& surrogate() {
+  static const DrvSurrogate s = DrvSurrogate::train(tech());
+  return s;
+}
+
+std::string journal_path(const std::string& name) {
+  fs::create_directories("yield-journals");
+  return (fs::path("yield-journals") / name).string();
+}
+
+// Bitwise equality of two yield results (the determinism contract: every
+// double must match exactly, not approximately).
+void expect_bit_identical(const YieldResult& a, const YieldResult& b) {
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.exact_solves, b.exact_solves);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t k = 0; k < a.points.size(); ++k) {
+    EXPECT_EQ(key_bits(a.points[k].tail.p), key_bits(b.points[k].tail.p));
+    EXPECT_EQ(key_bits(a.points[k].tail.ci95), key_bits(b.points[k].tail.ci95));
+    EXPECT_EQ(key_bits(a.points[k].tail.ess), key_bits(b.points[k].tail.ess));
+    EXPECT_EQ(a.points[k].failures, b.points[k].failures);
+    EXPECT_EQ(key_bits(a.points[k].sigma), key_bits(b.points[k].sigma));
+    EXPECT_EQ(key_bits(a.points[k].array_yield),
+              key_bits(b.points[k].array_yield));
+  }
+  ASSERT_EQ(a.array_dist.samples.size(), b.array_dist.samples.size());
+  for (std::size_t i = 0; i < a.array_dist.samples.size(); ++i)
+    EXPECT_EQ(key_bits(a.array_dist.samples[i]),
+              key_bits(b.array_dist.samples[i]));
+  EXPECT_EQ(key_bits(a.array_dist.mean), key_bits(b.array_dist.mean));
+  EXPECT_EQ(key_bits(a.array_dist.gumbel_mu), key_bits(b.array_dist.gumbel_mu));
+}
+
+// ---------- counter RNG ----------------------------------------------------
+
+TEST(CounterRng, PureFunctionOfCoordinates) {
+  const std::uint64_t a = counter_u64(1, 2, 3, 4);
+  // Same coordinates, any call order: same draw.
+  (void)counter_u64(9, 9, 9, 9);
+  EXPECT_EQ(counter_u64(1, 2, 3, 4), a);
+  // Every coordinate matters.
+  EXPECT_NE(counter_u64(2, 2, 3, 4), a);
+  EXPECT_NE(counter_u64(1, 3, 3, 4), a);
+  EXPECT_NE(counter_u64(1, 2, 4, 4), a);
+  EXPECT_NE(counter_u64(1, 2, 3, 5), a);
+  // Argument order matters (trial/cell/lane are not interchangeable).
+  EXPECT_NE(counter_u64(1, 3, 2, 4), a);
+}
+
+TEST(CounterRng, UniformStrictlyInsideUnitInterval) {
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = counter_uniform(42, 0, static_cast<std::uint64_t>(i), 0);
+    ASSERT_GT(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sq += u * u;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(CounterRng, NormalQuantileInvertsCdf) {
+  for (const double p : {1e-12, 1e-9, 1e-6, 1e-3, 0.02, 0.02425, 0.1, 0.3,
+                         0.5, 0.7, 0.9, 0.97575, 0.999, 1.0 - 1e-9}) {
+    const double x = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-15 + 1e-12 * p) << "p=" << p;
+    // Antisymmetry of the inverse CDF — only where 1-p is representable to
+    // the tail's own precision (below ~1e-9 the rounding of 1-p dominates).
+    if (p >= 1e-9)
+      EXPECT_NEAR(normal_quantile(1.0 - p), -x, 1e-8 * (1.0 + std::fabs(x)))
+          << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(normal_quantile(0.5), 0.0);
+  EXPECT_NEAR(normal_quantile(normal_cdf(-4.0)), -4.0, 1e-10);
+  EXPECT_THROW(normal_quantile(0.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(1.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(-0.5), InvalidArgument);
+}
+
+TEST(CounterRng, NormalMoments) {
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = counter_normal(7, 1, static_cast<std::uint64_t>(i), 2);
+    sum += z;
+    sq += z * z;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(sq / kN - mean * mean), 1.0, 0.01);
+}
+
+TEST(CounterRng, SampleCellVariationMatchesLanes) {
+  const CellVariation v = sample_cell_variation(11, 3, 17);
+  for (std::size_t lane = 0; lane < kAllCellTransistors.size(); ++lane)
+    EXPECT_DOUBLE_EQ(v.get(kAllCellTransistors[lane]),
+                     counter_normal(11, 3, 17, lane));
+}
+
+// ---------- surrogate / lane-kernel equivalence -----------------------------
+
+TEST(YieldEquivalence, SurrogateErrorBoundedOnSampledFields) {
+  // The blockade gate trusts the surrogate to classify sub-gate cells; its
+  // error on nominally-sampled fields must stay within the blockade margin.
+  double sq = 0.0, worst = 0.0;
+  constexpr int kN = 48;
+  for (int i = 0; i < kN; ++i) {
+    const CellVariation v =
+        sample_cell_variation(0xE0u, 0, static_cast<std::uint64_t>(i));
+    const CoreCell cell(tech(), v);
+    const double exact = drv_ds(cell, 25.0).drv();
+    const double err = surrogate().predict_drv(v) - exact;
+    sq += err * err;
+    worst = std::max(worst, std::fabs(err));
+  }
+  EXPECT_LT(std::sqrt(sq / kN), 0.030);  // RMS under 30 mV on nominal fields
+  EXPECT_LT(worst, 0.060);               // worst under the blockade margin
+}
+
+TEST(YieldEquivalence, LaneKernelAgreesWithScalarOnSampledFields) {
+  for (int i = 0; i < 12; ++i) {
+    const CellVariation v =
+        sample_cell_variation(0xE1u, 0, static_cast<std::uint64_t>(i));
+    const CoreCell cell(tech(), v);
+    double scalar, batched;
+    {
+      const ScopedCellKernelDefault k(CellKernelKind::Scalar);
+      scalar = drv_ds(cell, 25.0).drv();
+    }
+    {
+      const ScopedCellKernelDefault k(CellKernelKind::Batched);
+      batched = drv_ds(cell, 25.0).drv();
+    }
+    EXPECT_NEAR(scalar, batched, 0.005 * scalar + 1e-6) << "sample " << i;
+  }
+}
+
+// ---------- estimator algebra ----------------------------------------------
+
+TEST(TailEstimator, CollapsesToExactBinomialAtUnitWeights) {
+  BlockAccum acc;
+  acc.points.resize(1);
+  constexpr std::uint64_t kN = 5000, kFails = 37;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    acc.points[0].add(1.0, i < kFails);
+    acc.sum_w += 1.0;
+    acc.sum_w2 += 1.0;
+    ++acc.samples;
+  }
+  const TailEstimate est = estimate_tail(acc, 0);
+  const double p = static_cast<double>(kFails) / kN;
+  EXPECT_DOUBLE_EQ(est.p, p);
+  EXPECT_DOUBLE_EQ(est.ess, static_cast<double>(kN));
+  EXPECT_NEAR(est.ci95, 1.96 * std::sqrt(p * (1.0 - p) / kN), 1e-12);
+  EXPECT_NEAR(est.rel_ci, est.ci95 / p, 1e-15);
+}
+
+TEST(TailEstimator, ZeroFailuresFallsBackToRuleOfThree) {
+  BlockAccum acc;
+  acc.points.resize(1);
+  acc.samples = 1000;
+  acc.sum_w = 1000.0;
+  acc.sum_w2 = 1000.0;
+  const TailEstimate est = estimate_tail(acc, 0);
+  EXPECT_DOUBLE_EQ(est.p, 0.0);
+  EXPECT_DOUBLE_EQ(est.ci95, 3.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(est.rel_ci, 0.0);
+}
+
+TEST(TailEstimator, MergeAndValidation) {
+  BlockAccum a, b;
+  a.points.resize(2);
+  b.points.resize(2);
+  a.points[0].add(2.0, true);
+  a.sum_w = 2.0;
+  a.sum_w2 = 4.0;
+  a.samples = 1;
+  a.max_drv = 0.3;
+  b.points[1].add(0.5, true);
+  b.sum_w = 0.5;
+  b.sum_w2 = 0.25;
+  b.samples = 1;
+  b.max_drv = 0.4;
+  a.merge(b);
+  EXPECT_EQ(a.samples, 2u);
+  EXPECT_DOUBLE_EQ(a.sum_w, 2.5);
+  EXPECT_DOUBLE_EQ(a.max_drv, 0.4);
+  EXPECT_EQ(a.points[0].fail_raw, 1u);
+  EXPECT_EQ(a.points[1].fail_raw, 1u);
+
+  BlockAccum wrong;
+  wrong.points.resize(3);
+  EXPECT_THROW(a.merge(wrong), InvalidArgument);
+  EXPECT_THROW(estimate_tail(a, 5), InvalidArgument);
+  BlockAccum empty;
+  empty.points.resize(1);
+  EXPECT_THROW(estimate_tail(empty, 0), InvalidArgument);
+}
+
+TEST(TailEstimator, BruteForceBudgetAndSigma) {
+  // N = z^2 (1-p) / (p rel^2): pinning p = 1e-5 to +/-10% at 95% needs
+  // ~3.8e7 exact solves.
+  const double n = brute_force_solves_needed(1e-5, 0.1);
+  EXPECT_NEAR(n, 1.96 * 1.96 * (1.0 - 1e-5) / (1e-5 * 0.01), 1e3);
+  EXPECT_THROW(brute_force_solves_needed(0.0, 0.1), InvalidArgument);
+  EXPECT_THROW(brute_force_solves_needed(0.5, 0.0), InvalidArgument);
+
+  EXPECT_NEAR(sigma_of_tail(normal_cdf(-3.0)), 3.0, 1e-9);
+  EXPECT_NEAR(sigma_of_tail(0.5), 0.0, 1e-12);
+  EXPECT_THROW(sigma_of_tail(0.0), InvalidArgument);
+}
+
+// ---------- engine: plan mechanics ------------------------------------------
+
+YieldEngineOptions small_options(YieldMode mode) {
+  YieldEngineOptions options;
+  options.rows = 64;
+  options.cols = 16;
+  options.trials = 2;
+  options.vreg_grid = {0.25, 0.30};
+  options.block_cells = 512;
+  options.mode = mode;
+  options.is_samples = 3000;
+  options.is_shift = 2.5;
+  options.threads = 1;
+  return options;
+}
+
+TEST(YieldPlan, ValidatesOptions) {
+  YieldEngineOptions bad = small_options(YieldMode::Blockade);
+  bad.trials = 0;
+  EXPECT_THROW(YieldPlan(tech(), surrogate(), bad), InvalidArgument);
+  bad = small_options(YieldMode::Blockade);
+  bad.vreg_grid = {};
+  EXPECT_THROW(YieldPlan(tech(), surrogate(), bad), InvalidArgument);
+  bad = small_options(YieldMode::Blockade);
+  bad.vreg_grid = {0.4, 0.3};  // descending
+  EXPECT_THROW(YieldPlan(tech(), surrogate(), bad), InvalidArgument);
+  bad = small_options(YieldMode::ImportanceSampled);
+  bad.is_defensive = 1.0;
+  EXPECT_THROW(YieldPlan(tech(), surrogate(), bad), InvalidArgument);
+  bad = small_options(YieldMode::Blockade);
+  bad.blockade_margin = -0.01;
+  EXPECT_THROW(YieldPlan(tech(), surrogate(), bad), InvalidArgument);
+}
+
+TEST(YieldPlan, BlocksNeverSpanTrialsAndCoverEveryCell) {
+  YieldEngineOptions options = small_options(YieldMode::Blockade);
+  options.rows = 10;
+  options.cols = 10;  // 100 cells/trial, not a multiple of block_cells
+  options.trials = 3;
+  options.block_cells = 32;
+  const YieldPlan plan(tech(), surrogate(), options);
+  EXPECT_EQ(plan.blocks_per_trial(), 4u);
+  EXPECT_EQ(plan.task_count(), 12u);
+  const YieldResult result = run_yield(plan);
+  EXPECT_EQ(result.samples, 300u);
+  EXPECT_EQ(result.array_dist.samples.size(), 3u);
+}
+
+TEST(YieldPlan, FingerprintSeparatesConfigurations) {
+  const YieldPlan base(tech(), surrogate(), small_options(YieldMode::Blockade));
+  YieldEngineOptions other = small_options(YieldMode::Blockade);
+  other.seed ^= 1;
+  EXPECT_NE(base.fingerprint(),
+            YieldPlan(tech(), surrogate(), other).fingerprint());
+  other = small_options(YieldMode::Blockade);
+  other.vreg_grid.push_back(0.35);
+  EXPECT_NE(base.fingerprint(),
+            YieldPlan(tech(), surrogate(), other).fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            YieldPlan(tech(), surrogate(), small_options(YieldMode::BruteForceExact))
+                .fingerprint());
+  // Same configuration: same fingerprint (it must be stable, not salted).
+  EXPECT_EQ(base.fingerprint(),
+            YieldPlan(tech(), surrogate(), small_options(YieldMode::Blockade))
+                .fingerprint());
+}
+
+TEST(YieldPlan, ImportanceWeightIsMirrorSymmetricAndBounded) {
+  YieldEngineOptions options = small_options(YieldMode::ImportanceSampled);
+  const YieldPlan plan(tech(), surrogate(), options);
+  for (int i = 0; i < 32; ++i) {
+    const CellVariation v =
+        sample_cell_variation(0xE2u, 0, static_cast<std::uint64_t>(i));
+    const double w = plan.importance_weight(v);
+    EXPECT_GT(w, 0.0);
+    // Defensive component bounds every likelihood ratio at 1/alpha.
+    EXPECT_LE(w, 1.0 / options.is_defensive + 1e-12);
+    // The mixture proposal is symmetric under the cell mirror.
+    EXPECT_DOUBLE_EQ(plan.importance_weight(v.mirrored()), w);
+  }
+}
+
+// ---------- statistical acceptance ------------------------------------------
+
+TEST(YieldAcceptance, BlockadeMatchesBruteForceGroundTruth) {
+  const YieldPlan brute(tech(), surrogate(),
+                        small_options(YieldMode::BruteForceExact));
+  const YieldPlan blockade(tech(), surrogate(),
+                           small_options(YieldMode::Blockade));
+  const YieldResult exact = run_yield(brute);
+  const YieldResult gated = run_yield(blockade);
+  ASSERT_EQ(exact.points.size(), gated.points.size());
+  EXPECT_EQ(exact.samples, gated.samples);
+  EXPECT_LT(gated.exact_solves, exact.exact_solves);
+  for (std::size_t k = 0; k < exact.points.size(); ++k) {
+    // Same sampled cells; the only divergence channel is a surrogate
+    // misclassification of a sub-gate cell, bounded by the margin.
+    const double combined = std::sqrt(
+        exact.points[k].tail.ci95 * exact.points[k].tail.ci95 +
+        gated.points[k].tail.ci95 * gated.points[k].tail.ci95);
+    EXPECT_NEAR(gated.points[k].tail.p, exact.points[k].tail.p, combined)
+        << "vreg " << exact.points[k].vreg;
+  }
+}
+
+TEST(YieldAcceptance, ImportanceSamplingMatchesBruteForceWithinCi) {
+  const YieldPlan brute(tech(), surrogate(),
+                        small_options(YieldMode::BruteForceExact));
+  const YieldPlan is_plan(tech(), surrogate(),
+                          small_options(YieldMode::ImportanceSampled));
+  const YieldResult exact = run_yield(brute);
+  const YieldResult shifted = run_yield(is_plan);
+  ASSERT_EQ(exact.points.size(), shifted.points.size());
+  for (std::size_t k = 0; k < exact.points.size(); ++k) {
+    const double combined = std::sqrt(
+        exact.points[k].tail.ci95 * exact.points[k].tail.ci95 +
+        shifted.points[k].tail.ci95 * shifted.points[k].tail.ci95);
+    EXPECT_NEAR(shifted.points[k].tail.p, exact.points[k].tail.p, combined)
+        << "vreg " << exact.points[k].vreg;
+    EXPECT_GT(shifted.points[k].tail.ess, 100.0);
+  }
+}
+
+// ---------- determinism contracts -------------------------------------------
+
+TEST(YieldDeterminism, BitIdenticalAcrossThreadCounts) {
+  YieldEngineOptions options = small_options(YieldMode::Blockade);
+  options.rows = 128;
+  options.block_cells = 256;
+  options.threads = 1;
+  const YieldPlan plan1(tech(), surrogate(), options);
+  const YieldResult r1 = run_yield(plan1);
+  for (const int threads : {2, 8}) {
+    options.threads = threads;
+    const YieldPlan plan(tech(), surrogate(), options);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_bit_identical(run_yield(plan), r1);
+  }
+}
+
+TEST(YieldDeterminism, KillAtEveryRecordBoundaryResumesBitIdentical) {
+  YieldEngineOptions options = small_options(YieldMode::Blockade);
+  options.rows = 32;
+  options.vreg_grid = {0.30};
+  options.block_cells = 256;  // 512 cells/trial -> 2 blocks/trial, 4 tasks
+  const YieldPlan plan(tech(), surrogate(), options);
+  ASSERT_EQ(plan.task_count(), 4u);
+  const YieldResult golden = run_yield(plan);
+
+  const std::string path = journal_path("kill_resume.journal");
+  bool killed = true;
+  std::uint64_t boundary = 1;
+  for (; killed; ++boundary) {
+    SCOPED_TRACE("killed at append " + std::to_string(boundary));
+    fs::remove(path);
+    {
+      Campaign campaign(path);
+      const ScopedJournalCrash crash(boundary);
+      try {
+        run_yield(plan, &campaign);
+        killed = false;  // boundary beyond the run's total appends
+      } catch (const JournalCrash&) {
+        killed = true;
+      }
+    }
+    // The "restarted process": a fresh Campaign replays the torn journal.
+    Campaign campaign(path);
+    expect_bit_identical(run_yield(plan, &campaign), golden);
+  }
+  // Manifest + 4 task records = 5 appends; first crash-free boundary is 6.
+  EXPECT_EQ(boundary - 1, 6u);
+}
+
+TEST(YieldDeterminism, CampaignRefusesMismatchedConfiguration) {
+  YieldEngineOptions options = small_options(YieldMode::Blockade);
+  options.rows = 32;
+  options.vreg_grid = {0.30};
+  const YieldPlan plan(tech(), surrogate(), options);
+  const std::string path = journal_path("manifest_refusal.journal");
+  fs::remove(path);
+  {
+    Campaign campaign(path);
+    run_yield(plan, &campaign);
+  }
+  // Same journal, different grid: the manifest fingerprint must refuse.
+  options.vreg_grid = {0.32};
+  const YieldPlan other(tech(), surrogate(), options);
+  Campaign campaign(path);
+  EXPECT_THROW(run_yield(other, &campaign), InvalidArgument);
+}
+
+TEST(YieldDeterminism, ReduceJournalRequiresMatchingFingerprintAndAllTasks) {
+  YieldEngineOptions options = small_options(YieldMode::Blockade);
+  options.rows = 32;
+  options.vreg_grid = {0.30};
+  options.block_cells = 256;
+  const YieldPlan plan(tech(), surrogate(), options);
+  const std::string path = journal_path("reduce_validation.journal");
+  fs::remove(path);
+  {
+    Campaign campaign(path);
+    run_yield(plan, &campaign);
+  }
+  // A full journal reduces to the same result without re-sampling.
+  expect_bit_identical(reduce_yield_journal(plan, path), run_yield(plan));
+
+  // A plan with another configuration must be refused.
+  YieldEngineOptions other = options;
+  other.seed ^= 0xBEEF;
+  EXPECT_THROW(
+      reduce_yield_journal(YieldPlan(tech(), surrogate(), other), path),
+      InvalidArgument);
+
+  // A journal missing tasks must be refused, not silently under-reduced.
+  const std::string partial = journal_path("reduce_partial.journal");
+  fs::remove(partial);
+  {
+    Campaign campaign(partial);
+    campaign.bind_sweep(YieldPlan::kSalt, plan.fingerprint());
+    campaign.record_result(plan.key_of(0),
+                           plan.encode_block(plan.run_block(0)));
+  }
+  EXPECT_THROW(reduce_yield_journal(plan, partial), InvalidArgument);
+}
+
+#ifdef LPSRAM_YIELD_POSIX
+TEST(YieldDeterminism, FabricShardedFleetReducesBitIdentical) {
+  YieldEngineOptions options = small_options(YieldMode::Blockade);
+  options.rows = 32;
+  options.vreg_grid = {0.30};
+  options.block_cells = 256;  // 4 tasks across 2 workers
+  const YieldPlan plan(tech(), surrogate(), options);
+  const YieldResult golden = run_yield(plan);
+
+  const fs::path dir = fs::path("yield-journals") / "fabric_fleet";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  fabric::FabricOptions fabric_options;
+  fabric_options.dir = dir.string();
+  fabric_options.workers = 2;
+  fabric_options.worker_threads = 1;
+  fabric_options.salt = YieldPlan::kSalt;
+  fabric_options.fingerprint = plan.fingerprint();
+  const fabric::FabricReport report = fabric::run_fabric(
+      fabric_options, plan.task_count(),
+      [&plan](std::uint64_t i) { return plan.key_of(i); },
+      [&plan](std::uint64_t i, int) {
+        return plan.encode_block(plan.run_block(i));
+      });
+  EXPECT_EQ(report.tasks_total, plan.task_count());
+
+  expect_bit_identical(reduce_yield_journal(plan, fabric_options.merged_path()),
+                       golden);
+}
+#endif  // LPSRAM_YIELD_POSIX
+
+}  // namespace
+}  // namespace lpsram
