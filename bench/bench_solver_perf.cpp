@@ -3,13 +3,24 @@
 // steps, SNM and DRV extraction, and March execution throughput.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "build_type_warning.hpp"
 #include "lpsram/cell/batch_vtc.hpp"
 #include "lpsram/cell/drv.hpp"
 #include "lpsram/cell/snm.hpp"
+#include "lpsram/device/mosfet_lanes.hpp"
 #include "lpsram/march/executor.hpp"
 #include "lpsram/march/library.hpp"
 #include "lpsram/regulator/regulator.hpp"
+#include "lpsram/spice/batch_transient.hpp"
+#include "lpsram/spice/dc_solver.hpp"
+#include "lpsram/util/simd.hpp"
+#include "lpsram/util/sparse.hpp"
 
 namespace lpsram {
 namespace {
@@ -148,6 +159,146 @@ void BM_DrvExtractionBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_DrvExtractionBatched);
 
+// Lane-parallel MOSFET evaluation on a pinned SIMD kind: the Scalar/Simd
+// pair is the head-to-head comparison tools/check_bench_solver.py gates CI
+// on (the vectorized lanes must stay >= 2x the scalar-lane throughput).
+// Items processed = device evaluations, so the JSON carries items/sec.
+void mosfet_eval_lanes_bench(benchmark::State& state, SimdKind kind) {
+  const ScopedSimdDefault scope(kind);
+  const Mosfet m{tech().cell_pulldown()};
+  const MosfetLaneConsts c = mosfet_lane_consts(m, 25.0);
+  constexpr std::size_t kLanes = 256;  // multiple of every native width
+  std::vector<double> vg(kLanes), vd(kLanes), vs(kLanes, 0.0);
+  std::vector<double> id(kLanes), gm(kLanes), gds(kLanes), gms(kLanes);
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    vg[i] = 0.25 + 0.85 * static_cast<double>(i) / (kLanes - 1);
+    vd[i] = 1.1 - 0.9 * static_cast<double>(i) / (kLanes - 1);
+  }
+  for (auto _ : state) {
+    if (resolved_simd_kind() == SimdKind::Simd) {
+      using V = simd::Vec;
+      for (std::size_t i = 0; i < kLanes; i += simd::kNativeWidth) {
+        const MosEvalV<V> e =
+            lane_eval_v(c, V::load(&vg[i]), V::load(&vd[i]), V::load(&vs[i]));
+        e.id.store(&id[i]);
+        e.gm.store(&gm[i]);
+        e.gds.store(&gds[i]);
+        e.gms.store(&gms[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < kLanes; ++i) {
+        const MosEval e = lane_eval(c, vg[i], vd[i], vs[i]);
+        id[i] = e.id;
+        gm[i] = e.gm;
+        gds[i] = e.gds;
+        gms[i] = e.gms;
+      }
+    }
+    benchmark::DoNotOptimize(id.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kLanes);
+}
+
+void BM_MosfetEvalLanesScalar(benchmark::State& state) {
+  mosfet_eval_lanes_bench(state, SimdKind::Scalar);
+}
+BENCHMARK(BM_MosfetEvalLanesScalar);
+
+void BM_MosfetEvalLanesSimd(benchmark::State& state) {
+  mosfet_eval_lanes_bench(state, SimdKind::Simd);
+}
+BENCHMARK(BM_MosfetEvalLanesSimd);
+
+// Numeric refactor throughput of the compiled sparse-LU program (the
+// multiply-subtract runs that dominate every Newton iteration) on a banded,
+// diagonally dominant matrix. The band is wide enough (mean mul run well
+// past the analyze-time profitability floor) that the vector MAC path is
+// actually exercised — narrow bands fall back to the scalar program by
+// design and would make the two variants measure the same code. Reported
+// for both SIMD kinds; items processed = multiply-subtract ops per refactor.
+SparseMatrix banded_matrix(std::size_t n, int half_band) {
+  std::vector<int> row_ptr(n + 1, 0);
+  std::vector<int> cols;
+  for (std::size_t r = 0; r < n; ++r) {
+    const int lo = std::max(0, static_cast<int>(r) - half_band);
+    const int hi = std::min(static_cast<int>(n) - 1,
+                            static_cast<int>(r) + half_band);
+    for (int ccol = lo; ccol <= hi; ++ccol) cols.push_back(ccol);
+    row_ptr[r + 1] = static_cast<int>(cols.size());
+  }
+  SparseMatrix a(n, std::move(row_ptr), std::move(cols));
+  for (std::size_t r = 0; r < n; ++r)
+    for (int s = a.row_ptr()[r]; s < a.row_ptr()[r + 1]; ++s) {
+      const int ccol = a.cols()[s];
+      a.values()[s] =
+          static_cast<int>(r) == ccol
+              ? 12.0 + 0.03 * static_cast<double>(r)
+              : -1.0 / (1.0 + std::abs(static_cast<int>(r) - ccol));
+    }
+  return a;
+}
+
+void sparse_lu_mac_bench(benchmark::State& state, SimdKind kind) {
+  const ScopedSimdDefault scope(kind);
+  const SparseMatrix a = banded_matrix(192, 24);
+  SparseLu lu;
+  lu.factor(a);  // analysis pass; the timed loop is numeric-only refactors
+  for (auto _ : state) {
+    lu.factor(a);
+    benchmark::DoNotOptimize(&lu);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(lu.refactor_ops()));
+}
+
+void BM_SparseLuMacScalar(benchmark::State& state) {
+  sparse_lu_mac_bench(state, SimdKind::Scalar);
+}
+BENCHMARK(BM_SparseLuMacScalar);
+
+void BM_SparseLuMacSimd(benchmark::State& state) {
+  sparse_lu_mac_bench(state, SimdKind::Simd);
+}
+BENCHMARK(BM_SparseLuMacSimd);
+
+// Df-battery transient characterization workload: one gate-line defect of
+// the regulator (the transient DRF mechanism) swept over 32 log-spaced
+// resistances, each lane a full DS-entry transient — the exact hot path
+// retention-deficit characterization runs per defect. Serial replays the
+// per-defect oracle (one TransientSolver per lane); Lockstep marches all 32
+// through spice/batch_transient. The pair is gated in CI (lockstep must
+// stay >= 3x). Items processed = lane transients.
+void defect_transients_bench(benchmark::State& state,
+                             TransientBatchKind kind) {
+  const ScopedTransientBatchDefault scope(kind);
+  constexpr DefectId kDf = 8;  // MPreg1 gate line
+  constexpr std::size_t kDefects = 32;
+  std::vector<double> ohms(kDefects);
+  for (std::size_t l = 0; l < kDefects; ++l)
+    ohms[l] =
+        1e3 * std::pow(10.0, 5.0 * static_cast<double>(l) / (kDefects - 1));
+  TransientOptions topts;
+  topts.dt_max = 30e-6 / 100.0;
+  VoltageRegulator reg(tech(), Corner::Typical);
+  reg.set_vdd(1.1);
+  reg.select_vref(VrefLevel::V070);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        reg.simulate_ds_entry_lanes(kDf, ohms, 30e-6, 25.0, &topts));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kDefects);
+}
+
+void BM_DefectTransientsSerial(benchmark::State& state) {
+  defect_transients_bench(state, TransientBatchKind::Serial);
+}
+BENCHMARK(BM_DefectTransientsSerial);
+
+void BM_DefectTransientsLockstep(benchmark::State& state) {
+  defect_transients_bench(state, TransientBatchKind::Lockstep);
+}
+BENCHMARK(BM_DefectTransientsLockstep);
+
 void BM_MarchMlz4Kx64(benchmark::State& state) {
   SramConfig config;
   config.words = 4096;
@@ -176,6 +327,10 @@ int main(int argc, char** argv) {
   lpsram::bench::warn_if_debug_build();
   benchmark::AddCustomContext(
       "lpsram_build_type", lpsram::bench::kReleaseBuild ? "release" : "debug");
+  benchmark::AddCustomContext("lpsram_simd_backend",
+                              lpsram::simd_backend_name());
+  benchmark::AddCustomContext("lpsram_simd_width",
+                              std::to_string(lpsram::simd_width()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

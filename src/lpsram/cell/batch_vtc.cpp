@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "lpsram/util/rootfind.hpp"
+#include "lpsram/util/simd.hpp"
 
 namespace lpsram {
 
@@ -98,8 +99,54 @@ void BatchHoldVtc::invert(const InverterPlan& plan, const double* v_in,
     inv_hi_[i] = vdd_cc + 0.05;
   }
 
+  // Kernel choice is latched once per inversion: the scalar loop is the
+  // bit-identical oracle (libm softplus via lane_eval), the SIMD branch
+  // evaluates native-width blocks through the vectorized expression tree
+  // (simd::vexp/vlog1p — agrees with the oracle to the documented ulp
+  // level). The rootfind_lanes padding contract guarantees lanes/x are
+  // readable and f/df writable through round_up_lanes(m).
+  const bool use_simd = resolved_simd_kind() == SimdKind::Simd;
   const auto residual = [&](const std::size_t* lanes, const double* x,
                             double* f, double* df, std::size_t m) {
+    if (use_simd) {
+      using V = simd::Vec;
+      constexpr std::size_t W = simd::kNativeWidth;
+      const V vdd = V::broadcast(vdd_cc);
+      const V zero = V::zero();
+      const V pass_vp = V::broadcast(plan.pass_cache.vp);
+      const V pass_if = V::broadcast(plan.pass_cache.i_forward);
+      const V pass_dfs = V::broadcast(plan.pass_cache.dfs);
+      const V pass_vs = V::broadcast(plan.pass_vs);
+      for (std::size_t i = 0; i < m; i += W) {
+        double g_in[W], c_vp[W], c_if[W], c_dfs[W];
+        for (std::size_t j = 0; j < W; ++j) {
+          const std::size_t lane = lanes[i + j];
+          g_in[j] = v_in[lane];
+          c_vp[j] = pd_cache_[lane].vp;
+          c_if[j] = pd_cache_[lane].i_forward;
+          c_dfs[j] = pd_cache_[lane].dfs;
+        }
+        const V xv = V::load(x + i);
+        const MosEvalV<V> pu = lane_eval_v(plan.pu, V::load(g_in), xv, vdd);
+        const MosEvalV<V> pd = lane_eval_nmos_cached_v(
+            plan.pd, V::load(c_vp), V::load(c_if), V::load(c_dfs), xv, zero);
+        const MosEvalV<V> ps = lane_eval_nmos_cached_v(
+            plan.pass, pass_vp, pass_if, pass_dfs, xv, pass_vs);
+        // Same summation order as the scalar loop: pu + pd + pass.
+        const V fv = pu.id + pd.id + ps.id;
+        const V dfv = pu.gds + pd.gds + ps.gds;
+        fv.store(f + i);
+        dfv.store(df + i);
+        double tgm[W], tgds[W];
+        (pu.gm + pd.gm).store(tgm);
+        dfv.store(tgds);
+        for (std::size_t j = 0; j < W && i + j < m; ++j) {
+          gm_sum_[lanes[i + j]] = tgm[j];
+          gds_sum_[lanes[i + j]] = tgds[j];
+        }
+      }
+      return;
+    }
     for (std::size_t i = 0; i < m; ++i) {
       const std::size_t lane = lanes[i];
       const double xv = x[i];

@@ -24,6 +24,46 @@ void Mosfet::eval_lanes(const double* vg, const double* vd, const double* vs,
                         std::size_t n, double temp_c, double* id, double* gm,
                         double* gds, double* gms) const noexcept {
   const MosfetLaneConsts c = mosfet_lane_consts(*this, temp_c);
+  if (resolved_simd_kind() == SimdKind::Simd) {
+    using V = simd::Vec;
+    constexpr std::size_t W = simd::kNativeWidth;
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      const MosEvalV<V> e =
+          lane_eval_v(c, V::load(vg + i), V::load(vd + i), V::load(vs + i));
+      if (id) e.id.store(id + i);
+      if (gm) e.gm.store(gm + i);
+      if (gds) e.gds.store(gds + i);
+      if (gms) e.gms.store(gms + i);
+    }
+    if (i < n) {
+      // Remainder block: pad with the last lane so every lane — regardless
+      // of its position relative to the vector width — goes through the
+      // identical vectorized expression tree.
+      const std::size_t r = n - i;
+      double bg[W], bd[W], bs[W];
+      for (std::size_t j = 0; j < W; ++j) {
+        const std::size_t k = i + (j < r ? j : r - 1);
+        bg[j] = vg[k];
+        bd[j] = vd[k];
+        bs[j] = vs[k];
+      }
+      const MosEvalV<V> e =
+          lane_eval_v(c, V::load(bg), V::load(bd), V::load(bs));
+      double tid[W], tgm[W], tgds[W], tgms[W];
+      e.id.store(tid);
+      e.gm.store(tgm);
+      e.gds.store(tgds);
+      e.gms.store(tgms);
+      for (std::size_t j = 0; j < r; ++j) {
+        if (id) id[i + j] = tid[j];
+        if (gm) gm[i + j] = tgm[j];
+        if (gds) gds[i + j] = tgds[j];
+        if (gms) gms[i + j] = tgms[j];
+      }
+    }
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const MosEval e = lane_eval(c, vg[i], vd[i], vs[i]);
     if (id) id[i] = e.id;

@@ -13,6 +13,7 @@
 
 #include "lpsram/device/mosfet.hpp"
 #include "lpsram/device/mosfet_math.hpp"
+#include "lpsram/util/simd.hpp"
 
 namespace lpsram {
 
@@ -129,6 +130,104 @@ inline MosEval lane_eval_nmos_cached(const MosfetLaneConsts& c,
           core * c.lambda * mosfet_math::smooth_abs_d(vds);
   e.gms = -c.i0 * cache.dfs * c.inv2vt * clm -
           core * c.lambda * mosfet_math::smooth_abs_d(vds);
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized variants: W lanes per instruction on top of util/simd.hpp.
+//
+// These mirror the scalar expression trees above term for term, but the
+// transcendental pair comes from simd::vexp / simd::vlog1p instead of libm,
+// so results agree with the scalar lanes only to the documented ulp level
+// (tests/test_cell_lanes.cpp pins the tolerance). Kernels consult
+// resolved_simd_kind() to choose between the scalar-oracle loop and these.
+
+template <class V>
+struct MosEvalV {
+  V id, gm, gds, gms;
+};
+
+template <class V>
+inline MosEvalV<V> lane_eval_core_v(const MosfetLaneConsts& c, V vg, V vd,
+                                    V vs) noexcept {
+  const V vp = (vg - V::broadcast(c.vth)) / V::broadcast(c.n);
+  const V two_vt = V::broadcast(c.two_vt);
+  const V us = (vp - vs) / two_vt;
+  const V ud = (vp - vd) / two_vt;
+
+  const simd::SoftplusEvalV<V> ss = simd::softplus_eval_v(us);
+  const simd::SoftplusEvalV<V> sd = simd::softplus_eval_v(ud);
+  const V i_forward = ss.f * ss.f;
+  const V i_reverse = sd.f * sd.f;
+
+  const V vds = vd - vs;
+  const V lambda = V::broadcast(c.lambda);
+  const V clm = V::broadcast(1.0) + lambda * simd::smooth_abs_v(vds);
+  const V i0 = V::broadcast(c.i0);
+  const V core = i0 * (i_forward - i_reverse);
+
+  const V two = V::broadcast(2.0);
+  const V dfs = two * ss.f * ss.d;
+  const V dfd = two * sd.f * sd.d;
+  const V sad = simd::smooth_abs_d_v(vds);
+
+  MosEvalV<V> e;
+  e.id = core * clm;
+  e.gm = i0 * (dfs - dfd) * V::broadcast(c.inv2vt_over_n) * clm;
+  e.gds = i0 * dfd * V::broadcast(c.inv2vt) * clm + core * lambda * sad;
+  e.gms = V::zero() - i0 * dfs * V::broadcast(c.inv2vt) * clm -
+          core * lambda * sad;
+  return e;
+}
+
+template <class V>
+inline MosEvalV<V> lane_eval_v(const MosfetLaneConsts& c, V vg, V vd,
+                               V vs) noexcept {
+  if (c.pmos) {
+    const V half = V::broadcast(0.5);
+    const V one = V::broadcast(1.0);
+    const V diff = vd - vs;
+    const V sad = simd::smooth_abs_d_v(diff);
+    const V ref = half * (vd + vs + simd::smooth_abs_v(diff));
+    const V rd = half * (one + sad);
+    const V rs = half * (one - sad);
+
+    const MosEvalV<V> n = lane_eval_core_v(c, ref - vg, ref - vd, ref - vs);
+    MosEvalV<V> e;
+    e.id = V::zero() - n.id;
+    e.gm = n.gm;
+    e.gds = V::zero() - (n.gm * rd + n.gds * (rd - one) + n.gms * rd);
+    e.gms = V::zero() - (n.gm * rs + n.gds * rs + n.gms * (rs - one));
+    return e;
+  }
+  return lane_eval_core_v(c, vg, vd, vs);
+}
+
+// Drain-swept cached NMOS evaluation over lanes; the cache fields are vector
+// operands so callers can either broadcast one shared NmosSourceCache or
+// gather per-lane caches.
+template <class V>
+inline MosEvalV<V> lane_eval_nmos_cached_v(const MosfetLaneConsts& c, V vp,
+                                           V i_forward, V dfs, V vd,
+                                           V vs) noexcept {
+  const V ud = (vp - vd) / V::broadcast(c.two_vt);
+  const simd::SoftplusEvalV<V> sd = simd::softplus_eval_v(ud);
+  const V i_reverse = sd.f * sd.f;
+
+  const V vds = vd - vs;
+  const V lambda = V::broadcast(c.lambda);
+  const V clm = V::broadcast(1.0) + lambda * simd::smooth_abs_v(vds);
+  const V i0 = V::broadcast(c.i0);
+  const V core = i0 * (i_forward - i_reverse);
+  const V dfd = V::broadcast(2.0) * sd.f * sd.d;
+  const V sad = simd::smooth_abs_d_v(vds);
+
+  MosEvalV<V> e;
+  e.id = core * clm;
+  e.gm = i0 * (dfs - dfd) * V::broadcast(c.inv2vt_over_n) * clm;
+  e.gds = i0 * dfd * V::broadcast(c.inv2vt) * clm + core * lambda * sad;
+  e.gms = V::zero() - i0 * dfs * V::broadcast(c.inv2vt) * clm -
+          core * lambda * sad;
   return e;
 }
 

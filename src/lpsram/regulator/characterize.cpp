@@ -7,8 +7,11 @@
 #include <exception>
 #include <vector>
 
+#include "lpsram/spice/batch_transient.hpp"
 #include "lpsram/spice/hooks.hpp"
+#include "lpsram/util/simd.hpp"
 #include "lpsram/util/error.hpp"
+#include "lpsram/util/rootfind.hpp"
 #include "lpsram/util/units.hpp"
 
 namespace lpsram {
@@ -18,6 +21,17 @@ namespace {
 // regulator settles well within this at every PVT point; the remaining DS
 // time is extrapolated from the final value.
 constexpr double kDsEntryWindow = 30e-6;
+
+// Deficit over the full DS window from a DS-entry waveform: the transient
+// integral over the simulated window plus the settled tail extrapolated
+// from the final value.
+double ds_entry_deficit(const Waveform& wave, double ds_time, double drv) {
+  const double transient_deficit = wave.deficit_integral(0, drv);
+  const double v_end = wave.values[0].back();
+  const double remaining =
+      std::max(0.0, ds_time - kDsEntryWindow) * std::max(0.0, drv - v_end);
+  return transient_deficit + remaining;
+}
 
 }  // namespace
 
@@ -84,6 +98,10 @@ RegulationMetrics measure_regulation(const Technology& tech, Corner corner,
       fingerprint = fold_key(fingerprint, key_bits(vdd));
     for (const double temp : tech.temperatures())
       fingerprint = fold_key(fingerprint, key_bits(temp));
+    // DC solves sit on the SIMD-kind-dependent kernels too (gathered MAC in
+    // load_multiply_add); don't blend journals across backends.
+    fingerprint =
+        fold_key(fingerprint, static_cast<std::uint64_t>(resolved_simd_kind()));
     campaign->bind_sweep(salt, fingerprint);
   }
 
@@ -294,18 +312,97 @@ double RegulatorCharacterizer::retention_deficit(const DsCondition& condition,
     topts.dt_max = kDsEntryWindow / 100.0;
     Waveform wave =
         reg.simulate_ds_entry(kDsEntryWindow, condition.temp_c, &topts);
-    const double transient_deficit = wave.deficit_integral(0, drv);
-    const double v_end = wave.values[0].back();
-    const double remaining =
-        std::max(0.0, condition.ds_time - kDsEntryWindow) *
-        std::max(0.0, drv - v_end);
-    return transient_deficit + remaining;
+    return ds_entry_deficit(wave, condition.ds_time, drv);
   }
 
   reg.set_regon(true);
   reg.set_power_switch(false);
   const double v = reg.vreg_dc(condition.temp_c);
   return condition.ds_time * std::max(0.0, drv - v);
+}
+
+std::vector<double> RegulatorCharacterizer::retention_deficits(
+    const DsCondition& condition, DefectId id, std::span<const double> ohms,
+    double drv) const {
+  std::vector<double> out(ohms.size());
+  if (id == 0 || !is_gate_site(id) ||
+      resolved_transient_batch_kind() == TransientBatchKind::Serial) {
+    // Scalar oracle: the exact per-probe path, one at a time.
+    for (std::size_t i = 0; i < ohms.size(); ++i)
+      out[i] = retention_deficit(condition, id, ohms[i], drv);
+    return out;
+  }
+
+  VoltageRegulator& reg = regulator_for(condition.corner);
+  reg.clear_all_defects();
+  reg.set_vdd(condition.vdd);
+  reg.select_vref(condition.vref);
+  TransientOptions topts;
+  topts.dt_max = kDsEntryWindow / 100.0;
+  const std::vector<Waveform> waves = reg.simulate_ds_entry_lanes(
+      id, ohms, kDsEntryWindow, condition.temp_c, &topts);
+  for (std::size_t i = 0; i < ohms.size(); ++i)
+    out[i] = ds_entry_deficit(waves[i], condition.ds_time, drv);
+  return out;
+}
+
+double RegulatorCharacterizer::drf_threshold(const DsCondition& condition,
+                                             DefectId id, double r_lo,
+                                             double r_hi, double rel_tolerance,
+                                             double drv) const {
+  if (id == 0 || !is_gate_site(id) ||
+      resolved_transient_batch_kind() == TransientBatchKind::Serial) {
+    return monotone_threshold_log(
+        [&](double ohms) { return causes_drf(condition, id, ohms, drv); },
+        r_lo, r_hi, rel_tolerance);
+  }
+
+  if (!(r_lo > 0.0) || !(r_hi > r_lo))
+    throw InvalidArgument("drf_threshold: need 0 < lo < hi");
+  const double flip = flip_.flip_threshold(condition.temp_c);
+
+  // Endpoint probes, batched pairwise.
+  {
+    const double ends[2] = {r_lo, r_hi};
+    const std::vector<double> d = retention_deficits(condition, id, ends, drv);
+    if (d[0] >= flip) return r_lo;
+    if (!(d[1] >= flip)) return r_hi * 2.0;
+  }
+
+  // Invariant: drf(lo) == false, drf(hi) == true — the scalar bisection's.
+  double lo = r_lo;
+  double hi = r_hi;
+  while (hi / lo > rel_tolerance) {
+    // Speculative probe tree: the 7 midpoints the scalar schedule could
+    // visit over its next three rounds, each computed by the same nested
+    // sqrt it would use, evaluated in one lockstep batch. The descent then
+    // replays the scalar decisions, so bracket and result match the scalar
+    // schedule probe-for-probe (at the cost of evaluating branches not
+    // taken, which ride along in the same batch).
+    double probes[7];
+    probes[3] = std::sqrt(lo * hi);
+    probes[1] = std::sqrt(lo * probes[3]);
+    probes[5] = std::sqrt(probes[3] * hi);
+    probes[0] = std::sqrt(lo * probes[1]);
+    probes[2] = std::sqrt(probes[1] * probes[3]);
+    probes[4] = std::sqrt(probes[3] * probes[5]);
+    probes[6] = std::sqrt(probes[5] * hi);
+    const std::vector<double> d =
+        retention_deficits(condition, id, probes, drv);
+    int idx = 3;
+    int step = 2;
+    for (int round = 0; round < 3 && hi / lo > rel_tolerance; ++round) {
+      if (d[static_cast<std::size_t>(idx)] >= flip) {
+        hi = probes[idx];
+        idx -= step;
+      } else {
+        lo = probes[idx];
+        idx += step;
+      }
+      step /= 2;
+    }
+  }
+  return hi;
 }
 
 bool RegulatorCharacterizer::causes_drf(const DsCondition& condition,

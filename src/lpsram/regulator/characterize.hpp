@@ -5,6 +5,8 @@
 
 #include <map>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "lpsram/cell/flip_time.hpp"
 #include "lpsram/regulator/regulator.hpp"
@@ -93,6 +95,26 @@ class RegulatorCharacterizer {
   // given DRV (diagnostic / used by causes_drf).
   double retention_deficit(const DsCondition& condition, DefectId id,
                            double ohms, double drv) const;
+
+  // Retention deficits for several resistance values of one defect, in
+  // `ohms` order. For gate-site defects under TransientBatchKind::Lockstep
+  // the DS-entry transients run as one lane batch
+  // (VoltageRegulator::simulate_ds_entry_lanes); otherwise this loops the
+  // scalar retention_deficit — the runtime-selectable oracle.
+  std::vector<double> retention_deficits(const DsCondition& condition,
+                                         DefectId id,
+                                         std::span<const double> ohms,
+                                         double drv) const;
+
+  // Minimum defect resistance causing a DRF: the monotone_threshold_log
+  // bisection over causes_drf. Gate-site defects under
+  // TransientBatchKind::Lockstep evaluate each bisection round as a
+  // speculative probe tree — the 7 midpoints the scalar schedule could
+  // visit over its next three rounds, computed by the same nested-sqrt
+  // recipe and batched into one lockstep run — so the probe points (and the
+  // returned bracket) are exactly the scalar schedule's.
+  double drf_threshold(const DsCondition& condition, DefectId id, double r_lo,
+                       double r_hi, double rel_tolerance, double drv) const;
 
   const FlipTimeModel& flip_model() const noexcept { return flip_; }
 

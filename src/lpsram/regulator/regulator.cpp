@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "lpsram/runtime/parallel.hpp"
+#include "lpsram/spice/batch_transient.hpp"
 #include "lpsram/util/error.hpp"
 
 namespace lpsram {
@@ -409,6 +411,24 @@ double VoltageRegulator::static_power_dc(double temp_c) const {
   return vdd_ * supply_current_dc(temp_c);
 }
 
+namespace {
+
+// The segmented power switch network releases progressively at DS entry
+// (its effective resistance ramps geometrically over ~8 us) so the rail
+// hands over to the regulator without the instantaneous droop an ideal
+// cut-off would cause — the sequencing real PM control logic implements.
+Stimulus staged_release_stimulus(ElementId ps, double switch_off) {
+  return [ps, switch_off](double t, Netlist& nl) {
+    constexpr double kRonStart = 10.0;      // all segments on
+    constexpr double kDecadeTime = 0.8e-6;  // one decade of R per 0.8 us
+    const double r =
+        std::min(kRonStart * std::pow(10.0, t / kDecadeTime), switch_off);
+    nl.set_resistance(ps, r);
+  };
+}
+
+}  // namespace
+
 Waveform VoltageRegulator::simulate_ds_entry(double duration, double temp_c,
                                              const TransientOptions* options) {
   // Initial state: ACT mode (power switch closed, regulator off).
@@ -416,21 +436,11 @@ Waveform VoltageRegulator::simulate_ds_entry(double duration, double temp_c,
   set_regon(false);
   const DcResult act = solve_dc(temp_c);
 
-  // Switch to DS at t = 0: REGON asserts immediately; the segmented power
-  // switch network releases progressively (its effective resistance ramps
-  // geometrically over ~8 us) so the rail hands over to the regulator
-  // without the instantaneous droop an ideal cut-off would cause — the
-  // sequencing real PM control logic implements.
+  // Switch to DS at t = 0: REGON asserts immediately; the PS network
+  // releases through the staged ramp.
   set_power_switch(false);
   set_regon(true);
-  const ElementId ps = e_ps_;
-  const Stimulus staged_release = [ps](double t, Netlist& nl) {
-    constexpr double kRonStart = 10.0;    // all segments on
-    constexpr double kDecadeTime = 0.8e-6;  // one decade of R per 0.8 us
-    const double r =
-        std::min(kRonStart * std::pow(10.0, t / kDecadeTime), kSwitchOff);
-    nl.set_resistance(ps, r);
-  };
+  const Stimulus staged_release = staged_release_stimulus(e_ps_, kSwitchOff);
 
   TransientOptions opts;
   if (options) opts = *options;
@@ -441,6 +451,50 @@ Waveform VoltageRegulator::simulate_ds_entry(double duration, double temp_c,
       solver.run({n_vddcc_, n_mpreg1_gate_}, staged_release, &act.x);
   warm_start_ = solver.final_state();
   return wave;
+}
+
+std::vector<Waveform> VoltageRegulator::simulate_ds_entry_lanes(
+    DefectId id, std::span<const double> ohms, double duration, double temp_c,
+    const TransientOptions* options) {
+  const std::size_t site = static_cast<std::size_t>(defect_site(id).id - 1);
+
+  // Per-lane ACT operating points, solved serially: each lane replays the
+  // serial recipe (inject the defect, configure ACT, solve DC). Neighbouring
+  // lanes of a resistance ladder sit at nearby operating points, so each
+  // solve is seeded from the previous lane's solution — the setters clear
+  // the warm start as a configuration change, and the seed is re-planted
+  // after them. A seed that misleads is rescued by the resilient ladder, so
+  // every lane still lands on the same operating point (to Newton tolerance)
+  // a cold standalone simulate_ds_entry would reach.
+  std::vector<TransientLane> lanes(ohms.size());
+  for (std::size_t l = 0; l < ohms.size(); ++l) {
+    inject_defect(id, ohms[l]);
+    set_power_switch(true);
+    set_regon(false);
+    if (l > 0) warm_start_ = lanes[l - 1].initial_x;
+    DcResult act = solve_dc(temp_c);
+    lanes[l].element = e_defect_[site];
+    lanes[l].ohms = ohms[l];
+    lanes[l].initial_x = std::move(act.x);
+  }
+
+  // One shared DS configuration for the transient; the batch engine applies
+  // each lane's defect resistance as its override.
+  set_power_switch(false);
+  set_regon(true);
+  const Stimulus staged_release = staged_release_stimulus(e_ps_, kSwitchOff);
+
+  TransientOptions opts;
+  if (options) opts = *options;
+  opts.t_stop = duration;
+
+  BatchTransientSolver solver(netlist_, temp_c, opts);
+  std::vector<Waveform> waves =
+      solver.run(lanes, {n_vddcc_, n_mpreg1_gate_}, staged_release);
+  // Lane-batched entries do not chain a warm start: the final states belong
+  // to different defect values, and the next caller reconfigures anyway.
+  warm_start_.clear();
+  return waves;
 }
 
 }  // namespace lpsram

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "lpsram/regulator/array_load.hpp"
@@ -123,6 +124,19 @@ class VoltageRegulator {
   // waveform (probe 1). Leaves the regulator configured in DS mode.
   Waveform simulate_ds_entry(double duration, double temp_c,
                              const TransientOptions* options = nullptr);
+
+  // Lane-batched DS-entry: one transient per resistance value of the same
+  // defect site, marched together by the lockstep batch engine
+  // (spice/batch_transient.hpp) — the ACT operating points are solved
+  // serially per lane, the DS transients share assembly and factorization.
+  // Waveforms are returned in `ohms` order with the same probes as
+  // simulate_ds_entry. Under TransientBatchKind::Serial (or for a single
+  // lane under SimdKind::Scalar) each waveform is the serial path's,
+  // bit-for-bit. Leaves the regulator in DS mode with the *last* lane's
+  // resistance injected and no warm start.
+  std::vector<Waveform> simulate_ds_entry_lanes(
+      DefectId id, std::span<const double> ohms, double duration,
+      double temp_c, const TransientOptions* options = nullptr);
 
   // Expected (defect-free, ideal) Vreg for a configuration.
   double expected_vreg() const noexcept { return vdd_ * vref_fraction(vref_level_); }

@@ -10,6 +10,7 @@
 #include "lpsram/spice/hooks.hpp"
 #include "lpsram/stats/yield/counter_rng.hpp"
 #include "lpsram/util/error.hpp"
+#include "lpsram/util/simd.hpp"
 
 namespace lpsram {
 namespace {
@@ -116,6 +117,9 @@ std::uint64_t YieldPlan::fingerprint() const {
   // counts. Either changing silently would blend incompatible estimates.
   fp = fold_key(fp, surrogate_->fingerprint());
   fp = fold_key(fp, static_cast<std::uint64_t>(resolved_cell_kernel()));
+  // The SIMD backend kind shifts solver outcomes within ulp-level noise;
+  // refuse to resume a journal recorded under the other kind.
+  fp = fold_key(fp, static_cast<std::uint64_t>(resolved_simd_kind()));
   return fp;
 }
 

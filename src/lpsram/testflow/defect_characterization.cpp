@@ -4,10 +4,12 @@
 #include <chrono>
 
 #include "lpsram/cell/batch_vtc.hpp"
+#include "lpsram/spice/batch_transient.hpp"
 #include "lpsram/spice/dc_solver.hpp"
 #include "lpsram/spice/hooks.hpp"
 #include "lpsram/util/error.hpp"
 #include "lpsram/util/rootfind.hpp"
+#include "lpsram/util/simd.hpp"
 
 namespace lpsram {
 
@@ -125,6 +127,12 @@ std::vector<std::vector<DefectCsResult>> DefectCharacterizer::run_cells(
     // outright rather than silently blending near-identical tables.
     fp = fold_key(fp,
                   static_cast<std::uint64_t>(resolved_cell_kernel()));
+    // Likewise the SIMD backend kind and the transient batching kind: both
+    // perturb thresholds within solver noise, so a resume must not mix
+    // journals recorded under different kernels.
+    fp = fold_key(fp, static_cast<std::uint64_t>(resolved_simd_kind()));
+    fp = fold_key(fp,
+                  static_cast<std::uint64_t>(resolved_transient_batch_kind()));
     options_.campaign->bind_sweep(0x7461626c653249ULL, fp);
   }
 
@@ -200,11 +208,12 @@ std::vector<std::vector<DefectCsResult>> DefectCharacterizer::run_cells(
       slot.vref = condition.vref;
 
       const double drv = cs_drv(cs, pvt.corner, pvt.temp_c);
-      auto drf_at = [&](double ohms) {
-        return characterizer.causes_drf(condition, task.id, ohms, drv);
-      };
-      const double r = monotone_threshold_log(
-          drf_at, options_.r_low, options_.r_high, options_.rel_tolerance);
+      // Gate-site defects batch each bisection round's speculative probes
+      // into one lockstep transient run (characterize.hpp); everything else
+      // is the scalar monotone_threshold_log over causes_drf.
+      const double r = characterizer.drf_threshold(
+          condition, task.id, options_.r_low, options_.r_high,
+          options_.rel_tolerance, drv);
       if (r <= options_.r_high) {
         slot.detectable = true;
         slot.threshold = r;

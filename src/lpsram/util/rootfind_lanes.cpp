@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "lpsram/util/simd.hpp"
+
 namespace lpsram {
 namespace {
 
@@ -34,9 +36,13 @@ LaneRootStats solve_bracketed_lanes(const LaneResidualFn& fn, std::size_t n,
   ws.f.resize(n);
   ws.df.resize(n);
   ws.has_eval.assign(n, 0);
-  ws.xc.resize(n);
-  ws.fc.resize(n);
-  ws.dfc.resize(n);
+  // Compacted buffers carry the SIMD padding contract (see the header):
+  // sized to a full native-width multiple so vectorized callbacks can read
+  // and write whole blocks.
+  const std::size_t cap = simd::round_up_lanes(n == 0 ? 1 : n);
+  ws.xc.resize(cap);
+  ws.fc.resize(cap);
+  ws.dfc.resize(cap);
 
   std::size_t live = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -68,6 +74,16 @@ LaneRootStats solve_bracketed_lanes(const LaneResidualFn& fn, std::size_t n,
           xn = candidate;
       }
       ws.xc[i] = xn;
+    }
+
+    // Pad lanes/probes to a full vector block by replicating the last
+    // active entry (valid lane index + probe value; results in the padded
+    // tail are discarded).
+    const std::size_t padded = simd::round_up_lanes(m);
+    ws.active.resize(padded, ws.active[m - 1]);
+    for (std::size_t i = m; i < padded; ++i) {
+      ws.active[i] = ws.active[m - 1];
+      ws.xc[i] = ws.xc[m - 1];
     }
 
     // One batched residual round over the compacted active set.

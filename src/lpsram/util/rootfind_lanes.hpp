@@ -44,6 +44,13 @@ struct LaneRootStats {
 // compacted active lanes lanes[0..m), writing position i of f/df for lane
 // lanes[i]. `df` entries may be left 0 where no derivative is available —
 // such lanes simply bisect.
+//
+// SIMD padding contract: the solver pads `lanes` and `x` out to
+// simd::round_up_lanes(m) by replicating the last active entry, and `f`/`df`
+// are writable through that padded length. A vectorized callback can
+// therefore march full native-width blocks — reading valid lane indices and
+// probe values in the tail — without a scalar remainder loop; the solver
+// ignores results at positions >= m.
 using LaneResidualFn =
     std::function<void(const std::size_t* lanes, const double* x, double* f,
                        double* df, std::size_t m)>;

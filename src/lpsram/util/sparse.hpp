@@ -73,6 +73,12 @@ class SparseMatrix {
 // matrix is singular, matching the dense LuSolver contract.
 class SparseLu {
  public:
+  // Absolute singularity floor, matching the dense LuSolver, and the
+  // staleness limit for a reused pivot order (see refactor()). Public so
+  // SparseLuLanes applies the identical per-lane acceptance tests.
+  static constexpr double kSingularFloor = 1e-300;
+  static constexpr double kPivotDriftLimit = 1e8;
+
   SparseLu() = default;
 
   // Factorizes `a`. Cheap numeric refactor when the pattern matches the last
@@ -116,6 +122,10 @@ class SparseLu {
   int analyses() const noexcept { return analyses_; }
 
  private:
+  // SparseLuLanes (util/sparse_lanes.hpp) adopts the compiled refactor
+  // program verbatim to run many same-pattern factorizations in lockstep.
+  friend class SparseLuLanes;
+
   void analyze(const SparseMatrix& a);
   bool refactor(const SparseMatrix& a, bool strict);
   bool pattern_matches(const SparseMatrix& a) const noexcept;
@@ -169,6 +179,18 @@ class SparseLu {
   std::vector<int> elim_mul_end_;
   std::vector<int> mul_dst_;
   std::vector<int> mul_src_;
+  // The mul ops collapsed into contiguous (dst, src, len) runs, never
+  // crossing an elimination step (the factor changes per step). Within one
+  // step every dst slot lies in the row being eliminated and every src slot
+  // in the (distinct) pivot row, so a run updates disjoint memory and the
+  // SIMD MAC can work in place. elim_run_end_[e] bounds step e's runs.
+  std::vector<int> mul_run_dst_;
+  std::vector<int> mul_run_src_;
+  std::vector<int> mul_run_len_;
+  std::vector<int> elim_run_end_;
+  // Whether the runs are long enough that the vector MAC beats the flat
+  // scalar program for this pattern (set by analyze; see the run collapse).
+  bool simd_runs_profitable_ = false;
   // Scratch for solve's permuted intermediate (allocated at analysis).
   mutable std::vector<double> work_;
   // Scratch for solve_refined's residual and correction (ditto).

@@ -1,0 +1,331 @@
+#include "lpsram/util/sparse_lanes.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "lpsram/util/error.hpp"
+#include "lpsram/util/simd.hpp"
+
+namespace lpsram {
+
+void SparseLuLanes::bind(const SparseLu& base, std::size_t lanes) {
+  if (!base.analyzed())
+    throw InvalidArgument("SparseLuLanes: base SparseLu is not analyzed");
+  if (lanes == 0) throw InvalidArgument("SparseLuLanes: zero lanes");
+
+  n_ = base.n_;
+  lanes_ = lanes;
+  stride_ = simd::round_up_lanes(lanes);
+  a_nnz_ = base.a_cols_.size();
+
+  perm_ = base.perm_;
+  cperm_ = base.cperm_;
+  lu_row_ptr_ = base.lu_row_ptr_;
+  lu_cols_ = base.lu_cols_;
+  diag_slot_ = base.diag_slot_;
+  load_run_dst_ = base.load_run_dst_;
+  load_run_src_ = base.load_run_src_;
+  load_run_len_ = base.load_run_len_;
+  fill_slots_ = base.fill_slots_;
+  row_elim_end_ = base.row_elim_end_;
+  elim_ls_ = base.elim_ls_;
+  elim_k_ = base.elim_k_;
+  elim_mul_end_ = base.elim_mul_end_;
+  mul_dst_ = base.mul_dst_;
+  mul_src_ = base.mul_src_;
+
+  lu_vals_.assign(lu_cols_.size() * stride_, 0.0);
+  inv_diag_.assign(n_ * stride_, 0.0);
+  work_.assign(n_ * stride_, 0.0);
+  baseline_pivot_mag_.assign(n_ * stride_, 0.0);
+  has_baseline_.assign(stride_, 0);
+}
+
+void SparseLuLanes::refactor(const double* avals, const unsigned char* active,
+                             unsigned char* ok) {
+  refactor_impl<false>(avals, nullptr, active, ok);
+}
+
+void SparseLuLanes::refactor_fused_forward(const double* avals,
+                                           const double* b,
+                                           const unsigned char* active,
+                                           unsigned char* ok) {
+  refactor_impl<true>(avals, b, active, ok);
+}
+
+template <bool Fused>
+void SparseLuLanes::refactor_impl(const double* avals, const double* b,
+                                  const unsigned char* active,
+                                  unsigned char* ok) {
+  using V = simd::Vec;
+  constexpr std::size_t W = simd::kNativeWidth;
+  const std::size_t st = stride_;
+
+  for (std::size_t l = 0; l < lanes_; ++l)
+    if (active[l]) ok[l] = 1;
+
+  // Vector groups with no active lane skip the elimination (and the
+  // following solves): their factors are stale either way — the load phase
+  // below overwrites every lane — and batched callers retire lanes
+  // monotonically, so the saved work is pure tail overhead.
+  group_active_.assign(st / W, 0);
+  for (std::size_t l = 0; l < lanes_; ++l)
+    if (active[l]) group_active_[l / W] = 1;
+
+  // Load phase: a scalar (dst, src, len) run is a contiguous block of
+  // len * stride doubles in the SoA layout, so with every group live the
+  // whole load stays memcpy. Lanes not being refactored get overwritten too
+  // — callers only refactor when every lane they still care about has fresh
+  // values, and retired lanes' solves are discarded. Once whole groups have
+  // retired, the copy walks slot by slot and moves only the live groups'
+  // W-lane chunks: the full-stride memcpy would otherwise keep paying for
+  // dead lanes every refactor of the batch's tail.
+  bool all_live = true;
+  for (std::size_t g = 0; g < st / W; ++g)
+    all_live = all_live && group_active_[g] != 0;
+  if (all_live) {
+    for (std::size_t r = 0; r < load_run_dst_.size(); ++r)
+      std::memcpy(&lu_vals_[static_cast<std::size_t>(load_run_dst_[r]) * st],
+                  &avals[static_cast<std::size_t>(load_run_src_[r]) * st],
+                  static_cast<std::size_t>(load_run_len_[r]) * st *
+                      sizeof(double));
+    for (const int s : fill_slots_)
+      std::memset(&lu_vals_[static_cast<std::size_t>(s) * st], 0,
+                  st * sizeof(double));
+  } else {
+    for (std::size_t r = 0; r < load_run_dst_.size(); ++r) {
+      const std::size_t dst0 = static_cast<std::size_t>(load_run_dst_[r]) * st;
+      const std::size_t src0 = static_cast<std::size_t>(load_run_src_[r]) * st;
+      const std::size_t len = static_cast<std::size_t>(load_run_len_[r]);
+      for (std::size_t k = 0; k < len; ++k)
+        for (std::size_t g = 0; g < st; g += W)
+          if (group_active_[g / W])
+            std::memcpy(&lu_vals_[dst0 + k * st + g], &avals[src0 + k * st + g],
+                        W * sizeof(double));
+    }
+    for (const int s : fill_slots_)
+      for (std::size_t g = 0; g < st; g += W)
+        if (group_active_[g / W])
+          std::memset(&lu_vals_[static_cast<std::size_t>(s) * st + g], 0,
+                      W * sizeof(double));
+  }
+
+  // Elimination, one live vector group at a time: each group replays the
+  // entire compiled program with the lane dimension held in registers, so
+  // the per-step factor never round-trips through memory and the group
+  // liveness branch is hoisted out of the op stream. Lanes are mutually
+  // independent and every vector op is elementwise (multiply then subtract,
+  // never fused), so per-lane arithmetic order — and hence every lane's
+  // factor — is bit-identical to the scalar SparseLu program no matter how
+  // groups are ordered. The pivot reciprocal uses vector division, which
+  // IEEE 754 requires to be correctly rounded exactly like scalar division.
+  for (std::size_t g = 0; g < st; g += W) {
+    if (!group_active_[g / W]) continue;
+    int e = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if constexpr (Fused) {
+        // Forward substitution for row i - 1: its L entries and the w rows
+        // it references are final once that row's elimination is done, so
+        // the sweep stays one row behind the elimination. (Row i - 1 is
+        // finished here; row n - 1 is handled after the loop.)
+        if (i > 0) {
+          const std::size_t fr = i - 1;
+          double* wi = &work_[fr * st + g];
+          V acc = V::load(&b[perm_[fr] * st + g]);
+          const int s_end = diag_slot_[fr];
+          for (int s = lu_row_ptr_[fr]; s < s_end; ++s)
+            acc =
+                acc -
+                V::load(&lu_vals_[static_cast<std::size_t>(s) * st + g]) *
+                    V::load(&work_[static_cast<std::size_t>(lu_cols_[
+                                       static_cast<std::size_t>(s)]) *
+                                       st +
+                                   g]);
+          acc.store(wi);
+        }
+      }
+      for (const int e_end = row_elim_end_[i]; e < e_end; ++e) {
+        double* ls = &lu_vals_[static_cast<std::size_t>(elim_ls_[e]) * st + g];
+        const V f =
+            V::load(ls) *
+            V::load(&inv_diag_[static_cast<std::size_t>(elim_k_[e]) * st + g]);
+        f.store(ls);
+        for (int m = e == 0 ? 0 : elim_mul_end_[e - 1]; m < elim_mul_end_[e];
+             ++m) {
+          double* dst =
+              &lu_vals_[static_cast<std::size_t>(mul_dst_[m]) * st + g];
+          const V d =
+              V::load(dst) -
+              f * V::load(
+                      &lu_vals_[static_cast<std::size_t>(mul_src_[m]) * st + g]);
+          d.store(dst);
+        }
+      }
+
+      const double* pivot =
+          &lu_vals_[static_cast<std::size_t>(diag_slot_[i]) * st + g];
+      double* invd = &inv_diag_[i * st + g];
+      double* base = &baseline_pivot_mag_[i * st + g];
+      (V::broadcast(1.0) / V::load(pivot)).store(invd);
+      for (std::size_t l = g; l < g + W; ++l) {
+        if (l >= lanes_) {
+          // Padding lanes beyond lanes_: keep them finite so vector ops over
+          // the full stride never spread NaN into sanitizer traps (the
+          // vector divide above may have produced inf/NaN from their
+          // unspecified pivots; it is discarded here before any use).
+          invd[l - g] = 1.0;
+          continue;
+        }
+        const double mag = std::fabs(pivot[l - g]);
+        if (active[l]) {
+          // Same acceptance tests as the scalar refactor: hard singularity
+          // floor always, drift against the lane's own first-refactor
+          // baseline once one exists (SparseLu's strict mode).
+          if (!(mag >= SparseLu::kSingularFloor) ||
+              (has_baseline_[l] &&
+               mag * SparseLu::kPivotDriftLimit < base[l - g]))
+            ok[l] = 0;
+        }
+        if (!has_baseline_[l]) base[l - g] = mag;
+      }
+    }
+    if constexpr (Fused) {
+      if (n_ > 0) {
+        const std::size_t fr = n_ - 1;
+        double* wi = &work_[fr * st + g];
+        V acc = V::load(&b[perm_[fr] * st + g]);
+        const int s_end = diag_slot_[fr];
+        for (int s = lu_row_ptr_[fr]; s < s_end; ++s)
+          acc = acc -
+                V::load(&lu_vals_[static_cast<std::size_t>(s) * st + g]) *
+                    V::load(&work_[static_cast<std::size_t>(
+                                       lu_cols_[static_cast<std::size_t>(s)]) *
+                                       st +
+                                   g]);
+        acc.store(wi);
+      }
+    }
+  }
+  for (std::size_t l = 0; l < lanes_; ++l)
+    if (active[l] && ok[l]) has_baseline_[l] = 1;
+}
+
+void SparseLuLanes::solve_fused_back(double* x) const {
+  using V = simd::Vec;
+  constexpr std::size_t W = simd::kNativeWidth;
+  const std::size_t st = stride_;
+  std::vector<double>& w = work_;
+  // Backward substitution from the forward state refactor_fused_forward
+  // left in the work buffer; op-for-op the second half of solve(), so each
+  // lane's solution is bit-identical to the unfused pair.
+  for (std::size_t g = 0; g < st; g += W) {
+    if (!group_active_.empty() && !group_active_[g / W]) continue;
+    for (std::size_t ii = n_; ii-- > 0;) {
+      double* wi = &w[ii * st + g];
+      V acc = V::load(wi);
+      const int s_end = lu_row_ptr_[ii + 1];
+      for (int s = diag_slot_[ii] + 1; s < s_end; ++s)
+        acc = acc -
+              V::load(&lu_vals_[static_cast<std::size_t>(s) * st + g]) *
+                  V::load(&w[static_cast<std::size_t>(
+                                 lu_cols_[static_cast<std::size_t>(s)]) *
+                                 st +
+                             g]);
+      acc = acc * V::load(&inv_diag_[ii * st + g]);
+      acc.store(wi);
+    }
+  }
+  bool all_live = true;
+  if (!group_active_.empty())
+    for (std::size_t g = 0; g < st / W; ++g)
+      all_live = all_live && group_active_[g] != 0;
+  if (all_live) {
+    for (std::size_t j = 0; j < n_; ++j)
+      std::memcpy(&x[cperm_[j] * st], &w[j * st], st * sizeof(double));
+  } else {
+    for (std::size_t j = 0; j < n_; ++j)
+      for (std::size_t g = 0; g < st; g += W)
+        if (group_active_[g / W])
+          std::memcpy(&x[cperm_[j] * st + g], &w[j * st + g],
+                      W * sizeof(double));
+  }
+}
+
+void SparseLuLanes::solve(const double* b, double* x,
+                          const unsigned char* groups) const {
+  using V = simd::Vec;
+  constexpr std::size_t W = simd::kNativeWidth;
+  const std::size_t st = stride_;
+  std::vector<double>& w = work_;
+  // Groups the last refactor() marked inactive produce unspecified values
+  // anyway (header contract), so the substitution skips them — as does any
+  // group the caller's mask retires; before any refactor every group counts
+  // as active.
+  const auto live = [&](std::size_t l) {
+    return (groups == nullptr || groups[l / W] != 0) &&
+           (group_active_.empty() || group_active_[l / W] != 0);
+  };
+  bool all_live = true;
+  for (std::size_t g = 0; g < st; g += W) all_live = all_live && live(g);
+
+  // Permutation copies go through memcpy when every group is live (the
+  // common full-batch case); otherwise only live groups are moved.
+  if (all_live) {
+    for (std::size_t i = 0; i < n_; ++i)
+      std::memcpy(&w[i * st], &b[perm_[i] * st], st * sizeof(double));
+  } else {
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t g = 0; g < st; g += W)
+        if (live(g))
+          std::memcpy(&w[i * st + g], &b[perm_[i] * st + g],
+                      W * sizeof(double));
+  }
+
+  // Substitutions run one live group at a time (same rationale as the
+  // refactor): each row's partial sum lives in a register across its slots
+  // instead of a load/store round-trip per slot, and group liveness is
+  // checked once per group rather than once per vector op. Per-lane op
+  // order matches the scalar solve exactly.
+  for (std::size_t g = 0; g < st; g += W) {
+    if (!live(g)) continue;
+    for (std::size_t i = 1; i < n_; ++i) {
+      double* wi = &w[i * st + g];
+      V acc = V::load(wi);
+      const int s_end = diag_slot_[i];
+      for (int s = lu_row_ptr_[i]; s < s_end; ++s)
+        acc = acc -
+              V::load(&lu_vals_[static_cast<std::size_t>(s) * st + g]) *
+                  V::load(&w[static_cast<std::size_t>(
+                                 lu_cols_[static_cast<std::size_t>(s)]) *
+                                 st +
+                             g]);
+      acc.store(wi);
+    }
+    for (std::size_t ii = n_; ii-- > 0;) {
+      double* wi = &w[ii * st + g];
+      V acc = V::load(wi);
+      const int s_end = lu_row_ptr_[ii + 1];
+      for (int s = diag_slot_[ii] + 1; s < s_end; ++s)
+        acc = acc -
+              V::load(&lu_vals_[static_cast<std::size_t>(s) * st + g]) *
+                  V::load(&w[static_cast<std::size_t>(
+                                 lu_cols_[static_cast<std::size_t>(s)]) *
+                                 st +
+                             g]);
+      acc = acc * V::load(&inv_diag_[ii * st + g]);
+      acc.store(wi);
+    }
+  }
+  if (all_live) {
+    for (std::size_t j = 0; j < n_; ++j)
+      std::memcpy(&x[cperm_[j] * st], &w[j * st], st * sizeof(double));
+  } else {
+    for (std::size_t j = 0; j < n_; ++j)
+      for (std::size_t g = 0; g < st; g += W)
+        if (live(g))
+          std::memcpy(&x[cperm_[j] * st + g], &w[j * st + g],
+                      W * sizeof(double));
+  }
+}
+
+}  // namespace lpsram

@@ -1,0 +1,136 @@
+// Lane-batched sparse LU: K same-pattern factorizations marched in lockstep.
+//
+// The batched transient engine (spice/batch_transient) solves K defect
+// variants of one topology: every lane's Jacobian shares the CSR pattern —
+// and hence the pivot order and compiled refactor program — of a single
+// analyzed SparseLu. SparseLuLanes adopts that program verbatim and replays
+// it over a structure-of-arrays value layout with the *lane* index innermost
+// (slot s of lane l lives at s * stride + l), so every program step is a
+// unit-stride vector operation across lanes.
+//
+// Numerics contract: all lane arithmetic is elementwise (multiply then
+// subtract, never fused, never reordered within a lane), so each lane's
+// factor and solve are bit-identical to running the scalar SparseLu program
+// on that lane's values alone — regardless of the SIMD backend or lane
+// count. What is shared is the *analysis*: the pivot order comes from the
+// representative values the scalar SparseLu was factored with, where a
+// standalone solve of some lane might have analyzed (and pivoted) its own
+// values. Lanes whose values leave that order's stability region fail the
+// same per-lane singularity/drift tests SparseLu::refactor applies and are
+// reported for eviction to a scalar fallback rather than re-pivoted in
+// place.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lpsram/util/sparse.hpp"
+
+namespace lpsram {
+
+class SparseLuLanes {
+ public:
+  SparseLuLanes() = default;
+
+  // Adopts the compiled program of `base` (which must be analyzed — i.e.
+  // factor() succeeded at least once) for `lanes` lockstep factorizations.
+  // Copies the program, so later re-analysis of `base` does not affect this
+  // object; re-bind after any pattern change. Storage is allocated here;
+  // refactor()/solve() allocate nothing.
+  void bind(const SparseLu& base, std::size_t lanes);
+
+  bool bound() const noexcept { return n_ > 0; }
+  std::size_t dimension() const noexcept { return n_; }
+  std::size_t lane_count() const noexcept { return lanes_; }
+  // Lane stride of every SoA array: lane_count() rounded up to a full
+  // native vector width. Callers lay out values as value[slot * stride + l].
+  std::size_t stride() const noexcept { return stride_; }
+  std::size_t value_slots() const noexcept { return a_nnz_; }
+
+  // Numeric refactor of every lane with active[l] != 0. `avals` holds the
+  // A-matrix values SoA (value_slots() * stride() doubles, same slot order
+  // as the SparseMatrix the base was analyzed on). On return ok[l] is 1 for
+  // active lanes whose factorization passed the scalar acceptance tests
+  // (pivot above SparseLu::kSingularFloor and within kPivotDriftLimit of
+  // the lane's own first-refactor baseline) and 0 for lanes that must be
+  // evicted; inactive lanes keep their previous factor and ok is left
+  // untouched. The first successful refactor of each lane records that
+  // lane's drift baseline, mirroring SparseLu's analyze-then-refactor
+  // baseline capture.
+  void refactor(const double* avals, const unsigned char* active,
+                unsigned char* ok);
+
+  // Solves A_l x_l = b_l for every lane from the last refactor. `b` and `x`
+  // are SoA over the dimension: b[row * stride + l]. Lanes whose last
+  // refactor failed produce unspecified (possibly non-finite) values; the
+  // caller discards them. When `groups` is non-null it holds stride()/W
+  // flags (W = the native vector width) and vector groups whose flag is 0
+  // are skipped entirely — their `x` lanes keep whatever they held, also
+  // unspecified. Batched callers use this for sparse follow-up solves
+  // (iterative refinement) that only a few lanes need.
+  void solve(const double* b, double* x,
+             const unsigned char* groups = nullptr) const;
+
+  // refactor() fused with the forward (lower-triangular) substitution of
+  // the follow-up solve: row i's L entries and pivot are final the moment
+  // its elimination finishes, so the forward sweep rides the same
+  // register-resident group pass instead of re-traversing L afterwards.
+  // Per-lane arithmetic is identical (same ops, same order) to
+  // refactor(avals, ...) followed by solve(b, ...), so results stay
+  // bit-identical to the unfused pair. Complete with solve_fused_back(x),
+  // which finishes the backward substitution from the retained forward
+  // state. Lanes and acceptance behave exactly as in refactor().
+  void refactor_fused_forward(const double* avals, const double* b,
+                              const unsigned char* active, unsigned char* ok);
+
+  // Backward half of the solve started by refactor_fused_forward(); writes
+  // the solution SoA into `x` (same contract as solve()'s output). Must be
+  // called after refactor_fused_forward and before any other solve() call,
+  // which reuses the shared work buffer.
+  void solve_fused_back(double* x) const;
+
+ private:
+  // Shared elimination body: Fused additionally threads the permuted rhs
+  // through the forward substitution as each row's factor completes.
+  template <bool Fused>
+  void refactor_impl(const double* avals, const double* b,
+                     const unsigned char* active, unsigned char* ok);
+
+  std::size_t n_ = 0;
+  std::size_t lanes_ = 0;
+  std::size_t stride_ = 0;
+  std::size_t a_nnz_ = 0;
+
+  // Program copied from the analyzed SparseLu (see sparse.hpp for the op
+  // semantics; indices address scalar slots and get scaled by stride_).
+  std::vector<std::size_t> perm_;
+  std::vector<std::size_t> cperm_;
+  std::vector<int> lu_row_ptr_;
+  std::vector<int> lu_cols_;
+  std::vector<int> diag_slot_;
+  std::vector<int> load_run_dst_;
+  std::vector<int> load_run_src_;
+  std::vector<int> load_run_len_;
+  std::vector<int> fill_slots_;
+  std::vector<int> row_elim_end_;
+  std::vector<int> elim_ls_;
+  std::vector<int> elim_k_;
+  std::vector<int> elim_mul_end_;
+  std::vector<int> mul_dst_;
+  std::vector<int> mul_src_;
+
+  // Lane-SoA numeric state.
+  std::vector<double> lu_vals_;    // lu slot-major, lane innermost
+  std::vector<double> inv_diag_;   // row-major, lane innermost
+  mutable std::vector<double> work_;  // solve scratch, row-major SoA
+  // Per-lane |pivot| baselines from the lane's first successful refactor.
+  std::vector<double> baseline_pivot_mag_;  // row-major, lane innermost
+  std::vector<unsigned char> has_baseline_;
+  // Vector groups with at least one active lane in the last refactor();
+  // wholly-retired groups are skipped by refactor and solve (their values
+  // are unspecified per the header contract). Empty until the first
+  // refactor, meaning every group is live.
+  std::vector<unsigned char> group_active_;
+};
+
+}  // namespace lpsram

@@ -27,6 +27,7 @@
 #include "lpsram/util/error.hpp"
 #include "lpsram/util/rootfind.hpp"
 #include "lpsram/util/rootfind_lanes.hpp"
+#include "lpsram/util/simd.hpp"
 
 namespace lpsram {
 namespace {
@@ -157,7 +158,10 @@ TEST(RootfindLanes, WorkspaceReuseIsStateless) {
 // merely close — to Mosfet::eval. This covers NMOS and PMOS (the mirrored-
 // terminal branch), rail overshoots (the -0.05 / vdd+0.05 brackets the node
 // solver probes), denormal-scale inputs, and the full temperature range.
+// The identity holds on the scalar-oracle kind; the SIMD kind is pinned to
+// its documented tolerance by SimdEvalLanesMatchesScalarWithinTolerance.
 TEST(MosfetLanes, EvalLanesBitIdenticalToScalarEval) {
+  const ScopedSimdDefault simd_scope(SimdKind::Scalar);
   Lcg rng;
   const MosfetParams params[] = {tech().cell_pullup(), tech().cell_pulldown(),
                                  tech().cell_pass()};
@@ -186,6 +190,75 @@ TEST(MosfetLanes, EvalLanesBitIdenticalToScalarEval) {
         EXPECT_EQ(e.gds, gds[i]) << "lane " << i;
         EXPECT_EQ(e.gms, gms[i]) << "lane " << i;
       }
+    }
+  }
+}
+
+// Under the SIMD kind the transcendental pair comes from simd::vexp /
+// simd::vlog1p instead of libm, so the lanes agree with the scalar model to
+// a small relative tolerance (plus an absolute floor where the gm/gds terms
+// genuinely cancel), not bit-for-bit. Same device / temperature / operating
+// grid as the bit-identity matrix above.
+TEST(MosfetLanes, SimdEvalLanesMatchesScalarWithinTolerance) {
+  const ScopedSimdDefault simd_scope(SimdKind::Simd);
+  const auto near = [](double a, double b, const char* what, std::size_t i) {
+    const double tol = 1e-10 * std::fabs(a) + 1e-15;
+    EXPECT_NEAR(a, b, tol) << what << " lane " << i;
+  };
+  Lcg rng;
+  const MosfetParams params[] = {tech().cell_pullup(), tech().cell_pulldown(),
+                                 tech().cell_pass()};
+  for (const MosfetParams& p : params) {
+    const Mosfet m(p);
+    for (const double temp_c : {-40.0, 25.0, 125.0}) {
+      constexpr std::size_t kN = 512;
+      std::vector<double> vg(kN), vd(kN), vs(kN);
+      for (std::size_t i = 0; i < kN; ++i) {
+        vg[i] = -0.05 + 1.30 * rng.next();
+        vd[i] = -0.05 + 1.30 * rng.next();
+        vs[i] = -0.05 + 1.30 * rng.next();
+      }
+      std::vector<double> id(kN), gm(kN), gds(kN), gms(kN);
+      m.eval_lanes(vg.data(), vd.data(), vs.data(), kN, temp_c, id.data(),
+                   gm.data(), gds.data(), gms.data());
+      for (std::size_t i = 0; i < kN; ++i) {
+        const MosEval e = m.eval(vg[i], vd[i], vs[i], temp_c);
+        near(e.id, id[i], "id", i);
+        near(e.gm, gm[i], "gm", i);
+        near(e.gds, gds[i], "gds", i);
+        near(e.gms, gms[i], "gms", i);
+      }
+    }
+  }
+}
+
+// The SIMD remainder block pads with the last lane and computes a full
+// vector, so each lane's result must be independent of the array length —
+// exercised across every length up to a couple of native widths.
+TEST(MosfetLanes, SimdRemainderLanesAreLengthIndependent) {
+  const ScopedSimdDefault simd_scope(SimdKind::Simd);
+  const Mosfet m(tech().cell_pulldown());
+  constexpr std::size_t kMax = 2 * simd::kNativeWidth + 3;
+  Lcg rng;
+  std::vector<double> vg(kMax), vd(kMax), vs(kMax);
+  for (std::size_t i = 0; i < kMax; ++i) {
+    vg[i] = 1.2 * rng.next();
+    vd[i] = 1.2 * rng.next();
+    vs[i] = 1.2 * rng.next();
+  }
+  std::vector<double> id_full(kMax), gm_full(kMax), gds_full(kMax),
+      gms_full(kMax);
+  m.eval_lanes(vg.data(), vd.data(), vs.data(), kMax, 25.0, id_full.data(),
+               gm_full.data(), gds_full.data(), gms_full.data());
+  for (std::size_t n = 1; n <= kMax; ++n) {
+    std::vector<double> id(n), gm(n), gds(n), gms(n);
+    m.eval_lanes(vg.data(), vd.data(), vs.data(), n, 25.0, id.data(),
+                 gm.data(), gds.data(), gms.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(id[i], id_full[i]) << "n=" << n << " lane " << i;
+      EXPECT_EQ(gm[i], gm_full[i]) << "n=" << n << " lane " << i;
+      EXPECT_EQ(gds[i], gds_full[i]) << "n=" << n << " lane " << i;
+      EXPECT_EQ(gms[i], gms_full[i]) << "n=" << n << " lane " << i;
     }
   }
 }

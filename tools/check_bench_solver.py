@@ -6,14 +6,26 @@ Reads the google-benchmark JSON emitted by
     bench_solver_perf --benchmark_out=BENCH_solver.json \
                       --benchmark_out_format=json
 
-and fails (exit 1) when either perf invariant regresses:
+and fails (exit 1) when any perf invariant regresses:
 
   * the structure-aware sparse kernel must beat the dense oracle on the
     regulator cold solve (warm numbers are reported but not gated: they
     are dominated by Newton iteration count, not factorization cost);
   * the batched lane-parallel cell-analysis kernel must stay at least
     MIN_BATCHED_SPEEDUP x faster than the scalar oracle on both the
-    hold-SNM ladder and DRV extraction.
+    hold-SNM ladder and DRV extraction;
+  * the vectorized MOSFET lane kernel must stay at least
+    MIN_SIMD_LANE_SPEEDUP x the scalar-lane throughput;
+  * the sparse-LU vector MAC must stay at least the backend-aware MAC
+    floor over the flat scalar refactor program on the wide-banded bench
+    pattern (1.3x on AVX2/NEON; no-regression on AVX-512, where the
+    compiler auto-vectorizes the scalar program with scatter stores);
+  * the lockstep batched transient engine must stay at least
+    MIN_BATCHED_SPEEDUP x faster than the serial per-defect path.
+
+Every gated benchmark name is checked for presence up front: a missing
+name is a hard failure (a silently skipped gate is a regression vector —
+a renamed or dropped benchmark must fail CI, not pass it by absence).
 
 Build hygiene: the report must carry the custom `lpsram_build_type`
 context (stamped by bench_solver_perf's main from NDEBUG) and it must say
@@ -26,9 +38,48 @@ Usage: check_bench_solver.py [BENCH_solver.json]
 import json
 import sys
 
-# Floor on scalar/batched for BM_HoldSnm and BM_DrvExtraction. Measured
-# headroom is ~4.5x (SNM) and ~10x (DRV); 3.0 is the acceptance line.
+# Floor on scalar/batched for BM_HoldSnm, BM_DrvExtraction and the lockstep
+# transient engine. Measured headroom is ~4.5x (SNM), ~10x (DRV) and ~4x
+# (defect transients); 3.0 is the acceptance line.
 MIN_BATCHED_SPEEDUP = 3.0
+
+# Floor on scalar-lane / SIMD-lane time for the MOSFET kernel. AVX2 carries
+# four lanes per instruction; 2.0 leaves room for the vexp polynomial doing
+# more raw work per element than libm's table-driven exp.
+MIN_SIMD_LANE_SPEEDUP = 2.0
+
+# Floor on scalar/SIMD time for the sparse-LU MAC refactor. The bench matrix
+# is wide-banded so the vector path is actually exercised (narrow bands fall
+# back to the scalar program at analysis time). The floor is backend-aware:
+# on AVX2/NEON hosts the scalar program's indexed `dst[m] -= f * src[m]`
+# loop cannot be auto-vectorized (no scatter store before AVX-512), so the
+# explicit run-compiled path carries a real ~1.9x win and 1.3 guards it. On
+# AVX-512 hosts GCC vectorizes that same indexed loop with vscatterdpd and
+# legitimately closes the gap to ~1.0x — there the gate degrades to a
+# no-regression guard: the explicit path must never be materially slower
+# than the compiler-vectorized oracle.
+MIN_MAC_SPEEDUP = {"avx512": 0.95}
+DEFAULT_MAC_SPEEDUP = 1.3
+
+# Every name a gate below reads. Checked for presence before any gating so
+# a renamed/dropped benchmark fails with a full list instead of passing
+# silently or dying on the first lookup.
+GATED_BENCHMARKS = (
+    "BM_RegulatorDcColdSparse",
+    "BM_RegulatorDcColdDense",
+    "BM_RegulatorDcWarmSparse",
+    "BM_RegulatorDcWarmDense",
+    "BM_HoldSnmScalar",
+    "BM_HoldSnmBatched",
+    "BM_DrvExtractionScalar",
+    "BM_DrvExtractionBatched",
+    "BM_MosfetEvalLanesScalar",
+    "BM_MosfetEvalLanesSimd",
+    "BM_SparseLuMacScalar",
+    "BM_SparseLuMacSimd",
+    "BM_DefectTransientsSerial",
+    "BM_DefectTransientsLockstep",
+)
 
 
 def real_time_ns(benchmarks, name):
@@ -36,6 +87,17 @@ def real_time_ns(benchmarks, name):
         if b.get("name") == name and b.get("run_type", "iteration") != "aggregate":
             return float(b["real_time"])
     raise SystemExit(f"error: benchmark '{name}' missing from the report")
+
+
+def check_presence(benchmarks):
+    present = {b.get("name") for b in benchmarks
+               if b.get("run_type", "iteration") != "aggregate"}
+    missing = [n for n in GATED_BENCHMARKS if n not in present]
+    for name in missing:
+        print(f"FAIL: gated benchmark '{name}' missing from the report — "
+              "re-record from a current bench_solver_perf binary (a missing "
+              "gate must fail, not silently pass)", file=sys.stderr)
+    return not missing
 
 
 def check_build_type(context):
@@ -61,9 +123,16 @@ def main(argv):
     with open(path) as f:
         report = json.load(f)
     benchmarks = report.get("benchmarks", [])
+    context = report.get("context", {})
 
-    if not check_build_type(report.get("context", {})):
+    if not check_build_type(context):
         return 1
+    if not check_presence(benchmarks):
+        return 1
+
+    backend = context.get("lpsram_simd_backend", "unknown")
+    width = context.get("lpsram_simd_width", "?")
+    print(f"simd backend: {backend} (width {width})")
 
     cold_sparse = real_time_ns(benchmarks, "BM_RegulatorDcColdSparse")
     cold_dense = real_time_ns(benchmarks, "BM_RegulatorDcColdDense")
@@ -100,6 +169,48 @@ def main(argv):
         else:
             print(f"OK: batched cell kernel holds >= "
                   f"{MIN_BATCHED_SPEEDUP:.1f}x on {label}")
+
+    lanes_scalar = real_time_ns(benchmarks, "BM_MosfetEvalLanesScalar")
+    lanes_simd = real_time_ns(benchmarks, "BM_MosfetEvalLanesSimd")
+    lanes_speedup = lanes_scalar / lanes_simd
+    print(f"mosfet lanes: scalar {lanes_scalar:12.0f} ns   simd "
+          f"{lanes_simd:12.0f} ns   speedup {lanes_speedup:5.2f}x")
+    if lanes_speedup < MIN_SIMD_LANE_SPEEDUP:
+        print(f"FAIL: SIMD MOSFET lanes are only {lanes_speedup:.2f}x the "
+              f"scalar lanes (floor {MIN_SIMD_LANE_SPEEDUP:.1f}x)",
+              file=sys.stderr)
+        failed = True
+    else:
+        print(f"OK: SIMD MOSFET lanes hold >= {MIN_SIMD_LANE_SPEEDUP:.1f}x")
+
+    mac_scalar = real_time_ns(benchmarks, "BM_SparseLuMacScalar")
+    mac_simd = real_time_ns(benchmarks, "BM_SparseLuMacSimd")
+    mac_speedup = mac_scalar / mac_simd
+    mac_floor = MIN_MAC_SPEEDUP.get(backend, DEFAULT_MAC_SPEEDUP)
+    print(f"sparse-LU MAC: scalar {mac_scalar:12.0f} ns   simd "
+          f"{mac_simd:12.0f} ns   speedup {mac_speedup:5.2f}x "
+          f"(floor {mac_floor:.2f}x on {backend})")
+    if mac_speedup < mac_floor:
+        print(f"FAIL: SIMD sparse-LU refactor is only {mac_speedup:.2f}x the "
+              f"scalar program (floor {mac_floor:.2f}x on backend "
+              f"'{backend}')", file=sys.stderr)
+        failed = True
+    else:
+        print(f"OK: SIMD sparse-LU refactor holds >= {mac_floor:.2f}x")
+
+    serial = real_time_ns(benchmarks, "BM_DefectTransientsSerial")
+    lockstep = real_time_ns(benchmarks, "BM_DefectTransientsLockstep")
+    batch_speedup = serial / lockstep
+    print(f"defect transients: serial {serial:12.0f} ns   lockstep "
+          f"{lockstep:12.0f} ns   speedup {batch_speedup:5.2f}x")
+    if batch_speedup < MIN_BATCHED_SPEEDUP:
+        print(f"FAIL: lockstep transient batch is only {batch_speedup:.2f}x "
+              f"the serial per-defect path (floor "
+              f"{MIN_BATCHED_SPEEDUP:.1f}x)", file=sys.stderr)
+        failed = True
+    else:
+        print(f"OK: lockstep transient batch holds >= "
+              f"{MIN_BATCHED_SPEEDUP:.1f}x")
 
     return 1 if failed else 0
 
