@@ -13,45 +13,53 @@
 //     the daemon exits resumable — restarting it with the same directory
 //     picks every journal back up.
 //
+// With --listen host:port (plus --token-file) the fleet is remote instead of
+// forked: authenticated fabric_worker processes on other hosts connect over
+// TCP, lease tasks, and replicate their shard journals back with resumable
+// upload. The durability story is unchanged — kill workers, cut the network,
+// restart the daemon: the same merged journal comes out.
+//
 // Usage:
 //   campaign_fabricd [--dir D] [--workers N] [--queue N] [--jobs N]
-//                    [--tasks N] [--selftest]
+//                    [--tasks N] [--listen host:port] [--token-file F]
+//                    [--selftest] [--net-selftest]
 //
 // Jobs are synthetic deterministic sweeps (this is a runtime demo, not a
 // solver demo): task payloads are pure functions of (seed, index), so merged
 // journals are bit-identical no matter how the fleet schedules them.
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "fabricd_synth.hpp"
+#include "lpsram/runtime/campaign.hpp"
 #include "lpsram/runtime/fabric/admission.hpp"
 #include "lpsram/runtime/fabric/fabric.hpp"
+#include "lpsram/runtime/fabric/net/auth.hpp"
+#include "lpsram/runtime/fabric/net/net.hpp"
+#include "lpsram/runtime/fabric/net/remote_worker.hpp"
+#include "lpsram/runtime/fabric/net/server.hpp"
 #include "lpsram/runtime/journal.hpp"
 #include "lpsram/runtime/parallel.hpp"
 #include "lpsram/util/signal_cancel.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define FABRICD_HAVE_FORK 1
+#endif
 
 using namespace lpsram;
 using namespace lpsram::fabric;
 
 namespace {
 
-// The synthetic sweep: a short deterministic iteration per task so workers
-// spend real (but bounded) time and payloads are reproducible everywhere.
-std::vector<std::uint8_t> synth_payload(std::uint64_t seed,
-                                        std::uint64_t index) {
-  double acc = 0.0;
-  std::uint64_t h = fold_key(seed, index);
-  for (int i = 0; i < 2048; ++i) {
-    h = mix64(h);
-    acc += static_cast<double>(h >> 11) * 0x1.0p-53;
-  }
-  PayloadWriter w;
-  w.u64(index);
-  w.f64(acc);
-  return w.take();
-}
+using fabricd::synth_payload;
 
 int run_job(const std::string& root, const FabricJob& job, int workers,
             const CancelToken* drain) {
@@ -99,6 +107,234 @@ int run_job(const std::string& root, const FabricJob& job, int workers,
   return report.complete ? 0 : 1;
 }
 
+// --listen mode: same job, remote fleet. The daemon owns the listener and the
+// lease table; fabric_worker processes (possibly on other hosts) execute the
+// sweep and replicate their shard journals back over TCP.
+int run_net_job(TcpListener& listener, const std::string& root,
+                const FabricJob& job, const std::string& token,
+                const CancelToken* drain) {
+  NetFabricOptions options;
+  options.dir = root + "/" + job.name;
+  options.token = token;
+  options.lease_span = 4;
+  options.lease_timeout_s = 10.0;
+  options.heartbeat_interval_s = 0.25;
+  options.salt = fabricd::synth_salt(job.seed);
+  options.fingerprint = fabricd::synth_fingerprint(job.seed, job.tasks);
+  options.drain = drain;
+
+  const std::uint64_t seed = job.seed;
+  NetFabricReport report;
+  try {
+    report = run_net_fabric(listener, options, job.tasks,
+                            [seed](std::uint64_t index) {
+                              return fabricd::synth_key(seed, index);
+                            });
+  } catch (const Error& err) {
+    // Same contract as the forked fleet: a failed job (fleet lost, corrupt
+    // shard replica, ...) leaves the directory resumable — rerun the job
+    // against the same --dir with a fresh fleet and it picks the lease log
+    // and shard replicas back up.
+    std::printf("[fabricd] job %-12s FAILED: %s\n", job.name.c_str(),
+                err.what());
+    return 1;
+  }
+
+  std::printf(
+      "[fabricd] job %-12s %s: %llu/%llu tasks (%llu recovered, %llu run, "
+      "%llu dup) | %llu leases, %llu expired | net: %llu conns, %llu "
+      "handshakes, %llu drops, %llu resumes, %llu refused, %llu bytes%s\n",
+      job.name.c_str(), report.fabric.complete ? "complete" : "drained",
+      static_cast<unsigned long long>(report.fabric.tasks_recovered +
+                                      report.fabric.tasks_executed),
+      static_cast<unsigned long long>(report.fabric.tasks_total),
+      static_cast<unsigned long long>(report.fabric.tasks_recovered),
+      static_cast<unsigned long long>(report.fabric.tasks_executed),
+      static_cast<unsigned long long>(report.fabric.duplicates),
+      static_cast<unsigned long long>(report.fabric.leases_issued),
+      static_cast<unsigned long long>(report.fabric.leases_expired),
+      static_cast<unsigned long long>(report.connections_accepted),
+      static_cast<unsigned long long>(report.handshakes_completed),
+      static_cast<unsigned long long>(report.connections_dropped),
+      static_cast<unsigned long long>(report.lease_resumes),
+      static_cast<unsigned long long>(
+          report.refusals_protocol + report.refusals_manifest +
+          report.refusals_auth + report.refusals_busy),
+      static_cast<unsigned long long>(report.shard_bytes_received),
+      report.fabric.complete ? (" -> " + options.merged_path()).c_str() : "");
+  return report.fabric.complete ? 0 : 1;
+}
+
+#if defined(FABRICD_HAVE_FORK)
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+// Forks one remote worker against 127.0.0.1:port. The child maps its report
+// to an exit code (0 shutdown, 3 refused, 4 gave up, 5 error) and dies at
+// _Exit(9) when exit_after_results chaos fires, exactly like a pulled plug.
+pid_t spawn_net_worker(int port, const std::string& dir,
+                       const std::string& token, int worker_id,
+                       std::uint64_t seed, std::uint64_t tasks,
+                       WorkerChaos chaos) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  RemoteWorkerOptions options;
+  options.host = "127.0.0.1";
+  options.port = port;
+  options.token = token;
+  options.worker_id = worker_id;
+  options.shard_journal =
+      dir + "/shard-" + std::to_string(worker_id) + ".journal";
+  options.heartbeat_interval_s = 0.1;
+  options.salt = fabricd::synth_salt(seed);
+  options.fingerprint = fabricd::synth_fingerprint(seed, tasks);
+  options.chaos = chaos;
+  try {
+    std::filesystem::create_directories(dir);
+    const RemoteWorkerReport report = run_remote_worker(
+        options,
+        [seed](std::uint64_t index) { return fabricd::synth_key(seed, index); },
+        [seed](std::uint64_t index, int) {
+          return fabricd::synth_payload(seed, index);
+        });
+    if (report.refused != NetRefusal::None) std::_Exit(3);
+    if (report.gave_up) std::_Exit(4);
+    std::_Exit(report.shutdown ? 0 : 5);
+  } catch (...) {
+    std::_Exit(5);
+  }
+}
+
+bool reap_net_worker(pid_t pid, int expected_status) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return false;
+  return WIFEXITED(status) && WEXITSTATUS(status) == expected_status;
+}
+
+// End-to-end demo of the multi-host transport on loopback:
+//   1. a fleet of two authenticated workers starts the sweep, each dies
+//      mid-campaign (exit_after_results) — the server survives the drops,
+//      then reports FabricWorkersLost once the whole fleet is gone;
+//   2. a worker launched with the wrong manifest is refused at the
+//      handshake, before any lease;
+//   3. a FRESH fleet pointed at the same server directory resumes from the
+//      lease log + shard replicas and completes;
+//   4. the merged journal is byte-identical to a single-process golden run.
+int net_selftest(const std::string& dir) {
+  constexpr std::uint64_t kSeed = 0x5eedfab0;
+  constexpr std::uint64_t kTasks = 32;
+
+  std::filesystem::create_directories(dir);
+  const std::string token = "net-selftest-campaign-token";
+
+  TcpListener listener;
+  listener.listen("127.0.0.1", 0);
+  const int port = listener.port();
+
+  NetFabricOptions options;
+  options.dir = dir + "/server";
+  options.token = token;
+  options.lease_span = 4;
+  options.lease_timeout_s = 2.0;
+  options.heartbeat_interval_s = 0.1;
+  options.all_lost_grace_s = 1.0;
+  options.salt = fabricd::synth_salt(kSeed);
+  options.fingerprint = fabricd::synth_fingerprint(kSeed, kTasks);
+
+  const auto key_of = [](std::uint64_t index) {
+    return fabricd::synth_key(kSeed, index);
+  };
+
+  // Phase 1: doomed fleet + one impostor with the wrong manifest.
+  WorkerChaos die3;
+  die3.exit_after_results = 3;
+  WorkerChaos die4;
+  die4.exit_after_results = 4;
+  const pid_t w0 =
+      spawn_net_worker(port, dir + "/w0", token, 0, kSeed, kTasks, die3);
+  const pid_t w1 =
+      spawn_net_worker(port, dir + "/w1", token, 1, kSeed, kTasks, die4);
+  const pid_t imp = spawn_net_worker(port, dir + "/imp", token, 9,
+                                     kSeed ^ 0xbad, kTasks, WorkerChaos{});
+
+  bool lost = false;
+  try {
+    run_net_fabric(listener, options, kTasks, key_of);
+  } catch (const FabricWorkersLost& err) {
+    lost = true;
+    std::printf("[fabricd] net-selftest fleet lost as expected: %s\n",
+                err.what());
+  }
+  if (!lost) {
+    std::printf("[fabricd] net-selftest FAILED: fleet loss not detected\n");
+    return 1;
+  }
+  bool ok = true;
+  if (!reap_net_worker(w0, 9) || !reap_net_worker(w1, 9)) {
+    std::printf("[fabricd] net-selftest FAILED: chaos workers died oddly\n");
+    ok = false;
+  }
+  // Exit 3 = the worker reported a refusal: the mismatched manifest was
+  // turned away at the handshake, before any lease.
+  if (!reap_net_worker(imp, 3)) {
+    std::printf("[fabricd] net-selftest FAILED: impostor was not refused\n");
+    ok = false;
+  }
+  if (!ok) return 1;
+
+  // Phase 2: fresh fleet, fresh worker ids, same server directory.
+  const pid_t w2 = spawn_net_worker(port, dir + "/w2", token, 2, kSeed, kTasks,
+                                    WorkerChaos{});
+  const pid_t w3 = spawn_net_worker(port, dir + "/w3", token, 3, kSeed, kTasks,
+                                    WorkerChaos{});
+  NetFabricReport second;
+  try {
+    second = run_net_fabric(listener, options, kTasks, key_of);
+  } catch (const Error& err) {
+    std::printf("[fabricd] net-selftest FAILED on resume: %s\n", err.what());
+    return 1;
+  }
+  ok &= reap_net_worker(w2, 0);
+  ok &= reap_net_worker(w3, 0);
+  ok &= second.fabric.complete;
+  ok &= second.fabric.tasks_recovered > 0;  // phase-1 uploads survived
+
+  // Phase 3: byte-identical to a single-process run.
+  {
+    Campaign golden(dir + "/golden.journal");
+    golden.bind_sweep(options.salt, options.fingerprint);
+    for (std::uint64_t i = 0; i < kTasks; ++i)
+      golden.record_result(fabricd::synth_key(kSeed, i),
+                           fabricd::synth_payload(kSeed, i));
+  }
+  const auto merged = read_file_bytes(options.merged_path());
+  const auto golden = read_file_bytes(dir + "/golden.journal");
+  ok &= !merged.empty() && merged == golden;
+
+  std::printf(
+      "[fabricd] net-selftest %s: %llu recovered + %llu run of %llu | "
+      "merged %zu bytes %s golden\n",
+      ok ? "ok" : "FAILED",
+      static_cast<unsigned long long>(second.fabric.tasks_recovered),
+      static_cast<unsigned long long>(second.fabric.tasks_executed),
+      static_cast<unsigned long long>(second.fabric.tasks_total),
+      merged.size(), merged == golden ? "==" : "!=");
+  return ok ? 0 : 1;
+}
+
+#else  // !FABRICD_HAVE_FORK
+
+int net_selftest(const std::string&) {
+  std::fprintf(stderr, "--net-selftest needs fork(); not available here\n");
+  return 2;
+}
+
+#endif
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,6 +344,9 @@ int main(int argc, char** argv) {
   std::uint64_t jobs = 3;
   std::uint64_t tasks = 24;
   bool selftest = false;
+  bool net_selftest_mode = false;
+  std::string listen_spec;
+  std::string token_file;
 
   for (int i = 1; i < argc; ++i) {
     const auto want = [&](const char* flag) {
@@ -123,14 +362,25 @@ int main(int argc, char** argv) {
     else if (want("--queue")) queue_capacity = std::strtoull(argv[++i], nullptr, 10);
     else if (want("--jobs")) jobs = std::strtoull(argv[++i], nullptr, 10);
     else if (want("--tasks")) tasks = std::strtoull(argv[++i], nullptr, 10);
+    else if (want("--listen")) listen_spec = argv[++i];
+    else if (want("--token-file")) token_file = argv[++i];
     else if (std::strcmp(argv[i], "--selftest") == 0) selftest = true;
+    else if (std::strcmp(argv[i], "--net-selftest") == 0) net_selftest_mode = true;
     else {
       std::fprintf(stderr,
                    "usage: %s [--dir D] [--workers N] [--queue N] [--jobs N] "
-                   "[--tasks N] [--selftest]\n",
+                   "[--tasks N] [--listen host:port] [--token-file F] "
+                   "[--selftest] [--net-selftest]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (net_selftest_mode) return net_selftest(dir + "/net-selftest");
+  if (!listen_spec.empty() && token_file.empty()) {
+    std::fprintf(stderr,
+                 "--listen needs --token-file (the campaign secret is never "
+                 "taken from argv)\n");
+    return 2;
   }
   if (selftest) {
     // Deterministic shedding demo: more jobs than queue slots, submitted
@@ -143,6 +393,24 @@ int main(int argc, char** argv) {
 
   CancelToken drain;
   install_cancel_on_signal(drain);
+
+  // Remote mode binds once, up front: workers can start dialing (and
+  // retrying with backoff) while jobs queue, and every job's fleet
+  // handshakes against the same endpoint.
+  TcpListener listener;
+  std::string token;
+  if (!listen_spec.empty()) {
+    try {
+      const HostPort hp = parse_hostport(listen_spec);
+      token = load_token_file(token_file);
+      listener.listen(hp.host, hp.port);
+      std::printf("[fabricd] listening on %s:%d for remote workers\n",
+                  hp.host.c_str(), listener.port());
+    } catch (const Error& err) {
+      std::fprintf(stderr, "fabricd: %s\n", err.what());
+      return 2;
+    }
+  }
 
   AdmissionQueue queue(queue_capacity);
   std::uint64_t shed = 0;
@@ -167,7 +435,9 @@ int main(int argc, char** argv) {
   std::uint64_t served = 0;
   FabricJob job;
   while (!drain.cancelled() && queue.pop_for(&job, 0.25)) {
-    failures += run_job(dir, job, workers, &drain);
+    failures += listener.is_open()
+                    ? run_net_job(listener, dir, job, token, &drain)
+                    : run_job(dir, job, workers, &drain);
     ++served;
   }
   if (drain.cancelled())

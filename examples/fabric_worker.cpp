@@ -1,0 +1,161 @@
+// fabric_worker — remote launcher for the multi-host fabric.
+//
+// Runs one authenticated TCP worker against a campaign_fabricd --listen
+// server, executing the same synthetic sweep the daemon leases out. The
+// worker keeps its shard journal on ITS OWN disk (--dir), commits every
+// result there first, and replicates the journal bytes to the server with
+// resumable offset-acknowledged upload — kill it, restart it, unplug the
+// network between the two: the sweep converges to the same merged journal.
+//
+// The campaign token comes from a file (--token-file), never argv, so it
+// does not leak through `ps`. Salt and fingerprint are derived from
+// (--seed, --tasks) exactly as the daemon derives them; launching a worker
+// with the wrong pair is refused at the handshake, before any lease.
+//
+// A pidfile `worker-net-<id>.pid` ("<pid> <hostname>") is kept in --dir for
+// tools/fabric_inspect.py killall / connections on this host.
+//
+// Usage:
+//   fabric_worker --connect host:port --token-file F --worker N --dir D
+//                 --seed S --tasks N [--threads N] [--give-up-s S]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fabricd_synth.hpp"
+#include "lpsram/runtime/fabric/net/auth.hpp"
+#include "lpsram/runtime/journal.hpp"
+#include "lpsram/util/error.hpp"
+#include "lpsram/runtime/fabric/net/net.hpp"
+#include "lpsram/runtime/fabric/net/remote_worker.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace lpsram;
+using namespace lpsram::fabric;
+
+namespace {
+
+struct ScopedPidfile {
+  std::string path;
+  ~ScopedPidfile() {
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect_spec;
+  std::string token_file;
+  std::string dir = "fabric-worker";
+  int worker_id = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t tasks = 0;
+  int threads = 1;
+  double give_up_s = 30.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto want = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return true;
+    };
+    if (want("--connect")) connect_spec = argv[++i];
+    else if (want("--token-file")) token_file = argv[++i];
+    else if (want("--dir")) dir = argv[++i];
+    else if (want("--worker")) worker_id = std::atoi(argv[++i]);
+    else if (want("--seed")) seed = std::strtoull(argv[++i], nullptr, 0);
+    else if (want("--tasks")) tasks = std::strtoull(argv[++i], nullptr, 0);
+    else if (want("--threads")) threads = std::atoi(argv[++i]);
+    else if (want("--give-up-s")) give_up_s = std::atof(argv[++i]);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s --connect host:port --token-file F --worker N "
+                   "--dir D --seed S --tasks N [--threads N] [--give-up-s S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (connect_spec.empty() || token_file.empty() || tasks == 0) {
+    std::fprintf(stderr,
+                 "fabric_worker: --connect, --token-file and --tasks are "
+                 "required\n");
+    return 2;
+  }
+
+  ScopedPidfile pidfile;
+  try {
+    const HostPort hp = parse_hostport(connect_spec);
+    std::filesystem::create_directories(dir);
+
+    char host[256] = "?";
+#if defined(__unix__) || defined(__APPLE__)
+    if (::gethostname(host, sizeof(host) - 1) != 0) std::strcpy(host, "?");
+#endif
+    pidfile.path = dir + "/worker-net-" + std::to_string(worker_id) + ".pid";
+    {
+      std::ofstream out(pidfile.path, std::ios::trunc);
+      out << static_cast<long>(::getpid()) << " " << host << "\n";
+    }
+
+    RemoteWorkerOptions options;
+    options.host = hp.host;
+    options.port = hp.port;
+    options.token = load_token_file(token_file);
+    options.worker_id = worker_id;
+    options.shard_journal =
+        dir + "/shard-" + std::to_string(worker_id) + ".journal";
+    options.salt = fabricd::synth_salt(seed);
+    options.fingerprint = fabricd::synth_fingerprint(seed, tasks);
+    options.threads = threads;
+    options.give_up_after_s = give_up_s;
+
+    const RemoteWorkerReport report = run_remote_worker(
+        options,
+        [seed](std::uint64_t index) { return fabricd::synth_key(seed, index); },
+        [seed](std::uint64_t index, int) {
+          return fabricd::synth_payload(seed, index);
+        });
+
+    std::printf(
+        "[fabric_worker %d] %s: %llu leases, %llu run, %llu skipped, "
+        "%llu bytes uploaded, %llu reconnects (%llu lease resumes)\n",
+        worker_id,
+        report.shutdown ? "shutdown"
+                        : (report.gave_up ? "gave up" : "refused"),
+        static_cast<unsigned long long>(report.leases_served),
+        static_cast<unsigned long long>(report.tasks_executed),
+        static_cast<unsigned long long>(report.tasks_skipped),
+        static_cast<unsigned long long>(report.bytes_uploaded),
+        static_cast<unsigned long long>(report.reconnects),
+        static_cast<unsigned long long>(report.lease_resumes));
+    if (report.refused != NetRefusal::None) {
+      std::fprintf(stderr, "[fabric_worker %d] refused: %s\n", worker_id,
+                   report.refuse_message.c_str());
+      return 3;
+    }
+    if (report.gave_up) return 4;
+    return 0;
+  } catch (const JournalCrash& err) {
+    std::fprintf(stderr, "[fabric_worker %d] shard crash: %s\n", worker_id,
+                 err.what());
+    return 10;
+  } catch (const Error& err) {
+    std::fprintf(stderr, "[fabric_worker %d] error: %s\n", worker_id,
+                 err.what());
+    return 5;
+  }
+}

@@ -1,0 +1,44 @@
+// The synthetic sweep shared by campaign_fabricd and fabric_worker: a short
+// deterministic iteration per task, so payloads (and therefore shard and
+// merged journals) are bit-identical no matter which host executed which
+// task. The salt/fingerprint derivations live here too — a remote worker
+// must compute exactly the values the daemon binds, or the handshake's
+// manifest check refuses it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lpsram/runtime/journal.hpp"
+#include "lpsram/runtime/parallel.hpp"
+
+namespace fabricd {
+
+inline std::vector<std::uint8_t> synth_payload(std::uint64_t seed,
+                                               std::uint64_t index) {
+  double acc = 0.0;
+  std::uint64_t h = lpsram::fold_key(seed, index);
+  for (int i = 0; i < 2048; ++i) {
+    h = lpsram::mix64(h);
+    acc += static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+  lpsram::PayloadWriter w;
+  w.u64(index);
+  w.f64(acc);
+  return w.take();
+}
+
+inline std::uint64_t synth_key(std::uint64_t seed, std::uint64_t index) {
+  return lpsram::fold_key(seed, index);
+}
+
+inline std::uint64_t synth_salt(std::uint64_t seed) {
+  return lpsram::mix64(seed);
+}
+
+inline std::uint64_t synth_fingerprint(std::uint64_t seed,
+                                       std::uint64_t tasks) {
+  return lpsram::fold_key(lpsram::fold_key(0x0fabd, seed), tasks);
+}
+
+}  // namespace fabricd

@@ -29,21 +29,7 @@ constexpr int kMaxPollMs = 100;
 Coordinator::Coordinator(
     CoordinatorOptions options, std::vector<WorkerEndpoint> workers,
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> recovered)
-    : options_(std::move(options)),
-      table_(options_.task_count, options_.leases) {
-  replay_lease_log();
-  lease_completion_logged_.assign(table_.lease_count(), false);
-
-  for (auto& [index, payload] : recovered) {
-    if (index >= options_.task_count)
-      throw InvalidArgument("fabric: recovered task index out of range");
-    payloads_[index] = std::move(payload);
-    const std::int64_t completed = table_.note_task_done(index);
-    if (completed >= 0)
-      lease_completion_logged_[static_cast<std::size_t>(completed)] = true;
-    ++report_.tasks_recovered;
-  }
-
+    : core_(std::move(options), std::move(recovered)) {
   workers_.reserve(workers.size());
   for (WorkerEndpoint& ep : workers) {
     WorkerState w;
@@ -55,46 +41,6 @@ Coordinator::Coordinator(
 }
 
 Coordinator::~Coordinator() = default;
-
-void Coordinator::log_merged(std::uint64_t tasks, std::uint64_t duplicates) {
-  PayloadWriter rec;
-  rec.u64(tasks);
-  rec.u64(duplicates);
-  log(kFabLogMerged, rec.take());
-}
-
-void Coordinator::log(std::uint8_t type,
-                      const std::vector<std::uint8_t>& payload) {
-  log_.append(type, payload);
-}
-
-void Coordinator::replay_lease_log() {
-  const JournalReplay replay = replay_journal(options_.lease_log);
-  bool have_manifest = false;
-  for (const JournalRecord& record : replay.records) {
-    if (record.type != kFabLogManifest) continue;
-    PayloadReader r(record.payload);
-    const std::uint64_t salt = r.u64();
-    const std::uint64_t fp = r.u64();
-    const std::uint64_t tasks = r.u64();
-    const std::uint64_t span = r.u64();
-    if (salt != options_.salt || fp != options_.fingerprint ||
-        tasks != options_.task_count || span != options_.leases.span)
-      throw InvalidArgument(
-          "fabric: lease log was recorded for a different sweep "
-          "(manifest mismatch) — refusing to resume against it");
-    have_manifest = true;
-  }
-  log_.open(options_.lease_log, replay.valid_bytes);
-  if (!have_manifest) {
-    PayloadWriter w;
-    w.u64(options_.salt);
-    w.u64(options_.fingerprint);
-    w.u64(options_.task_count);
-    w.u64(options_.leases.span);
-    log(kFabLogManifest, w.take());
-  }
-}
 
 std::size_t Coordinator::live_workers() const {
   return static_cast<std::size_t>(
@@ -114,31 +60,14 @@ void Coordinator::mark_worker_dead(WorkerState& w) {
   w.alive = false;
   w.channel.close();
   w.lease = -1;
-  ++report_.workers_died;
-  PayloadWriter rec;
-  rec.u32(static_cast<std::uint32_t>(w.worker_id));
-  log(kFabLogWorkerDead, rec.take());
-  // Death is definitive: the lease re-queues immediately, no backoff.
-  for (const std::uint64_t id : table_.release_worker(w.worker_id)) {
-    PayloadWriter req;
-    req.u64(id);
-    log(kFabLogLeaseExpired, req.take());
-  }
+  core_.release_worker(w.worker_id);
 }
 
 void Coordinator::try_grant(WorkerState& w, double now) {
   if (!w.alive || w.lease >= 0) return;
-  if (options_.drain != nullptr && options_.drain->cancelled()) return;
-  const std::int64_t id = table_.grant(w.worker_id, now);
+  std::vector<std::uint64_t> pending;
+  const std::int64_t id = core_.grant(w.worker_id, now, &pending);
   if (id < 0) return;
-  const std::vector<std::uint64_t> pending =
-      table_.pending_indices(static_cast<std::uint64_t>(id));
-
-  PayloadWriter rec;
-  rec.u64(static_cast<std::uint64_t>(id));
-  rec.u32(static_cast<std::uint32_t>(w.worker_id));
-  rec.u64(table_.lease(static_cast<std::uint64_t>(id)).grants);
-  log(kFabLogLeaseIssued, rec.take());
 
   PayloadWriter grant;
   grant.u64(static_cast<std::uint64_t>(id));
@@ -149,7 +78,7 @@ void Coordinator::try_grant(WorkerState& w, double now) {
     return;
   }
   w.lease = id;
-  ++report_.leases_issued;
+  ++core_.report().leases_issued;
 }
 
 void Coordinator::handle_message(WorkerState& w, const WireMessage& msg,
@@ -160,11 +89,7 @@ void Coordinator::handle_message(WorkerState& w, const WireMessage& msg,
     case kMsgHeartbeat: {
       PayloadReader r(msg.payload);
       (void)r.u32();  // worker id (redundant with the channel)
-      const std::uint64_t lease = r.u64();
-      if (lease < table_.lease_count() &&
-          table_.lease(lease).state == LeaseState::Leased &&
-          table_.lease(lease).worker == w.worker_id)
-        table_.refresh(lease, now);
+      core_.note_liveness(w.worker_id, r.u64(), now);
       break;
     }
     case kMsgTaskDone: {
@@ -174,40 +99,9 @@ void Coordinator::handle_message(WorkerState& w, const WireMessage& msg,
       const std::uint64_t key = r.u64();
       std::vector<std::uint8_t> payload(msg.payload.begin() + 24,
                                         msg.payload.end());
-      if (index >= options_.task_count)
-        throw Error("fabric: TaskDone index out of range");
-
-      if (table_.task_done(index)) {
-        // Straggler re-commit. First commit won; this one must be
-        // byte-identical or the determinism contract is broken and the
-        // merged journal would depend on scheduling.
-        const auto it = payloads_.find(index);
-        if (it == payloads_.end() || it->second != payload)
-          throw JournalCorrupt(
-              "fabric: duplicate commit for task " + std::to_string(index) +
-              " differs from the first — nondeterministic task execution");
-        ++report_.duplicates;
-      } else {
-        payloads_[index] = std::move(payload);
-        PayloadWriter rec;
-        rec.u64(index);
-        rec.u64(key);
-        log(kFabLogTaskCommitted, rec.take());
-        ++report_.tasks_executed;
-        const std::int64_t completed = table_.note_task_done(index);
-        if (completed >= 0 &&
-            !lease_completion_logged_[static_cast<std::size_t>(completed)]) {
-          lease_completion_logged_[static_cast<std::size_t>(completed)] = true;
-          PayloadWriter done;
-          done.u64(static_cast<std::uint64_t>(completed));
-          log(kFabLogLeaseCompleted, done.take());
-        }
-      }
+      core_.commit(index, key, std::move(payload));
       // Progress is liveness.
-      if (lease < table_.lease_count() &&
-          table_.lease(lease).state == LeaseState::Leased &&
-          table_.lease(lease).worker == w.worker_id)
-        table_.refresh(lease, now);
+      core_.note_liveness(w.worker_id, lease, now);
       break;
     }
     case kMsgLeaseDone: {
@@ -227,41 +121,31 @@ FabricReport Coordinator::run() {
 #ifndef LPSRAM_HAVE_FABRIC
   throw Error("fabric: coordinator requires a POSIX platform");
 #else
-  report_.tasks_total = options_.task_count;
-
   for (;;) {
-    if (table_.all_done()) {
-      report_.complete = true;
+    if (core_.all_done()) {
+      core_.report().complete = true;
       break;
     }
-    if (options_.drain != nullptr && options_.drain->cancelled() &&
-        !table_.any_leased()) {
-      report_.drained = true;
+    if (core_.drain_requested() && !core_.any_leased()) {
+      core_.report().drained = true;
       break;
     }
     if (live_workers() == 0)
       throw FabricWorkersLost(
           "fabric: all workers died with " +
-          std::to_string(options_.task_count - table_.tasks_done()) +
-          " of " + std::to_string(options_.task_count) +
+          std::to_string(core_.tasks_remaining()) + " of " +
+          std::to_string(core_.options().task_count) +
           " tasks uncommitted — shard journals retain every committed "
           "result; rerun to resume");
 
     double now = now_s();
-    for (const std::uint64_t id : table_.expire(now)) {
-      ++report_.leases_expired;
-      PayloadWriter rec;
-      rec.u64(id);
-      log(kFabLogLeaseExpired, rec.take());
-      // The silent holder keeps its busy mark: it gets no further grants
-      // until it speaks again (LeaseDone) or its channel EOFs.
-    }
+    core_.expire(now);
     for (WorkerState& w : workers_) try_grant(w, now);
 
     // Sleep until the next deadline/backoff instant, capped so the drain
     // token stays responsive.
     int timeout_ms = kMaxPollMs;
-    const double next = table_.next_event();
+    const double next = core_.next_event();
     if (next < now) timeout_ms = 0;
     else if (next - now < kMaxPollMs / 1000.0)
       timeout_ms = std::max(1, static_cast<int>((next - now) * 1000.0));
@@ -292,7 +176,7 @@ FabricReport Coordinator::run() {
   }
 
   broadcast_shutdown();
-  return report_;
+  return core_.report();
 #endif
 }
 

@@ -18,6 +18,12 @@
 // worker was merely slow — the coordinator reconciles first-commit-wins and
 // verifies later commits byte-identical (a mismatch means task execution was
 // nondeterministic, which the merge contract cannot survive, so it throws).
+//
+// All of the lease/log/reconciliation state above lives in LeaseCore
+// (lease_core.hpp); this class is the socketpair transport around it. The
+// TCP transport (net/server.hpp) drives the same core with the same
+// semantics, plus what real networks add: authentication, reconnects, and
+// resumable shard upload.
 #pragma once
 
 #include <cstdint>
@@ -25,41 +31,10 @@
 #include <unordered_map>
 #include <vector>
 
-#include "lpsram/runtime/fabric/lease.hpp"
+#include "lpsram/runtime/fabric/lease_core.hpp"
 #include "lpsram/runtime/fabric/wire.hpp"
-#include "lpsram/util/cancel.hpp"
-#include "lpsram/util/error.hpp"
 
 namespace lpsram::fabric {
-
-// Lease-log record types (journal framing, decoded by tools/fabric_inspect.py).
-inline constexpr std::uint8_t kFabLogManifest = 1;        // [u64 salt][u64 fp][u64 tasks][u64 span]
-inline constexpr std::uint8_t kFabLogLeaseIssued = 2;     // [u64 lease][u32 worker][u64 grants]
-inline constexpr std::uint8_t kFabLogLeaseExpired = 3;    // [u64 lease]
-inline constexpr std::uint8_t kFabLogLeaseCompleted = 4;  // [u64 lease]
-inline constexpr std::uint8_t kFabLogTaskCommitted = 5;   // [u64 index][u64 key]
-inline constexpr std::uint8_t kFabLogWorkerDead = 6;      // [u32 worker]
-inline constexpr std::uint8_t kFabLogMerged = 7;          // [u64 tasks][u64 duplicates]
-
-// Every worker died (or none were supplied) while tasks remain. The shard
-// journals still hold everything committed so far — rerunning the fabric
-// resumes from them; nothing is lost.
-class FabricWorkersLost : public Error {
- public:
-  explicit FabricWorkersLost(const std::string& what) : Error(what) {}
-};
-
-struct CoordinatorOptions {
-  std::string lease_log;  // path of the coordinator's own journal
-  std::uint64_t salt = 0;
-  std::uint64_t fingerprint = 0;
-  std::uint64_t task_count = 0;
-  LeaseTableOptions leases;
-  // Optional graceful drain: once cancelled, no new leases are issued,
-  // in-flight leases finish, workers get kMsgShutdown, run() returns with
-  // complete == false (unless the last lease happened to finish the sweep).
-  const CancelToken* drain = nullptr;
-};
 
 // One connected worker from the coordinator's point of view. `pid` is
 // informational (0 for in-process test workers); death is detected by
@@ -68,18 +43,6 @@ struct WorkerEndpoint {
   int worker_id = 0;
   long pid = 0;
   MessageChannel channel;
-};
-
-struct FabricReport {
-  std::uint64_t tasks_total = 0;
-  std::uint64_t tasks_recovered = 0;  // committed before this run (shard scan)
-  std::uint64_t tasks_executed = 0;   // first commits received this run
-  std::uint64_t duplicates = 0;       // reconciled re-commits (verified equal)
-  std::uint64_t leases_issued = 0;
-  std::uint64_t leases_expired = 0;
-  std::uint64_t workers_died = 0;
-  bool drained = false;
-  bool complete = false;  // every task committed
 };
 
 class Coordinator {
@@ -106,12 +69,14 @@ class Coordinator {
   // + this run). After a complete run this covers [0, task_count).
   const std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>&
   payloads() const noexcept {
-    return payloads_;
+    return core_.payloads();
   }
 
   // Appends the kFabLogMerged marker after run_fabric has published the
   // merged journal (the log stays open for exactly this final record).
-  void log_merged(std::uint64_t tasks, std::uint64_t duplicates);
+  void log_merged(std::uint64_t tasks, std::uint64_t duplicates) {
+    core_.log_merged(tasks, duplicates);
+  }
 
  private:
   struct WorkerState {
@@ -122,21 +87,14 @@ class Coordinator {
     bool alive = true;
   };
 
-  void log(std::uint8_t type, const std::vector<std::uint8_t>& payload);
-  void replay_lease_log();
   void mark_worker_dead(WorkerState& w);
   void handle_message(WorkerState& w, const WireMessage& msg, double now);
   void try_grant(WorkerState& w, double now);
   void broadcast_shutdown();
   std::size_t live_workers() const;
 
-  CoordinatorOptions options_;
-  LeaseTable table_;
-  JournalWriter log_;
+  LeaseCore core_;
   std::vector<WorkerState> workers_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> payloads_;
-  std::vector<bool> lease_completion_logged_;
-  FabricReport report_;
 };
 
 }  // namespace lpsram::fabric

@@ -189,6 +189,7 @@ FabricReport run_fabric(const FabricOptions& options, std::uint64_t count,
   copt.task_count = count;
   copt.leases.span = options.lease_span;
   copt.leases.lease_timeout_s = options.lease_timeout_s;
+  copt.leases.heartbeat_interval_s = options.heartbeat_interval_s;
   copt.leases.backoff_initial_s = options.backoff_initial_s;
   copt.leases.backoff_max_s = options.backoff_max_s;
   copt.drain = options.drain;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "lpsram/util/error.hpp"
 
@@ -13,6 +14,21 @@ LeaseTable::LeaseTable(std::uint64_t task_count, LeaseTableOptions options)
     throw InvalidArgument("fabric: lease span must be positive");
   if (options_.lease_timeout_s <= 0.0)
     throw InvalidArgument("fabric: lease timeout must be positive");
+  if (options_.heartbeat_interval_s <= 0.0)
+    throw InvalidArgument("fabric: heartbeat interval must be positive");
+  if (options_.heartbeat_interval_s >= options_.lease_timeout_s)
+    throw InvalidArgument(
+        "fabric: heartbeat interval (" +
+        std::to_string(options_.heartbeat_interval_s) +
+        "s) must be below the lease timeout (" +
+        std::to_string(options_.lease_timeout_s) +
+        "s) — at or above it every lease would expire and be re-issued "
+        "before its holder's next heartbeat could land");
+  if (options_.backoff_initial_s <= 0.0)
+    throw InvalidArgument("fabric: initial re-issue backoff must be positive");
+  if (options_.backoff_max_s < options_.backoff_initial_s)
+    throw InvalidArgument(
+        "fabric: backoff cap must be >= the initial backoff");
   const std::uint64_t n = (task_count_ + options_.span - 1) / options_.span;
   leases_.reserve(n);
   for (std::uint64_t id = 0; id < n; ++id) {

@@ -41,12 +41,21 @@ struct Lease {
 struct LeaseTableOptions {
   std::uint64_t span = 4;          // tasks per lease
   double lease_timeout_s = 5.0;    // deadline = grant/heartbeat + timeout
+  // Interval at which holders promise to refresh their lease. The table
+  // itself never ticks heartbeats; it is validated here because a heartbeat
+  // interval at or above the lease deadline silently re-issues every lease
+  // the moment the holder pauses between tasks.
+  double heartbeat_interval_s = 0.5;
   double backoff_initial_s = 0.05; // first re-issue delay after expiry
   double backoff_max_s = 2.0;      // exponential backoff cap
 };
 
 class LeaseTable {
  public:
+  // Validates the configuration: span and every timeout must be positive,
+  // the heartbeat interval must be strictly below the lease deadline, and
+  // the backoff cap must not undercut the initial backoff. Violations throw
+  // InvalidArgument with a message naming the offending field.
   LeaseTable(std::uint64_t task_count, LeaseTableOptions options);
 
   std::uint64_t lease_count() const noexcept { return leases_.size(); }

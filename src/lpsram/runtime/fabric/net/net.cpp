@@ -1,0 +1,261 @@
+#include "lpsram/runtime/fabric/net/net.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "lpsram/util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#define LPSRAM_HAVE_FABRIC_NET 1
+#endif
+
+namespace lpsram::fabric {
+
+HostPort parse_hostport(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size())
+    throw InvalidArgument("fabric: expected host:port, got '" + spec + "'");
+  HostPort out;
+  out.host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port < 0 || port > 65535)
+    throw InvalidArgument("fabric: invalid port in '" + spec + "'");
+  out.port = static_cast<int>(port);
+  return out;
+}
+
+#ifdef LPSRAM_HAVE_FABRIC_NET
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error("fabric: " + what + ": " + std::strerror(errno));
+}
+
+struct AddrInfo {
+  addrinfo* list = nullptr;
+  ~AddrInfo() {
+    if (list != nullptr) ::freeaddrinfo(list);
+  }
+};
+
+void resolve(const std::string& host, int port, bool passive, AddrInfo* out) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               service.c_str(), &hints, &out->list);
+  if (rc != 0)
+    throw Error("fabric: cannot resolve " + (host.empty() ? "*" : host) +
+                ":" + service + ": " + ::gai_strerror(rc));
+}
+
+std::string describe_peer(const sockaddr* addr, socklen_t len) {
+  char host[NI_MAXHOST] = {0};
+  char port[NI_MAXSERV] = {0};
+  if (::getnameinfo(addr, len, host, sizeof(host), port, sizeof(port),
+                    NI_NUMERICHOST | NI_NUMERICSERV) != 0)
+    return "?";
+  return std::string(host) + ":" + port;
+}
+
+}  // namespace
+
+void configure_stream_socket(int fd, double send_timeout_s) {
+  int on = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &on, sizeof(on));
+#ifdef TCP_NODELAY
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+#endif
+  // Keepalive cadence under the application heartbeats: probe a silent
+  // connection after 30 s, three probes 10 s apart — a vanished peer is
+  // reset in about a minute even with no fabric traffic in flight.
+#ifdef TCP_KEEPIDLE
+  int idle = 30;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &idle, sizeof(idle));
+#endif
+#ifdef TCP_KEEPINTVL
+  int intvl = 10;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &intvl, sizeof(intvl));
+#endif
+#ifdef TCP_KEEPCNT
+  int cnt = 3;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &cnt, sizeof(cnt));
+#endif
+  if (send_timeout_s > 0.0) {
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(send_timeout_s);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (send_timeout_s - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+}
+
+TcpListener::~TcpListener() { close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept {
+  *this = std::move(other);
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void TcpListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpListener::listen(const std::string& host, int port, int backlog) {
+  close();
+  AddrInfo ai;
+  resolve(host, port, /*passive=*/true, &ai);
+  int last_errno = 0;
+  for (addrinfo* a = ai.list; a != nullptr; a = a->ai_next) {
+    const int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    int on = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+    // Non-blocking listener: accept() is only called after poll() says
+    // readable, but a peer that RSTs between poll and accept must yield an
+    // empty channel, not a block.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::bind(fd, a->ai_addr, a->ai_addrlen) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      last_errno = errno;
+      ::close(fd);
+      continue;
+    }
+    sockaddr_storage bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+        0) {
+      last_errno = errno;
+      ::close(fd);
+      continue;
+    }
+    fd_ = fd;
+    if (bound.ss_family == AF_INET)
+      port_ = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    else if (bound.ss_family == AF_INET6)
+      port_ = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+    else
+      port_ = port;
+    return;
+  }
+  errno = last_errno != 0 ? last_errno : EADDRNOTAVAIL;
+  throw_errno("cannot listen on " + host + ":" + std::to_string(port));
+}
+
+MessageChannel TcpListener::accept(double send_timeout_s, std::string* peer) {
+  if (fd_ < 0) return MessageChannel();
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  const int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED)
+      return MessageChannel();  // nothing usable pending right now
+    throw_errno("accept failed");
+  }
+  configure_stream_socket(fd, send_timeout_s);
+  if (peer != nullptr)
+    *peer = describe_peer(reinterpret_cast<sockaddr*>(&addr), len);
+  return MessageChannel(fd);
+}
+
+MessageChannel tcp_connect(const std::string& host, int port,
+                           double connect_timeout_s, double send_timeout_s) {
+  AddrInfo ai;
+  resolve(host, port, /*passive=*/false, &ai);
+  int last_errno = 0;
+  for (addrinfo* a = ai.list; a != nullptr; a = a->ai_next) {
+    const int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    // Non-blocking connect + poll gives the deadline; the socket goes back
+    // to blocking afterwards (MessageChannel's send/recv expect that).
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, a->ai_addr, a->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd p{fd, POLLOUT, 0};
+      const int ready =
+          ::poll(&p, 1, static_cast<int>(connect_timeout_s * 1000.0));
+      if (ready <= 0) {
+        last_errno = ready == 0 ? ETIMEDOUT : errno;
+        ::close(fd);
+        continue;
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+      if (err != 0) {
+        last_errno = err;
+        ::close(fd);
+        continue;
+      }
+      rc = 0;
+    }
+    if (rc != 0) {
+      last_errno = errno;
+      ::close(fd);
+      continue;
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    configure_stream_socket(fd, send_timeout_s);
+    return MessageChannel(fd);
+  }
+  errno = last_errno != 0 ? last_errno : ECONNREFUSED;
+  throw_errno("cannot connect to " + host + ":" + std::to_string(port));
+}
+
+#else  // !LPSRAM_HAVE_FABRIC_NET
+
+void configure_stream_socket(int, double) {}
+TcpListener::~TcpListener() = default;
+TcpListener::TcpListener(TcpListener&&) noexcept {}
+TcpListener& TcpListener::operator=(TcpListener&&) noexcept { return *this; }
+void TcpListener::close() noexcept {}
+void TcpListener::listen(const std::string&, int, int) {
+  throw Error("fabric: TCP transport requires a POSIX platform");
+}
+MessageChannel TcpListener::accept(double, std::string*) {
+  return MessageChannel();
+}
+MessageChannel tcp_connect(const std::string&, int, double, double) {
+  throw Error("fabric: TCP transport requires a POSIX platform");
+}
+
+#endif  // LPSRAM_HAVE_FABRIC_NET
+
+}  // namespace lpsram::fabric

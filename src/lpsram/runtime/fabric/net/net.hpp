@@ -1,0 +1,82 @@
+// TCP plumbing for the multi-host fabric: a listener whose accepted sockets
+// wrap straight into the existing MessageChannel (the wire codec is
+// transport-agnostic — a channel is just an fd), a connecting side with a
+// deadline, and the socket conditioning both ends share.
+//
+// What sockets need that socketpairs never did:
+//   * write deadlines (SO_SNDTIMEO): a peer that stops reading but keeps the
+//     connection open would otherwise block send() forever once the socket
+//     buffer fills; with the deadline, send() returns false (EAGAIN is
+//     treated like a gone peer in wire.cpp) and the caller tears the
+//     connection down;
+//   * TCP keepalive: the floor under the application heartbeats — a peer
+//     that vanishes without a FIN (power loss, cable pull) is detected by
+//     the kernel even when the application protocol is idle;
+//   * TCP_NODELAY: fabric messages are small and latency-sensitive
+//     (heartbeats, grants); Nagle would batch them against the lease clock.
+//
+// Read liveness deliberately stays at the application layer (poll loops +
+// handshake/silence deadlines in server and worker): a read timeout belongs
+// to protocol state, not to the socket.
+#pragma once
+
+#include <string>
+
+#include "lpsram/runtime/fabric/wire.hpp"
+
+namespace lpsram::fabric {
+
+struct HostPort {
+  std::string host;
+  int port = 0;
+};
+
+// Parses "host:port" (the last ':' splits, so bare IPv6 works when bracketed
+// or unambiguous). Throws InvalidArgument on a missing or non-numeric port
+// or a port outside [0, 65535].
+HostPort parse_hostport(const std::string& spec);
+
+// Accepting side. Move-only; owns the listening fd.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds and listens. Port 0 picks an ephemeral port — port() reports the
+  // real one afterwards (tests bind 127.0.0.1:0 before forking workers so
+  // the children inherit a known port).
+  void listen(const std::string& host, int port, int backlog = 16);
+
+  // Accepts one pending connection and conditions it (keepalive, NODELAY,
+  // `send_timeout_s` write deadline). Returns a closed channel when nothing
+  // is pending (callers poll fd() for readability first). `peer`, when
+  // given, receives "ip:port" of the remote end.
+  MessageChannel accept(double send_timeout_s, std::string* peer = nullptr);
+
+  int port() const noexcept { return port_; }
+  int fd() const noexcept { return fd_; }
+  bool is_open() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+// Connects with a deadline and conditions the socket the same way. Throws
+// lpsram::Error when the host is unresolvable or nothing accepted within
+// `connect_timeout_s` (callers retry with backoff — a fabric worker outlives
+// coordinator restarts).
+MessageChannel tcp_connect(const std::string& host, int port,
+                           double connect_timeout_s, double send_timeout_s);
+
+// Applies the conditioning described above to an already-connected stream
+// socket. Exposed for the chaos proxy, which forwards raw bytes over
+// sockets it accepts/creates itself.
+void configure_stream_socket(int fd, double send_timeout_s);
+
+}  // namespace lpsram::fabric

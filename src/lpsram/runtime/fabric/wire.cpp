@@ -57,7 +57,13 @@ bool MessageChannel::send(std::uint8_t type,
     );
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (errno == EPIPE || errno == ECONNRESET) return false;
+      if (errno == EPIPE || errno == ECONNRESET || errno == ETIMEDOUT)
+        return false;
+      // A TCP channel with an SO_SNDTIMEO write deadline reports a wedged
+      // peer (full socket buffer past the deadline) as EAGAIN. Treat it the
+      // same as a gone peer: the caller tears the connection down and the
+      // lease machinery recovers, instead of the sender blocking forever.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
       throw Error(std::string("fabric: channel send failed: ") +
                   std::strerror(errno));
     }

@@ -33,6 +33,35 @@ inline constexpr std::uint8_t kMsgLeaseDone = 4;  // [u64 lease]
 inline constexpr std::uint8_t kMsgGrant = 5;      // [u64 lease][u32 n][u64 index x n]
 inline constexpr std::uint8_t kMsgShutdown = 6;   // []
 
+// Multi-host transport messages (runtime/fabric/net/). Types 16+ so captures
+// are unambiguous about which transport produced them. The handshake runs
+// NetHello -> NetChallenge -> NetAuth -> NetWelcome | NetRefuse before any
+// other message is accepted; ShardChunk/ShardAck implement resumable upload
+// of the worker's fsync'd shard journal (see net/server.hpp).
+inline constexpr std::uint8_t kMsgNetHello = 16;
+//   [u32 proto][u32 worker][u64 salt][u64 fp][u8 reconnect][32B worker_nonce]
+inline constexpr std::uint8_t kMsgNetChallenge = 17;
+//   [32B server_nonce][32B server_mac]
+inline constexpr std::uint8_t kMsgNetAuth = 18;   // [32B worker_mac]
+inline constexpr std::uint8_t kMsgNetWelcome = 19;
+//   [u64 resume_lease (u64::max = none)][u64 shard_bytes_have]
+inline constexpr std::uint8_t kMsgNetRefuse = 20; // [u32 reason][str message]
+inline constexpr std::uint8_t kMsgShardChunk = 21;// [u64 offset][raw bytes]
+inline constexpr std::uint8_t kMsgShardAck = 22;  // [u64 bytes_have]
+
+// Version of the net handshake + message grammar above. Bumped on any wire
+// change; a mismatch is refused before authentication even starts.
+inline constexpr std::uint32_t kNetProtocolVersion = 1;
+
+// kMsgNetRefuse reason codes.
+enum class NetRefusal : std::uint32_t {
+  None = 0,
+  Protocol = 1,  // peer speaks a different kNetProtocolVersion
+  Manifest = 2,  // worker's sweep salt/fingerprint is not this campaign
+  Auth = 3,      // HMAC handshake failed (wrong or missing token)
+  Busy = 4,      // server-side limit (too many workers)
+};
+
 struct WireMessage {
   std::uint8_t type = 0;
   std::vector<std::uint8_t> payload;

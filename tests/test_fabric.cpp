@@ -120,6 +120,51 @@ TEST(LeaseTable, SpansPartitionTheTaskRange) {
   EXPECT_THROW(LeaseTable(4, LeaseTableOptions{.span = 0}), InvalidArgument);
 }
 
+// Mis-set timing would not fail loudly at runtime — it would quietly re-issue
+// every lease or never expire one — so it must be refused at construction,
+// with a message naming the offending field.
+TEST(LeaseTable, TimingConfigValidatedAtConstruction) {
+  const auto expect_rejected = [](LeaseTableOptions options,
+                                  const std::string& needle) {
+    try {
+      LeaseTable table(8, options);
+      ADD_FAILURE() << "accepted bad config (wanted error about " << needle
+                    << ")";
+    } catch (const InvalidArgument& err) {
+      EXPECT_NE(std::string(err.what()).find(needle), std::string::npos)
+          << err.what();
+    }
+  };
+  expect_rejected({.span = 2, .lease_timeout_s = 0.0}, "lease timeout");
+  expect_rejected({.span = 2, .lease_timeout_s = -3.0}, "lease timeout");
+  expect_rejected({.span = 2, .lease_timeout_s = 5.0,
+                   .heartbeat_interval_s = 0.0},
+                  "heartbeat interval");
+  expect_rejected({.span = 2, .lease_timeout_s = 5.0,
+                   .heartbeat_interval_s = -0.5},
+                  "heartbeat interval");
+  // A heartbeat at or above the lease deadline is the subtle one: every
+  // lease would expire before its holder's next heartbeat could land.
+  expect_rejected({.span = 2, .lease_timeout_s = 1.0,
+                   .heartbeat_interval_s = 1.0},
+                  "heartbeat interval");
+  expect_rejected({.span = 2, .lease_timeout_s = 1.0,
+                   .heartbeat_interval_s = 2.0},
+                  "lease timeout");
+  expect_rejected({.span = 2, .lease_timeout_s = 5.0,
+                   .heartbeat_interval_s = 0.5, .backoff_initial_s = 0.0},
+                  "backoff");
+  expect_rejected({.span = 2, .lease_timeout_s = 5.0,
+                   .heartbeat_interval_s = 0.5, .backoff_initial_s = 0.2,
+                   .backoff_max_s = 0.1},
+                  "backoff cap");
+  // The boundary cases that must be accepted.
+  EXPECT_NO_THROW(LeaseTable(8, {.span = 1, .lease_timeout_s = 1.0,
+                                 .heartbeat_interval_s = 0.999,
+                                 .backoff_initial_s = 0.1,
+                                 .backoff_max_s = 0.1}));
+}
+
 TEST(LeaseTable, GrantTakesLowestPendingAndArmsDeadline) {
   LeaseTable table(8, LeaseTableOptions{.span = 2, .lease_timeout_s = 1.0});
   EXPECT_EQ(table.grant(/*worker=*/7, /*now=*/10.0), 0);

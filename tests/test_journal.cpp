@@ -329,6 +329,129 @@ TEST(Journal, ZeroOrHugeLengthIsCorruptNotAllocation) {
   EXPECT_THROW(replay_journal(tmp.path()), JournalCorrupt);
 }
 
+// ---------- the wire codec under fuzz (FrameParser) -------------------------
+//
+// The same framing travels the fabric's sockets, where "torn tail" semantics
+// do not apply: on a reliable stream a bad frame means a framing bug or a
+// trashed peer, so every damaged input must yield a typed JournalCorrupt or
+// an incomplete-frame stall — never a fabricated record, an unbounded
+// allocation, or a hang.
+
+std::vector<std::uint8_t> wire_stream(const std::vector<JournalRecord>& records,
+                                      std::vector<std::size_t>* ends) {
+  std::vector<std::uint8_t> stream;
+  for (const JournalRecord& r : records) {
+    const std::vector<std::uint8_t> frame =
+        encode_record_frame(r.type, r.payload.data(), r.payload.size());
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    if (ends != nullptr) ends->push_back(stream.size());
+  }
+  return stream;
+}
+
+TEST(FrameParserProperty, EveryPrefixYieldsExactlyTheCompleteFrames) {
+  const std::vector<JournalRecord> records = sample_records();
+  std::vector<std::size_t> ends;
+  const std::vector<std::uint8_t> stream = wire_stream(records, &ends);
+
+  for (std::size_t size = 0; size <= stream.size(); ++size) {
+    SCOPED_TRACE("prefix of " + std::to_string(size) + " bytes");
+    FrameParser parser;
+    parser.feed(stream.data(), size);
+    std::vector<JournalRecord> got;
+    JournalRecord record;
+    while (parser.next(&record)) got.push_back(record);
+
+    std::size_t expected = 0;
+    while (expected < ends.size() && ends[expected] <= size) ++expected;
+    ASSERT_EQ(got.size(), expected);
+    for (std::size_t i = 0; i < expected; ++i) {
+      EXPECT_EQ(got[i].type, records[i].type);
+      EXPECT_EQ(got[i].payload, records[i].payload);
+    }
+    // Whatever did not frame stays buffered — nothing is silently eaten.
+    const std::size_t consumed = expected == 0 ? 0 : ends[expected - 1];
+    EXPECT_EQ(parser.buffered(), size - consumed);
+  }
+}
+
+TEST(FrameParserProperty, SingleByteFeedingMatchesBulkFeeding) {
+  const std::vector<JournalRecord> records = sample_records();
+  const std::vector<std::uint8_t> stream = wire_stream(records, nullptr);
+
+  FrameParser parser;
+  std::vector<JournalRecord> got;
+  JournalRecord record;
+  for (const std::uint8_t byte : stream) {
+    parser.feed(&byte, 1);
+    while (parser.next(&record)) got.push_back(record);
+  }
+  ASSERT_EQ(got.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(got[i].type, records[i].type);
+    EXPECT_EQ(got[i].payload, records[i].payload);
+  }
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(FrameParserProperty, BitFlipAtEveryOffsetThrowsTypedOrYieldsPrefix) {
+  const std::vector<JournalRecord> records = sample_records();
+  const std::vector<std::uint8_t> stream = wire_stream(records, nullptr);
+
+  for (std::size_t offset = 0; offset < stream.size(); ++offset) {
+    SCOPED_TRACE("flipped byte at offset " + std::to_string(offset));
+    std::vector<std::uint8_t> damaged = stream;
+    damaged[offset] ^= 0x5A;
+
+    FrameParser parser;
+    parser.feed(damaged.data(), damaged.size());
+    std::vector<JournalRecord> got;
+    try {
+      JournalRecord record;
+      while (parser.next(&record)) got.push_back(record);
+    } catch (const JournalCorrupt&) {
+      // Typed rejection — the legal outcome for any CRC-covered damage.
+    }
+    // Whatever was decoded before the damage must be an unaltered prefix:
+    // a flip can stall the stream (length grew) or kill it (CRC), but it
+    // can never fabricate or mutate a record.
+    ASSERT_LE(got.size(), records.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].type, records[i].type);
+      EXPECT_EQ(got[i].payload, records[i].payload);
+    }
+  }
+}
+
+TEST(FrameParserProperty, InflatedLengthFieldIsRejectedNotAllocated) {
+  // A hostile length prefix must be refused the moment the header is
+  // readable — long before `length` bytes arrive, and without ever sizing a
+  // buffer from it.
+  const auto reject = [](std::uint32_t length) {
+    std::uint8_t header[8] = {};
+    for (int i = 0; i < 4; ++i)
+      header[i] = static_cast<std::uint8_t>(length >> (8 * i));
+    FrameParser parser;
+    parser.feed(header, sizeof(header));
+    JournalRecord record;
+    EXPECT_THROW(parser.next(&record), JournalCorrupt) << length;
+  };
+  reject(0);                              // zero-length frame
+  reject(kJournalMaxRecordBytes + 1);     // just past the sanity cap
+  reject(0xFFFFFFF0u);                    // ~4 GB — an allocation bomb
+  reject(0xFFFFFFFFu);
+
+  // At the cap itself the parser must simply wait for more bytes.
+  std::uint8_t header[8] = {};
+  for (int i = 0; i < 4; ++i)
+    header[i] = static_cast<std::uint8_t>(kJournalMaxRecordBytes >> (8 * i));
+  FrameParser parser;
+  parser.feed(header, sizeof(header));
+  JournalRecord record;
+  EXPECT_FALSE(parser.next(&record));
+  EXPECT_EQ(parser.buffered(), sizeof(header));
+}
+
 // ---------- compaction ------------------------------------------------------
 
 TEST(Journal, CompactionRewritesAtomicallyAndStaysAppendable) {

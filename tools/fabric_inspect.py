@@ -7,6 +7,10 @@ A fabric directory (see src/lpsram/runtime/fabric/fabric.hpp) holds:
     shard-N.journal       per-worker campaign journals (task payloads)
     merged.journal        the post-merge campaign journal (when complete)
     worker-N.pid          pidfiles of live (or killed-without-cleanup) workers
+    worker-net-N.pid      remote-launcher pidfiles ("<pid> <hostname>") from
+                          fabric_worker processes serving a --listen daemon
+    connections.status    the net coordinator's transport snapshot, rewritten
+                          atomically every 0.25s while it runs
 
 Everything uses the same record framing as campaign journals —
 [u32 length][u32 crc32][u8 type + payload] after the "LPSJRNL1" magic — so
@@ -14,14 +18,25 @@ this tool shares journal_inspect.py's replay logic and validation contract
 (torn tails are legal crash residue, interior damage is corruption).
 
 Usage:
-    fabric_inspect.py status DIR     one-line rollup: leases, tasks, workers
-    fabric_inspect.py dump DIR       decode every record of every journal
-    fabric_inspect.py killall DIR    SIGKILL every pidfile'd worker (the
-                                     operator's big red button; mirrors
-                                     lpsram::fabric::kill_all_workers)
+    fabric_inspect.py status DIR       one-line rollup: leases, tasks, workers
+    fabric_inspect.py dump DIR         decode every record of every journal
+    fabric_inspect.py connections DIR  per-worker transport state from
+                                       connections.status: serving or
+                                       disconnected, peer address, active
+                                       lease, replicated shard bytes,
+                                       heartbeat age, reconnect count
+    fabric_inspect.py killall DIR      SIGKILL every pidfile'd worker on THIS
+                                       host (the operator's big red button;
+                                       mirrors lpsram::fabric::
+                                       kill_all_workers). Workers it cannot
+                                       signal — another host's pidfile, or a
+                                       pid that is already gone — are
+                                       reported unreachable and their stale
+                                       pidfiles removed; neither is an error.
 
-Exit status: 0 on success (status/dump: every journal valid; killall: always),
-1 when any journal is corrupt or unreadable, 2 on usage error.
+Exit status: 0 on success (status/dump: every journal valid; connections:
+snapshot parsed; killall: always), 1 when any journal or snapshot is corrupt
+or unreadable, 2 on usage error.
 
 CI uploads fabric-journals/ when the fabric suite fails; `status` on the
 failing directory shows which side of the coordinator/worker contract broke.
@@ -29,7 +44,9 @@ failing directory shows which side of the coordinator/worker contract broke.
 
 import os
 import signal
+import socket
 import sys
+import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from journal_inspect import Corrupt, Payload, replay  # noqa: E402
@@ -206,40 +223,133 @@ def cmd_dump(directory):
     return ok
 
 
+# connections.status format (NetServer::write_status, net/server.cpp):
+#     # lpsram fabric-net connections v1
+#     epoch <wall-clock seconds, %.3f>
+#     listen <port>
+#     worker <id> state=<serving|disconnected> addr=<host:port|-> \
+#         lease=<n|-> have=<bytes> heartbeat_age=<s|-> reconnects=<n>
+CONNECTIONS_HEADER = "# lpsram fabric-net connections v1"
+
+
+def parse_connections(text):
+    """Returns (epoch, listen_port, workers) or raises Corrupt.
+
+    Each worker is a dict of the line's key=value fields plus its id; '-'
+    stays the string '-' so callers can render "no lease" / "no heartbeat
+    yet" without inventing sentinel numbers.
+    """
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines or lines[0].strip() != CONNECTIONS_HEADER:
+        raise Corrupt("not a fabric-net connections snapshot (bad header)")
+    epoch, listen_port, workers = None, None, []
+    for line in lines[1:]:
+        fields = line.split()
+        try:
+            if fields[0] == "epoch":
+                epoch = float(fields[1])
+            elif fields[0] == "listen":
+                listen_port = int(fields[1])
+            elif fields[0] == "worker":
+                worker = {"id": int(fields[1])}
+                for pair in fields[2:]:
+                    key, _, value = pair.partition("=")
+                    worker[key] = value
+                workers.append(worker)
+            else:
+                raise Corrupt("unknown connections line: %r" % line)
+        except (IndexError, ValueError) as err:
+            raise Corrupt("bad connections line %r (%s)" % (line, err))
+    if epoch is None or listen_port is None:
+        raise Corrupt("connections snapshot missing epoch/listen header")
+    return epoch, listen_port, workers
+
+
+def cmd_connections(directory):
+    path = os.path.join(directory, "connections.status")
+    if not os.path.exists(path):
+        print("connections.status: absent (no net coordinator has run here)")
+        return True
+    try:
+        with open(path) as f:
+            epoch, listen_port, workers = parse_connections(f.read())
+    except (Corrupt, OSError) as err:
+        print("connections.status: CORRUPT/unreadable: %s" % err)
+        return False
+    age = time.time() - epoch
+    # The server rewrites the snapshot every 0.25s; a stale one means the
+    # coordinator exited (cleanly or not) and the states below are history.
+    print("listening on port %d, snapshot %.1fs old%s"
+          % (listen_port, age,
+             " (STALE — coordinator no longer running?)" if age > 5.0 else ""))
+    if not workers:
+        print("no workers have ever connected")
+        return True
+    for w in workers:
+        hb = w.get("heartbeat_age", "-")
+        print("worker %d: %-12s addr=%s lease=%s shard_bytes=%s "
+              "heartbeat_age=%s reconnects=%s"
+              % (w["id"], w.get("state", "?"), w.get("addr", "-"),
+                 w.get("lease", "-"), w.get("have", "?"),
+                 hb if hb == "-" else hb + "s", w.get("reconnects", "0")))
+    return True
+
+
 def cmd_killall(directory):
-    killed = 0
+    killed, unreachable = 0, 0
+    local_host = socket.gethostname()
     for path in pid_files(directory):
+        name = os.path.basename(path)
+        # worker-N.pid holds "<pid>"; worker-net-N.pid (remote launcher)
+        # holds "<pid> <hostname>". Both parse as pid + optional host.
         try:
             with open(path) as f:
-                pid = int(f.read().strip())
-        except (OSError, ValueError) as err:
+                fields = f.read().split()
+            pid = int(fields[0])
+            host = fields[1] if len(fields) > 1 else local_host
+        except (OSError, ValueError, IndexError) as err:
             print("%s: unreadable pidfile (%s)" % (path, err))
             continue
-        if pid > 1:
+        if host != local_host:
+            # A remote launcher's worker: we cannot signal across hosts.
+            # Report it and drop the pidfile so repeated killalls converge;
+            # the operator runs killall on that host (or lets the lease
+            # timeout reclaim its tasks).
+            print("pid %d on %s (%s): unreachable from %s — removing "
+                  "stale pidfile" % (pid, host, name, local_host))
+            unreachable += 1
+        elif pid > 1:
             try:
                 os.kill(pid, signal.SIGKILL)
-                print("killed %d (%s)" % (pid, os.path.basename(path)))
+                print("killed %d (%s)" % (pid, name))
                 killed += 1
+            except ProcessLookupError:
+                print("pid %d (%s): already gone — removing stale pidfile"
+                      % (pid, name))
+                unreachable += 1
             except OSError as err:
-                print("pid %d: %s (already gone?)" % (pid, err))
+                print("pid %d (%s): %s" % (pid, name, err))
+                unreachable += 1
         try:
             os.remove(path)
         except OSError:
             pass
-    print("%d worker(s) signalled" % killed)
+    print("%d worker(s) signalled, %d unreachable/stale" %
+          (killed, unreachable))
     return True
 
 
 def main(argv):
-    if len(argv) != 3 or argv[1] not in ("status", "dump", "killall"):
+    commands = {"status": cmd_status, "dump": cmd_dump,
+                "connections": cmd_connections, "killall": cmd_killall}
+    if len(argv) != 3 or argv[1] not in commands:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     command, directory = argv[1], argv[2]
     if not os.path.isdir(directory):
         print("%s: not a directory" % directory, file=sys.stderr)
         return 2
-    handler = {"status": cmd_status, "dump": cmd_dump,
-               "killall": cmd_killall}[command]
+    handler = commands[command]
     return 0 if handler(directory) else 1
 
 
