@@ -15,6 +15,15 @@
 // reaches a statistically indistinguishable estimate (95% CIs overlap)
 // with <= 1/20 of that exact-solve budget.
 //
+// A second gated claim covers the candidate exact-solve path
+// (BM_CandidateExact): the same Blockade curve is timed under both exact-
+// batch kinds — OneAtATime (the scalar oracle loop) and LaneBatch (cross-cell
+// SoA lanes through drv_hold_cross_batched) — at two candidate densities. At
+// heavy density (the gate swallows every sampled cell) the lane batch must be
+// >= 2x faster; at sparse density (surrogate evaluation dominates, few exact
+// solves) it must at least not regress. Both runs must produce bit-identical
+// curves, or the speedup is meaningless.
+//
 // Writes BENCH_yield.json with the `lpsram_build_type` stamp; the check
 // script refuses debug-build reports.
 //
@@ -48,6 +57,71 @@ void print_curve(const char* label, const YieldResult& r) {
         pt.vreg, pt.tail.p, pt.tail.ci95, pt.tail.rel_ci, pt.tail.ess,
         pt.sigma, static_cast<unsigned long long>(pt.failures));
   }
+}
+
+bool curves_bit_identical(const YieldResult& a, const YieldResult& b) {
+  if (a.points.size() != b.points.size() || a.exact_solves != b.exact_solves)
+    return false;
+  for (std::size_t k = 0; k < a.points.size(); ++k) {
+    if (a.points[k].failures != b.points[k].failures) return false;
+    if (std::memcmp(&a.points[k].tail.p, &b.points[k].tail.p,
+                    sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+// BM_CandidateExact{Scalar,LaneBatch}: one Blockade configuration timed under
+// both exact-batch kinds on one worker thread (kernel speedup, not executor
+// scaling), plus the bit-identity cross-check the speedup is conditional on.
+struct CandidateExactSection {
+  double margin = 0.0;
+  std::uint64_t samples = 0;
+  std::uint64_t candidates = 0;
+  std::uint64_t exact_solves = 0;
+  double one_wall = 0.0;   // BM_CandidateExactScalar
+  double lane_wall = 0.0;  // BM_CandidateExactLaneBatch
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+CandidateExactSection bench_candidate_exact(const Technology& tech,
+                                            const DrvSurrogate& surrogate,
+                                            const YieldEngineOptions& opts) {
+  CandidateExactSection s;
+  s.margin = opts.blockade_margin;
+  YieldResult one, lane;
+  {
+    ScopedYieldExactBatchDefault scoped(YieldExactBatchKind::OneAtATime);
+    const YieldPlan plan(tech, surrogate, opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    one = run_yield(plan);
+    s.one_wall = wall_seconds(t0);
+  }
+  {
+    ScopedYieldExactBatchDefault scoped(YieldExactBatchKind::LaneBatch);
+    const YieldPlan plan(tech, surrogate, opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    lane = run_yield(plan);
+    s.lane_wall = wall_seconds(t0);
+  }
+  s.samples = lane.samples;
+  s.candidates = lane.candidates;
+  s.exact_solves = lane.exact_solves;
+  s.speedup = s.lane_wall > 0.0 ? s.one_wall / s.lane_wall : 0.0;
+  s.identical = curves_bit_identical(one, lane);
+  return s;
+}
+
+void print_candidate_exact(const char* label, const CandidateExactSection& s) {
+  std::printf("BM_CandidateExact (%s, margin %.2f V): %llu of %llu cells "
+              "gated, %llu exact solves\n",
+              label, s.margin, static_cast<unsigned long long>(s.candidates),
+              static_cast<unsigned long long>(s.samples),
+              static_cast<unsigned long long>(s.exact_solves));
+  std::printf("  one-at-a-time %.3f s, lane-batch %.3f s -> %.2fx, curves %s\n",
+              s.one_wall, s.lane_wall, s.speedup,
+              s.identical ? "bit-identical" : "DIVERGED (BUG?)");
 }
 
 }  // namespace
@@ -128,6 +202,30 @@ int main(int argc, char** argv) {
   std::printf("  wall: reference %.1f s, importance %.1f s\n", ref_wall,
               is_wall);
 
+  // Candidate exact-solve batching at two densities, one worker thread.
+  // Sparse: the default gate margin — surrogate evaluation dominates, exact
+  // solves are rare; lane batching must simply not regress. Heavy: the gate
+  // sits below 0 V so every sampled cell takes an exact solve — this is the
+  // configuration the cross-cell lane kernel exists for.
+  std::printf("\n");
+  YieldEngineOptions ce = base;
+  ce.mode = YieldMode::Blockade;
+  ce.rows = 256;
+  ce.cols = 64;
+  ce.trials = 8;
+  ce.threads = 1;
+  const CandidateExactSection sparse =
+      bench_candidate_exact(tech, surrogate, ce);
+  print_candidate_exact("sparse", sparse);
+  ce.rows = 64;
+  ce.cols = 64;
+  ce.trials = 2;
+  ce.blockade_margin = 0.40;  // gate < 0 V: every cell is a candidate
+  const CandidateExactSection heavy =
+      bench_candidate_exact(tech, surrogate, ce);
+  print_candidate_exact("heavy", heavy);
+  const bool batch_sound = sparse.identical && heavy.identical;
+
   FILE* json = std::fopen("BENCH_yield.json", "w");
   if (json) {
     std::fprintf(
@@ -150,7 +248,17 @@ int main(int argc, char** argv) {
         "\"failures\": %llu, \"wall_s\": %.3f},\n"
         "  \"bf_solves_needed\": %.6e,\n"
         "  \"solve_ratio\": %.8f,\n"
-        "  \"ci_overlap\": %s\n"
+        "  \"ci_overlap\": %s,\n"
+        "  \"candidate_exact\": {\n"
+        "    \"sparse\": {\"blockade_margin\": %.3f, \"samples\": %llu, "
+        "\"candidates\": %llu, \"exact_solves\": %llu, "
+        "\"one_at_a_time_wall_s\": %.6f, \"lane_batch_wall_s\": %.6f, "
+        "\"speedup\": %.4f, \"curves_identical\": %s},\n"
+        "    \"heavy\": {\"blockade_margin\": %.3f, \"samples\": %llu, "
+        "\"candidates\": %llu, \"exact_solves\": %llu, "
+        "\"one_at_a_time_wall_s\": %.6f, \"lane_batch_wall_s\": %.6f, "
+        "\"speedup\": %.4f, \"curves_identical\": %s}\n"
+        "  }\n"
         "}\n",
         lpsram::bench::kReleaseBuild ? "release" : "debug", threads,
         base.rows, base.cols, gate_vreg, trials,
@@ -163,9 +271,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(importance.exact_solves), is_tail.p,
         is_tail.ci95, is_tail.rel_ci, is_tail.ess,
         static_cast<unsigned long long>(importance.points[gate_k].failures),
-        is_wall, bf_needed, solve_ratio, ci_overlap ? "true" : "false");
+        is_wall, bf_needed, solve_ratio, ci_overlap ? "true" : "false",
+        sparse.margin, static_cast<unsigned long long>(sparse.samples),
+        static_cast<unsigned long long>(sparse.candidates),
+        static_cast<unsigned long long>(sparse.exact_solves), sparse.one_wall,
+        sparse.lane_wall, sparse.speedup, sparse.identical ? "true" : "false",
+        heavy.margin, static_cast<unsigned long long>(heavy.samples),
+        static_cast<unsigned long long>(heavy.candidates),
+        static_cast<unsigned long long>(heavy.exact_solves), heavy.one_wall,
+        heavy.lane_wall, heavy.speedup, heavy.identical ? "true" : "false");
     std::fclose(json);
     std::printf("\nwrote BENCH_yield.json\n");
   }
-  return ci_overlap ? 0 : 1;
+  return ci_overlap && batch_sound ? 0 : 1;
 }

@@ -27,19 +27,16 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--mode brute|blockade|is] [--rows N] [--cols N]\n"
-      "          [--trials N] [--samples N] [--shift SIGMA] [--vreg V ...]\n"
+      "          [--trials N] [--samples N] [--shift SIGMA] [--auto-shift]\n"
+      "          [--exact-batch one-at-a-time|lane-batch] [--vreg V ...]\n"
       "          [--seed N] [--threads N] [--resume JOURNAL]\n",
       argv0);
 }
 
 void print_result(const YieldPlan& plan, const YieldResult& result) {
   const YieldEngineOptions& options = plan.options();
-  std::printf("# mode=%s cells/trial=%zu samples=%llu candidates=%llu "
-              "exact_solves=%llu\n",
-              yield_mode_name(options.mode).c_str(), options.cells_per_trial(),
-              static_cast<unsigned long long>(result.samples),
-              static_cast<unsigned long long>(result.candidates),
-              static_cast<unsigned long long>(result.exact_solves));
+  std::printf("# %s\n", yield_summary_line(plan, result).c_str());
+  std::printf("# cells/trial=%zu\n", options.cells_per_trial());
   std::printf("# vreg[V]  p_fail      ci95        rel_ci  ess        sigma  "
               "array_yield  failures\n");
   for (const YieldPoint& pt : result.points)
@@ -90,6 +87,15 @@ int main(int argc, char** argv) {
       options.is_samples = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (std::strcmp(argv[i], "--shift") == 0) {
       options.is_shift = std::atof(next());
+    } else if (std::strcmp(argv[i], "--auto-shift") == 0) {
+      options.auto_shift = true;
+    } else if (std::strcmp(argv[i], "--exact-batch") == 0) {
+      const char* b = next();
+      if (std::strcmp(b, "one-at-a-time") == 0)
+        set_default_yield_exact_batch(YieldExactBatchKind::OneAtATime);
+      else if (std::strcmp(b, "lane-batch") == 0)
+        set_default_yield_exact_batch(YieldExactBatchKind::LaneBatch);
+      else { usage(argv[0]); return 2; }
     } else if (std::strcmp(argv[i], "--vreg") == 0) {
       vregs.push_back(std::atof(next()));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -112,6 +118,11 @@ int main(int argc, char** argv) {
               surrogate.rms_error() * 1e3, surrogate.max_error() * 1e3);
 
   const YieldPlan plan(tech, surrogate, options);
+  if (plan.pilot().tuned)
+    std::printf("# pilot shift search: %.3f sigma (min tail ESS %.1f over %zu "
+                "grid point(s), %zu pilot samples)\n",
+                plan.pilot().shift, plan.pilot().objective,
+                plan.pilot().grid_points_scored, plan.pilot().samples);
 
   CancelToken stop;
   install_cancel_on_signal(stop);

@@ -166,4 +166,48 @@ double hold_snm_batched(const CoreCell& cell, StoredBit bit, double vdd_cc,
 double drv_hold_batched(const CoreCell& cell, StoredBit bit, double temp_c,
                         const DrvOptions& options = {});
 
+// ---------------------------------------------------------------------------
+// Cross-cell DRV batching: lanes are *different cells*, not one cell's
+// node-inversion grid. The yield engine's candidate exact solves are the
+// consumer — a staging buffer of surrogate-gated samples marches through in
+// lane-width blocks, every cell running the same outer search in lockstep.
+//
+// Determinism contract: per lane the result is identical to the solo
+// `drv_hold_batched` call for that cell — the outer probe schedule is the
+// scalar monotone_threshold_log state machine per lane, each retains
+// evaluation runs the same scan/refine/high-node phases with per-lane
+// constants, and every per-lane solver trajectory (Newton-vs-bisect choices
+// included) depends only on the lane's own state plus a round counter that
+// both paths start at zero. Batch composition therefore cannot change any
+// cell's DRV, which is what lets the yield engine keep its curves
+// bit-identical across batch kinds.
+
+struct CrossDrvOptions {
+  DrvOptions drv;
+  // Scan rounds allowed inside one retains evaluation before a lane is
+  // evicted from the batch and re-solved solo (straggler safety valve; the
+  // monotone-accelerated scan needs well under 48 rounds in practice, so
+  // the default never triggers outside adversarial tests). Eviction is
+  // result-neutral: the solo path computes the identical DRV.
+  int scan_round_budget = 64;
+};
+
+struct CrossDrvStats {
+  std::size_t evicted = 0;  // lanes re-solved via the solo path
+};
+
+// DRV of one stored bit for n cells at one temperature; drv_out[i] receives
+// the DRV of *cells[i]. All cells share the hold bias and the search
+// options.
+void drv_hold_cross_batched(const CoreCell* const* cells, std::size_t n,
+                            StoredBit bit, double temp_c,
+                            const CrossDrvOptions& options, double* drv_out,
+                            CrossDrvStats* stats = nullptr);
+
+// Both DRV components for n cells: out[i] = {drv1, drv0} of *cells[i],
+// matching drv_ds() per lane (bit One first, then Zero).
+void drv_ds_cross_batched(const CoreCell* const* cells, std::size_t n,
+                          double temp_c, const CrossDrvOptions& options,
+                          DrvResult* out, CrossDrvStats* stats = nullptr);
+
 }  // namespace lpsram

@@ -147,13 +147,56 @@ struct MosEvalV {
   V id, gm, gds, gms;
 };
 
+// Per-lane device constants as vector operands: the cross-cell DRV batch
+// (cell/batch_vtc drv_hold_cross_batched) marches *different cells* through
+// one lane block, so vth/n/i0/... vary lane to lane instead of being one
+// broadcast scalar. The pmos flag stays a per-call scalar — a lane block
+// always evaluates one device *role* (all pull-ups, or all pull-downs), so
+// polarity is uniform even when the devices themselves differ.
 template <class V>
-inline MosEvalV<V> lane_eval_core_v(const MosfetLaneConsts& c, V vg, V vd,
-                                    V vs) noexcept {
-  const V vp = (vg - V::broadcast(c.vth)) / V::broadcast(c.n);
-  const V two_vt = V::broadcast(c.two_vt);
-  const V us = (vp - vs) / two_vt;
-  const V ud = (vp - vd) / two_vt;
+struct MosfetLaneConstsV {
+  V vth, n, two_vt, inv2vt, inv2vt_over_n, i0, lambda;
+};
+
+// Broadcast one device's constants across every lane (the single-cell path).
+template <class V>
+inline MosfetLaneConstsV<V> broadcast_lane_consts(
+    const MosfetLaneConsts& c) noexcept {
+  return {V::broadcast(c.vth),          V::broadcast(c.n),
+          V::broadcast(c.two_vt),       V::broadcast(c.inv2vt),
+          V::broadcast(c.inv2vt_over_n), V::broadcast(c.i0),
+          V::broadcast(c.lambda)};
+}
+
+// Gather per-lane constants for a block: consts[idx[j]] fills lane j of each
+// field, j in [0, V::kWidth).
+template <class V>
+inline MosfetLaneConstsV<V> gather_lane_consts(const MosfetLaneConsts* consts,
+                                               const std::size_t* idx) noexcept {
+  constexpr std::size_t W = V::kWidth;
+  double vth[W], n[W], two_vt[W], inv2vt[W], inv2vt_over_n[W], i0[W],
+      lambda[W];
+  for (std::size_t j = 0; j < W; ++j) {
+    const MosfetLaneConsts& c = consts[idx[j]];
+    vth[j] = c.vth;
+    n[j] = c.n;
+    two_vt[j] = c.two_vt;
+    inv2vt[j] = c.inv2vt;
+    inv2vt_over_n[j] = c.inv2vt_over_n;
+    i0[j] = c.i0;
+    lambda[j] = c.lambda;
+  }
+  return {V::load(vth),          V::load(n),  V::load(two_vt),
+          V::load(inv2vt),       V::load(inv2vt_over_n),
+          V::load(i0),           V::load(lambda)};
+}
+
+template <class V>
+inline MosEvalV<V> lane_eval_core_cv(const MosfetLaneConstsV<V>& c, V vg, V vd,
+                                     V vs) noexcept {
+  const V vp = (vg - c.vth) / c.n;
+  const V us = (vp - vs) / c.two_vt;
+  const V ud = (vp - vd) / c.two_vt;
 
   const simd::SoftplusEvalV<V> ss = simd::softplus_eval_v(us);
   const simd::SoftplusEvalV<V> sd = simd::softplus_eval_v(ud);
@@ -161,10 +204,8 @@ inline MosEvalV<V> lane_eval_core_v(const MosfetLaneConsts& c, V vg, V vd,
   const V i_reverse = sd.f * sd.f;
 
   const V vds = vd - vs;
-  const V lambda = V::broadcast(c.lambda);
-  const V clm = V::broadcast(1.0) + lambda * simd::smooth_abs_v(vds);
-  const V i0 = V::broadcast(c.i0);
-  const V core = i0 * (i_forward - i_reverse);
+  const V clm = V::broadcast(1.0) + c.lambda * simd::smooth_abs_v(vds);
+  const V core = c.i0 * (i_forward - i_reverse);
 
   const V two = V::broadcast(2.0);
   const V dfs = two * ss.f * ss.d;
@@ -173,17 +214,16 @@ inline MosEvalV<V> lane_eval_core_v(const MosfetLaneConsts& c, V vg, V vd,
 
   MosEvalV<V> e;
   e.id = core * clm;
-  e.gm = i0 * (dfs - dfd) * V::broadcast(c.inv2vt_over_n) * clm;
-  e.gds = i0 * dfd * V::broadcast(c.inv2vt) * clm + core * lambda * sad;
-  e.gms = V::zero() - i0 * dfs * V::broadcast(c.inv2vt) * clm -
-          core * lambda * sad;
+  e.gm = c.i0 * (dfs - dfd) * c.inv2vt_over_n * clm;
+  e.gds = c.i0 * dfd * c.inv2vt * clm + core * c.lambda * sad;
+  e.gms = V::zero() - c.i0 * dfs * c.inv2vt * clm - core * c.lambda * sad;
   return e;
 }
 
 template <class V>
-inline MosEvalV<V> lane_eval_v(const MosfetLaneConsts& c, V vg, V vd,
-                               V vs) noexcept {
-  if (c.pmos) {
+inline MosEvalV<V> lane_eval_cv(bool pmos, const MosfetLaneConstsV<V>& c, V vg,
+                                V vd, V vs) noexcept {
+  if (pmos) {
     const V half = V::broadcast(0.5);
     const V one = V::broadcast(1.0);
     const V diff = vd - vs;
@@ -192,7 +232,7 @@ inline MosEvalV<V> lane_eval_v(const MosfetLaneConsts& c, V vg, V vd,
     const V rd = half * (one + sad);
     const V rs = half * (one - sad);
 
-    const MosEvalV<V> n = lane_eval_core_v(c, ref - vg, ref - vd, ref - vs);
+    const MosEvalV<V> n = lane_eval_core_cv(c, ref - vg, ref - vd, ref - vs);
     MosEvalV<V> e;
     e.id = V::zero() - n.id;
     e.gm = n.gm;
@@ -200,35 +240,55 @@ inline MosEvalV<V> lane_eval_v(const MosfetLaneConsts& c, V vg, V vd,
     e.gms = V::zero() - (n.gm * rs + n.gds * rs + n.gms * (rs - one));
     return e;
   }
-  return lane_eval_core_v(c, vg, vd, vs);
+  return lane_eval_core_cv(c, vg, vd, vs);
 }
 
-// Drain-swept cached NMOS evaluation over lanes; the cache fields are vector
-// operands so callers can either broadcast one shared NmosSourceCache or
-// gather per-lane caches.
+// Drain-swept cached NMOS evaluation over lanes with per-lane constants; the
+// cache fields are vector operands so callers can either broadcast one
+// shared NmosSourceCache or gather per-lane caches.
 template <class V>
-inline MosEvalV<V> lane_eval_nmos_cached_v(const MosfetLaneConsts& c, V vp,
-                                           V i_forward, V dfs, V vd,
-                                           V vs) noexcept {
-  const V ud = (vp - vd) / V::broadcast(c.two_vt);
+inline MosEvalV<V> lane_eval_nmos_cached_cv(const MosfetLaneConstsV<V>& c,
+                                            V vp, V i_forward, V dfs, V vd,
+                                            V vs) noexcept {
+  const V ud = (vp - vd) / c.two_vt;
   const simd::SoftplusEvalV<V> sd = simd::softplus_eval_v(ud);
   const V i_reverse = sd.f * sd.f;
 
   const V vds = vd - vs;
-  const V lambda = V::broadcast(c.lambda);
-  const V clm = V::broadcast(1.0) + lambda * simd::smooth_abs_v(vds);
-  const V i0 = V::broadcast(c.i0);
-  const V core = i0 * (i_forward - i_reverse);
+  const V clm = V::broadcast(1.0) + c.lambda * simd::smooth_abs_v(vds);
+  const V core = c.i0 * (i_forward - i_reverse);
   const V dfd = V::broadcast(2.0) * sd.f * sd.d;
   const V sad = simd::smooth_abs_d_v(vds);
 
   MosEvalV<V> e;
   e.id = core * clm;
-  e.gm = i0 * (dfs - dfd) * V::broadcast(c.inv2vt_over_n) * clm;
-  e.gds = i0 * dfd * V::broadcast(c.inv2vt) * clm + core * lambda * sad;
-  e.gms = V::zero() - i0 * dfs * V::broadcast(c.inv2vt) * clm -
-          core * lambda * sad;
+  e.gm = c.i0 * (dfs - dfd) * c.inv2vt_over_n * clm;
+  e.gds = c.i0 * dfd * c.inv2vt * clm + core * c.lambda * sad;
+  e.gms = V::zero() - c.i0 * dfs * c.inv2vt * clm - core * c.lambda * sad;
   return e;
+}
+
+// Broadcast-constant wrappers (one device, many operating points): the
+// single-cell inversion kernels call these; lanewise they compute exactly
+// the per-lane-constant trees above with every constant replicated.
+template <class V>
+inline MosEvalV<V> lane_eval_core_v(const MosfetLaneConsts& c, V vg, V vd,
+                                    V vs) noexcept {
+  return lane_eval_core_cv(broadcast_lane_consts<V>(c), vg, vd, vs);
+}
+
+template <class V>
+inline MosEvalV<V> lane_eval_v(const MosfetLaneConsts& c, V vg, V vd,
+                               V vs) noexcept {
+  return lane_eval_cv(c.pmos, broadcast_lane_consts<V>(c), vg, vd, vs);
+}
+
+template <class V>
+inline MosEvalV<V> lane_eval_nmos_cached_v(const MosfetLaneConsts& c, V vp,
+                                           V i_forward, V dfs, V vd,
+                                           V vs) noexcept {
+  return lane_eval_nmos_cached_cv(broadcast_lane_consts<V>(c), vp, i_forward,
+                                  dfs, vd, vs);
 }
 
 }  // namespace lpsram

@@ -1,8 +1,11 @@
 #include "lpsram/stats/yield/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
 #include "lpsram/cell/batch_vtc.hpp"
 #include "lpsram/cell/drv.hpp"
@@ -20,6 +23,17 @@ namespace {
 constexpr std::uint64_t kIsStreamTag = 0x4953ULL;
 // Lane 6 picks the mixture component (lanes 0..5 are the six transistors).
 constexpr std::uint64_t kComponentLane = 6;
+// Pilot shift-tuning draws get their own stream too ("PS"): the pilot must
+// not consume — or correlate with — the production sampling field.
+constexpr std::uint64_t kPilotStreamTag = 0x5053ULL;
+
+// Cells per cross-batched exact-solve chunk. A multiple of every native
+// SIMD width; large enough that per-chunk setup (device-constant hoisting)
+// amortizes, small enough that the staging working set stays cache-resident.
+constexpr std::size_t kExactBatchLanes = 32;
+
+std::atomic<YieldExactBatchKind> g_default_yield_exact_batch{
+    YieldExactBatchKind::LaneBatch};
 
 }  // namespace
 
@@ -30,6 +44,31 @@ std::string yield_mode_name(YieldMode mode) {
     case YieldMode::ImportanceSampled: return "importance-sampled";
   }
   return "unknown";
+}
+
+std::string yield_exact_batch_name(YieldExactBatchKind kind) {
+  switch (kind) {
+    case YieldExactBatchKind::Auto: return "auto";
+    case YieldExactBatchKind::OneAtATime: return "one-at-a-time";
+    case YieldExactBatchKind::LaneBatch: return "lane-batch";
+  }
+  return "unknown";
+}
+
+YieldExactBatchKind default_yield_exact_batch() noexcept {
+  return g_default_yield_exact_batch.load(std::memory_order_relaxed);
+}
+
+YieldExactBatchKind set_default_yield_exact_batch(
+    YieldExactBatchKind kind) noexcept {
+  if (kind == YieldExactBatchKind::Auto) kind = YieldExactBatchKind::LaneBatch;
+  return g_default_yield_exact_batch.exchange(kind, std::memory_order_relaxed);
+}
+
+YieldExactBatchKind resolved_yield_exact_batch() noexcept {
+  const YieldExactBatchKind kind = default_yield_exact_batch();
+  return kind == YieldExactBatchKind::Auto ? YieldExactBatchKind::LaneBatch
+                                           : kind;
 }
 
 YieldPlan::YieldPlan(const Technology& tech, const DrvSurrogate& surrogate,
@@ -60,17 +99,35 @@ YieldPlan::YieldPlan(const Technology& tech, const DrvSurrogate& surrogate,
       throw InvalidArgument("YieldPlan: is_shift must be >= 0");
     if (!(options_.is_defensive >= 0.0 && options_.is_defensive < 1.0))
       throw InvalidArgument("YieldPlan: is_defensive must be in [0, 1)");
+    if (options_.auto_shift) {
+      if (options_.pilot_samples < 1)
+        throw InvalidArgument("YieldPlan: pilot_samples must be >= 1");
+      if (!(options_.pilot_shift_lo >= 0.0) ||
+          !(options_.pilot_shift_hi >= options_.pilot_shift_lo))
+        throw InvalidArgument(
+            "YieldPlan: need 0 <= pilot_shift_lo <= pilot_shift_hi");
+      if (options_.pilot_steps < 1)
+        throw InvalidArgument("YieldPlan: pilot_steps must be >= 1");
+    }
     blocks_per_trial_ =
         (options_.is_samples + options_.block_cells - 1) / options_.block_cells;
     task_count_ = blocks_per_trial_;
 
-    // Mean shift along the fitted worst-case direction (unit Euclidean norm
-    // of the surrogate weights), mirrored for the opposite polarity.
     const auto& w = surrogate.weights();
     double norm_sq = 0.0;
     for (const double wi : w) norm_sq += wi * wi;
     if (!(norm_sq > 0.0))
       throw InvalidArgument("YieldPlan: surrogate weights are all zero");
+
+    // Pilot line search first (surrogate-only, deterministic): it may
+    // replace options_.is_shift before the shift vectors are derived, so
+    // everything downstream — the sampler, the weights, the fingerprint —
+    // sees one consistent tuned value.
+    pilot_.shift = options_.is_shift;
+    if (options_.auto_shift) run_pilot_shift_search();
+
+    // Mean shift along the fitted worst-case direction (unit Euclidean norm
+    // of the surrogate weights), mirrored for the opposite polarity.
     const double scale = options_.is_shift / std::sqrt(norm_sq);
     CellVariation mu;
     for (std::size_t i = 0; i < kAllCellTransistors.size(); ++i)
@@ -91,6 +148,129 @@ YieldPlan::YieldPlan(const Technology& tech, const DrvSurrogate& surrogate,
   }
 }
 
+void YieldPlan::run_pilot_shift_search() {
+  // ESS-maximizing line search along the surrogate worst-case direction.
+  //
+  // Design rules that keep this sound:
+  //  * Surrogate-only: the pilot never spends an exact solve — the failure
+  //    indicator is predict_drv(v) > vreg, which is what the production
+  //    blockade gate keys off anyway.
+  //  * Common random numbers: one (component pick, z) draw per pilot sample,
+  //    reused for every candidate shift, so the comparison across shifts is
+  //    paired and the winner is not a noise artifact of per-shift streams.
+  //  * Own counter stream (kPilotStreamTag): pilot draws never collide with
+  //    the production sampling field, so tuning cannot bias the estimate.
+  //  * Tail ESS, not overall ESS: (sum w*f)^2 / sum w^2*f restricted to the
+  //    failure indicator. The overall (sum w)^2 / sum w^2 is maximized by
+  //    shift 0 — it measures weight uniformity, not tail evidence — and
+  //    would tune every run back to plain Monte Carlo.
+  //  * Max-min over grid points: the chosen shift must serve the whole
+  //    curve, so the score is the minimum tail ESS over every grid point
+  //    that registered at least one pilot hit at any shift; grid points no
+  //    shift can reach are excluded rather than zeroing every score. If no
+  //    grid point scores at all, the hand shift stays untouched.
+  const auto& w = surrogate_->weights();
+  double norm_sq = 0.0;
+  for (const double wi : w) norm_sq += wi * wi;
+  CellVariation u;
+  for (std::size_t i = 0; i < kAllCellTransistors.size(); ++i)
+    u.set(kAllCellTransistors[i], w[i] / std::sqrt(norm_sq));
+  const CellVariation u_m = u.mirrored();
+
+  const std::vector<double>& grid = options_.vreg_grid;
+  const std::size_t steps = static_cast<std::size_t>(options_.pilot_steps);
+  std::vector<double> shifts(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    shifts[t] = steps > 1
+                    ? options_.pilot_shift_lo +
+                          (options_.pilot_shift_hi - options_.pilot_shift_lo) *
+                              static_cast<double>(t) /
+                              static_cast<double>(steps - 1)
+                    : options_.pilot_shift_lo;
+  }
+
+  // sum_wf / sum_wf2 per (shift, grid point), summed in sample order.
+  std::vector<double> sum_wf(steps * grid.size(), 0.0);
+  std::vector<double> sum_wf2(steps * grid.size(), 0.0);
+  std::vector<char> grid_hit(grid.size(), 0);
+
+  const std::uint64_t pilot_seed = fold_key(options_.seed, kPilotStreamTag);
+  const double alpha = options_.is_defensive;
+  for (std::size_t j = 0; j < options_.pilot_samples; ++j) {
+    const double pick = counter_uniform(pilot_seed, 0, j, kComponentLane);
+    // Component selection mirrors the production sampler: nominal with
+    // probability alpha, else one of the two shifted halves.
+    int component = 0;  // 0 nominal, 1 shifted, 2 mirrored
+    if (pick >= alpha)
+      component = pick < alpha + 0.5 * (1.0 - alpha) ? 1 : 2;
+    std::array<double, 6> z{};
+    for (std::size_t lane = 0; lane < kAllCellTransistors.size(); ++lane)
+      z[lane] = counter_normal(pilot_seed, 0, j, lane);
+
+    for (std::size_t t = 0; t < steps; ++t) {
+      const double c = shifts[t];
+      CellVariation v;
+      for (std::size_t lane = 0; lane < kAllCellTransistors.size(); ++lane) {
+        const double mean =
+            component == 1 ? c * u.get(kAllCellTransistors[lane])
+            : component == 2 ? c * u_m.get(kAllCellTransistors[lane])
+                             : 0.0;
+        v.set(kAllCellTransistors[lane], z[lane] + mean);
+      }
+      // Likelihood ratio of the same defensive mixture at shift c:
+      // a_i = c * (u_i . v) - c^2/2, w = 1/(alpha + (1-alpha) e^m s).
+      double uv = 0.0, umv = 0.0;
+      for (std::size_t lane = 0; lane < kAllCellTransistors.size(); ++lane) {
+        const double vl = v.get(kAllCellTransistors[lane]);
+        uv += u.get(kAllCellTransistors[lane]) * vl;
+        umv += u_m.get(kAllCellTransistors[lane]) * vl;
+      }
+      const double a1 = c * uv - 0.5 * c * c;
+      const double a2 = c * umv - 0.5 * c * c;
+      const double m = std::max(a1, a2);
+      const double s = 0.5 * (std::exp(a1 - m) + std::exp(a2 - m));
+      const double weight =
+          alpha > 0.0 ? 1.0 / (alpha + (1.0 - alpha) * std::exp(m) * s)
+                      : std::exp(-(m + std::log(s)));
+
+      const double sdrv = surrogate_->predict_drv(v);
+      for (std::size_t k = 0; k < grid.size(); ++k) {
+        if (sdrv > grid[k]) {
+          sum_wf[t * grid.size() + k] += weight;
+          sum_wf2[t * grid.size() + k] += weight * weight;
+          grid_hit[k] = 1;
+        }
+      }
+    }
+  }
+
+  pilot_.samples = options_.pilot_samples;
+  for (const char h : grid_hit)
+    if (h) ++pilot_.grid_points_scored;
+  if (pilot_.grid_points_scored == 0) return;  // tail unreachable: keep hand shift
+
+  double best_score = -1.0;
+  double best_shift = options_.is_shift;
+  for (std::size_t t = 0; t < steps; ++t) {
+    double score = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < grid.size(); ++k) {
+      if (!grid_hit[k]) continue;
+      const double wf = sum_wf[t * grid.size() + k];
+      const double wf2 = sum_wf2[t * grid.size() + k];
+      score = std::min(score, wf2 > 0.0 ? wf * wf / wf2 : 0.0);
+    }
+    if (score > best_score) {  // strict: ties keep the smaller shift
+      best_score = score;
+      best_shift = shifts[t];
+    }
+  }
+
+  options_.is_shift = best_shift;
+  pilot_.tuned = true;
+  pilot_.shift = best_shift;
+  pilot_.objective = best_score;
+}
+
 std::uint64_t YieldPlan::key_of(std::size_t index) const noexcept {
   return fold_key(fold_key(kSalt, static_cast<std::uint64_t>(options_.mode)),
                   index);
@@ -106,6 +286,15 @@ std::uint64_t YieldPlan::fingerprint() const {
   fp = fold_key(fp, key_bits(options_.is_shift));
   fp = fold_key(fp, options_.is_samples);
   fp = fold_key(fp, key_bits(options_.is_defensive));
+  // Pilot knobs: is_shift above already carries the *tuned* value (the
+  // pilot rewrites it at construction), but folding the pilot configuration
+  // too means a hand-shifted run can never alias an auto-shifted one that
+  // happened to tune to the same number.
+  fp = fold_key(fp, static_cast<std::uint64_t>(options_.auto_shift ? 1 : 0));
+  fp = fold_key(fp, options_.pilot_samples);
+  fp = fold_key(fp, key_bits(options_.pilot_shift_lo));
+  fp = fold_key(fp, key_bits(options_.pilot_shift_hi));
+  fp = fold_key(fp, static_cast<std::uint64_t>(options_.pilot_steps));
   fp = fold_key(fp, key_bits(options_.blockade_margin));
   fp = fold_key(fp, options_.block_cells);
   fp = fold_key(fp, static_cast<std::uint64_t>(options_.corner));
@@ -120,6 +309,11 @@ std::uint64_t YieldPlan::fingerprint() const {
   // The SIMD backend kind shifts solver outcomes within ulp-level noise;
   // refuse to resume a journal recorded under the other kind.
   fp = fold_key(fp, static_cast<std::uint64_t>(resolved_simd_kind()));
+  // The exact-batch kind is result-neutral by construction, but the folded
+  // fingerprint is the *claim* of that neutrality a resumed journal can
+  // check: refusing a mixed resume is how the bit-identity contract stays
+  // falsifiable instead of assumed.
+  fp = fold_key(fp, static_cast<std::uint64_t>(resolved_yield_exact_batch()));
   return fp;
 }
 
@@ -173,6 +367,24 @@ BlockAccum YieldPlan::run_block(std::size_t index,
   BlockAccum acc;
   acc.points.resize(grid.size());
 
+  // The block runs in three passes over a staging buffer instead of one
+  // fused loop, so the exact solves can batch cross-cell without touching
+  // the accumulation order:
+  //   1. sample + weight + surrogate-classify every cell, staging the
+  //      survivors' variations and positions;
+  //   2. exact-solve the staged candidates — per candidate (the oracle) or
+  //      in lane-width cross-cell chunks, both walking the same staging
+  //      order and writing the same per-sample slots;
+  //   3. accumulate every sample in s order, exactly the fused loop's
+  //      order, so curves stay bit-identical across batch kinds, thread
+  //      counts, resume and fleet merges.
+  const std::size_t count = end - begin;
+  std::vector<double> weights(count, 1.0);
+  std::vector<double> drvs(count, 0.0);
+  std::vector<CellVariation> staged_v;
+  std::vector<std::size_t> staged_pos;
+
+  // Pass 1 — sampling, weights, surrogate gate.
   for (std::size_t s = begin; s < end; ++s) {
     poll_cancel(cancel, "yield block", 0, 0.0);
 
@@ -202,14 +414,58 @@ BlockAccum YieldPlan::run_block(std::size_t index,
     // the equivalence suite bounds).
     const double surrogate_drv = surrogate_->predict_drv(v);
     const bool candidate = surrogate_drv >= gate_;
-    double drv = surrogate_drv;
+    const std::size_t pos = s - begin;
+    weights[pos] = w;
+    drvs[pos] = surrogate_drv;
+    if (candidate) ++acc.candidates;
     if (options_.mode == YieldMode::BruteForceExact || candidate) {
-      const CoreCell cell(*tech_, v, options_.corner);
-      drv = drv_ds(cell, options_.temp_c).drv();
+      staged_v.push_back(v);
+      staged_pos.push_back(pos);
+    }
+  }
+
+  // Pass 2 — exact solves over the staging buffer. Both kinds visit the
+  // staged candidates in the same order and the cross-batched kernel is
+  // lane-for-lane identical to the solo path (see cell/batch_vtc.hpp), so
+  // the drvs[] array they produce is the same.
+  const bool lane_batch =
+      resolved_yield_exact_batch() == YieldExactBatchKind::LaneBatch &&
+      resolved_cell_kernel() == CellKernelKind::Batched;
+  if (lane_batch) {
+    CrossDrvOptions cross;
+    std::vector<CoreCell> chunk_cells;
+    std::vector<const CoreCell*> chunk_ptrs;
+    std::vector<DrvResult> chunk_out;
+    for (std::size_t i = 0; i < staged_v.size(); i += kExactBatchLanes) {
+      poll_cancel(cancel, "yield exact batch", 0, 0.0);
+      const std::size_t chunk =
+          std::min(kExactBatchLanes, staged_v.size() - i);
+      chunk_cells.clear();
+      chunk_cells.reserve(chunk);
+      chunk_ptrs.clear();
+      chunk_out.resize(chunk);
+      for (std::size_t j = 0; j < chunk; ++j)
+        chunk_cells.emplace_back(*tech_, staged_v[i + j], options_.corner);
+      for (const CoreCell& cell : chunk_cells) chunk_ptrs.push_back(&cell);
+      drv_ds_cross_batched(chunk_ptrs.data(), chunk, options_.temp_c, cross,
+                           chunk_out.data());
+      for (std::size_t j = 0; j < chunk; ++j)
+        drvs[staged_pos[i + j]] = chunk_out[j].drv();
+      acc.exact_solves += chunk;
+    }
+  } else {
+    for (std::size_t i = 0; i < staged_v.size(); ++i) {
+      poll_cancel(cancel, "yield exact solve", 0, 0.0);
+      const CoreCell cell(*tech_, staged_v[i], options_.corner);
+      drvs[staged_pos[i]] = drv_ds(cell, options_.temp_c).drv();
       ++acc.exact_solves;
     }
-    if (candidate) ++acc.candidates;
+  }
 
+  // Pass 3 — accumulation, strictly in sample order.
+  for (std::size_t pos = 0; pos < count; ++pos) {
+    const double w = weights[pos];
+    const double drv = drvs[pos];
     for (std::size_t k = 0; k < grid.size(); ++k)
       acc.points[k].add(w, drv > grid[k]);
     acc.sum_w += w;
@@ -377,6 +633,37 @@ YieldResult reduce_yield_journal(const YieldPlan& plan,
   YieldResult result = plan.reduce(blocks);
   result.telemetry.tasks = plan.task_count();
   return result;
+}
+
+std::string yield_summary_line(const YieldPlan& plan,
+                               const YieldResult& result) {
+  const YieldEngineOptions& opt = plan.options();
+  double ess = 0.0;
+  double min_tail = std::numeric_limits<double>::infinity();
+  for (const YieldPoint& p : result.points) {
+    ess = p.tail.ess;  // the overall ESS is shared by every grid point
+    if (p.tail.tail_ess > 0.0) min_tail = std::min(min_tail, p.tail.tail_ess);
+  }
+  if (!std::isfinite(min_tail)) min_tail = 0.0;
+
+  char buf[320];
+  const int n = std::snprintf(
+      buf, sizeof(buf),
+      "mode=%s exact-batch=%s samples=%llu candidates=%llu exact_solves=%llu "
+      "ess=%.1f min_tail_ess=%.1f",
+      yield_mode_name(opt.mode).c_str(),
+      yield_exact_batch_name(resolved_yield_exact_batch()).c_str(),
+      static_cast<unsigned long long>(result.samples),
+      static_cast<unsigned long long>(result.candidates),
+      static_cast<unsigned long long>(result.exact_solves), ess, min_tail);
+  std::string line(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+  if (opt.mode == YieldMode::ImportanceSampled) {
+    const int m = std::snprintf(buf, sizeof(buf), " shift=%.3f%s",
+                                opt.is_shift,
+                                plan.pilot().tuned ? " (pilot-tuned)" : "");
+    line.append(buf, m > 0 ? static_cast<std::size_t>(m) : 0);
+  }
+  return line;
 }
 
 }  // namespace lpsram

@@ -56,6 +56,47 @@ enum class YieldMode : std::uint8_t {
 
 std::string yield_mode_name(YieldMode mode);
 
+// ---------------------------------------------------------------------------
+// Candidate exact-solve batching (runtime-selectable, per the repo's standing
+// oracle pattern): LaneBatch marches surrogate-gated candidates through
+// drv_hold_cross_batched in lane-width blocks of *different cells*;
+// OneAtATime is the original per-candidate loop, kept as the equivalence
+// oracle. The resolved kind is folded into the plan fingerprint so a resumed
+// journal or a fabric fleet refuses to mix batch kinds. LaneBatch requires
+// the Batched cell kernel — under a Scalar cell-kernel default the engine
+// falls back to OneAtATime (the cross engine is built on the batched node
+// solver; there is no scalar cross path to be identical to).
+
+enum class YieldExactBatchKind : std::uint8_t {
+  Auto = 0,
+  OneAtATime = 1,
+  LaneBatch = 2,
+};
+
+std::string yield_exact_batch_name(YieldExactBatchKind kind);
+
+// Process-wide default; starts as LaneBatch (Auto coerces).
+YieldExactBatchKind default_yield_exact_batch() noexcept;
+YieldExactBatchKind set_default_yield_exact_batch(
+    YieldExactBatchKind kind) noexcept;
+// The default with Auto resolved — what run_block will actually do (before
+// the cell-kernel fallback above, which is applied per block).
+YieldExactBatchKind resolved_yield_exact_batch() noexcept;
+
+class ScopedYieldExactBatchDefault {
+ public:
+  explicit ScopedYieldExactBatchDefault(YieldExactBatchKind kind)
+      : previous_(set_default_yield_exact_batch(kind)) {}
+  ~ScopedYieldExactBatchDefault() { set_default_yield_exact_batch(previous_); }
+
+  ScopedYieldExactBatchDefault(const ScopedYieldExactBatchDefault&) = delete;
+  ScopedYieldExactBatchDefault& operator=(const ScopedYieldExactBatchDefault&) =
+      delete;
+
+ private:
+  YieldExactBatchKind previous_;
+};
+
 struct YieldEngineOptions {
   // Array geometry: rows x cols cells per sampled array instance.
   std::size_t rows = 4096;
@@ -77,6 +118,19 @@ struct YieldEngineOptions {
   // 1/is_defensive and keeps the self-normalizer (and the effective sample
   // size) stable even at large shifts. 0 disables the defensive component.
   double is_defensive = 0.1;
+  // Pilot-tuned shift: when true (ImportanceSampled only), is_shift is
+  // replaced at plan-construction time by an ESS-maximizing line search over
+  // [pilot_shift_lo, pilot_shift_hi] on a cheap surrogate-only pilot run —
+  // common random numbers across candidate shifts, failure-restricted
+  // ("tail") ESS per grid point as the score, maximize the minimum over
+  // scored grid points. Deterministic: the tuned shift is a pure function of
+  // (seed, surrogate, options), so fingerprints, resume and fleet sharding
+  // stay sound. All pilot knobs are folded into the fingerprint.
+  bool auto_shift = false;
+  std::size_t pilot_samples = 4096;
+  double pilot_shift_lo = 1.0;
+  double pilot_shift_hi = 6.0;
+  int pilot_steps = 11;
   // Surrogate safety margin [V]: cells whose surrogate DRV lands within
   // this margin below the lowest grid Vreg (or above it) are solved exactly.
   double blockade_margin = 0.06;
@@ -108,6 +162,15 @@ struct YieldResult {
   // ImportanceSampled mode, where maxima of shifted samples are biased).
   ArrayDrvDistribution array_dist;
   SweepTelemetry telemetry;
+};
+
+// Outcome of the constructor-time pilot shift search (auto_shift).
+struct PilotShiftResult {
+  bool tuned = false;       // false: auto_shift off, or no grid point scored
+  double shift = 0.0;       // the shift the plan will run with
+  double objective = 0.0;   // min-over-scored-grid-points pilot tail ESS
+  std::size_t samples = 0;  // pilot samples drawn
+  std::size_t grid_points_scored = 0;  // grid points with >= 1 pilot hit
 };
 
 // The deterministic sweep plan: task decomposition, stable keys, manifest
@@ -152,8 +215,11 @@ class YieldPlan {
   // a sampled point (exposed for the estimator property tests).
   double importance_weight(const CellVariation& v) const;
   std::size_t blocks_per_trial() const noexcept { return blocks_per_trial_; }
+  // The pilot search outcome ({} unless options.auto_shift tuned the shift).
+  const PilotShiftResult& pilot() const noexcept { return pilot_; }
 
  private:
+  void run_pilot_shift_search();
   const Technology* tech_;
   const DrvSurrogate* surrogate_;
   YieldEngineOptions options_;
@@ -164,6 +230,7 @@ class YieldPlan {
   std::array<double, 6> shift_mirror_{};  // mirror(mu)
   double shift_sq_half_ = 0.0;            // |mu|^2 / 2
   std::uint64_t is_seed_ = 0;             // importance-sampling stream seed
+  PilotShiftResult pilot_;
 };
 
 // Runs the plan through a SweepExecutor (plan.options().threads workers),
@@ -177,5 +244,12 @@ YieldResult run_yield(const YieldPlan& plan, Campaign* campaign = nullptr,
 // fabric fleet produced with plan.run_block as its task function.
 YieldResult reduce_yield_journal(const YieldPlan& plan,
                                  const std::string& journal_path);
+
+// Operator-facing one-line summary: mode, exact-batch kind, samples /
+// candidates / exact solves, overall and worst per-point tail ESS, and the
+// pilot-tuned shift when one was used. Shared by the yield_analysis example
+// and the smoke assertions in tests, so the printed accounting can't drift
+// from what the engine measured.
+std::string yield_summary_line(const YieldPlan& plan, const YieldResult& result);
 
 }  // namespace lpsram

@@ -40,6 +40,7 @@ TailEstimate estimate_tail(const BlockAccum& total, std::size_t k) {
     est.rel_ci = 0.0;
     return est;
   }
+  est.tail_ess = pt.sum_wf2 > 0.0 ? pt.sum_wf * pt.sum_wf / pt.sum_wf2 : 0.0;
 
   // Delta-method variance of the self-normalized ratio estimator; the
   // indicator structure reduces sum w^2 (f - p)^2 to two stored sums.

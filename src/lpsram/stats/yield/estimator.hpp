@@ -66,6 +66,13 @@ struct TailEstimate {
   double ci95 = 0.0;     // 95% CI half-width on p
   double rel_ci = 0.0;   // ci95 / p (0 when p == 0)
   double ess = 0.0;      // effective sample size of the estimator
+  // Failure-restricted ESS, (sum w*f)^2 / sum w^2*f: how many equally
+  // weighted failure observations the weighted tail evidence is worth. The
+  // overall `ess` is maximized by not shifting at all (weights all 1), so it
+  // cannot score an importance-sampling shift; this is the quantity the
+  // pilot line search maximizes and the one to compare shifts by. 0 with no
+  // observed failures.
+  double tail_ess = 0.0;
 };
 
 // Self-normalized estimate for grid point `k` of the merged accumulator.

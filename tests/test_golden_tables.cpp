@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "lpsram/march/library.hpp"
+#include "lpsram/runtime/parallel.hpp"
 #include "lpsram/stats/array_stats.hpp"
 #include "lpsram/stats/yield/engine.hpp"
 #include "lpsram/testflow/case_studies.hpp"
@@ -247,6 +248,21 @@ TEST(GoldenYield, SigmaToYieldCurveAtReferenceSeed) {
   // Per-trial array DRV_DS maxima of the same field (exact values for the
   // gate-passing extremes): mean pinned to +/-2 mV like the Table I DRVs.
   EXPECT_NEAR(result.array_dist.mean, 0.3564, kDrvTolerance);
+
+  // The curve is pinned to the *configuration*, not to how candidates are
+  // marched through the kernel: the one-at-a-time oracle loop must land on
+  // the same failure counts and tail probabilities bit-for-bit.
+  const ScopedYieldExactBatchDefault one(YieldExactBatchKind::OneAtATime);
+  const YieldPlan oracle_plan(tech(), surrogate, options);
+  const YieldResult oracle = run_yield(oracle_plan);
+  ASSERT_EQ(oracle.points.size(), result.points.size());
+  EXPECT_EQ(oracle.candidates, result.candidates);
+  EXPECT_EQ(oracle.exact_solves, result.exact_solves);
+  for (std::size_t k = 0; k < oracle.points.size(); ++k) {
+    EXPECT_EQ(oracle.points[k].failures, result.points[k].failures);
+    EXPECT_EQ(key_bits(oracle.points[k].tail.p),
+              key_bits(result.points[k].tail.p));
+  }
 }
 
 TEST(GoldenYield, GumbelModelTracksEmpiricalTail) {

@@ -17,6 +17,7 @@
 #include "lpsram/stats/yield/counter_rng.hpp"
 #include "lpsram/stats/yield/engine.hpp"
 #include "lpsram/util/error.hpp"
+#include "lpsram/util/simd.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define LPSRAM_YIELD_POSIX 1
@@ -472,6 +473,255 @@ TEST(YieldDeterminism, ReduceJournalRequiresMatchingFingerprintAndAllTasks) {
                            plan.encode_block(plan.run_block(0)));
   }
   EXPECT_THROW(reduce_yield_journal(plan, partial), InvalidArgument);
+}
+
+// ---------- cross-cell candidate batching ------------------------------------
+
+// Sampled variation fields for the cross-kernel equivalence matrix; the
+// seeds deliberately span weak and strong fields so lanes retire at
+// different rounds inside one batch.
+std::vector<CellVariation> cross_fields(std::uint64_t seed, int n) {
+  std::vector<CellVariation> fields;
+  fields.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    fields.push_back(sample_cell_variation(seed, 0, static_cast<std::uint64_t>(i)));
+  return fields;
+}
+
+TEST(CrossBatch, AgreesWithSoloKernelOnSampledFields) {
+  const std::vector<CellVariation> fields = cross_fields(0xC5u, 13);
+  std::vector<CoreCell> cells;
+  cells.reserve(fields.size());
+  std::vector<const CoreCell*> ptrs;
+  for (const CellVariation& v : fields) {
+    cells.emplace_back(tech(), v);
+    ptrs.push_back(&cells.back());
+  }
+  std::vector<DrvResult> cross(cells.size());
+  drv_ds_cross_batched(ptrs.data(), ptrs.size(), 25.0, CrossDrvOptions{},
+                       cross.data());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const DrvResult solo = drv_ds(cells[i], 25.0);
+    // The cross engine replays the solo per-lane trajectory exactly (same
+    // expression trees, same round schedule, per-lane state only), so the
+    // vector backend owes agreement to within the lane solver's own ulp
+    // contract — measured bit-exact on every shipped backend.
+    EXPECT_NEAR(cross[i].drv1, solo.drv1, 1e-12) << "cell " << i;
+    EXPECT_NEAR(cross[i].drv0, solo.drv0, 1e-12) << "cell " << i;
+  }
+}
+
+TEST(CrossBatch, BitIdenticalToSoloUnderForcedScalarSimd) {
+  const ScopedSimdDefault simd(SimdKind::Scalar);
+  const std::vector<CellVariation> fields = cross_fields(0xC6u, 7);
+  std::vector<CoreCell> cells;
+  cells.reserve(fields.size());
+  std::vector<const CoreCell*> ptrs;
+  for (const CellVariation& v : fields) {
+    cells.emplace_back(tech(), v);
+    ptrs.push_back(&cells.back());
+  }
+  std::vector<DrvResult> cross(cells.size());
+  drv_ds_cross_batched(ptrs.data(), ptrs.size(), 25.0, CrossDrvOptions{},
+                       cross.data());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const DrvResult solo = drv_ds(cells[i], 25.0);
+    EXPECT_EQ(key_bits(cross[i].drv1), key_bits(solo.drv1)) << "cell " << i;
+    EXPECT_EQ(key_bits(cross[i].drv0), key_bits(solo.drv0)) << "cell " << i;
+  }
+}
+
+TEST(CrossBatch, StragglerEvictionIsResultNeutral) {
+  const std::vector<CellVariation> fields = cross_fields(0xC7u, 9);
+  std::vector<CoreCell> cells;
+  cells.reserve(fields.size());
+  std::vector<const CoreCell*> ptrs;
+  for (const CellVariation& v : fields) {
+    cells.emplace_back(tech(), v);
+    ptrs.push_back(&cells.back());
+  }
+  CrossDrvOptions starved;
+  starved.scan_round_budget = 1;  // no lane can finish its scan in one round
+  CrossDrvStats stats;
+  std::vector<DrvResult> evicted(cells.size());
+  drv_ds_cross_batched(ptrs.data(), ptrs.size(), 25.0, starved,
+                       evicted.data(), &stats);
+  EXPECT_GT(stats.evicted, 0u);
+  // Evicted lanes re-solve through the solo batched kernel, so starving the
+  // budget must change cost accounting only, never a result bit.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const DrvResult solo = drv_ds(cells[i], 25.0);
+    EXPECT_EQ(key_bits(evicted[i].drv1), key_bits(solo.drv1)) << "cell " << i;
+    EXPECT_EQ(key_bits(evicted[i].drv0), key_bits(solo.drv0)) << "cell " << i;
+  }
+}
+
+TEST(YieldExactBatch, CurveBitIdenticalAcrossBatchKinds) {
+  const YieldEngineOptions options = small_options(YieldMode::Blockade);
+  YieldResult one, lane;
+  {
+    const ScopedYieldExactBatchDefault s(YieldExactBatchKind::OneAtATime);
+    one = run_yield(YieldPlan(tech(), surrogate(), options));
+  }
+  {
+    const ScopedYieldExactBatchDefault s(YieldExactBatchKind::LaneBatch);
+    lane = run_yield(YieldPlan(tech(), surrogate(), options));
+  }
+  ASSERT_GT(lane.candidates, 0u);  // the gate must actually stage work
+  expect_bit_identical(lane, one);
+
+  // BruteForceExact stages *every* sampled cell through the batch path.
+  YieldEngineOptions brute = small_options(YieldMode::BruteForceExact);
+  brute.rows = 16;
+  brute.cols = 16;
+  brute.trials = 1;
+  brute.block_cells = 128;
+  {
+    const ScopedYieldExactBatchDefault s(YieldExactBatchKind::OneAtATime);
+    one = run_yield(YieldPlan(tech(), surrogate(), brute));
+  }
+  {
+    const ScopedYieldExactBatchDefault s(YieldExactBatchKind::LaneBatch);
+    lane = run_yield(YieldPlan(tech(), surrogate(), brute));
+  }
+  EXPECT_EQ(lane.exact_solves, lane.samples);
+  expect_bit_identical(lane, one);
+}
+
+TEST(YieldExactBatch, ScalarCellKernelFallsBackResultNeutral) {
+  // LaneBatch requires the batched cell kernel; under a scalar cell-kernel
+  // default the engine must quietly take the one-at-a-time path and still
+  // produce the scalar oracle's exact bits.
+  const ScopedCellKernelDefault kernel(CellKernelKind::Scalar);
+  YieldEngineOptions options = small_options(YieldMode::Blockade);
+  options.rows = 32;
+  options.vreg_grid = {0.30};
+  YieldResult one, lane;
+  {
+    const ScopedYieldExactBatchDefault s(YieldExactBatchKind::OneAtATime);
+    one = run_yield(YieldPlan(tech(), surrogate(), options));
+  }
+  {
+    const ScopedYieldExactBatchDefault s(YieldExactBatchKind::LaneBatch);
+    lane = run_yield(YieldPlan(tech(), surrogate(), options));
+  }
+  expect_bit_identical(lane, one);
+}
+
+TEST(YieldExactBatch, FingerprintAndManifestRefuseMismatchedBatchKind) {
+  YieldEngineOptions options = small_options(YieldMode::Blockade);
+  options.rows = 32;
+  options.vreg_grid = {0.30};
+  const std::string path = journal_path("batch_kind_refusal.journal");
+  fs::remove(path);
+  std::uint64_t lane_fp = 0;
+  {
+    const ScopedYieldExactBatchDefault s(YieldExactBatchKind::LaneBatch);
+    const YieldPlan plan(tech(), surrogate(), options);
+    lane_fp = plan.fingerprint();
+    Campaign campaign(path);
+    run_yield(plan, &campaign);
+  }
+  const ScopedYieldExactBatchDefault s(YieldExactBatchKind::OneAtATime);
+  const YieldPlan plan(tech(), surrogate(), options);
+  EXPECT_NE(plan.fingerprint(), lane_fp);
+  // Same options, same journal — but the journal was recorded under the
+  // other batch kind, so the bit-identity claim is exactly what the resume
+  // refusal enforces.
+  Campaign campaign(path);
+  EXPECT_THROW(run_yield(plan, &campaign), InvalidArgument);
+}
+
+// ---------- pilot shift search ----------------------------------------------
+
+TEST(YieldPilot, DeterministicInRangeAndFingerprinted) {
+  YieldEngineOptions options = small_options(YieldMode::ImportanceSampled);
+  options.auto_shift = true;
+  options.pilot_samples = 2048;
+  const YieldPlan a(tech(), surrogate(), options);
+  const YieldPlan b(tech(), surrogate(), options);
+  ASSERT_TRUE(a.pilot().tuned);
+  EXPECT_GE(a.pilot().shift, options.pilot_shift_lo);
+  EXPECT_LE(a.pilot().shift, options.pilot_shift_hi);
+  EXPECT_GT(a.pilot().objective, 0.0);
+  EXPECT_EQ(a.pilot().samples, options.pilot_samples);
+  // Pure function of (seed, surrogate, options): the twin plan lands on the
+  // same shift bit-for-bit and the same manifest fingerprint.
+  EXPECT_EQ(key_bits(a.pilot().shift), key_bits(b.pilot().shift));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  expect_bit_identical(run_yield(a), run_yield(b));
+
+  // Every pilot knob is part of the manifest...
+  YieldEngineOptions other = options;
+  other.pilot_steps += 2;
+  EXPECT_NE(a.fingerprint(),
+            YieldPlan(tech(), surrogate(), other).fingerprint());
+  // ...and a hand-shifted plan that happens to match the tuned shift is
+  // still a distinct configuration.
+  YieldEngineOptions hand = small_options(YieldMode::ImportanceSampled);
+  hand.is_shift = a.pilot().shift;
+  EXPECT_NE(a.fingerprint(),
+            YieldPlan(tech(), surrogate(), hand).fingerprint());
+}
+
+TEST(YieldPilot, TunedShiftTailEssNoWorseThanHandTuned) {
+  // The suite's hand-tuned baseline (is_shift = 2.5 in small_options) vs the
+  // pilot-tuned plan, scored by the quantity the pilot optimizes: the worst
+  // failure-restricted ESS over grid points that saw failures.
+  const auto min_tail_ess = [](const YieldResult& r) {
+    double m = std::numeric_limits<double>::infinity();
+    for (const YieldPoint& pt : r.points)
+      if (pt.failures > 0) m = std::min(m, pt.tail.tail_ess);
+    return m;
+  };
+  const YieldEngineOptions hand = small_options(YieldMode::ImportanceSampled);
+  YieldEngineOptions tuned = hand;
+  tuned.auto_shift = true;
+  const YieldPlan hand_plan(tech(), surrogate(), hand);
+  const YieldPlan tuned_plan(tech(), surrogate(), tuned);
+  const double hand_ess = min_tail_ess(run_yield(hand_plan));
+  const double tuned_ess = min_tail_ess(run_yield(tuned_plan));
+  ASSERT_TRUE(std::isfinite(hand_ess));
+  ASSERT_TRUE(std::isfinite(tuned_ess));
+  // "No worse" up to pilot-vs-final sampling noise: the pilot scores shifts
+  // on its own 4096-sample surrogate run, so it can trade a few percent at
+  // the achieved optimum but must never fall materially below the baseline.
+  EXPECT_GE(tuned_ess, 0.9 * hand_ess)
+      << "tuned shift " << tuned_plan.pilot().shift << " vs hand 2.5";
+}
+
+// ---------- operator summary -------------------------------------------------
+
+TEST(YieldSummary, LineReportsEngineAccounting) {
+  YieldEngineOptions options = small_options(YieldMode::Blockade);
+  options.rows = 32;
+  options.vreg_grid = {0.30};
+  const YieldPlan plan(tech(), surrogate(), options);
+  const YieldResult result = run_yield(plan);
+  const std::string line = yield_summary_line(plan, result);
+  EXPECT_NE(line.find("mode=blockade"), std::string::npos) << line;
+  EXPECT_NE(line.find("exact-batch="), std::string::npos) << line;
+  EXPECT_NE(line.find("samples=" + std::to_string(result.samples)),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("candidates=" + std::to_string(result.candidates)),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("exact_solves=" + std::to_string(result.exact_solves)),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("ess="), std::string::npos) << line;
+  EXPECT_EQ(line.find("shift="), std::string::npos) << line;  // not IS mode
+
+  YieldEngineOptions is_options = small_options(YieldMode::ImportanceSampled);
+  is_options.auto_shift = true;
+  const YieldPlan is_plan(tech(), surrogate(), is_options);
+  const std::string is_line =
+      yield_summary_line(is_plan, run_yield(is_plan));
+  EXPECT_NE(is_line.find("mode=importance-sampled"), std::string::npos)
+      << is_line;
+  EXPECT_NE(is_line.find("shift="), std::string::npos) << is_line;
+  EXPECT_NE(is_line.find("(pilot-tuned)"), std::string::npos) << is_line;
 }
 
 #ifdef LPSRAM_YIELD_POSIX

@@ -18,7 +18,14 @@ hold at the gate point (Vreg = 0.40 V on the 4Kx64 array):
     `ci_overlap`; it is re-derived here from the recorded numbers);
   * the estimator is healthy: p > 0, effective sample size >= MIN_ESS and
     relative CI <= MAX_REL_CI (an ESS collapse — the classic failure mode
-    of an over-aggressive shift — trips these long before the means drift).
+    of an over-aggressive shift — trips these long before the means drift);
+  * candidate exact-solve batching pays: the report must carry the
+    `candidate_exact` section (its absence means the bench binary predates
+    the lane-batched path — hard fail, not a skip), both densities must have
+    produced bit-identical curves under the two batch kinds, the lane batch
+    must be >= MIN_LANE_SPEEDUP_HEAVY x faster than the one-at-a-time loop
+    at heavy candidate density, and >= MIN_LANE_SPEEDUP_SPARSE x (i.e. not a
+    regression beyond noise) at sparse density.
 
 Build hygiene: the report must carry the `lpsram_build_type` context stamp
 and it must say "release" — numbers from a debug build are refused, not
@@ -39,6 +46,11 @@ MIN_SOLVE_ADVANTAGE = 20.0
 # Estimator health floors: measured ESS ~2190 of 20000 samples, rel CI ~0.09.
 MIN_ESS = 100.0
 MAX_REL_CI = 0.5
+# Candidate exact-solve batching: the lane batch must clearly win where exact
+# solves dominate, and must not regress where they are rare (0.95 leaves room
+# for wall-clock noise on a path whose runtime is surrogate-bound).
+MIN_LANE_SPEEDUP_HEAVY = 2.0
+MIN_LANE_SPEEDUP_SPARSE = 0.95
 
 
 def check_build_type(context):
@@ -128,6 +140,39 @@ def main(argv):
         failed = True
     if not failed:
         print("OK: estimator health (p > 0, ESS, relative CI) within bounds")
+
+    ce = report.get("candidate_exact")
+    if ce is None:
+        print("FAIL: report lacks the 'candidate_exact' section — it was "
+              "recorded by a bench binary predating the lane-batched "
+              "candidate path; re-record from a current build",
+              file=sys.stderr)
+        return 1
+    floors = {"sparse": MIN_LANE_SPEEDUP_SPARSE, "heavy": MIN_LANE_SPEEDUP_HEAVY}
+    for density, floor in floors.items():
+        if density not in ce:
+            print(f"FAIL: candidate_exact section lacks the '{density}' "
+                  "density", file=sys.stderr)
+            failed = True
+            continue
+        d = ce[density]
+        speedup = float(d["speedup"])
+        print(f"candidate exact ({density}, margin "
+              f"{d['blockade_margin']:.2f} V): {d['exact_solves']} exact "
+              f"solves, one-at-a-time {d['one_at_a_time_wall_s']:.3f} s, "
+              f"lane-batch {d['lane_batch_wall_s']:.3f} s -> {speedup:.2f}x")
+        if not d.get("curves_identical", False):
+            print(f"FAIL: {density}-density curves diverged between batch "
+                  "kinds — the speedup is not comparing equal work",
+                  file=sys.stderr)
+            failed = True
+        if speedup < floor:
+            print(f"FAIL: lane-batch speedup {speedup:.2f}x at {density} "
+                  f"density is below the {floor:.2f}x floor", file=sys.stderr)
+            failed = True
+        else:
+            print(f"OK: lane batch is {speedup:.2f}x >= {floor:.2f}x at "
+                  f"{density} density")
 
     return 1 if failed else 0
 
